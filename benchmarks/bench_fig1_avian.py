@@ -1,0 +1,85 @@
+"""Figure 1 — Avian dataset: runtime and memory vs number of trees.
+
+Paper setting: n=48, r ∈ {1000, 5000, 10000, 14446} (each point is the
+first r trees).  Scaled here to r ∈ {100, 250, 500, 1000}; the figure's
+two panels are emitted as text series (runtime, peak memory) for DS,
+DSMP, HashRF, and BFHRF×{1, 2} workers.
+
+Shape claims reproduced from §VI-A:
+* hash methods (HashRF, BFHRF) are at least an order of magnitude
+  faster than DS at the largest point;
+* BFHRF uses far less memory than DS at the largest point;
+* all completed methods report identical averages (§III-C).
+"""
+
+from __future__ import annotations
+
+import math
+
+from common import (
+    WORKERS_SMALL,
+    assert_values_agree,
+    emit,
+    render_series,
+    run_bfhrf,
+    run_ds,
+    run_dsmp,
+    run_hashrf,
+    scaled,
+)
+
+from repro.simulation.datasets import avian_like
+
+R_POINTS = scaled([100, 250, 500, 1000])
+DS_QUERY_LIMIT = 60  # extrapolate DS beyond this many queries (paper protocol)
+
+
+def _sweep():
+    dataset = avian_like(r=max(R_POINTS))
+    series_time: dict[str, list[float]] = {}
+    series_mem: dict[str, list[float]] = {}
+    per_point_runs = []
+    for r in R_POINTS:
+        trees = dataset.prefix(r).trees
+        runs = [
+            run_ds(trees, query_limit=DS_QUERY_LIMIT if r > DS_QUERY_LIMIT else None),
+            run_dsmp(trees, WORKERS_SMALL,
+                     query_limit=DS_QUERY_LIMIT if r > DS_QUERY_LIMIT else None),
+            run_hashrf(trees),
+            run_bfhrf(trees, workers=1),
+            run_bfhrf(trees, workers=WORKERS_SMALL),
+        ]
+        per_point_runs.append(runs)
+        for run in runs:
+            series_time.setdefault(run.algorithm, []).append(run.seconds)
+            series_mem.setdefault(run.algorithm, []).append(run.memory_mb)
+    return dataset, per_point_runs, series_time, series_mem
+
+
+def test_fig1_avian(benchmark):
+    dataset, per_point_runs, series_time, series_mem = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1)
+
+    # --- emit the two panels (before assertions so results persist) ----------
+    note = (f"n={dataset.n_taxa}; points are the first r trees; DS/DSMP "
+            f"estimated from the first {DS_QUERY_LIMIT} queries at large r "
+            f"(paper's rate-extrapolation protocol)")
+    top = render_series("Fig 1 (top, scaled): Avian runtime vs r",
+                        "r", R_POINTS, series_time, "seconds")
+    bottom = render_series("Fig 1 (bottom, scaled): Avian peak memory vs r",
+                           "r", R_POINTS, series_mem, "MB (tracemalloc peak)")
+    emit(top + "\n\n" + bottom + f"\nnote: {note}", "fig1_avian")
+
+    # --- shape assertions ---------------------------------------------------
+    largest = {run.algorithm: run for run in per_point_runs[-1]}
+    ds_time = largest["DS"].seconds
+    assert largest["BFHRF"].seconds < ds_time / 8, \
+        "BFHRF must beat DS by >=8x at the largest Avian point (paper: ~680x)"
+    assert largest["HashRF"].seconds < ds_time, \
+        "HashRF must beat DS on runtime"
+    assert largest["BFHRF"].memory_mb < largest["DS"].memory_mb / 2, \
+        "BFHRF must use far less memory than DS (paper: 0.37GB vs 1.28GB)"
+
+    # Accuracy (§III-C): every run that produced values agrees exactly.
+    for runs in per_point_runs:
+        assert_values_agree(runs)

@@ -1,0 +1,86 @@
+"""Table I — theoretical time/space complexity, verified empirically.
+
+The paper's Table I states:
+
+    DS/DSMP   time O(n²qr)          space O(n²r)
+    HashRF    time O(n²r²)          space O(n²r²)
+    BFHRF     time O(max(n²q,n²r))  space O(n²)*
+
+With Q = R (the benchmark setting), time in r is quadratic for DS and
+HashRF but *linear* for BFHRF.  This bench fits empirical growth
+exponents over an r sweep (n fixed) and over an n sweep (r fixed) and
+prints them next to the theoretical orders.  Exact exponents depend on
+constant factors at small scale, so the assertions check *separation*:
+DS ≈ quadratic in r, BFHRF ≈ linear in r, and the n exponents bounded
+by the quadratic model.
+"""
+
+from __future__ import annotations
+
+from common import emit, growth_exponent, run_bfhrf, run_ds, run_hashrf, scaled
+
+from repro.simulation.datasets import variable_taxa, variable_trees
+
+R_SWEEP = scaled([60, 120, 240, 480])
+N_SWEEP = [24, 48, 96, 192]
+N_FIXED = 32
+R_FIXED = 60
+
+
+def _sweep():
+    time_vs_r: dict[str, list[float]] = {}
+    for r in R_SWEEP:
+        trees = variable_trees(max(R_SWEEP), n_taxa=N_FIXED, seed=11).prefix(r).trees
+        for run in (run_ds(trees), run_hashrf(trees), run_bfhrf(trees)):
+            time_vs_r.setdefault(run.algorithm, []).append(run.seconds)
+
+    time_vs_n: dict[str, list[float]] = {}
+    for n in N_SWEEP:
+        trees = variable_taxa(n, r=R_FIXED, seed=12).trees
+        for run in (run_ds(trees), run_hashrf(trees), run_bfhrf(trees)):
+            time_vs_n.setdefault(run.algorithm, []).append(run.seconds)
+    return time_vs_r, time_vs_n
+
+
+def test_table1_complexity(benchmark):
+    time_vs_r, time_vs_n = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    exp_r = {name: growth_exponent(R_SWEEP, ys) for name, ys in time_vs_r.items()}
+    exp_n = {name: growth_exponent(N_SWEEP, ys) for name, ys in time_vs_n.items()}
+
+    theory = {
+        "DS": ("O(n^2 q r)", "O(n^2 r)"),
+        "HashRF": ("O(n^2 r^2)", "O(n^2 r^2)"),
+        "BFHRF": ("O(max(n^2 q, n^2 r))", "O(n^2)"),
+    }
+    lines = [
+        "Table I (reproduction): theoretical complexity vs fitted exponents",
+        "=" * 72,
+        f"{'Algorithm':<9} {'theory time':<22} {'theory space':<12} "
+        f"{'fit: time~r^x':<14} {'fit: time~n^y'}",
+        "-" * 72,
+    ]
+    for name in ("DS", "HashRF", "BFHRF"):
+        t_time, t_space = theory[name]
+        lines.append(f"{name:<9} {t_time:<22} {t_space:<12} "
+                     f"{exp_r[name]:<14.2f} {exp_n[name]:.2f}")
+    lines.append("-" * 72)
+    lines.append(f"r sweep: n={N_FIXED}, r={R_SWEEP} (Q is R, so q=r)")
+    lines.append(f"n sweep: r={R_FIXED}, n={N_SWEEP}")
+    lines.append("note: with Q=R, DS's O(n^2 q r) appears as r^2; BFHRF's "
+                 "O(max(n^2 q, n^2 r)) appears as r^1 — the paper's key contrast")
+    emit("\n".join(lines), "table1_complexity")
+
+    # r-scaling separations (Q is R): DS quadratic, BFHRF linear.
+    assert exp_r["DS"] > 1.45, f"DS should grow clearly superlinearly in r (got {exp_r['DS']:.2f})"
+    assert exp_r["BFHRF"] < 1.4, \
+        f"BFHRF should be ~linear in r (got {exp_r['BFHRF']:.2f})"
+    assert exp_r["DS"] > exp_r["BFHRF"] + 0.35
+    assert exp_r["HashRF"] > exp_r["BFHRF"], \
+        "HashRF's pairwise accumulation must grow faster in r than BFHRF"
+
+    # n-scaling: every method bounded by the O(n²) bit model; in practice
+    # near-linear thanks to the data structures (§VI-C).
+    for name, exponent in exp_n.items():
+        assert 0.4 < exponent < 2.3, f"{name} n-exponent out of range: {exponent:.2f}"
+

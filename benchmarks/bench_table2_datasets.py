@@ -1,0 +1,66 @@
+"""Table II — the evaluation datasets.
+
+Regenerates one instance of each dataset family (Avian-like,
+Insect-like, Variable Trees, Variable Species) at benchmark scale and
+prints the paper's dataset table.  Verifies the structural facts the
+later experiments rely on: taxon counts, weighted/unweighted status,
+shared namespaces, binary gene trees.
+"""
+
+from __future__ import annotations
+
+from common import emit
+
+from repro.simulation.datasets import table2_datasets
+from repro.trees.validate import validate_collection
+
+
+AVIAN_R = 300
+INSECT_R = 200
+VT_R = 300
+VS_N = 100
+VS_R = 100
+
+
+def _generate():
+    return table2_datasets(avian_r=AVIAN_R, insect_r=INSECT_R,
+                           vt_r=VT_R, vs_n=VS_N, vs_r=VS_R)
+
+
+def test_table2_datasets(benchmark):
+    datasets = benchmark.pedantic(_generate, rounds=1, iterations=1)
+
+    # --- paper-shape assertions -------------------------------------------------
+    assert [d.n_taxa for d in datasets] == [48, 144, VS_N, VS_N]
+    avian, insect, vtrees, vtaxa = datasets
+    for ds in datasets:
+        validate_collection(ds.trees, require_binary=True)
+
+    # Avian is weighted; Insect is topology-only (the property that broke
+    # HashRF on the real data, §VI-B).
+    assert all(n.length is not None for t in avian.trees for n in t.preorder()
+               if n.parent is not None)
+    assert all(n.length is None for t in insect.trees for n in t.preorder())
+
+    # --- table -------------------------------------------------------------------
+    header = f"{'Name':<18}{'Taxa n':>8}{'Trees R':>9}  {'Type':<10}{'Source'}"
+    lines = [
+        "Table II (scaled reproduction): datasets used for experiments",
+        "=" * 78,
+        header,
+        "-" * 78,
+    ]
+    paper_rows = {
+        "Avian-like": ("48", "14446", "Real"),
+        "Insect-like": ("144", "149278", "Real"),
+        "Variable Trees": ("100", "1000:100000", "Sim"),
+        "Variable Species": ("100:1000", "1000", "Sim"),
+    }
+    for ds in datasets:
+        lines.append(f"{ds.name:<18}{ds.n_taxa:>8}{ds.n_trees:>9}  "
+                     f"{ds.kind:<10}{ds.source}")
+    lines.append("-" * 78)
+    lines.append("paper-scale originals:")
+    for name, (n, r, kind) in paper_rows.items():
+        lines.append(f"  {name:<18} n={n:<10} R={r:<14} {kind}")
+    emit("\n".join(lines), "table2_datasets")

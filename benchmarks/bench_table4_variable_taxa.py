@@ -1,0 +1,91 @@
+"""Table IV — variable number of taxa (scaled).
+
+Paper setting: n ∈ {100, 250, 500, 750, 1000}, r = 1000 simulated gene
+trees; all methods complete; the headline statistic is BFHRF's runtime
+being *linear in n in practice* (R² = 0.988/0.997, Pearson 0.994/0.999)
+despite the O(n²) bit-model bound.  Scaled here to n ∈ {50, 100, 200,
+400}, r = 150.
+
+Shape claims (§VI-C):
+* every algorithm's runtime grows with n, DS fastest-growing;
+* BFHRF runtime is nearly linear in n (R² >= 0.95) — we recompute the
+  paper's R²/Pearson statistics;
+* memory grows roughly linearly in n for all methods.
+"""
+
+from __future__ import annotations
+
+from common import (
+    WORKERS_SMALL,
+    assert_values_agree,
+    emit,
+    linearity_r_squared,
+    pearson,
+    run_bfhrf,
+    run_ds,
+    run_dsmp,
+    run_hashrf,
+)
+
+from repro.simulation.datasets import variable_taxa
+from repro.util.records import ExperimentTable
+
+N_POINTS = [50, 100, 200, 400]
+R_TREES = 150
+QUERY_LIMIT = 30
+
+
+def _sweep():
+    table = ExperimentTable(
+        f"Table IV (scaled reproduction): variable taxa, r={R_TREES}")
+    runs_by_point = []
+    for n in N_POINTS:
+        dataset = variable_taxa(n, r=R_TREES)
+        trees = dataset.trees
+        runs = [
+            run_ds(trees, query_limit=QUERY_LIMIT),
+            run_dsmp(trees, WORKERS_SMALL, query_limit=QUERY_LIMIT),
+            run_hashrf(trees),
+            run_bfhrf(trees, workers=1),
+            run_bfhrf(trees, workers=WORKERS_SMALL),
+        ]
+        runs_by_point.append(runs)
+        for run in runs:
+            table.add(run.to_record(n, R_TREES))
+    return table, runs_by_point
+
+
+def test_table4_variable_taxa(benchmark):
+    table, runs_by_point = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    by_algo: dict[str, list[float]] = {}
+    mem_by_algo: dict[str, list[float]] = {}
+    for runs in runs_by_point:
+        for run in runs:
+            by_algo.setdefault(run.algorithm, []).append(run.seconds)
+            mem_by_algo.setdefault(run.algorithm, []).append(run.memory_mb)
+
+    r_squared = linearity_r_squared(N_POINTS, by_algo["BFHRF"])
+    rho = pearson(N_POINTS, by_algo["BFHRF"])
+    table.note(f"BFHRF linearity vs n: R\u00b2={r_squared:.3f}, Pearson={rho:.3f} "
+               "(paper: 0.988 / 0.994 on 8 cores)")
+    emit(table.render(), "table4_variable_taxa")
+
+    for runs in runs_by_point:
+        assert_values_agree(runs)
+
+    # Runtime increases with n for every method.
+    for name, times in by_algo.items():
+        assert times[-1] > times[0], f"{name} runtime should grow with n"
+
+    # The paper's linearity statistic for BFHRF (§VI-C: R²=0.988, ρ=0.994).
+    assert r_squared >= 0.95, f"BFHRF runtime ~ linear in n (R²={r_squared:.3f})"
+    assert rho >= 0.97
+
+    # Memory grows (roughly linearly) with n for the hash methods too.
+    assert mem_by_algo["BFHRF"][-1] > mem_by_algo["BFHRF"][0]
+
+    # BFHRF stays faster than DS at every n.
+    for ds_time, bfhrf_time in zip(by_algo["DS"], by_algo["BFHRF"]):
+        assert bfhrf_time < ds_time
+

@@ -1,0 +1,109 @@
+"""Table V + Figure 2 — variable number of trees (scaled).
+
+Paper setting: n=100, r ∈ {1000, 25000, 50000, 75000, 100000}.  The
+paper's headline: HashRF's runtime and memory grow superlinearly in r
+(the r×r matrix) until the kernel kills it at r=100000, DSMP workers
+are OOM-killed from r=50000, while BFHRF stays linear in r in both time
+and memory.  Scaled here to r ∈ {150, 400, 1000, 2000}, with the same
+kill semantics reproduced by a configurable matrix-memory budget.
+
+Shape claims (§VI-D):
+* empirical growth exponent of HashRF runtime in r exceeds BFHRF's;
+* HashRF memory grows superlinearly (exponent > 1.3), BFHRF's roughly
+  linearly (exponent < 1.3) and far below DS's absolute footprint;
+* all completed methods agree on values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from common import (
+    WORKERS_SMALL,
+    assert_values_agree,
+    emit,
+    growth_exponent,
+    render_series,
+    run_bfhrf,
+    run_ds,
+    run_dsmp,
+    run_hashrf,
+    scaled,
+)
+
+from repro.simulation.datasets import variable_trees
+from repro.util.records import ExperimentTable
+
+R_POINTS = scaled([150, 400, 1000, 2000])
+QUERY_LIMIT = 40
+# HashRF matrix budget (MB): the largest point's r×r matrix exceeds this,
+# reproducing the paper's kernel-kill at r=100000 in miniature.
+HASHRF_BUDGET_MB = (max(R_POINTS) ** 2) * 8 / (1024 * 1024) - 1
+
+
+def _sweep():
+    dataset = variable_trees(max(R_POINTS))
+    table = ExperimentTable("Table V (scaled reproduction): variable trees, n=100")
+    series_time: dict[str, list[float]] = {}
+    series_mem: dict[str, list[float]] = {}
+    runs_by_point = []
+    for r in R_POINTS:
+        trees = dataset.prefix(r).trees
+        limit = QUERY_LIMIT if r > QUERY_LIMIT else None
+        runs = [
+            run_ds(trees, query_limit=limit),
+            run_dsmp(trees, WORKERS_SMALL, query_limit=limit),
+            run_hashrf(trees, matrix_budget_mb=HASHRF_BUDGET_MB),
+            run_bfhrf(trees, workers=1),
+            run_bfhrf(trees, workers=WORKERS_SMALL),
+        ]
+        runs_by_point.append(runs)
+        for run in runs:
+            table.add(run.to_record(dataset.n_taxa, r))
+            series_time.setdefault(run.algorithm, []).append(run.seconds)
+            series_mem.setdefault(run.algorithm, []).append(run.memory_mb)
+    return dataset, table, series_time, series_mem, runs_by_point
+
+
+def test_table5_fig2_variable_trees(benchmark):
+    dataset, table, series_time, series_mem, runs_by_point = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1)
+
+    for runs in runs_by_point:
+        assert_values_agree(runs)
+
+    # The largest HashRF point hits the budget -> killed marker, like the
+    # paper's r=100000 row.
+    killed = [run for runs in runs_by_point for run in runs
+              if run.algorithm == "HashRF" and run.killed]
+    assert killed, "largest HashRF point should exceed the matrix budget"
+
+    # Growth exponents over the completed HashRF points vs BFHRF.
+    completed_r = R_POINTS[:-1]
+    hashrf_time_exp = growth_exponent(completed_r, series_time["HashRF"][:-1])
+    bfhrf_time_exp = growth_exponent(R_POINTS, series_time["BFHRF"])
+    hashrf_mem_exp = growth_exponent(completed_r, series_mem["HashRF"][:-1])
+    bfhrf_mem_exp = growth_exponent(R_POINTS, series_mem["BFHRF"])
+
+    assert hashrf_mem_exp > 1.3, \
+        f"HashRF memory must grow superlinearly in r (got {hashrf_mem_exp:.2f})"
+    assert bfhrf_mem_exp < 1.3, \
+        f"BFHRF memory must grow ~linearly in r (got {bfhrf_mem_exp:.2f})"
+    assert hashrf_mem_exp > bfhrf_mem_exp
+    assert bfhrf_time_exp < 1.4, \
+        f"BFHRF runtime must stay ~linear in r (got {bfhrf_time_exp:.2f})"
+
+    # BFHRF beats the DS estimate by a widening factor (paper: 36508m vs 3.96m).
+    assert series_time["BFHRF"][-1] * 10 < series_time["DS"][-1]
+
+    table.note(f"growth exponents (time): HashRF {hashrf_time_exp:.2f}, "
+               f"BFHRF {bfhrf_time_exp:.2f}; (memory): HashRF {hashrf_mem_exp:.2f}, "
+               f"BFHRF {bfhrf_mem_exp:.2f}")
+    table.note("HashRF '*' row: r x r matrix exceeded the configured budget "
+               f"({HASHRF_BUDGET_MB:.0f}MB), reproducing the paper's OOM kill")
+    fig2 = (render_series("Fig 2 (top, scaled): variable-trees runtime vs r",
+                          "r", R_POINTS, series_time, "seconds")
+            + "\n\n"
+            + render_series("Fig 2 (bottom, scaled): variable-trees memory vs r",
+                            "r", R_POINTS, series_mem, "MB (tracemalloc peak)"))
+    emit(table.render() + "\n\n" + fig2, "table5_fig2_variable_trees")

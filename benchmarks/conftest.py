@@ -1,0 +1,27 @@
+"""Benchmark-suite conftest: surface the reproduction artifacts.
+
+pytest's fd-level capture swallows direct writes to stdout from inside
+tests, so each bench persists its paper-style table under
+``benchmarks/results/`` and this hook replays every artifact into the
+terminal summary — making ``pytest benchmarks/ --benchmark-only | tee
+bench_output.txt`` a self-contained record of the reproduction.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS_DIR.is_dir():
+        return
+    artifacts = sorted(RESULTS_DIR.glob("*.txt"))
+    if not artifacts:
+        return
+    terminalreporter.section("paper reproduction artifacts (benchmarks/results/)")
+    for path in artifacts:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"----- {path.name} " + "-" * max(0, 60 - len(path.name)))
+        terminalreporter.write_line(path.read_text().rstrip())

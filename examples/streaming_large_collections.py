@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Streaming BFHRF over on-disk collections (§III-B, §VII-C).
+
+The paper's memory headline — the Insect collection (149k trees) in
+~1.3GB where DS needs ~27GB — comes from never holding a collection in
+memory: reference trees stream once into the frequency hash, query
+trees stream once past it.  This example reproduces that discipline on
+a generated file: the trees exist only on disk; peak Python-heap usage
+stays near the hash size regardless of collection length.
+
+Run:  python examples/streaming_large_collections.py
+"""
+
+import os
+import tempfile
+
+from repro.core.bfhrf import bfhrf_average_rf_stream, build_bfh
+from repro.newick import iter_newick_file, write_newick_file
+from repro.simulation import variable_trees
+from repro.trees import TaxonNamespace
+from repro.util.memory import trace_peak
+
+N_TREES = 2000
+N_TAXA = 64
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="bfhrf_stream_")
+    path = os.path.join(workdir, "collection.nwk")
+
+    # Materialize the dataset once, write it, and drop it: from here on,
+    # only the file exists.
+    dataset = variable_trees(N_TREES, n_taxa=N_TAXA, seed=3)
+    write_newick_file(path, dataset.trees)
+    size_mb = os.path.getsize(path) / (1024 * 1024)
+    print(f"wrote {N_TREES} trees ({size_mb:.1f}MB of Newick) to {path}")
+    del dataset
+    from repro.simulation import clear_dataset_cache
+    clear_dataset_cache()
+
+    with trace_peak() as sample:
+        # Pass 1: stream reference trees into the hash (nothing retained
+        # but the hash itself).
+        ns = TaxonNamespace()
+        bfh = build_bfh(iter_newick_file(path, ns))
+        # Pass 2: stream query trees past the hash, folding results as
+        # they arrive (here: best tree + running mean).
+        best_index, best_value = -1, float("inf")
+        total = 0.0
+        count = 0
+        for i, value in enumerate(
+                bfhrf_average_rf_stream(iter_newick_file(path, ns), bfh)):
+            total += value
+            count += 1
+            if value < best_value:
+                best_index, best_value = i, value
+
+    print(f"hash: {len(bfh)} unique splits from {bfh.n_trees} trees")
+    print(f"scored {count} query trees; mean avgRF {total / count:.3f}, "
+          f"best tree #{best_index} at {best_value:.3f}")
+    print(f"peak Python heap during both passes: {sample.peak_mb:.1f}MB "
+          f"(collection on disk: {size_mb:.1f}MB)")
+
+    # The streaming pipeline must stay well under the materialized
+    # collection's size — the paper's O(n^2) space story.
+    assert sample.peak_mb < 25, "streaming pipeline retained too much"
+    print("memory stayed near the hash size, independent of r  [verified]")
+
+    os.remove(path)
+    os.rmdir(workdir)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""RF supertree assembly from overlapping fragments (§I refs [14-16]).
+
+The variable-taxa setting the paper emphasizes (§VII-E): real studies
+produce trees over *different, overlapping* taxon sets, and fixed-taxa
+tools cannot combine them.  This example
+
+1. simulates a "true" 24-taxon species history,
+2. fragments it into five overlapping subtrees (as separate studies
+   would publish),
+3. assembles them with the greedy RF supertree heuristic, and
+4. scores the assembly (total restricted RF) and compares it to the
+   truth, with the result drawn as ASCII art.
+
+Run:  python examples/supertree_assembly.py
+"""
+
+import numpy as np
+
+from repro.analysis.supertree import greedy_rf_supertree, total_restricted_rf
+from repro.core.day import day_rf
+from repro.trees import ascii_tree
+from repro.trees.manipulate import prune_to_taxa
+from repro.simulation import yule_tree
+
+N_TAXA = 24
+N_FRAGMENTS = 5
+FRAGMENT_SIZE = 12
+SEED = 2024
+
+
+def main() -> None:
+    rng = np.random.default_rng(SEED)
+    truth = yule_tree(N_TAXA, rng=rng)
+    ns = truth.taxon_namespace
+    labels = ns.labels
+
+    # Overlapping fragments: each drops a random subset of taxa.
+    fragments = []
+    for i in range(N_FRAGMENTS):
+        keep = sorted(rng.choice(N_TAXA, size=FRAGMENT_SIZE, replace=False))
+        fragments.append(prune_to_taxa(truth.copy(), [labels[j] for j in keep]))
+        print(f"fragment {i}: {FRAGMENT_SIZE} taxa "
+              f"({', '.join(labels[j] for j in keep[:5])}, ...)")
+
+    union = set()
+    for fragment in fragments:
+        union.update(fragment.leaf_labels())
+    print(f"\nunion of fragments: {len(union)}/{N_TAXA} taxa")
+
+    supertree = greedy_rf_supertree(fragments, ns)
+    score = total_restricted_rf(supertree, fragments)
+    print(f"supertree covers {supertree.n_leaves} taxa; "
+          f"total restricted RF to the fragments: {score}")
+
+    if len(union) == N_TAXA:
+        rf_to_truth = day_rf(supertree, truth)
+        print(f"RF(supertree, true tree) = {rf_to_truth} "
+              f"(max {2 * (N_TAXA - 3)})")
+
+    print("\nassembled supertree:")
+    print(ascii_tree(supertree, show_internal_labels=False))
+
+    # Compatible fragments of one tree: the assembly should display them
+    # (score 0) or come very close.
+    assert score <= 4, "assembly strayed from the compatible optimum"
+    print("\nfragments reassembled (near-)perfectly  [verified]")
+
+
+if __name__ == "__main__":
+    main()

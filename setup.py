@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has setuptools but no ``wheel`` package (and
+no network), so PEP 660 editable installs cannot build the editable
+wheel.  This shim lets ``pip install -e . --no-build-isolation
+--no-use-pep517`` (and plain ``python setup.py develop``) work offline.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

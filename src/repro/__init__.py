@@ -1,0 +1,64 @@
+"""BFHRF — Bipartition Frequency Hash Robinson-Foulds.
+
+Reproduction of *Scalable and Extensible Robinson-Foulds for Comparative
+Phylogenetics* (Chon, Górecki, Eulenstein, Huang, Jannesari — IEEE
+IPDPSW 2022), built entirely from scratch: the phylogenetic tree
+substrate (Newick I/O, bitmask bipartitions), the paper's BFHRF
+algorithm, the three baselines it is evaluated against (DS, DSMP, a
+HashRF reimplementation), the extensibility layer (RF variants,
+variable taxa, weighted and information-theoretic RF), consensus-tree
+applications of the BFH, and the simulators that regenerate the
+evaluation's datasets.
+
+Quickstart
+----------
+>>> from repro import average_rf
+>>> average_rf("((A,B),(C,D));\\n((A,C),(B,D));")
+[1.0, 1.0]
+
+See ``README.md`` for the full tour and ``DESIGN.md`` for the system
+inventory.
+"""
+
+from repro.core.api import (
+    average_rf,
+    tree_distance,
+    best_query_tree,
+    consensus,
+    distance_matrix,
+    rf_distance,
+)
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.core.day import day_rf
+from repro.core.rf import max_rf, robinson_foulds
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick.io import iter_newick_file, read_newick_file, write_newick_file
+from repro.newick.parser import parse_newick
+from repro.newick.writer import write_newick
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "average_rf",
+    "rf_distance",
+    "tree_distance",
+    "distance_matrix",
+    "best_query_tree",
+    "consensus",
+    "bfhrf_average_rf",
+    "build_bfh",
+    "robinson_foulds",
+    "day_rf",
+    "max_rf",
+    "BipartitionFrequencyHash",
+    "parse_newick",
+    "write_newick",
+    "iter_newick_file",
+    "read_newick_file",
+    "write_newick_file",
+    "Tree",
+    "TaxonNamespace",
+    "__version__",
+]

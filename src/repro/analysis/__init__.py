@@ -1,0 +1,51 @@
+"""BFH applications: support, diversity, completion, clustering."""
+
+from repro.analysis.clustering import (
+    ClusteringResult,
+    cluster_consensus,
+    kmedoids_rf,
+    silhouette_score,
+)
+from repro.analysis.completion import attach_leaf_on_edge, complete_tree_greedy, project_hash
+from repro.analysis.convergence import SlidingWindowBFH, asdsf, split_frequency_differences
+from repro.analysis.supertree import greedy_rf_supertree, total_restricted_rf
+from repro.analysis.diversity import (
+    DiversityReport,
+    diversity_report,
+    mean_pairwise_rf,
+    sum_pairwise_rf,
+    support_spectrum,
+)
+from repro.analysis.support import annotate_support, split_supports
+from repro.analysis.topology import (
+    credible_set,
+    topology_frequencies,
+    topology_key,
+    unique_topology_count,
+)
+
+__all__ = [
+    "annotate_support",
+    "split_supports",
+    "mean_pairwise_rf",
+    "sum_pairwise_rf",
+    "support_spectrum",
+    "DiversityReport",
+    "diversity_report",
+    "complete_tree_greedy",
+    "attach_leaf_on_edge",
+    "project_hash",
+    "kmedoids_rf",
+    "silhouette_score",
+    "cluster_consensus",
+    "ClusteringResult",
+    "asdsf",
+    "split_frequency_differences",
+    "SlidingWindowBFH",
+    "greedy_rf_supertree",
+    "total_restricted_rf",
+    "topology_key",
+    "topology_frequencies",
+    "unique_topology_count",
+    "credible_set",
+]

@@ -1,0 +1,172 @@
+"""RF-based clustering of tree collections (§I: "clustering techniques").
+
+The all-vs-all RF matrix's classic consumer is clustering — finding
+islands of topologically similar trees (e.g. multimodal Bayesian
+posteriors, or mixed gene-tree signals).  This module provides:
+
+* :func:`kmedoids_rf` — k-medoids (PAM-style alternate assignment /
+  update) over any of the matrix engines; medoids are actual trees, the
+  natural summary objects under a tree metric;
+* :func:`silhouette_score` — cluster-quality measure over a
+  precomputed distance matrix;
+* :func:`cluster_consensus` — one consensus tree per cluster, tying the
+  clustering back to the BFH machinery.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.consensus import consensus_tree
+from repro.core.matrix import rf_matrix
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+from repro.util.rng import RngLike, resolve_rng
+
+__all__ = ["kmedoids_rf", "silhouette_score", "cluster_consensus", "ClusteringResult"]
+
+
+class ClusteringResult:
+    """Outcome of :func:`kmedoids_rf`.
+
+    Attributes
+    ----------
+    labels:
+        Cluster index per tree (``np.ndarray`` of int).
+    medoid_indices:
+        Index of each cluster's medoid tree.
+    cost:
+        Sum of RF distances of every tree to its medoid.
+    matrix:
+        The RF matrix used (exposed so callers can score/silhouette
+        without recomputing).
+    """
+
+    __slots__ = ("labels", "medoid_indices", "cost", "matrix")
+
+    def __init__(self, labels: np.ndarray, medoid_indices: list[int],
+                 cost: float, matrix: np.ndarray):
+        self.labels = labels
+        self.medoid_indices = medoid_indices
+        self.cost = cost
+        self.matrix = matrix
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.medoid_indices)
+
+    def cluster_members(self, k: int) -> list[int]:
+        return [int(i) for i in np.flatnonzero(self.labels == k)]
+
+
+def kmedoids_rf(trees: Sequence[Tree], k: int, *,
+                matrix: np.ndarray | None = None,
+                method: str = "hashrf", max_iter: int = 50,
+                rng: RngLike = None) -> ClusteringResult:
+    """Cluster trees into ``k`` groups by RF distance (k-medoids).
+
+    Parameters
+    ----------
+    trees:
+        The collection (shared namespace).
+    k:
+        Cluster count, ``1 <= k <= len(trees)``.
+    matrix:
+        Precomputed RF matrix; computed with ``method`` when ``None``.
+    max_iter:
+        Cap on assignment/update rounds (converges much earlier).
+    rng:
+        Seed for the initial medoid draw (deterministic given a seed).
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));\\n((A,C),(B,D));")
+    >>> result = kmedoids_rf(trees, 2, rng=0)
+    >>> sorted(result.cluster_members(result.labels[0]))
+    [0, 1]
+    """
+    r = len(trees)
+    if r == 0:
+        raise CollectionError("collection is empty")
+    if not 1 <= k <= r:
+        raise ValueError(f"k must be in [1, {r}], got {k}")
+    if matrix is None:
+        matrix = rf_matrix(trees, method=method)
+    matrix = np.asarray(matrix, dtype=np.float64)
+
+    gen = resolve_rng(rng)
+    medoids = list(gen.choice(r, size=k, replace=False))
+
+    labels = np.zeros(r, dtype=np.int64)
+    for _ in range(max_iter):
+        # Assignment: nearest medoid (ties -> lowest cluster index).
+        distances = matrix[:, medoids]            # (r, k)
+        labels = distances.argmin(axis=1)
+        # Update: per cluster, the member minimizing total within-cluster
+        # distance becomes the medoid.
+        new_medoids: list[int] = []
+        for cluster in range(k):
+            members = np.flatnonzero(labels == cluster)
+            if len(members) == 0:
+                # Empty cluster: re-seed with the point farthest from its
+                # medoid (standard PAM repair).
+                assigned = matrix[np.arange(r), np.asarray(medoids)[labels]]
+                new_medoids.append(int(assigned.argmax()))
+                continue
+            within = matrix[np.ix_(members, members)].sum(axis=1)
+            new_medoids.append(int(members[within.argmin()]))
+        if new_medoids == medoids:
+            break
+        medoids = new_medoids
+    distances = matrix[:, medoids]
+    labels = distances.argmin(axis=1)
+    cost = float(distances[np.arange(r), labels].sum())
+    return ClusteringResult(labels, medoids, cost, matrix)
+
+
+def silhouette_score(matrix: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient over a precomputed distance matrix.
+
+    Standard definition: per point, ``(b - a) / max(a, b)`` with ``a``
+    the mean distance to its own cluster (excluding itself) and ``b``
+    the smallest mean distance to another cluster.  Singleton clusters
+    contribute 0 (scikit-learn convention).  Requires ≥ 2 clusters.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    labels = np.asarray(labels)
+    clusters = np.unique(labels)
+    if len(clusters) < 2:
+        raise ValueError("silhouette requires at least 2 clusters")
+    n = matrix.shape[0]
+    scores = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        own = labels[i]
+        own_members = np.flatnonzero(labels == own)
+        if len(own_members) <= 1:
+            scores[i] = 0.0
+            continue
+        a = matrix[i, own_members].sum() / (len(own_members) - 1)
+        b = min(
+            matrix[i, np.flatnonzero(labels == other)].mean()
+            for other in clusters if other != own
+        )
+        denominator = max(a, b)
+        scores[i] = 0.0 if denominator == 0 else (b - a) / denominator
+    return float(scores.mean())
+
+
+def cluster_consensus(trees: Sequence[Tree], result: ClusteringResult, *,
+                      method: str = "greedy") -> list[Tree]:
+    """One consensus tree per cluster (a consensus *per island*)."""
+    namespace = trees[0].taxon_namespace
+    out: list[Tree] = []
+    for cluster in range(result.n_clusters):
+        members = [trees[i] for i in result.cluster_members(cluster)]
+        if not members:
+            members = [trees[result.medoid_indices[cluster]]]
+        out.append(consensus_tree(members, namespace, method=method))
+    return out

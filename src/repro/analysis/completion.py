@@ -1,0 +1,180 @@
+"""Greedy RF tree completion against a reference collection.
+
+The paper's future work (§IX) and its citations [18, 32, 33] concern
+*completing* a partial tree — one missing some taxa — so as to minimize
+RF distance to reference trees.  Exact linear-time algorithms exist for
+one reference tree (Bansal 2018/2020); against a whole *collection* the
+natural objective is the BFHRF average, and the BFH makes the greedy
+heuristic cheap:
+
+repeat for each missing taxon (rarest-first):
+    try attaching it to every edge of the partial tree;
+    score each candidate in one tree-vs-hash comparison;
+    keep the attachment with the lowest average RF.
+
+Each scoring is O(n²) bits (Algorithm 2 on one tree), so a full
+completion is O(n³·|missing|) worst case — fine for the n this library
+targets, and the result is exact *per step* because the hash average is
+exact.  This is a heuristic for the joint problem (documented as such);
+the tests verify it recovers planted placements.
+"""
+
+from __future__ import annotations
+
+from repro.bipartitions.encoding import project_mask
+from repro.bipartitions.extract import bipartition_masks
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.trees.node import Node
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError, TaxonError
+
+__all__ = ["complete_tree_greedy", "attach_leaf_on_edge", "project_hash"]
+
+
+def project_hash(bfh: BipartitionFrequencyHash, full_leaf_mask: int,
+                 keep_mask: int) -> BipartitionFrequencyHash:
+    """Restrict a full-taxa hash to a taxon subset (one O(|hash|) scan).
+
+    Nearly equivalent to rebuilding the hash with
+    :func:`repro.core.variants.restrict_taxa_transform` but without
+    touching the collection again — possible because the BFH keys are
+    real splits (§VII-F).  One caveat the hash cannot resolve: when two
+    *distinct* splits of the same tree coincide after restriction, the
+    per-tree rebuild counts them once while this projection counts each
+    occurrence, so projected frequencies are an upper bound (exact
+    whenever no within-tree restriction collisions occur — in particular
+    for ``keep_mask == full_leaf_mask``).  For the greedy-completion
+    objective this monotone overcount is an acceptable surrogate.
+    """
+    out = BipartitionFrequencyHash(include_trivial=bfh.include_trivial)
+    counts: dict[int, int] = {}
+    total = 0
+    for mask, freq in bfh.items():
+        projected = project_mask(mask, full_leaf_mask, keep_mask)
+        if projected is None:
+            continue
+        counts[projected] = counts.get(projected, 0) + freq
+        total += freq
+    out.counts = counts
+    out.total = total
+    out.n_trees = bfh.n_trees
+    return out
+
+
+def attach_leaf_on_edge(tree: Tree, child: Node, taxon_label: str) -> Node:
+    """Attach a new leaf by subdividing the edge above ``child`` (in place).
+
+    Returns the new leaf node.  Branch lengths: the split edge halves its
+    length across the subdivision; the new pendant edge gets no length.
+    """
+    taxon = tree.taxon_namespace[taxon_label]
+    parent = child.parent
+    if parent is None:
+        raise TaxonError("cannot attach on the root; pick an edge (non-root node)")
+    joint = Node()
+    index = parent.children.index(child)
+    parent.children[index] = joint
+    joint.parent = parent
+    if child.length is not None:
+        joint.length = child.length / 2.0
+        child.length = child.length / 2.0
+    leaf = Node(taxon)
+    joint.children = [child, leaf]
+    child.parent = joint
+    leaf.parent = joint
+    return leaf
+
+
+def _detach_leaf(tree: Tree, leaf: Node) -> None:
+    """Undo :func:`attach_leaf_on_edge` (joint had exactly 2 children)."""
+    joint = leaf.parent
+    assert joint is not None and len(joint.children) == 2
+    survivor = joint.children[0] if joint.children[1] is leaf else joint.children[1]
+    parent = joint.parent
+    assert parent is not None
+    index = parent.children.index(joint)
+    parent.children[index] = survivor
+    survivor.parent = parent
+    if joint.length is not None or survivor.length is not None:
+        survivor.length = (survivor.length or 0.0) + (joint.length or 0.0)
+    joint.parent = None
+    joint.children.clear()
+
+
+def complete_tree_greedy(partial: Tree, bfh: BipartitionFrequencyHash,
+                         missing_labels: list[str] | None = None) -> tuple[Tree, float]:
+    """Complete ``partial`` with its missing taxa, greedily minimizing
+    average RF against the hash.
+
+    Parameters
+    ----------
+    partial:
+        Tree covering a subset of the namespace; it is copied, not
+        mutated.
+    bfh:
+        Frequency hash of the (full-taxa) reference collection.  It must
+        have been built *without* a restriction transform — candidates
+        are scored as full(er) trees against it.
+    missing_labels:
+        Which taxa to insert; defaults to every namespace taxon absent
+        from ``partial``.  Insertion order is the given order.
+
+    Returns
+    -------
+    ``(completed_tree, average_rf)`` — the completed tree over all
+    requested taxa and its final average RF against the collection.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string, parse_newick
+    >>> refs = trees_from_string("((A,B),(C,D));\\n((A,B),(C,D));")
+    >>> ns = refs[0].taxon_namespace
+    >>> partial = parse_newick("((A,B),C);", ns)
+    >>> bfh = BipartitionFrequencyHash.from_trees(refs)
+    >>> completed, score = complete_tree_greedy(partial, bfh)
+    >>> score                     # recovers ((A,B),(C,D)) exactly
+    0.0
+    """
+    if bfh.n_trees == 0:
+        raise CollectionError("empty hash; completion objective undefined")
+    tree = partial.copy()
+    ns = tree.taxon_namespace
+    present = tree.leaf_mask()
+    if missing_labels is None:
+        missing_labels = [t.label for t in ns if not (present & t.bit)]
+    else:
+        for label in missing_labels:
+            if label not in ns:
+                raise TaxonError(f"unknown taxon {label!r}")
+            if present & ns[label].bit:
+                raise TaxonError(f"taxon {label!r} already present in the tree")
+
+    full_leaf_mask = ns.full_mask()
+    score = bfh.average_rf(bipartition_masks(tree))
+    current_mask = present
+    for step, label in enumerate(missing_labels):
+        current_mask |= ns[label].bit
+        # Score candidates against the hash projected onto the taxa the
+        # candidate trees actually cover; on the final insertion (full
+        # coverage) this is the plain hash and the objective is exact.
+        if current_mask == full_leaf_mask:
+            step_hash = bfh
+        else:
+            step_hash = project_hash(bfh, full_leaf_mask, current_mask)
+        best_edge: Node | None = None
+        best_score = float("inf")
+        # Candidate edges: every non-root node (edge above it).
+        candidates = [node for node in tree.preorder() if node.parent is not None]
+        if not candidates:
+            raise CollectionError("partial tree has no edges to attach to")
+        for child in candidates:
+            leaf = attach_leaf_on_edge(tree, child, label)
+            candidate_score = step_hash.average_rf(bipartition_masks(tree))
+            _detach_leaf(tree, leaf)
+            if candidate_score < best_score:
+                best_score = candidate_score
+                best_edge = child
+        assert best_edge is not None
+        attach_leaf_on_edge(tree, best_edge, label)
+        score = best_score
+    return tree, score

@@ -1,0 +1,139 @@
+"""MCMC convergence diagnostics from split frequencies.
+
+Bayesian phylogenetics (MrBayes — paper ref [10] — and friends) judges
+chain convergence by comparing *split frequencies* between independent
+runs: the **average standard deviation of split frequencies (ASDSF)**
+dropping below ~0.01 is the standard stopping rule.  Split-frequency
+tables are precisely what the BFH holds, so these diagnostics are
+direct BFH applications (§IX "other applications of directly using a
+BFH"):
+
+* :func:`asdsf` — ASDSF between two (or more) tree samples;
+* :func:`split_frequency_differences` — the per-split comparison table
+  behind it;
+* :class:`SlidingWindowBFH` — a fixed-width window over a tree stream,
+  built on the hash's exact add/remove, for burn-in scans.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["asdsf", "split_frequency_differences", "SlidingWindowBFH"]
+
+
+def split_frequency_differences(
+        hashes: Sequence[BipartitionFrequencyHash], *,
+        min_support: float = 0.1) -> dict[int, list[float]]:
+    """Per-split support across runs, for splits reaching ``min_support``
+    in at least one run (the MrBayes convention).
+
+    Returns ``mask -> [support_in_run_0, support_in_run_1, ...]``.
+    """
+    if len(hashes) < 2:
+        raise CollectionError("need at least two runs to compare")
+    for h in hashes:
+        if h.n_trees == 0:
+            raise CollectionError("empty run in comparison")
+    relevant: set[int] = set()
+    for h in hashes:
+        cutoff = min_support * h.n_trees
+        relevant.update(mask for mask, freq in h.items() if freq >= cutoff)
+    return {mask: [h.support(mask) for h in hashes] for mask in sorted(relevant)}
+
+
+def asdsf(runs: Sequence[Sequence[Tree] | BipartitionFrequencyHash], *,
+          min_support: float = 0.1) -> float:
+    """Average standard deviation of split frequencies across runs.
+
+    Runs may be tree sequences or prebuilt hashes.  For each split with
+    support ≥ ``min_support`` in at least one run, the (population)
+    standard deviation of its supports is computed; ASDSF is the mean
+    over those splits (0.0 when no split qualifies — degenerate but
+    defined).  Identical samples give exactly 0.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> a = trees_from_string("((A,B),(C,D));\\n((A,B),(C,D));")
+    >>> b = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> round(asdsf([a, a]), 6)
+    0.0
+    >>> asdsf([a, b]) > 0
+    True
+    """
+    hashes = [
+        run if isinstance(run, BipartitionFrequencyHash)
+        else BipartitionFrequencyHash.from_trees(run)
+        for run in runs
+    ]
+    table = split_frequency_differences(hashes, min_support=min_support)
+    if not table:
+        return 0.0
+    k = len(hashes)
+    total = 0.0
+    for supports in table.values():
+        mean = sum(supports) / k
+        variance = sum((s - mean) ** 2 for s in supports) / k
+        total += math.sqrt(variance)
+    return total / len(table)
+
+
+class SlidingWindowBFH:
+    """A fixed-width split-frequency window over a tree stream.
+
+    Pushing a tree adds it to the hash and, once the window is full,
+    evicts the oldest — giving O(n²)-work-per-step windowed statistics
+    (ASDSF against a reference, windowed averages, burn-in detection)
+    over arbitrarily long chains.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> window = SlidingWindowBFH(2)
+    >>> for t in trees:
+    ...     _ = window.push(t)
+    >>> window.bfh.n_trees
+    2
+    >>> window.bfh.frequency(0b0011)   # only the last two trees remain
+    1
+    """
+
+    __slots__ = ("width", "bfh", "_members")
+
+    def __init__(self, width: int, *, include_trivial: bool = False):
+        if width <= 0:
+            raise ValueError("window width must be positive")
+        self.width = width
+        self.bfh = BipartitionFrequencyHash(include_trivial=include_trivial)
+        self._members: deque[Tree] = deque()
+
+    def push(self, tree: Tree) -> Tree | None:
+        """Add ``tree``; returns the evicted tree once the window is full."""
+        self.bfh.add_tree(tree)
+        self._members.append(tree)
+        if len(self._members) > self.width:
+            evicted = self._members.popleft()
+            self.bfh.remove_tree(evicted)
+            return evicted
+        return None
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    @property
+    def full(self) -> bool:
+        return len(self._members) == self.width
+
+    def scan_asdsf(self, reference: BipartitionFrequencyHash, *,
+                   min_support: float = 0.1) -> float:
+        """ASDSF of the current window against a reference sample."""
+        return asdsf([self.bfh, reference], min_support=min_support)

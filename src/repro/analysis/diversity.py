@@ -1,0 +1,128 @@
+"""Collection-level diversity statistics straight from the BFH.
+
+The all-vs-all RF matrix costs ``O(r²)`` memory — the very thing BFHRF
+avoids — yet several aggregate statistics of that matrix are linear
+functions of the split frequencies and can be read off the hash:
+
+* **Sum / mean of all pairwise RF distances.**  A split with frequency
+  ``f`` contributes to the symmetric difference of exactly ``f·(r−f)``
+  ordered pairs, so
+
+      Σ_{i≠j} RF(T_i, T_j)  =  2 · Σ_b f_b · (r − f_b)
+
+  — one O(|hash|) scan replaces the whole matrix.
+* **Per-tree average RF** (already Algorithm 2).
+* **Support spectrum / consensus resolution** — how concentrated the
+  collection is (the §VII-C "centralized distribution" discussion made
+  quantitative).
+
+These are the "other applications of directly using a BFH" the paper's
+future work points at (§IX).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.util.errors import CollectionError
+
+__all__ = ["mean_pairwise_rf", "sum_pairwise_rf", "support_spectrum",
+           "DiversityReport", "diversity_report"]
+
+
+def sum_pairwise_rf(bfh: BipartitionFrequencyHash) -> int:
+    """``Σ_{i<j} RF(T_i, T_j)`` computed from frequencies alone.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> sum_pairwise_rf(BipartitionFrequencyHash.from_trees(trees))
+    4
+    """
+    r = bfh.n_trees
+    if r == 0:
+        raise CollectionError("empty hash; pairwise statistics undefined")
+    # Unordered pairs: each split contributes f(r-f) mismatching pairs.
+    return sum(freq * (r - freq) for _mask, freq in bfh.items())
+
+
+def mean_pairwise_rf(bfh: BipartitionFrequencyHash) -> float:
+    """Mean RF over unordered distinct pairs (0.0 for a single tree).
+
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> round(mean_pairwise_rf(BipartitionFrequencyHash.from_trees(trees)), 4)
+    1.3333
+    """
+    r = bfh.n_trees
+    if r == 0:
+        raise CollectionError("empty hash; pairwise statistics undefined")
+    if r == 1:
+        return 0.0
+    return sum_pairwise_rf(bfh) / (r * (r - 1) / 2)
+
+
+def support_spectrum(bfh: BipartitionFrequencyHash,
+                     bins: int = 10) -> list[int]:
+    """Histogram of split supports in ``bins`` equal buckets over (0, 1].
+
+    A right-skewed spectrum (mass near 1.0) is the "centralized
+    distribution" of §VII-C — most splits shared by most trees; a
+    left-skewed one signals heavy conflict.
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    if bfh.n_trees == 0:
+        raise CollectionError("empty hash; spectrum undefined")
+    histogram = [0] * bins
+    r = bfh.n_trees
+    for _mask, freq in bfh.items():
+        index = min(bins - 1, int((freq / r) * bins))
+        histogram[index] += 1
+    return histogram
+
+
+@dataclass(frozen=True)
+class DiversityReport:
+    """Aggregate collection statistics derived from one BFH scan."""
+
+    n_trees: int
+    unique_splits: int
+    mean_pairwise_rf: float
+    normalized_mean_pairwise_rf: float
+    majority_splits: int       # support > 1/2 (the majority consensus size)
+    unanimous_splits: int      # support == 1 (strict consensus size)
+    mean_support: float
+
+
+def diversity_report(bfh: BipartitionFrequencyHash, n_taxa: int) -> DiversityReport:
+    """One-scan summary of how concentrated/conflicted a collection is.
+
+    ``normalized_mean_pairwise_rf`` divides by the binary-tree maximum
+    ``2(n-3)`` so collections of different n are comparable.
+    """
+    from repro.core.rf import max_rf
+
+    r = bfh.n_trees
+    if r == 0:
+        raise CollectionError("empty hash; report undefined")
+    mean_rf = mean_pairwise_rf(bfh)
+    denominator = max_rf(n_taxa)
+    majority = sum(1 for _m, f in bfh.items() if f > r / 2)
+    unanimous = sum(1 for _m, f in bfh.items() if f == r)
+    mean_support = (sum(f for _m, f in bfh.items()) / (len(bfh) * r)
+                    if len(bfh) else 0.0)
+    return DiversityReport(
+        n_trees=r,
+        unique_splits=len(bfh),
+        mean_pairwise_rf=mean_rf,
+        normalized_mean_pairwise_rf=mean_rf / denominator if denominator else 0.0,
+        majority_splits=majority,
+        unanimous_splits=unanimous,
+        mean_support=mean_support,
+    )

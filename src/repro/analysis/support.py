@@ -1,0 +1,76 @@
+"""Split-support annotation — a direct BFH application (§IX:
+"other applications of directly using a BFH").
+
+Phylogenetics pipelines label each internal edge of a summary tree with
+the fraction of gene trees displaying its split (bootstrap-style
+support).  With the frequency hash already built, annotation is one
+O(n) scan of the summary tree — no second pass over the collection.
+"""
+
+from __future__ import annotations
+
+from repro.bipartitions.encoding import is_trivial, normalize_mask
+from repro.bipartitions.extract import subtree_masks
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["annotate_support", "split_supports"]
+
+
+def split_supports(tree: Tree, bfh: BipartitionFrequencyHash) -> dict[int, float]:
+    """Map each non-trivial split mask of ``tree`` to its support in the hash.
+
+    Support is ``frequency / r`` — the fraction of reference trees
+    displaying the split (0.0 for splits never seen).
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> bfh = BipartitionFrequencyHash.from_trees(trees)
+    >>> split_supports(trees[0], bfh)
+    {3: 0.6666666666666666}
+    """
+    if bfh.n_trees == 0:
+        raise CollectionError("empty hash has no support values")
+    from repro.bipartitions.extract import bipartition_masks
+
+    return {mask: bfh.support(mask)
+            for mask in bipartition_masks(tree, include_trivial=False)}
+
+
+def annotate_support(tree: Tree, bfh: BipartitionFrequencyHash, *,
+                     percent: bool = True, decimals: int = 0) -> Tree:
+    """Write support values onto the internal-node labels of ``tree`` (in place).
+
+    Each internal non-root node whose edge induces a non-trivial split
+    gets its label set to the split's support (percentage by default,
+    the convention of tree viewers).  Returns the tree for chaining.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string, write_newick
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> bfh = BipartitionFrequencyHash.from_trees(trees)
+    >>> write_newick(annotate_support(trees[0], bfh))
+    '((A,B)67,(C,D)67);'
+    """
+    if bfh.n_trees == 0:
+        raise CollectionError("empty hash has no support values")
+    masks = subtree_masks(tree)
+    leaf_mask = masks[id(tree.root)]
+    for node in tree.preorder():
+        if node.is_leaf or node.parent is None:
+            continue
+        mask = masks[id(node)]
+        if is_trivial(mask, leaf_mask):
+            continue
+        support = bfh.support(normalize_mask(mask, leaf_mask))
+        if percent:
+            node.label = f"{100 * support:.{decimals}f}"
+        else:
+            node.label = f"{support:.{max(decimals, 2)}f}"
+    return tree

@@ -1,0 +1,100 @@
+"""Topology frequencies and credible sets.
+
+Bayesian posteriors and bootstrap samples are *multisets of topologies*;
+summaries beyond per-split support need to know how often each distinct
+topology occurs (e.g. the 95% credible set of trees).  A topology's
+identity — for the unrooted, unlabeled-internal-node semantics this
+library uses throughout — is exactly its non-trivial split set, so the
+frozen mask set is a perfect (collision-free) topology key: two trees
+share a key iff their RF distance is zero.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["topology_key", "topology_frequencies", "credible_set",
+           "unique_topology_count"]
+
+
+def topology_key(tree: Tree) -> frozenset[int]:
+    """A hashable, exact identity for an unrooted topology.
+
+    >>> from repro.newick import trees_from_string
+    >>> a, b, c = trees_from_string(
+    ...     "((A,B),(C,D));\\n((B,A),(D,C));\\n((A,C),(B,D));")
+    >>> topology_key(a) == topology_key(b)
+    True
+    >>> topology_key(a) == topology_key(c)
+    False
+    """
+    return frozenset(bipartition_masks(tree))
+
+
+def topology_frequencies(trees: Sequence[Tree]) -> list[tuple[frozenset[int], int, Tree]]:
+    """Distinct topologies by descending frequency.
+
+    Returns ``(key, count, exemplar_tree)`` triples; the exemplar is the
+    first tree seen with that topology (ties broken by first occurrence,
+    so the order is deterministic).
+    """
+    if not trees:
+        raise CollectionError("collection is empty")
+    counts: Counter[frozenset[int]] = Counter()
+    exemplars: dict[frozenset[int], Tree] = {}
+    first_seen: dict[frozenset[int], int] = {}
+    for position, tree in enumerate(trees):
+        key = topology_key(tree)
+        counts[key] += 1
+        if key not in exemplars:
+            exemplars[key] = tree
+            first_seen[key] = position
+    ordered = sorted(counts, key=lambda k: (-counts[k], first_seen[k]))
+    return [(key, counts[key], exemplars[key]) for key in ordered]
+
+
+def unique_topology_count(trees: Sequence[Tree]) -> int:
+    """Number of distinct topologies in the collection.
+
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((B,A),(D,C));\\n((A,C),(B,D));")
+    >>> unique_topology_count(trees)
+    2
+    """
+    return len({topology_key(t) for t in trees})
+
+
+def credible_set(trees: Sequence[Tree], probability: float = 0.95
+                 ) -> list[tuple[Tree, float]]:
+    """The smallest set of topologies whose frequencies sum to ≥ ``probability``.
+
+    The standard "95% credible set of trees" summary: topologies sorted
+    by posterior frequency, accumulated until the mass threshold is
+    crossed.  Returns ``(exemplar_tree, frequency)`` pairs.
+
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("\\n".join(
+    ...     ["((A,B),(C,D));"] * 8 + ["((A,C),(B,D));"] * 2))
+    >>> chosen = credible_set(trees, 0.75)
+    >>> len(chosen), round(chosen[0][1], 2)
+    (1, 0.8)
+    """
+    if not 0.0 < probability <= 1.0:
+        raise ValueError(f"probability must be in (0, 1], got {probability}")
+    frequencies = topology_frequencies(trees)
+    r = len(trees)
+    out: list[tuple[Tree, float]] = []
+    mass = 0.0
+    for _key, count, exemplar in frequencies:
+        share = count / r
+        out.append((exemplar, share))
+        mass += share
+        if mass >= probability - 1e-12:
+            break
+    return out

@@ -1,0 +1,49 @@
+"""Bipartition encoding, extraction, set algebra, compatibility, and rebuilding."""
+
+from repro.bipartitions.build import tree_from_bipartitions
+from repro.bipartitions.compat import all_pairwise_compatible, are_compatible, is_compatible_with_all
+from repro.bipartitions.encoding import (
+    Bipartition,
+    complement,
+    is_trivial,
+    mask_to_string,
+    normalize_mask,
+    project_mask,
+    side_sizes,
+)
+from repro.bipartitions.extract import (
+    bipartition_masks,
+    bipartitions_with_lengths,
+    expected_bipartition_count,
+    subtree_masks,
+    tree_bipartitions,
+)
+from repro.bipartitions.setops import (
+    left_difference_size,
+    rf_from_shared,
+    shared_count,
+    symmetric_difference_size,
+)
+
+__all__ = [
+    "Bipartition",
+    "normalize_mask",
+    "complement",
+    "is_trivial",
+    "side_sizes",
+    "project_mask",
+    "mask_to_string",
+    "subtree_masks",
+    "bipartition_masks",
+    "bipartitions_with_lengths",
+    "tree_bipartitions",
+    "expected_bipartition_count",
+    "left_difference_size",
+    "symmetric_difference_size",
+    "shared_count",
+    "rf_from_shared",
+    "are_compatible",
+    "is_compatible_with_all",
+    "all_pairwise_compatible",
+    "tree_from_bipartitions",
+]

@@ -1,0 +1,126 @@
+"""Reconstructing a tree from a compatible split set.
+
+This is the inverse of :func:`repro.bipartitions.extract.bipartition_masks`
+and the final step of consensus-tree construction: given pairwise
+compatible, normalized split masks over a full leaf set, build the
+(unique) unrooted tree displaying exactly those non-trivial splits.
+
+Method: normalize each split so the 1-side contains taxon 0, take the
+*0-sides* as clades (none contains taxon 0), and exploit that pairwise
+compatibility makes those clades a laminar family.  Building the rooted
+tree of the laminar containment order — rooted on the full leaf set —
+and reading it as unrooted yields the answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bipartitions.compat import are_compatible
+from repro.bipartitions.encoding import is_trivial, normalize_mask
+from repro.trees.node import Node
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import BipartitionError
+
+__all__ = ["tree_from_bipartitions"]
+
+
+def tree_from_bipartitions(
+    masks: Iterable[int],
+    namespace: TaxonNamespace,
+    *,
+    leaf_mask: int | None = None,
+    validate: bool = True,
+) -> Tree:
+    """Build the unrooted tree displaying exactly the given splits.
+
+    Parameters
+    ----------
+    masks:
+        Normalized non-trivial split masks (trivial ones are ignored);
+        must be pairwise compatible.
+    namespace:
+        The taxon namespace the masks index into.
+    leaf_mask:
+        The leaf set of the output tree; defaults to the whole namespace.
+    validate:
+        Check pairwise compatibility first (quadratic in the number of
+        splits) and raise :class:`BipartitionError` on conflicts.  Disable
+        when the caller guarantees compatibility (e.g. strict consensus).
+
+    Examples
+    --------
+    >>> from repro.trees import TaxonNamespace
+    >>> from repro.bipartitions.extract import bipartition_masks
+    >>> ns = TaxonNamespace(["A", "B", "C", "D"])
+    >>> t = tree_from_bipartitions({0b0011}, ns)
+    >>> bipartition_masks(t) == {0b0011}
+    True
+    """
+    full = namespace.full_mask() if leaf_mask is None else leaf_mask
+    n = full.bit_count()
+    if n < 3:
+        raise BipartitionError("need at least 3 taxa to build a tree from splits")
+
+    normalized: set[int] = set()
+    for mask in masks:
+        norm = normalize_mask(mask, full)
+        if is_trivial(norm, full):
+            continue
+        normalized.add(norm)
+
+    split_list = sorted(normalized)
+    if validate:
+        for i, a in enumerate(split_list):
+            for b in split_list[i + 1:]:
+                if not are_compatible(a, b, full):
+                    raise BipartitionError(
+                        f"incompatible splits {a:#x} and {b:#x}; cannot build a tree"
+                    )
+
+    # Clades: the 0-side of each normalized split (never contains the
+    # anchor taxon), plus a singleton per taxon, under a root clade of all
+    # taxa.  Laminar family => unique containment forest.
+    anchor = full & -full
+    clades = [m ^ full for m in normalized]
+    # Sort descending by size so each clade's parent appears before it.
+    clades.sort(key=lambda m: (-m.bit_count(), m))
+
+    root = Node()
+    clade_nodes: list[tuple[int, Node]] = [(full, root)]  # (clade mask, node), in insertion order
+
+    def attach(clade: int) -> Node:
+        # Parent is the smallest already-inserted clade strictly containing
+        # this one.  Scanning the insertion-ordered list from the end finds
+        # it because larger clades were inserted earlier.
+        for mask, node in reversed(clade_nodes):
+            if clade & mask == clade and clade != mask:
+                child = Node()
+                node.add_child(child)
+                clade_nodes.append((clade, child))
+                return child
+        raise BipartitionError("laminar family invariant violated")  # pragma: no cover
+
+    for clade in clades:
+        attach(clade)
+
+    # Attach leaves to the smallest clade containing each taxon.
+    bit = 1
+    for index in range(len(namespace)):
+        if full & bit:
+            taxon = namespace[index]
+            target = root
+            best_size = n + 1
+            for mask, node in clade_nodes:
+                if mask & bit and mask.bit_count() < best_size:
+                    target = node
+                    best_size = mask.bit_count()
+            target.add_child(Node(taxon))
+        bit <<= 1
+
+    tree = Tree(root, namespace)
+    # The laminar build can leave the root with 2 children when some split
+    # separates the anchor alone plus others; deroot to canonical form.
+    tree.deroot()
+    return tree

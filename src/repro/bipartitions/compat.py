@@ -1,0 +1,52 @@
+"""Split compatibility tests.
+
+Two splits of the same leaf set are *compatible* — can coexist in one
+tree — exactly when one of the four pairwise side-intersections is
+empty.  Compatibility underlies consensus-tree construction
+(:mod:`repro.core.consensus`) and the split-to-tree builder
+(:mod:`repro.bipartitions.build`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["are_compatible", "all_pairwise_compatible", "is_compatible_with_all"]
+
+
+def are_compatible(a: int, b: int, leaf_mask: int) -> bool:
+    """True when splits ``a`` and ``b`` can coexist in one tree.
+
+    Both masks must be normalized over the same ``leaf_mask``.
+
+    >>> are_compatible(0b0011, 0b0111, 0b1111)   # AB|CD vs ABC|D: nested
+    True
+    >>> are_compatible(0b0011, 0b0101, 0b1111)   # AB|CD vs AC|BD: conflict
+    False
+    """
+    not_a = a ^ leaf_mask
+    not_b = b ^ leaf_mask
+    return (
+        (a & b) == 0
+        or (a & not_b) == 0
+        or (not_a & b) == 0
+        or (not_a & not_b) == 0
+    )
+
+
+def is_compatible_with_all(mask: int, others: Iterable[int], leaf_mask: int) -> bool:
+    """True when ``mask`` is compatible with every split in ``others``."""
+    return all(are_compatible(mask, other, leaf_mask) for other in others)
+
+
+def all_pairwise_compatible(masks: Sequence[int], leaf_mask: int) -> bool:
+    """True when every pair of splits in ``masks`` is compatible.
+
+    Quadratic; intended for consensus-sized inputs (≤ n-3 splits), not
+    whole collections.
+    """
+    for i, a in enumerate(masks):
+        for b in masks[i + 1:]:
+            if not are_compatible(a, b, leaf_mask):
+                return False
+    return True

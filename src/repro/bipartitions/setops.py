@@ -1,0 +1,65 @@
+"""Set operations over bipartition sets — the algebra behind Eq. 1.
+
+Classic RF is ``|B(T) \\ B(T')| + |B(T') \\ B(T)|``.  These helpers give
+the set-difference cardinalities explicitly (used by the DS baseline and
+in tests cross-validating the hash-based computations) plus the shared
+count form that HashRF-style methods use::
+
+    RF(T, T') = |B(T)| + |B(T')| - 2 * |B(T) ∩ B(T')|
+"""
+
+from __future__ import annotations
+
+from collections.abc import Set
+
+__all__ = [
+    "symmetric_difference_size",
+    "left_difference_size",
+    "shared_count",
+    "rf_from_shared",
+]
+
+
+def left_difference_size(a: Set[int], b: Set[int]) -> int:
+    """``|a \\ b|`` without materializing the difference set.
+
+    >>> left_difference_size({1, 2, 3}, {2, 3, 4})
+    1
+    """
+    # Iterate over the smaller side of the membership tests when possible.
+    return sum(1 for mask in a if mask not in b)
+
+
+def symmetric_difference_size(a: Set[int], b: Set[int]) -> int:
+    """``|a \\ b| + |b \\ a|`` — the classic RF numerator (Eq. 1).
+
+    >>> symmetric_difference_size({1, 2}, {2, 3})
+    2
+    """
+    shared = shared_count(a, b)
+    return (len(a) - shared) + (len(b) - shared)
+
+
+def shared_count(a: Set[int], b: Set[int]) -> int:
+    """``|a ∩ b|``, iterating over the smaller set.
+
+    >>> shared_count({1, 2, 3}, {3})
+    1
+    """
+    if len(b) < len(a):
+        a, b = b, a
+    return sum(1 for mask in a if mask in b)
+
+
+def rf_from_shared(size_a: int, size_b: int, shared: int) -> int:
+    """RF distance from set sizes and the shared count.
+
+    This is the identity HashRF exploits: counting shared splits per tree
+    pair suffices to recover all pairwise RF values.
+
+    >>> rf_from_shared(5, 5, 4)
+    2
+    """
+    if shared > min(size_a, size_b):
+        raise ValueError("shared count exceeds a set size")
+    return (size_a - shared) + (size_b - shared)

@@ -1,0 +1,368 @@
+"""Command-line interface — the "easy to use installation and interface"
+the abstract promises.
+
+Subcommands::
+
+    bfhrf avg-rf     QUERY.nwk|.nex [-r REFERENCE.nwk|.nex] [--method bfhrf|ds|dsmp|hashrf|vectorized|mrsrf]
+                     [--workers N] [--normalized] [--include-trivial]
+                     [--min-split-size K [--max-split-size K]]
+    bfhrf matrix     TREES.nwk [--method hashrf|naive|day] [-o OUT.csv]
+    bfhrf consensus  TREES.nwk [--consensus-method majority|strict|greedy]
+                     [--threshold F]
+    bfhrf simulate   --family avian|insect|variable-trees|variable-taxa
+                     -o OUT.nwk[.gz] [--trees R] [--taxa N] [--seed S]
+                     [--format newick|nexus]
+    bfhrf best       QUERY.nwk -r REFERENCE.nwk [--workers N]
+    bfhrf annotate   TREES.nwk -r REFERENCE.nwk
+    bfhrf stats      TREES.nwk [--bins K]
+    bfhrf complete   PARTIAL.nwk -r REFERENCE.nwk
+    bfhrf asdsf      RUN1.nwk RUN2.nwk [...] [--min-support F]
+    bfhrf supertree  SRC1.nwk SRC2.nwk [...] [--ascii]
+    bfhrf topologies TREES.nwk [--credible F]
+    bfhrf dist       PAIR.nwk [--metric rf|matching|triplet|quartet|branch-score]
+
+All inputs accept Newick or NEXUS, plain or .gz.  Every run prints wall
+time and peak RSS delta on stderr, mirroring the measurements of the
+paper's evaluation harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.api import as_trees, average_rf, best_query_tree, consensus, distance_matrix
+from repro.core.variants import size_filter_transform
+from repro.newick.io import read_newick_file, write_newick_file
+from repro.newick.writer import write_newick
+from repro.trees.taxon import TaxonNamespace
+from repro.util.errors import ReproError
+from repro.util.memory import rss_peak_mb
+from repro.util.timing import Stopwatch, format_seconds
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bfhrf",
+        description="Scalable and extensible Robinson-Foulds for tree collections (BFHRF).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    avg = sub.add_parser("avg-rf", help="average RF of query trees vs a reference collection")
+    avg.add_argument("query", help="Newick file of query trees Q")
+    avg.add_argument("-r", "--reference", help="Newick file of reference trees R (default: Q is R)")
+    avg.add_argument("--method", default="bfhrf",
+                     choices=["bfhrf", "ds", "dsmp", "hashrf", "vectorized", "mrsrf"])
+    avg.add_argument("--workers", type=int, default=1, help="worker processes (bfhrf/dsmp)")
+    avg.add_argument("--normalized", action="store_true", help="scale into [0,1] by 2(n-3)")
+    avg.add_argument("--include-trivial", action="store_true",
+                     help="count pendant splits too (no effect on fixed-taxa RF)")
+    avg.add_argument("--min-split-size", type=int, default=None,
+                     help="bipartition size filter: smaller side must have >= K taxa")
+    avg.add_argument("--max-split-size", type=int, default=None,
+                     help="bipartition size filter: smaller side must have <= K taxa")
+
+    mat = sub.add_parser("matrix", help="all-vs-all RF matrix of one collection")
+    mat.add_argument("trees", help="Newick file")
+    mat.add_argument("--method", default="hashrf", choices=["hashrf", "naive", "day"])
+    mat.add_argument("-o", "--output", help="write CSV here instead of stdout")
+
+    con = sub.add_parser("consensus", help="consensus tree of a collection")
+    con.add_argument("trees", help="Newick file")
+    con.add_argument("--consensus-method", default="majority",
+                     choices=["majority", "strict", "greedy"])
+    con.add_argument("--threshold", type=float, default=0.5)
+    con.add_argument("--ascii", action="store_true",
+                     help="render the consensus as ASCII art instead of Newick")
+
+    sim = sub.add_parser("simulate", help="generate a Table-II style dataset")
+    sim.add_argument("--family", required=True,
+                     choices=["avian", "insect", "variable-trees", "variable-taxa"])
+    sim.add_argument("-o", "--output", required=True, help="Newick file to write")
+    sim.add_argument("--trees", type=int, default=200, help="number of gene trees r")
+    sim.add_argument("--taxa", type=int, default=100, help="taxa n (variable-taxa family)")
+    sim.add_argument("--seed", type=int, default=None)
+    sim.add_argument("--format", default="newick", choices=["newick", "nexus"],
+                     help="output format (either may be .gz-compressed via the path)")
+
+    best = sub.add_parser("best", help="query tree minimizing average RF (most parsimonious pick)")
+    best.add_argument("query", help="Newick file of candidate trees")
+    best.add_argument("-r", "--reference", required=True, help="Newick file of reference trees")
+    best.add_argument("--workers", type=int, default=1)
+
+    ann = sub.add_parser("annotate", help="label a tree's internal nodes with split support")
+    ann.add_argument("tree", help="Newick file with the tree(s) to annotate")
+    ann.add_argument("-r", "--reference", required=True,
+                     help="Newick file of the collection providing support")
+
+    stats = sub.add_parser("stats", help="collection diversity report from one BFH scan")
+    stats.add_argument("trees", help="Newick file")
+    stats.add_argument("--bins", type=int, default=10, help="support-spectrum bins")
+
+    comp = sub.add_parser("complete", help="greedily complete a partial tree to minimize average RF")
+    comp.add_argument("tree", help="Newick file with the partial tree (first record used)")
+    comp.add_argument("-r", "--reference", required=True,
+                      help="Newick file of full-taxa reference trees")
+
+    conv = sub.add_parser("asdsf", help="MCMC convergence: ASDSF between runs")
+    conv.add_argument("runs", nargs="+", help="two or more Newick/NEXUS files, one per run")
+    conv.add_argument("--min-support", type=float, default=0.1,
+                      help="only compare splits reaching this support in some run")
+
+    sup = sub.add_parser("supertree", help="greedy RF supertree from overlapping-taxa sources")
+    sup.add_argument("sources", nargs="+", help="Newick/NEXUS files of source trees")
+    sup.add_argument("--ascii", action="store_true")
+
+    topo = sub.add_parser("topologies", help="distinct topologies / credible set of a collection")
+    topo.add_argument("trees", help="Newick/NEXUS file")
+    topo.add_argument("--credible", type=float, default=None,
+                      help="report the smallest set reaching this probability mass")
+
+    dist = sub.add_parser("dist", help="two-tree distance under any metric")
+    dist.add_argument("trees", help="file whose first two trees are compared")
+    dist.add_argument("--metric", default="rf",
+                      choices=["rf", "matching", "triplet", "quartet", "branch-score"])
+
+    return parser
+
+
+def _transform_from_args(args: argparse.Namespace):
+    if getattr(args, "min_split_size", None) is None and getattr(args, "max_split_size", None) is None:
+        return None
+    return size_filter_transform(
+        min_size=args.min_split_size if args.min_split_size is not None else 1,
+        max_size=args.max_split_size,
+    )
+
+
+def _cmd_avg_rf(args: argparse.Namespace) -> int:
+    ns = TaxonNamespace()
+    query = as_trees(args.query, ns)
+    reference = as_trees(args.reference, ns) if args.reference else None
+    values = average_rf(query, reference, method=args.method, n_workers=args.workers,
+                        include_trivial=args.include_trivial,
+                        transform=_transform_from_args(args),
+                        normalized=args.normalized)
+    for i, value in enumerate(values):
+        print(f"{i}\t{value:.6f}")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    trees = as_trees(args.trees)
+    matrix = distance_matrix(trees, method=args.method)
+    lines = (",".join(str(int(v)) for v in row) for row in matrix)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        print(f"wrote {matrix.shape[0]}x{matrix.shape[1]} matrix to {args.output}",
+              file=sys.stderr)
+    else:
+        for line in lines:
+            print(line)
+    return 0
+
+
+def _cmd_consensus(args: argparse.Namespace) -> int:
+    trees = as_trees(args.trees)
+    tree = consensus(trees, method=args.consensus_method, threshold=args.threshold)
+    if args.ascii:
+        from repro.trees.drawing import ascii_tree
+
+        print(ascii_tree(tree))
+    else:
+        print(write_newick(tree, include_lengths=False))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation import datasets
+
+    kwargs = {} if args.seed is None else {"seed": args.seed}
+    if args.family == "avian":
+        dataset = datasets.avian_like(args.trees, **kwargs)
+    elif args.family == "insect":
+        dataset = datasets.insect_like(args.trees, **kwargs)
+    elif args.family == "variable-trees":
+        dataset = datasets.variable_trees(args.trees, **kwargs)
+    else:
+        dataset = datasets.variable_taxa(args.taxa, r=args.trees, **kwargs)
+    if args.format == "nexus":
+        from repro.newick.nexus_writer import write_nexus_file
+
+        count = write_nexus_file(args.output, dataset.trees)
+    else:
+        count = write_newick_file(args.output, dataset.trees)
+    print(f"wrote {count} trees ({dataset.name}, n={dataset.n_taxa}) to {args.output}",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_best(args: argparse.Namespace) -> int:
+    ns = TaxonNamespace()
+    query = as_trees(args.query, ns)
+    reference = as_trees(args.reference, ns)
+    index, tree, value = best_query_tree(query, reference, n_workers=args.workers)
+    print(f"best query tree: index {index}, average RF {value:.6f}")
+    print(write_newick(tree, include_lengths=False))
+    return 0
+
+
+def _cmd_annotate(args: argparse.Namespace) -> int:
+    from repro.analysis.support import annotate_support
+    from repro.hashing.bfh import BipartitionFrequencyHash
+    from repro.newick.io import iter_newick_file
+
+    ns = TaxonNamespace()
+    bfh = BipartitionFrequencyHash.from_trees(iter_newick_file(args.reference, ns))
+    for tree in read_newick_file(args.tree, ns):
+        print(write_newick(annotate_support(tree, bfh), include_lengths=False))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.diversity import diversity_report, support_spectrum
+    from repro.hashing.bfh import BipartitionFrequencyHash
+    from repro.newick.io import iter_newick_file
+
+    ns = TaxonNamespace()
+    bfh = BipartitionFrequencyHash.from_trees(iter_newick_file(args.trees, ns))
+    report = diversity_report(bfh, len(ns))
+    print(f"trees:                       {report.n_trees}")
+    print(f"taxa:                        {len(ns)}")
+    print(f"unique bipartitions:         {report.unique_splits}")
+    print(f"mean pairwise RF:            {report.mean_pairwise_rf:.4f}")
+    print(f"  normalized:                {report.normalized_mean_pairwise_rf:.4f}")
+    print(f"majority splits (>50%):      {report.majority_splits}")
+    print(f"unanimous splits (100%):     {report.unanimous_splits}")
+    print(f"mean split support:          {report.mean_support:.4f}")
+    spectrum = support_spectrum(bfh, bins=args.bins)
+    width = max(spectrum) or 1
+    print("support spectrum (low -> high):")
+    for i, count in enumerate(spectrum):
+        bar = "#" * max(1 if count else 0, round(40 * count / width))
+        print(f"  {i / args.bins:4.2f}-{(i + 1) / args.bins:4.2f}  {count:6d}  {bar}")
+    return 0
+
+
+def _cmd_complete(args: argparse.Namespace) -> int:
+    from repro.analysis.completion import complete_tree_greedy
+    from repro.hashing.bfh import BipartitionFrequencyHash
+    from repro.newick.io import iter_newick_file
+
+    ns = TaxonNamespace()
+    bfh = BipartitionFrequencyHash.from_trees(iter_newick_file(args.reference, ns))
+    partial = read_newick_file(args.tree, ns)[0]
+    completed, score = complete_tree_greedy(partial, bfh)
+    print(write_newick(completed, include_lengths=False))
+    print(f"average RF of completed tree: {score:.6f}", file=sys.stderr)
+    return 0
+
+
+def _cmd_asdsf(args: argparse.Namespace) -> int:
+    from repro.analysis.convergence import asdsf
+
+    ns = TaxonNamespace()
+    runs = [as_trees(path, ns) for path in args.runs]
+    value = asdsf(runs, min_support=args.min_support)
+    for path, run in zip(args.runs, runs):
+        print(f"run {path}: {len(run)} trees", file=sys.stderr)
+    print(f"{value:.6f}")
+    if value < 0.01:
+        print("runs appear converged (ASDSF < 0.01)", file=sys.stderr)
+    return 0
+
+
+def _cmd_supertree(args: argparse.Namespace) -> int:
+    from repro.analysis.supertree import greedy_rf_supertree, total_restricted_rf
+
+    ns = TaxonNamespace()
+    sources = []
+    for path in args.sources:
+        sources.extend(as_trees(path, ns))
+    tree = greedy_rf_supertree(sources, ns)
+    if args.ascii:
+        from repro.trees.drawing import ascii_tree
+
+        print(ascii_tree(tree))
+    else:
+        print(write_newick(tree, include_lengths=False))
+    print(f"total restricted RF to {len(sources)} sources: "
+          f"{total_restricted_rf(tree, sources)}", file=sys.stderr)
+    return 0
+
+
+def _cmd_topologies(args: argparse.Namespace) -> int:
+    from repro.analysis.topology import credible_set, topology_frequencies
+
+    trees = as_trees(args.trees)
+    r = len(trees)
+    if args.credible is not None:
+        chosen = credible_set(trees, args.credible)
+        print(f"# {args.credible:.0%} credible set: {len(chosen)} topologies",
+              file=sys.stderr)
+        for tree, share in chosen:
+            print(f"[{share:.4f}] {write_newick(tree, include_lengths=False)}")
+    else:
+        freqs = topology_frequencies(trees)
+        print(f"# {len(freqs)} distinct topologies in {r} trees", file=sys.stderr)
+        for _key, count, exemplar in freqs:
+            print(f"[{count}/{r}] {write_newick(exemplar, include_lengths=False)}")
+    return 0
+
+
+def _cmd_dist(args: argparse.Namespace) -> int:
+    from repro.core.api import tree_distance
+
+    trees = as_trees(args.trees)
+    if len(trees) < 2:
+        print("error: need at least two trees in the file", file=sys.stderr)
+        return 2
+    value = tree_distance(trees[0], trees[1], metric=args.metric)
+    print(f"{value}")
+    return 0
+
+
+_COMMANDS = {
+    "avg-rf": _cmd_avg_rf,
+    "matrix": _cmd_matrix,
+    "consensus": _cmd_consensus,
+    "simulate": _cmd_simulate,
+    "best": _cmd_best,
+    "annotate": _cmd_annotate,
+    "stats": _cmd_stats,
+    "complete": _cmd_complete,
+    "asdsf": _cmd_asdsf,
+    "supertree": _cmd_supertree,
+    "topologies": _cmd_topologies,
+    "dist": _cmd_dist,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    rss_before = rss_peak_mb()
+    try:
+        with Stopwatch() as sw:
+            status = _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
+        sys.stderr.close()
+        return 0
+    print(
+        f"[{args.command}] wall time {format_seconds(sw.elapsed)}, "
+        f"peak RSS +{max(0.0, rss_peak_mb() - rss_before):.1f}MB",
+        file=sys.stderr,
+    )
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

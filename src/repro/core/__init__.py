@@ -1,0 +1,71 @@
+"""Core algorithms: classic RF, Day's algorithm, DS/DSMP, HashRF, BFHRF, and friends."""
+
+from repro.core.api import (
+    AVERAGE_RF_METHODS,
+    as_trees,
+    average_rf,
+    best_query_tree,
+    consensus,
+    distance_matrix,
+    rf_distance,
+)
+from repro.core.bfhrf import bfhrf_average_rf, bfhrf_average_rf_stream, build_bfh
+from repro.core.consensus import consensus_splits, consensus_tree
+from repro.core.day import day_rf
+from repro.core.hashrf import hashrf_average_rf, hashrf_matrix
+from repro.core.matrix import average_from_matrix, normalize_matrix, rf_matrix
+from repro.core.parallel import dsmp_average_rf
+from repro.core.rf import max_rf, rf_from_mask_sets, robinson_foulds
+from repro.core.sequential import (
+    average_rf_against_sets,
+    reference_mask_sets,
+    sequential_average_rf,
+)
+from repro.core.variants import (
+    ValuedRF,
+    average_valued_rf,
+    compose_transforms,
+    halve_average,
+    information_weighted_average_rf,
+    normalize_average,
+    restrict_taxa_transform,
+    size_filter_transform,
+    split_information_content,
+)
+
+__all__ = [
+    "robinson_foulds",
+    "rf_from_mask_sets",
+    "max_rf",
+    "day_rf",
+    "sequential_average_rf",
+    "reference_mask_sets",
+    "average_rf_against_sets",
+    "dsmp_average_rf",
+    "hashrf_matrix",
+    "hashrf_average_rf",
+    "build_bfh",
+    "bfhrf_average_rf",
+    "bfhrf_average_rf_stream",
+    "rf_matrix",
+    "average_from_matrix",
+    "normalize_matrix",
+    "consensus_tree",
+    "consensus_splits",
+    "size_filter_transform",
+    "restrict_taxa_transform",
+    "compose_transforms",
+    "average_valued_rf",
+    "ValuedRF",
+    "split_information_content",
+    "information_weighted_average_rf",
+    "normalize_average",
+    "halve_average",
+    "average_rf",
+    "rf_distance",
+    "distance_matrix",
+    "best_query_tree",
+    "consensus",
+    "as_trees",
+    "AVERAGE_RF_METHODS",
+]

@@ -1,0 +1,256 @@
+"""High-level one-call API — the "easy to use interface" of the abstract.
+
+Every entry point accepts tree collections in any convenient form
+(lists of :class:`Tree`, a Newick file path, or raw Newick text) and
+dispatches to the requested algorithm.  This is the layer the examples
+and CLI are written against.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.core.consensus import consensus_tree
+from repro.core.day import day_rf
+from repro.core.hashrf import hashrf_average_rf
+from repro.core.matrix import average_from_matrix, rf_matrix
+from repro.core.parallel import dsmp_average_rf
+from repro.core.rf import max_rf, robinson_foulds
+from repro.core.sequential import sequential_average_rf
+from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.newick.io import read_newick_file, trees_from_string
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["as_trees", "average_rf", "rf_distance", "tree_distance",
+           "distance_matrix", "best_query_tree", "consensus",
+           "AVERAGE_RF_METHODS", "TREE_METRICS"]
+
+TREE_METRICS = ("rf", "matching", "triplet", "quartet", "branch-score")
+
+AVERAGE_RF_METHODS = ("bfhrf", "ds", "dsmp", "hashrf", "vectorized", "mrsrf")
+
+TreesLike = Sequence[Tree] | str | os.PathLike
+
+
+def _is_nexus_path(path: str | os.PathLike) -> bool:
+    from repro.newick.io import open_tree_file
+
+    try:
+        with open_tree_file(path, "r") as fh:
+            return fh.readline().strip().upper().startswith("#NEXUS")
+    except (OSError, UnicodeDecodeError):
+        return False
+
+
+def as_trees(source: TreesLike, namespace: TaxonNamespace | None = None) -> list[Tree]:
+    """Coerce a collection argument into a list of trees.
+
+    Accepts an existing tree sequence (returned as a list, namespace
+    untouched), a filesystem path to a Newick or NEXUS file (NEXUS is
+    auto-detected by its ``#NEXUS`` header), or a string containing
+    Newick/NEXUS text.
+    """
+    from repro.newick.nexus import read_nexus_trees
+
+    if isinstance(source, (list, tuple)):
+        return list(source)
+    if isinstance(source, str) and source.lstrip().upper().startswith("#NEXUS"):
+        return read_nexus_trees(source, namespace)
+    if isinstance(source, os.PathLike) or (isinstance(source, str) and ";" not in source):
+        if _is_nexus_path(source):
+            return read_nexus_trees(source, namespace)
+        return read_newick_file(source, namespace)
+    if isinstance(source, str):
+        return trees_from_string(source, namespace)
+    raise TypeError(f"cannot interpret {type(source).__name__} as a tree collection")
+
+
+def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
+               method: str = "bfhrf", n_workers: int = 1,
+               include_trivial: bool = False,
+               transform: MaskTransform | None = None,
+               normalized: bool = False) -> list[float]:
+    """Average RF of each query tree against a reference collection.
+
+    Parameters
+    ----------
+    query, reference:
+        Collections (trees / path / Newick text).  ``reference=None``
+        means ``Q is R``.  When both are paths or strings they are
+        parsed into one shared namespace automatically.
+    method:
+        ``"bfhrf"`` (default), ``"ds"``, ``"dsmp"``, or ``"hashrf"``.
+        HashRF accepts only the single-collection setting.
+    n_workers:
+        Worker processes for the parallel methods (ignored by ds/hashrf).
+    normalized:
+        Scale into [0, 1] by ``2(n-3)``.
+
+    Examples
+    --------
+    >>> average_rf("((A,B),(C,D));\\n((A,C),(B,D));")
+    [1.0, 1.0]
+    """
+    if method not in AVERAGE_RF_METHODS:
+        raise ValueError(f"method must be one of {AVERAGE_RF_METHODS}, got {method!r}")
+    query_trees = as_trees(query)
+    if reference is None:
+        reference_trees = query_trees
+    else:
+        ns = query_trees[0].taxon_namespace if query_trees else None
+        reference_trees = as_trees(reference, ns)
+
+    if method == "bfhrf":
+        values = bfhrf_average_rf(query_trees, reference_trees, n_workers=n_workers,
+                                  include_trivial=include_trivial, transform=transform)
+    elif method == "ds":
+        values = sequential_average_rf(query_trees, reference_trees,
+                                       include_trivial=include_trivial,
+                                       transform=transform)
+    elif method == "dsmp":
+        values = dsmp_average_rf(query_trees, reference_trees, n_workers=n_workers,
+                                 include_trivial=include_trivial, transform=transform)
+    elif method == "vectorized":
+        from repro.core.vectorized import vectorized_average_rf
+
+        values = vectorized_average_rf(query_trees, reference_trees,
+                                       include_trivial=include_trivial,
+                                       transform=transform)
+    elif method == "mrsrf":
+        from repro.core.mrsrf import mrsrf_average_rf
+
+        if reference is not None:
+            raise CollectionError(
+                "MrsRF (like HashRF) accepts a single collection (Q is R)")
+        if transform is not None:
+            raise CollectionError(
+                "MrsRF's hashed keys do not support bipartition preprocessing")
+        values = mrsrf_average_rf(query_trees, n_workers=n_workers,
+                                  include_trivial=include_trivial)
+    else:  # hashrf
+        if reference is not None:
+            raise CollectionError(
+                "HashRF accepts a single collection (Q is R); merge the collections "
+                "or use method='bfhrf' for disparate query/reference sets (§VII-D)"
+            )
+        if transform is not None:
+            raise CollectionError(
+                "HashRF's compressed keys do not support bipartition preprocessing; "
+                "use method='bfhrf' (§VII-F)"
+            )
+        values = hashrf_average_rf(query_trees, include_trivial=include_trivial)
+
+    if normalized:
+        if not query_trees:
+            return values
+        n = query_trees[0].leaf_mask().bit_count()
+        denominator = max_rf(n)
+        values = [v / denominator for v in values] if denominator else values
+    return values
+
+
+def rf_distance(tree_a: Tree, tree_b: Tree, *, method: str = "day",
+                normalized: bool = False) -> float | int:
+    """RF between two trees; ``method`` is ``"day"`` (O(n)) or ``"sets"``."""
+    if method == "day":
+        value = day_rf(tree_a, tree_b)
+        if normalized:
+            denominator = max_rf(tree_a.leaf_mask().bit_count())
+            return value / denominator if denominator else 0.0
+        return value
+    if method == "sets":
+        return robinson_foulds(tree_a, tree_b, normalized=normalized)
+    raise ValueError(f"method must be 'day' or 'sets', got {method!r}")
+
+
+def tree_distance(tree_a: Tree, tree_b: Tree, *, metric: str = "rf") -> float | int:
+    """Two-tree distance under any metric in the catalogue (§IX).
+
+    ``"rf"`` (Day's O(n) algorithm), ``"matching"`` (Matching Split,
+    ref [20]), ``"triplet"`` (rooted, ref [4]), ``"quartet"`` (unrooted,
+    ref [5]), or ``"branch-score"`` (Kuhner–Felsenstein, branch-length
+    aware).
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> t1, t2 = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> tree_distance(t1, t2, metric="quartet")
+    1
+    """
+    if metric == "rf":
+        return day_rf(tree_a, tree_b)
+    if metric == "matching":
+        from repro.metrics.matching import matching_split_distance
+
+        return matching_split_distance(tree_a, tree_b)
+    if metric == "triplet":
+        from repro.metrics.triplet import triplet_distance
+
+        return triplet_distance(tree_a, tree_b)
+    if metric == "quartet":
+        from repro.metrics.quartet import quartet_distance
+
+        return quartet_distance(tree_a, tree_b)
+    if metric == "branch-score":
+        from repro.bipartitions.extract import bipartitions_with_lengths
+
+        wa = bipartitions_with_lengths(tree_a)
+        wb = bipartitions_with_lengths(tree_b)
+        return sum(abs(wa.get(m, 0.0) - wb.get(m, 0.0))
+                   for m in set(wa) | set(wb))
+    raise ValueError(f"metric must be one of {TREE_METRICS}, got {metric!r}")
+
+
+def distance_matrix(trees: TreesLike, *, method: str = "hashrf",
+                    include_trivial: bool = False) -> np.ndarray:
+    """All-vs-all RF matrix (see :func:`repro.core.matrix.rf_matrix`)."""
+    return rf_matrix(as_trees(trees), method=method, include_trivial=include_trivial)
+
+
+def best_query_tree(query: TreesLike, reference: TreesLike | None = None, *,
+                    method: str = "bfhrf", n_workers: int = 1,
+                    include_trivial: bool = False,
+                    transform: MaskTransform | None = None) -> tuple[int, Tree, float]:
+    """The query tree minimizing average RF to the reference collection.
+
+    This is the paper's motivating analysis (§I): among candidate
+    summary trees, pick the one closest to the data under the RF
+    optimality criterion.  Returns ``(index, tree, average_rf)``; ties
+    go to the lowest index.
+
+    Examples
+    --------
+    >>> refs = "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));"
+    >>> idx, tree, value = best_query_tree("((A,B),(C,D));\\n((A,D),(B,C));", refs)
+    >>> idx, round(value, 3)
+    (0, 0.667)
+    """
+    query_trees = as_trees(query)
+    if not query_trees:
+        raise CollectionError("query collection is empty")
+    if reference is None:
+        reference_arg: TreesLike | None = None
+    else:
+        reference_arg = as_trees(reference, query_trees[0].taxon_namespace)
+    values = average_rf(query_trees, reference_arg, method=method,
+                        n_workers=n_workers, include_trivial=include_trivial,
+                        transform=transform)
+    best = min(range(len(values)), key=lambda i: values[i])
+    return best, query_trees[best], values[best]
+
+
+def consensus(reference: TreesLike, *, method: str = "majority",
+              threshold: float = 0.5) -> Tree:
+    """Consensus tree of a collection (strict / majority / greedy)."""
+    trees = as_trees(reference)
+    if not trees:
+        raise CollectionError("collection is empty")
+    return consensus_tree(trees, trees[0].taxon_namespace,
+                          method=method, threshold=threshold)

@@ -1,0 +1,189 @@
+"""BFHRF — Bipartition Frequency Hash Robinson-Foulds (paper §III, Algorithm 2).
+
+The contribution of the paper: replace the ``q × r`` tree-vs-tree double
+loop with
+
+1. one streaming pass over the reference collection building the
+   :class:`~repro.hashing.bfh.BipartitionFrequencyHash` (``BFH_R``), and
+2. one pass over the query collection performing *tree-vs-hash*
+   comparisons — each query tree's average RF against all of ``R`` in a
+   single scan of its own bipartitions.
+
+Parallelism follows the paper's abstract — "parallelized tree versus
+hash comparisons" — i.e. the *comparison* loop fans out at the tree
+level, with the hash (and the loaded query trees) shared to workers via
+fork inheritance.  The hash build itself streams serially by default
+(its cost is one pass over R); :func:`build_bfh` also offers an
+explicitly parallel build for completeness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.core.parallel import (
+    fork_available,
+    fork_payload_pool,
+    payload,
+    resolve_workers,
+)
+from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.trees.tree import Tree
+from repro.util.chunking import chunk_indices, default_chunk_size
+from repro.util.errors import CollectionError
+
+__all__ = ["build_bfh", "bfhrf_average_rf", "bfhrf_average_rf_stream"]
+
+
+# ---------------------------------------------------------------------------
+# Worker task functions (data arrives via fork inheritance).
+# ---------------------------------------------------------------------------
+
+def _build_range(bounds: tuple[int, int]) -> tuple[dict[int, int], int, int]:
+    """Parallel-build task: partial (counts, n_trees, total) for a slice."""
+    trees, include_trivial, transform = payload()
+    counts: dict[int, int] = {}
+    total = 0
+    n = 0
+    for tree in trees[bounds[0]:bounds[1]]:
+        masks = bipartition_masks(tree, include_trivial=include_trivial)
+        if transform is not None:
+            masks = transform(masks, tree.leaf_mask())
+        for mask in masks:
+            counts[mask] = counts.get(mask, 0) + 1
+            total += 1
+        n += 1
+    return counts, n, total
+
+
+def _query_range(bounds: tuple[int, int]) -> list[float]:
+    """Comparison task: Algorithm 2's tree-vs-hash loop for a slice of Q."""
+    query, counts, r, total, include_trivial, transform = payload()
+    out: list[float] = []
+    for tree in query[bounds[0]:bounds[1]]:
+        masks = bipartition_masks(tree, include_trivial=include_trivial)
+        if transform is not None:
+            masks = transform(masks, tree.leaf_mask())
+        rf_left = total
+        rf_right = 0
+        for mask in masks:
+            freq = counts.get(mask, 0)
+            rf_left -= freq
+            rf_right += r - freq
+        out.append((rf_left + rf_right) / r)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Public API.
+# ---------------------------------------------------------------------------
+
+def build_bfh(reference: Iterable[Tree], *, include_trivial: bool = False,
+              transform: MaskTransform | None = None,
+              n_workers: int = 1,
+              chunk_size: int | None = None) -> BipartitionFrequencyHash:
+    """Build ``BFH_R`` from the reference collection (Algorithm 2, loop 1).
+
+    With ``n_workers == 1`` (default) the collection is *streamed* —
+    only the hash is retained, the paper's ``O(n²)`` memory mode.  With
+    more workers, index ranges of the (materialized) collection are
+    counted in parallel and the partial hashes merged; this mirrors the
+    paper's note that its multiprocessing implementation "loads all R
+    trees at once, increasing the memory footprint".
+    """
+    if n_workers <= 1 or not fork_available():
+        return BipartitionFrequencyHash.from_trees(
+            reference, include_trivial=include_trivial, transform=transform
+        )
+    trees = list(reference) if not isinstance(reference, Sequence) else reference
+    if not trees:
+        raise CollectionError("reference collection is empty; average RF is undefined")
+    workers = resolve_workers(n_workers)
+    size = chunk_size or default_chunk_size(len(trees), workers)
+    bfh = BipartitionFrequencyHash(include_trivial=include_trivial, transform=transform)
+    with fork_payload_pool(workers, (trees, include_trivial, transform)) as pool:
+        for counts, n_trees, total in pool.map(
+                _build_range, list(chunk_indices(len(trees), size))):
+            partial = BipartitionFrequencyHash(include_trivial=include_trivial)
+            partial.counts = counts
+            partial.n_trees = n_trees
+            partial.total = total
+            bfh.merge(partial)
+    return bfh
+
+
+def bfhrf_average_rf_stream(query: Iterable[Tree],
+                            bfh: BipartitionFrequencyHash) -> Iterable[float]:
+    """Lazily yield each query tree's average RF against a prebuilt hash.
+
+    The fully-streaming mode: combined with a streaming reference pass
+    this touches each tree once and holds only the hash — BFHRF's
+    theoretical ``O(n²)`` space (Table I footnote).
+    """
+    for tree in query:
+        yield bfh.average_rf_of_tree(tree)
+
+
+def bfhrf_average_rf(query: Sequence[Tree] | Iterable[Tree],
+                     reference: Sequence[Tree] | Iterable[Tree] | None = None, *,
+                     n_workers: int = 1,
+                     include_trivial: bool = False,
+                     transform: MaskTransform | None = None,
+                     chunk_size: int | None = None,
+                     bfh: BipartitionFrequencyHash | None = None) -> list[float]:
+    """Average RF of each query tree against the reference collection (BFHRF).
+
+    Parameters
+    ----------
+    query:
+        Query trees ``Q``.
+    reference:
+        Reference trees ``R``.  ``None`` means ``Q is R`` (the paper's
+        benchmark setting); unlike HashRF, disparate collections are the
+        *default* capability (§VII-D).
+    n_workers:
+        1 for the serial streaming implementation; >1 parallelizes the
+        tree-vs-hash comparisons (the hash build streams serially — one
+        pass over R is not the bottleneck the paper parallelizes).
+    include_trivial, transform:
+        Hash settings — see :class:`BipartitionFrequencyHash`.  The same
+        transform is applied to both collections, preserving the RF
+        algebra (§VII-F).
+    bfh:
+        A prebuilt hash; skips the reference pass entirely (useful when
+        scoring many query batches against one collection).
+
+    Returns
+    -------
+    Average RF values aligned with ``query`` order.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> bfhrf_average_rf(trees)           # Q is R
+    [1.0, 1.0]
+    >>> q = trees_from_string("((A,D),(B,C));", trees[0].taxon_namespace)
+    >>> bfhrf_average_rf(q, trees)        # disparate Q and R
+    [2.0]
+    """
+    if bfh is None:
+        if reference is None:
+            query = list(query) if not isinstance(query, Sequence) else query
+            reference = query
+        bfh = build_bfh(reference, include_trivial=include_trivial,
+                        transform=transform)
+    if n_workers <= 1 or not fork_available():
+        return list(bfhrf_average_rf_stream(query, bfh))
+
+    trees = list(query) if not isinstance(query, Sequence) else query
+    if not trees:
+        return []
+    workers = resolve_workers(n_workers)
+    size = chunk_size or default_chunk_size(len(trees), workers)
+    shared = (trees, bfh.counts, bfh.n_trees, bfh.total,
+              bfh.include_trivial, bfh.transform)
+    with fork_payload_pool(workers, shared) as pool:
+        blocks = pool.map(_query_range, list(chunk_indices(len(trees), size)))
+    return [v for block in blocks for v in block]

@@ -1,0 +1,97 @@
+"""Consensus trees built directly from the bipartition frequency hash.
+
+Consensus methods are the motivating "most consensus type analyses" of
+the paper's conclusion: the BFH already *is* the split-frequency table
+consensus algorithms consume, so majority-rule and strict consensus
+fall out of it with no additional pass over the collection.
+
+* **Strict consensus** — splits present in *every* tree.
+* **Majority-rule** — splits present in more than half the trees
+  (any such set is automatically pairwise compatible).
+* **Greedy (extended majority-rule)** — all splits in descending
+  frequency order, each added when compatible with those already
+  accepted; resolves further than majority-rule.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.bipartitions.build import tree_from_bipartitions
+from repro.bipartitions.compat import is_compatible_with_all
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["consensus_tree", "consensus_splits"]
+
+
+def consensus_splits(bfh: BipartitionFrequencyHash, namespace: TaxonNamespace, *,
+                     method: str = "majority", threshold: float = 0.5) -> list[int]:
+    """Select consensus split masks from a BFH.
+
+    Parameters
+    ----------
+    method:
+        ``"strict"``, ``"majority"``, or ``"greedy"``.
+    threshold:
+        For ``"majority"``: minimum support, strictly exceeded.  Values
+        ≥ 0.5 guarantee pairwise compatibility; lower values raise.
+
+    Returns
+    -------
+    Normalized, pairwise-compatible split masks.
+    """
+    if bfh.n_trees == 0:
+        raise CollectionError("empty hash; consensus undefined")
+    full = namespace.full_mask()
+    if method == "strict":
+        return [mask for mask, freq in bfh.items() if freq == bfh.n_trees]
+    if method == "majority":
+        if threshold < 0.5:
+            raise ValueError(
+                "majority threshold below 0.5 cannot guarantee compatible splits; "
+                "use method='greedy'"
+            )
+        cutoff = threshold * bfh.n_trees
+        return [mask for mask, freq in bfh.items() if freq > cutoff]
+    if method == "greedy":
+        accepted: list[int] = []
+        # Descending frequency, mask value as the deterministic tie-break.
+        for mask, _freq in sorted(bfh.items(), key=lambda kv: (-kv[1], kv[0])):
+            if is_compatible_with_all(mask, accepted, full):
+                accepted.append(mask)
+        return accepted
+    raise ValueError(f"unknown consensus method {method!r}")
+
+
+def consensus_tree(reference: Iterable[Tree] | BipartitionFrequencyHash,
+                   namespace: TaxonNamespace | None = None, *,
+                   method: str = "majority", threshold: float = 0.5) -> Tree:
+    """Build a consensus tree from a collection or a prebuilt BFH.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string, write_newick
+    >>> trees = trees_from_string(
+    ...     "((A,B),(C,D));\\n((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> t = consensus_tree(trees, trees[0].taxon_namespace)
+    >>> sorted(l.taxon.label for l in t.leaves())
+    ['A', 'B', 'C', 'D']
+    """
+    if isinstance(reference, BipartitionFrequencyHash):
+        bfh = reference
+        if namespace is None:
+            raise ValueError("namespace is required when passing a prebuilt BFH")
+    else:
+        trees = list(reference)
+        if not trees:
+            raise CollectionError("empty collection; consensus undefined")
+        if namespace is None:
+            namespace = trees[0].taxon_namespace
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+    masks = consensus_splits(bfh, namespace, method=method, threshold=threshold)
+    # Majority/strict sets are compatible by construction; greedy enforces
+    # it during selection — skip the quadratic validation pass.
+    return tree_from_bipartitions(masks, namespace, validate=False)

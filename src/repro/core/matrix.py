@@ -1,0 +1,92 @@
+"""All-vs-all RF matrix utilities.
+
+The matrix problem is what HashRF was designed for and what clustering
+analyses consume (§I, §VII-A); BFHRF deliberately avoids it.  This
+module offers the matrix through three engines — HashRF-style bucket
+counting, the naive set-based double loop, and Day's algorithm per pair
+— plus helpers for deriving per-tree averages and normalized forms used
+by the examples (tree clustering) and the accuracy tests.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.bipartitions.setops import symmetric_difference_size
+from repro.core.day import day_rf
+from repro.core.hashrf import hashrf_matrix
+from repro.core.rf import max_rf
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["rf_matrix", "average_from_matrix", "normalize_matrix"]
+
+_METHODS = ("hashrf", "naive", "day")
+
+
+def rf_matrix(trees: Sequence[Tree], *, method: str = "hashrf",
+              include_trivial: bool = False) -> np.ndarray:
+    """Symmetric ``(r, r)`` RF distance matrix of one collection.
+
+    Parameters
+    ----------
+    method:
+        ``"hashrf"`` — bucket-counting (fastest, the baseline's native
+        problem); ``"naive"`` — pairwise set symmetric differences;
+        ``"day"`` — Day's O(n) algorithm per pair.  All three agree
+        exactly (tested); the choices exist for cross-validation and the
+        complexity benchmarks.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> rf_matrix(trees, method="naive").tolist()
+    [[0, 2], [2, 0]]
+    """
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+    r = len(trees)
+    if r == 0:
+        raise CollectionError("collection is empty")
+    if method == "hashrf":
+        return hashrf_matrix(trees, include_trivial=include_trivial)
+    matrix = np.zeros((r, r), dtype=np.int32)
+    if method == "naive":
+        mask_sets = [bipartition_masks(t, include_trivial=include_trivial)
+                     for t in trees]
+        for i in range(r):
+            for j in range(i + 1, r):
+                d = symmetric_difference_size(mask_sets[i], mask_sets[j])
+                matrix[i, j] = matrix[j, i] = d
+        return matrix
+    # method == "day"
+    for i in range(r):
+        for j in range(i + 1, r):
+            d = day_rf(trees[i], trees[j])
+            matrix[i, j] = matrix[j, i] = d
+    return matrix
+
+
+def average_from_matrix(matrix: np.ndarray) -> list[float]:
+    """Per-tree average RF (row means, self-comparison included).
+
+    This is the reduction the paper applies to HashRF's output to make
+    it comparable with BFHRF's direct averages.
+    """
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    r = matrix.shape[0]
+    return (matrix.sum(axis=1) / r).tolist()
+
+
+def normalize_matrix(matrix: np.ndarray, n_taxa: int) -> np.ndarray:
+    """Scale a matrix of RF distances into [0, 1] by the binary-tree maximum."""
+    denominator = max_rf(n_taxa)
+    if denominator == 0:
+        return np.zeros_like(np.asarray(matrix), dtype=np.float64)
+    return np.asarray(matrix, dtype=np.float64) / denominator

@@ -1,0 +1,182 @@
+"""DSMP — multiprocessing DendropySingle (paper §III-B).
+
+Parallelizes Algorithm 1 "at the tree level": workers run the 1-vs-r
+comparisons for chunks of query trees.  As in the paper, every worker
+sees the full reference bipartition table, which is why DSMP's memory
+footprint grows with worker count (the paper's Tables III/V show DSMP
+jobs OOM-killed at large r — a behaviour this implementation reproduces
+in miniature).
+
+Worker-communication design (shared with parallel BFHRF):
+
+* Heavy read-only state — the parsed trees and the reference table /
+  frequency hash — is published to workers through **fork inheritance**
+  (:func:`fork_payload_pool`): the parent stashes it in a module global
+  immediately before creating the pool, the fork snapshots it into every
+  child copy-on-write, and no pickling happens at all.  This mirrors the
+  paper's note that its multiprocessing implementation "loads all R
+  trees at once, increasing the memory footprint" (§III-B): shared
+  loaded state is exactly how Python multiprocessing wins here.
+* Tasks are plain ``(start, stop)`` index ranges into the inherited
+  query list; results are small float lists.
+* On platforms without ``fork`` the implementations transparently fall
+  back to the serial algorithm (documented; the paper's tooling is
+  Linux-only too).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from collections.abc import Iterable, Sequence
+from typing import Any
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.core.sequential import average_rf_against_sets, reference_mask_sets, \
+    sequential_average_rf
+from repro.hashing.bfh import MaskTransform
+from repro.newick.writer import write_newick
+from repro.trees.tree import Tree
+from repro.util.chunking import chunk_indices, default_chunk_size
+from repro.util.errors import CollectionError
+
+__all__ = ["dsmp_average_rf", "fork_payload_pool", "fork_available",
+           "resolve_workers", "trees_as_newick"]
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """Normalize a worker-count argument (``None``/0 → all CPUs)."""
+    if n_workers is None or n_workers <= 0:
+        return mp.cpu_count()
+    return n_workers
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+# The parent publishes heavy read-only state here immediately before the
+# pool forks; children inherit the reference copy-on-write.  Reset to
+# None in the parent right after the workers exist.
+_FORK_PAYLOAD: Any = None
+
+
+def fork_payload_pool(n_workers: int, payload: Any):
+    """A ``fork`` pool whose workers inherit ``payload`` without pickling.
+
+    Workers read the inherited object via :func:`payload`.  Must be used
+    as a context manager; the parent-side global is cleared as soon as
+    the pool exists (children already hold their snapshot).
+    """
+    global _FORK_PAYLOAD
+    ctx = mp.get_context("fork")
+    _FORK_PAYLOAD = payload
+    try:
+        pool = ctx.Pool(processes=n_workers)
+    finally:
+        _FORK_PAYLOAD = None
+    return pool
+
+
+def payload() -> Any:
+    """Worker-side accessor for the fork-inherited payload."""
+    return _FORK_PAYLOAD
+
+
+def trees_as_newick(trees: Iterable[Tree]) -> list[str]:
+    """Serialize trees for explicit IPC or disk hand-off (topology only)."""
+    return [write_newick(t, include_lengths=False, include_internal_labels=False)
+            for t in trees]
+
+
+# ---------------------------------------------------------------------------
+# Worker task functions (module-level for picklability of the *function*;
+# the data arrives via fork inheritance).
+# ---------------------------------------------------------------------------
+
+def _ds_extract_range(bounds: tuple[int, int]) -> list[frozenset[int]]:
+    """Phase-1 task: bipartition sets for a slice of the reference trees."""
+    trees, include_trivial, transform = payload()
+    out: list[frozenset[int]] = []
+    for tree in trees[bounds[0]:bounds[1]]:
+        masks = bipartition_masks(tree, include_trivial=include_trivial)
+        if transform is not None:
+            masks = transform(masks, tree.leaf_mask())
+        out.append(frozenset(masks))
+    return out
+
+
+def _ds_compare_range(bounds: tuple[int, int]) -> list[float]:
+    """Phase-2 task: the 1-vs-r inner loop for a slice of the query trees."""
+    query, reference_sets, include_trivial, transform = payload()
+    out: list[float] = []
+    for tree in query[bounds[0]:bounds[1]]:
+        masks = bipartition_masks(tree, include_trivial=include_trivial)
+        if transform is not None:
+            masks = transform(masks, tree.leaf_mask())
+        out.append(average_rf_against_sets(masks, reference_sets))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def dsmp_average_rf(query: Sequence[Tree], reference: Sequence[Tree], *,
+                    n_workers: int | None = None,
+                    include_trivial: bool = False,
+                    transform: MaskTransform | None = None,
+                    chunk_size: int | None = None) -> list[float]:
+    """Average RF of each query tree against ``reference``, DSMP style.
+
+    Both phases of Algorithm 1 are parallel at the tree level: reference
+    bipartition extraction, then the query comparisons.
+
+    Parameters
+    ----------
+    query, reference:
+        Tree sequences over one shared namespace.
+    n_workers:
+        Worker processes; ``None`` uses every CPU; 1 (or a platform
+        without ``fork``) runs the sequential algorithm.
+    chunk_size:
+        Trees per task; defaults to a load-balancing heuristic.
+
+    Returns
+    -------
+    Average RF values aligned with ``query`` order.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> dsmp_average_rf(trees, trees, n_workers=2)
+    [1.0, 1.0]
+    """
+    if not reference:
+        raise CollectionError("reference collection is empty; average RF is undefined")
+    workers = resolve_workers(n_workers)
+    if workers <= 1 or not fork_available():
+        return sequential_average_rf(query, reference,
+                                     include_trivial=include_trivial,
+                                     transform=transform)
+    query = list(query)
+    reference = list(reference)
+
+    # Phase 1: parallel bipartition extraction over the reference trees.
+    ref_chunk = chunk_size or default_chunk_size(len(reference), workers)
+    with fork_payload_pool(workers, (reference, include_trivial, transform)) as pool:
+        blocks = pool.map(_ds_extract_range,
+                          list(chunk_indices(len(reference), ref_chunk)))
+    reference_sets: list[frozenset[int]] = [s for block in blocks for s in block]
+
+    if not query:
+        return []
+    # Phase 2: parallel query comparisons; every worker inherits the full
+    # reference table (the DSMP memory cost the paper documents).
+    query_chunk = chunk_size or default_chunk_size(len(query), workers)
+    with fork_payload_pool(
+            workers, (query, reference_sets, include_trivial, transform)) as pool:
+        compared = pool.map(_ds_compare_range,
+                            list(chunk_indices(len(query), query_chunk)))
+    return [v for block in compared for v in block]

@@ -1,0 +1,78 @@
+"""Classic two-tree Robinson-Foulds distance (paper §II-C, Eq. 1).
+
+The set-based form: extract ``B(T)`` and ``B(T')`` as normalized masks
+and count the symmetric difference.  ``O(n²)`` in bits, exactly the
+model the paper analyses.  Variants (halved, normalized) follow the
+"occasional division by 2" the paper accounts for in §III-C.
+"""
+
+from __future__ import annotations
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.bipartitions.setops import symmetric_difference_size
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["robinson_foulds", "rf_from_mask_sets", "max_rf"]
+
+
+def max_rf(n_taxa: int) -> int:
+    """Maximum RF between two binary trees on ``n_taxa`` leaves: ``2(n-3)``.
+
+    Trivial splits never differ across fixed taxa, so the maximum is
+    twice the internal-split count.
+
+    >>> max_rf(5)
+    4
+    """
+    if n_taxa < 3:
+        raise ValueError("RF is defined for trees with at least 3 taxa")
+    return 2 * (n_taxa - 3)
+
+
+def rf_from_mask_sets(masks_a: set[int], masks_b: set[int]) -> int:
+    """RF from two extracted bipartition mask sets (Eq. 1)."""
+    return symmetric_difference_size(masks_a, masks_b)
+
+
+def robinson_foulds(tree_a: Tree, tree_b: Tree, *, include_trivial: bool = False,
+                    halved: bool = False, normalized: bool = False) -> float | int:
+    """RF distance between two trees over the same taxa.
+
+    Parameters
+    ----------
+    include_trivial:
+        Count pendant splits too (no effect on the distance when both
+        trees cover identical taxa — they cancel — but kept for parity
+        with the paper's full-``B(T)`` model).
+    halved:
+        Divide by 2 ("averages out the set differences", §II-C).
+    normalized:
+        Divide by :func:`max_rf` so the result lies in ``[0, 1]``.
+        Mutually exclusive with ``halved``.
+
+    Examples
+    --------
+    The paper's worked example (§II-C): ``((A,B),(C,D))`` vs
+    ``((D,B),(C,A))`` differ in their single internal split each.
+
+    >>> from repro.newick import trees_from_string
+    >>> t1, t2 = trees_from_string("((A,B),(C,D));\\n((D,B),(C,A));")
+    >>> robinson_foulds(t1, t2)
+    2
+    >>> robinson_foulds(t1, t2, halved=True)
+    1.0
+    """
+    if halved and normalized:
+        raise ValueError("choose at most one of halved / normalized")
+    if tree_a.taxon_namespace is not tree_b.taxon_namespace:
+        raise CollectionError("trees must share one TaxonNamespace; parse them together")
+    masks_a = bipartition_masks(tree_a, include_trivial=include_trivial)
+    masks_b = bipartition_masks(tree_b, include_trivial=include_trivial)
+    rf = rf_from_mask_sets(masks_a, masks_b)
+    if halved:
+        return rf / 2
+    if normalized:
+        denominator = max_rf(tree_a.leaf_mask().bit_count())
+        return rf / denominator if denominator else 0.0
+    return rf

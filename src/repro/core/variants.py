@@ -1,0 +1,293 @@
+"""Generalized / variant RF calculations through the BFH (paper §VII-D/E/F, §IX).
+
+The paper's extensibility claim: because the BFH keys are real,
+recoverable bipartitions, any preprocessing or re-weighting that applies
+to classic two-tree RF applies to the tree-vs-hash computation
+unchanged.  This module delivers that catalogue:
+
+* **Transforms** (:data:`~repro.hashing.bfh.MaskTransform` factories) —
+  applied identically to reference trees at hash-build time and query
+  trees at comparison time:
+  - :func:`size_filter_transform` — the paper's demonstrated extension
+    ("bipartition size filtering", §VII-F);
+  - :func:`restrict_taxa_transform` — variable-taxa RF by restriction
+    to a common taxon subset (§VII-E);
+  - :func:`compose_transforms` — chain several.
+* **Valued RF** — :func:`average_valued_rf` generalizes Algorithm 2 to
+  any per-split value function; :func:`split_information_content`
+  supplies the information-theoretic weighting of Smith (2020)-style
+  generalized RF (§I refs [17], [19]).
+* **Normalization helpers** matching the paper's "occasional division
+  by 2" accounting (§III-C).
+
+All transforms are top-level callables built with ``functools.partial``
+so they pickle cleanly into the multiprocessing workers.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from functools import partial
+
+from repro.bipartitions.encoding import is_trivial, project_mask, side_sizes
+from repro.core.rf import max_rf
+from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.trees.taxon import TaxonNamespace
+from repro.util.errors import CollectionError
+
+__all__ = [
+    "size_filter_transform",
+    "restrict_taxa_transform",
+    "compose_transforms",
+    "average_valued_rf",
+    "ValuedRF",
+    "split_information_content",
+    "information_weighted_average_rf",
+    "normalize_average",
+    "halve_average",
+]
+
+
+# ---------------------------------------------------------------------------
+# Transforms.
+# ---------------------------------------------------------------------------
+
+def _size_filter(masks: set[int], leaf_mask: int, min_size: int, max_size: int | None) -> set[int]:
+    out: set[int] = set()
+    for mask in masks:
+        smaller = min(side_sizes(mask, leaf_mask))
+        if smaller < min_size:
+            continue
+        if max_size is not None and smaller > max_size:
+            continue
+        out.add(mask)
+    return out
+
+
+def size_filter_transform(min_size: int = 2, max_size: int | None = None) -> MaskTransform:
+    """Keep only splits whose *smaller* side has ``min_size ≤ size ≤ max_size``.
+
+    The paper's demonstrated extensibility case (§VII-F): filtering out
+    shallow (cherry-level) or very deep splits before the RF calculation.
+
+    >>> t = size_filter_transform(min_size=3)
+    >>> t({0b0011, 0b0111}, 0b11111111)    # drops the 2-taxon split
+    {7}
+    """
+    if min_size < 1:
+        raise ValueError("min_size must be at least 1")
+    if max_size is not None and max_size < min_size:
+        raise ValueError("max_size must be >= min_size")
+    return partial(_size_filter, min_size=min_size, max_size=max_size)
+
+
+def _restrict(masks: set[int], leaf_mask: int, keep_mask: int) -> set[int]:
+    out: set[int] = set()
+    for mask in masks:
+        projected = project_mask(mask, leaf_mask, keep_mask)
+        if projected is not None:
+            out.add(projected)
+    return out
+
+
+def restrict_taxa_transform(keep: TaxonNamespace | Iterable[str] | int,
+                            namespace: TaxonNamespace | None = None) -> MaskTransform:
+    """Project every split onto a taxon subset (variable-taxa RF, §VII-E).
+
+    This is the "reduce all trees to the taxa intersection" supertree
+    protocol: applied as the hash transform, trees with different leaf
+    sets become comparable over their shared taxa — the setting HashRF
+    and the fixed-taxa sequential method cannot express.
+
+    Parameters
+    ----------
+    keep:
+        The subset, as a bitmask, label iterable (requires ``namespace``),
+        or another namespace whose labels are looked up.
+    """
+    if isinstance(keep, int):
+        keep_mask = keep
+    else:
+        labels = keep.labels if isinstance(keep, TaxonNamespace) else list(keep)
+        if namespace is None:
+            raise ValueError("namespace is required when 'keep' is given as labels")
+        keep_mask = namespace.mask_of(labels)
+    if keep_mask == 0:
+        raise ValueError("keep set must contain at least one taxon")
+    return partial(_restrict, keep_mask=keep_mask)
+
+
+def _compose(masks: set[int], leaf_mask: int, transforms: tuple[MaskTransform, ...]) -> set[int]:
+    for transform in transforms:
+        masks = transform(masks, leaf_mask)
+    return masks
+
+
+def compose_transforms(*transforms: MaskTransform) -> MaskTransform:
+    """Chain transforms left-to-right into a single picklable hook."""
+    return partial(_compose, transforms=transforms)
+
+
+# ---------------------------------------------------------------------------
+# Valued RF — Algorithm 2 with per-split weights.
+# ---------------------------------------------------------------------------
+
+def average_valued_rf(bfh: BipartitionFrequencyHash, query_masks: Iterable[int],
+                      value: Callable[[int], float],
+                      total_value: float | None = None) -> float:
+    """Algorithm 2 generalized: each split mismatch contributes ``value(mask)``.
+
+    With ``value ≡ 1`` this is exactly the paper's average RF.  The
+    tree-vs-hash algebra survives because ``value`` depends only on the
+    split, not on which tree carried it::
+
+        avg = (1/r) · [ Σ_b freq(b)·v(b)                (reference side)
+                        − Σ_{b'∈Q} freq(b')·v(b')       (matched)
+                        + Σ_{b'∈Q} (r − freq(b'))·v(b') ]   (query side)
+
+    Parameters
+    ----------
+    total_value:
+        The reference-side term ``Σ_b freq(b)·v(b)``, if already known.
+        When scoring many query trees against one hash, precompute it
+        once with :class:`ValuedRF` (an O(|hash|) scan otherwise repeated
+        per query).
+    """
+    if bfh.n_trees == 0:
+        raise CollectionError("empty hash; average RF is undefined")
+    if total_value is None:
+        total_value = sum(freq * value(mask) for mask, freq in bfh.items())
+    r = bfh.n_trees
+    left = total_value
+    right = 0.0
+    for mask in query_masks:
+        v = value(mask)
+        freq = bfh.frequency(mask)
+        left -= freq * v
+        right += (r - freq) * v
+    return (left + right) / r
+
+
+class ValuedRF:
+    """Batch evaluator for valued RF against one hash.
+
+    Precomputes the reference-side total and memoizes ``value(mask)`` so
+    scoring a whole query collection costs O(n) per tree instead of
+    O(|hash|) per tree.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> from repro.core.bfhrf import build_bfh
+    >>> from repro.bipartitions import bipartition_masks
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> scorer = ValuedRF(build_bfh(trees), lambda mask: 1.0)
+    >>> scorer.average(bipartition_masks(trees[0]))
+    1.0
+    """
+
+    __slots__ = ("bfh", "_value", "_cache", "total_value")
+
+    def __init__(self, bfh: BipartitionFrequencyHash,
+                 value: Callable[[int], float]):
+        if bfh.n_trees == 0:
+            raise CollectionError("empty hash; valued RF is undefined")
+        self.bfh = bfh
+        self._value = value
+        self._cache: dict[int, float] = {mask: value(mask)
+                                         for mask, _freq in bfh.items()}
+        self.total_value = sum(freq * self._cache[mask]
+                               for mask, freq in bfh.items())
+
+    def value(self, mask: int) -> float:
+        cached = self._cache.get(mask)
+        if cached is None:
+            cached = self._value(mask)
+            self._cache[mask] = cached
+        return cached
+
+    def average(self, query_masks: Iterable[int]) -> float:
+        r = self.bfh.n_trees
+        counts = self.bfh.counts
+        left = self.total_value
+        right = 0.0
+        for mask in query_masks:
+            v = self.value(mask)
+            freq = counts.get(mask, 0)
+            left -= freq * v
+            right += (r - freq) * v
+        return (left + right) / r
+
+
+_LOG2_DOUBLE_FACTORIAL_CACHE: dict[int, float] = {-1: 0.0, 1: 0.0}
+
+
+def _log2_double_factorial_odd(k: int) -> float:
+    """``log2(k!!)`` for odd ``k ≥ -1`` (memoized)."""
+    if k in _LOG2_DOUBLE_FACTORIAL_CACHE:
+        return _LOG2_DOUBLE_FACTORIAL_CACHE[k]
+    # Fill upward from the largest cached value.
+    start = max(v for v in _LOG2_DOUBLE_FACTORIAL_CACHE if v <= k)
+    acc = _LOG2_DOUBLE_FACTORIAL_CACHE[start]
+    for odd in range(start + 2, k + 1, 2):
+        acc += math.log2(odd)
+        _LOG2_DOUBLE_FACTORIAL_CACHE[odd] = acc
+    return _LOG2_DOUBLE_FACTORIAL_CACHE[k]
+
+
+def split_information_content(mask: int, leaf_mask: int) -> float:
+    """Phylogenetic information content of a split, in bits.
+
+    ``-log2 P(split)`` where ``P`` is the fraction of unrooted binary
+    trees on the leaf set that display the split:
+
+        P(A|B) = (2a−3)!! · (2b−3)!! / (2n−5)!!
+
+    (a, b side sizes, n = a + b).  Trivial splits carry 0 bits — every
+    tree displays them.  This is the per-split weighting underlying
+    information-theoretic generalized RF (Smith 2020).
+
+    >>> round(split_information_content(0b0011, 0b1111), 4)   # AB|CD on 4 taxa
+    1.585
+    """
+    if is_trivial(mask, leaf_mask):
+        return 0.0
+    a, b = side_sizes(mask, leaf_mask)
+    n = a + b
+    log_p = (
+        _log2_double_factorial_odd(2 * a - 3)
+        + _log2_double_factorial_odd(2 * b - 3)
+        - _log2_double_factorial_odd(2 * n - 5)
+    )
+    return -log_p
+
+
+def information_weighted_average_rf(bfh: BipartitionFrequencyHash,
+                                    query_masks: Iterable[int],
+                                    leaf_mask: int) -> float:
+    """Average information-weighted RF of a query split set vs the hash.
+
+    Each mismatched split costs its information content instead of 1 —
+    deep, surprising splits dominate; near-trivial ones barely count.
+    """
+    return average_valued_rf(
+        bfh, query_masks, lambda mask: split_information_content(mask, leaf_mask)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Post-processing.
+# ---------------------------------------------------------------------------
+
+def normalize_average(values: Iterable[float], n_taxa: int) -> list[float]:
+    """Scale average RF values into [0, 1] by the binary-tree maximum."""
+    denominator = max_rf(n_taxa)
+    if denominator == 0:
+        return [0.0 for _ in values]
+    return [v / denominator for v in values]
+
+
+def halve_average(values: Iterable[float]) -> list[float]:
+    """The ``/2`` convention some RF implementations report (§III-C)."""
+    return [v / 2 for v in values]

@@ -1,0 +1,194 @@
+"""Vectorized batch BFHRF — the CPU stand-in for the paper's GPU plan.
+
+§IX: "we will explore a GPU implementation ... the massive number of
+computations are independent, sequential, and non conditional with the
+only roadblock being the collection of results."  The data-parallel
+formulation that statement implies is exactly expressible in NumPy:
+
+* the frequency hash becomes two aligned arrays — lexicographically
+  sorted split keys (fixed-width ``uint64`` words) and their
+  frequencies;
+* a *probe* is a batched binary search (``np.searchsorted`` on a
+  ``void`` view) followed by a vectorized equality check — collision-free
+  like the dict, but branch-free and batchable;
+* Algorithm 2's per-tree sums collapse into ``np.add.reduceat`` over the
+  concatenated batch — the "collection of results" step.
+
+On CPython this trades dict-probe speed for amortized batch throughput;
+the ``bench_ablation_backends`` benchmark quantifies the trade, and a
+real GPU port would swap ``np`` for ``cupy`` unchanged — which is the
+point of writing it this way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["VectorizedBFH", "vectorized_average_rf"]
+
+_WORD_BITS = 64
+_WORD_MASK = (1 << _WORD_BITS) - 1
+
+
+def _masks_to_words(masks: Sequence[int], n_words: int) -> np.ndarray:
+    """Pack arbitrary-precision masks into an (m, n_words) uint64 array.
+
+    Word 0 is the *most significant* so lexicographic order of rows
+    equals numeric order of masks.
+    """
+    out = np.empty((len(masks), n_words), dtype=np.uint64)
+    for row, mask in enumerate(masks):
+        for col in range(n_words):
+            shift = _WORD_BITS * (n_words - 1 - col)
+            out[row, col] = (mask >> shift) & _WORD_MASK
+    return out
+
+
+class VectorizedBFH:
+    """Array-backed bipartition frequency table with batched probes.
+
+    Built from a reference collection (or an existing
+    :class:`BipartitionFrequencyHash`); scores whole query batches with
+    :meth:`average_rf_batch`.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> vbfh = VectorizedBFH.from_trees(trees)
+    >>> vbfh.average_rf_batch(trees).tolist()
+    [1.0, 1.0]
+    """
+
+    __slots__ = ("keys", "freqs", "n_trees", "total", "n_words",
+                 "include_trivial", "transform", "_void_keys")
+
+    def __init__(self, keys: np.ndarray, freqs: np.ndarray, n_trees: int,
+                 total: int, *, include_trivial: bool = False,
+                 transform: MaskTransform | None = None):
+        if keys.ndim != 2 or keys.shape[0] != freqs.shape[0]:
+            raise ValueError("keys must be (U, n_words) aligned with freqs")
+        self.keys = np.ascontiguousarray(keys, dtype=np.uint64)
+        self.freqs = np.ascontiguousarray(freqs, dtype=np.int64)
+        self.n_trees = n_trees
+        self.total = total
+        self.n_words = keys.shape[1]
+        self.include_trivial = include_trivial
+        self.transform = transform
+        # Void view: one comparable scalar per row for searchsorted.
+        # Void scalars compare as raw bytes (little-endian within each
+        # uint64), which is NOT numeric order — so sort rows under the
+        # void comparison itself; exact-match probes only need the array
+        # and the query to share one total order.
+        void = self.keys.view(
+            np.dtype((np.void, self.keys.dtype.itemsize * self.n_words))
+        ).ravel()
+        order = np.argsort(void)
+        self.keys = np.ascontiguousarray(self.keys[order])
+        self.freqs = np.ascontiguousarray(self.freqs[order])
+        self._void_keys = self.keys.view(
+            np.dtype((np.void, self.keys.dtype.itemsize * self.n_words))
+        ).ravel()
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_bfh(cls, bfh: BipartitionFrequencyHash, n_taxa: int) -> "VectorizedBFH":
+        """Convert a dict-backed hash (sorting its keys once)."""
+        if bfh.n_trees == 0:
+            raise CollectionError("empty hash")
+        n_words = max(1, (n_taxa + _WORD_BITS - 1) // _WORD_BITS)
+        masks = sorted(bfh.counts)
+        keys = _masks_to_words(masks, n_words)
+        freqs = np.array([bfh.counts[m] for m in masks], dtype=np.int64)
+        return cls(keys, freqs, bfh.n_trees, bfh.total,
+                   include_trivial=bfh.include_trivial, transform=bfh.transform)
+
+    @classmethod
+    def from_trees(cls, trees: Iterable[Tree], *, include_trivial: bool = False,
+                   transform: MaskTransform | None = None) -> "VectorizedBFH":
+        trees = list(trees)
+        if not trees:
+            raise CollectionError("reference collection is empty")
+        bfh = BipartitionFrequencyHash.from_trees(
+            trees, include_trivial=include_trivial, transform=transform)
+        # Size keys by the namespace, not the widest stored key: query
+        # masks may set higher taxon bits than any reference split, and
+        # truncating them would fabricate false probe hits.
+        n_taxa = len(trees[0].taxon_namespace)
+        return cls.from_bfh(bfh, max(1, n_taxa))
+
+    def __len__(self) -> int:
+        return len(self.freqs)
+
+    # -- probes ------------------------------------------------------------------
+
+    def _tree_masks(self, tree: Tree) -> list[int]:
+        masks = bipartition_masks(tree, include_trivial=self.include_trivial)
+        if self.transform is not None:
+            masks = self.transform(masks, tree.leaf_mask())
+        return sorted(masks)
+
+    def lookup_frequencies(self, words: np.ndarray) -> np.ndarray:
+        """Frequencies for an (m, n_words) query block (0 where absent).
+
+        One batched binary search + one vectorized row-equality check —
+        the branch-free, collision-free probe.
+        """
+        if words.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        query_void = np.ascontiguousarray(words, dtype=np.uint64).view(
+            np.dtype((np.void, words.dtype.itemsize * self.n_words))).ravel()
+        positions = np.searchsorted(self._void_keys, query_void)
+        positions = np.minimum(positions, len(self._void_keys) - 1)
+        hit = self._void_keys[positions] == query_void
+        freqs = np.where(hit, self.freqs[positions], 0)
+        return freqs.astype(np.int64)
+
+    def average_rf_batch(self, trees: Sequence[Tree]) -> np.ndarray:
+        """Average RF for a whole query batch in one vectorized pass.
+
+        Per-split terms for every tree are concatenated and reduced with
+        ``np.add.reduceat`` — Algorithm 2 with the loop over query trees
+        flattened into array ops.
+        """
+        if self.n_trees == 0:
+            raise CollectionError("empty hash; average RF is undefined")
+        if not trees:
+            return np.zeros(0, dtype=np.float64)
+        per_tree_masks = [self._tree_masks(t) for t in trees]
+        counts = np.array([len(m) for m in per_tree_masks], dtype=np.int64)
+        flat = [m for masks in per_tree_masks for m in masks]
+        words = _masks_to_words(flat, self.n_words)
+        freqs = self.lookup_frequencies(words)
+
+        offsets = np.zeros(len(trees), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        # Guard reduceat against zero-length segments (trees with no
+        # non-trivial splits contribute zero).
+        if len(flat):
+            seg_freq = np.add.reduceat(freqs, np.minimum(offsets, len(flat) - 1))
+            seg_freq[counts == 0] = 0
+        else:
+            seg_freq = np.zeros(len(trees), dtype=np.int64)
+        rf_left = self.total - seg_freq
+        rf_right = counts * self.n_trees - seg_freq
+        return (rf_left + rf_right) / self.n_trees
+
+
+def vectorized_average_rf(query: Sequence[Tree],
+                          reference: Sequence[Tree] | None = None, *,
+                          include_trivial: bool = False,
+                          transform: MaskTransform | None = None) -> list[float]:
+    """Drop-in vectorized counterpart of :func:`repro.core.bfhrf.bfhrf_average_rf`."""
+    reference = query if reference is None else reference
+    vbfh = VectorizedBFH.from_trees(reference, include_trivial=include_trivial,
+                                    transform=transform)
+    return vbfh.average_rf_batch(query).tolist()

@@ -1,0 +1,230 @@
+"""The Bipartition Frequency Hash (BFH) — the paper's core data structure.
+
+``BFH_R`` maps each *exact, normalized* bipartition mask occurring in the
+reference collection ``R`` to the number of reference trees containing
+it (§III-A).  Because keys are full bitmasks, the hash is collision-free
+— RF values computed through it are exact — and *non-transformative*:
+the original splits are recoverable, so any RF variant that preprocesses
+bipartitions (filtering, restriction, weighting) can be applied to the
+hash exactly as it would be to per-tree split sets (§VII-F).
+
+The structure supports streaming construction (``add_tree`` one tree at
+a time; nothing else of ``R`` is retained — the ``O(n²)`` memory claim),
+merging (for parallel construction), and the tree-vs-hash comparison of
+Algorithm 2 via :meth:`average_rf_terms`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["BipartitionFrequencyHash", "MaskTransform"]
+
+# A preprocessing hook: receives the normalized masks of one tree plus
+# that tree's leaf mask, returns the masks to use.  Implements the
+# paper's extensibility story (size filtering, variable-taxa projection,
+# information-content thresholds, ...).
+MaskTransform = Callable[[set[int], int], set[int]]
+
+
+class BipartitionFrequencyHash:
+    """Frequency hash of reference-collection bipartitions.
+
+    Parameters
+    ----------
+    include_trivial:
+        Count pendant-edge splits too.  Irrelevant to RF over fixed taxa
+        (they cancel), included for the paper's "retention of all
+        bipartitions" completeness and for variable-taxa work.
+    transform:
+        Optional :data:`MaskTransform` applied to every tree's masks —
+        reference trees at build time *and* query trees at comparison
+        time must use the same transform for the RF algebra to hold
+        (enforced by the callers in :mod:`repro.core`).
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> bfh = BipartitionFrequencyHash.from_trees(trees)
+    >>> bfh.n_trees, bfh.total
+    (2, 2)
+    >>> bfh.frequency(0b0011)   # AB|CD occurs in the first tree only
+    1
+    """
+
+    __slots__ = ("counts", "n_trees", "total", "include_trivial", "transform", "_leaf_mask")
+
+    def __init__(self, *, include_trivial: bool = False,
+                 transform: MaskTransform | None = None):
+        self.counts: dict[int, int] = {}
+        self.n_trees = 0
+        self.total = 0  # the paper's sumBFH_R: Σ_b counts[b]
+        self.include_trivial = include_trivial
+        self.transform = transform
+        self._leaf_mask: int | None = None
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_trees(cls, trees: Iterable[Tree], *, include_trivial: bool = False,
+                   transform: MaskTransform | None = None) -> "BipartitionFrequencyHash":
+        """Build a BFH by streaming over ``trees`` (Algorithm 2, first loop)."""
+        bfh = cls(include_trivial=include_trivial, transform=transform)
+        for tree in trees:
+            bfh.add_tree(tree)
+        if bfh.n_trees == 0:
+            raise CollectionError("reference collection is empty; average RF is undefined")
+        return bfh
+
+    def tree_masks(self, tree: Tree) -> set[int]:
+        """Masks of one tree under this hash's settings (trivial + transform)."""
+        masks = bipartition_masks(tree, include_trivial=self.include_trivial)
+        if self.transform is not None:
+            masks = self.transform(masks, tree.leaf_mask())
+        return masks
+
+    def add_tree(self, tree: Tree) -> None:
+        """Count one reference tree's bipartitions into the hash."""
+        self.add_masks(self.tree_masks(tree))
+
+    def add_masks(self, masks: Iterable[int]) -> None:
+        """Count one tree's (already extracted/transformed) masks."""
+        counts = self.counts
+        added = 0
+        for mask in masks:
+            counts[mask] = counts.get(mask, 0) + 1
+            added += 1
+        self.total += added
+        self.n_trees += 1
+
+    def remove_tree(self, tree: Tree) -> None:
+        """Un-count one previously added reference tree.
+
+        The frequency hash is a pure sum over trees, so removal is exact
+        decrementing — enabling sliding-window analyses (e.g. MCMC
+        burn-in scans) without rebuilding.  Removing a tree that was
+        never added corrupts the hash; a zero-frequency decrement is the
+        detectable symptom and raises.
+        """
+        self.remove_masks(self.tree_masks(tree))
+
+    def remove_masks(self, masks: Iterable[int]) -> None:
+        """Inverse of :meth:`add_masks`."""
+        if self.n_trees <= 0:
+            raise CollectionError("hash is empty; nothing to remove")
+        counts = self.counts
+        removed = 0
+        for mask in masks:
+            freq = counts.get(mask, 0)
+            if freq <= 0:
+                raise CollectionError(
+                    f"split {mask:#x} has frequency 0; removing a tree that "
+                    "was never added"
+                )
+            if freq == 1:
+                del counts[mask]
+            else:
+                counts[mask] = freq - 1
+            removed += 1
+        self.total -= removed
+        self.n_trees -= 1
+
+    def merge(self, other: "BipartitionFrequencyHash") -> "BipartitionFrequencyHash":
+        """Fold another BFH into this one (parallel build reduction step)."""
+        if other.include_trivial != self.include_trivial:
+            raise ValueError("cannot merge hashes with different trivial-split policies")
+        counts = self.counts
+        for mask, freq in other.counts.items():
+            counts[mask] = counts.get(mask, 0) + freq
+        self.total += other.total
+        self.n_trees += other.n_trees
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    def frequency(self, mask: int) -> int:
+        """Number of reference trees containing ``mask`` (0 when absent)."""
+        return self.counts.get(mask, 0)
+
+    def support(self, mask: int) -> float:
+        """Fraction of reference trees containing ``mask`` (consensus support)."""
+        if self.n_trees == 0:
+            raise CollectionError("empty hash has no support values")
+        return self.counts.get(mask, 0) / self.n_trees
+
+    def __len__(self) -> int:
+        """Number of *unique* bipartitions — the memory-side quantity of §VII-C."""
+        return len(self.counts)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self.counts
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        return iter(self.counts.items())
+
+    # -- Algorithm 2, second loop ---------------------------------------------------
+
+    def average_rf_terms(self, query_masks: Iterable[int]) -> tuple[int, int]:
+        """The two set-difference terms of Algorithm 2 for one query tree.
+
+        Returns ``(RF_left, RF_right)`` where, summed over all reference
+        trees T,
+
+        * ``RF_left  = Σ_T |B(T) \\ B(T')|`` — start from ``sumBFH_R``
+          and subtract each query split's frequency;
+        * ``RF_right = Σ_T |B(T') \\ B(T)|`` — each query split is
+          missing from ``r - freq`` reference trees.
+        """
+        r = self.n_trees
+        counts = self.counts
+        rf_left = self.total
+        rf_right = 0
+        for mask in query_masks:
+            freq = counts.get(mask, 0)
+            rf_left -= freq
+            rf_right += r - freq
+        return rf_left, rf_right
+
+    def average_rf(self, query_masks: Iterable[int]) -> float:
+        """Average RF of a query split set against the whole collection."""
+        if self.n_trees == 0:
+            raise CollectionError("empty hash; average RF is undefined")
+        rf_left, rf_right = self.average_rf_terms(query_masks)
+        return (rf_left + rf_right) / self.n_trees
+
+    def average_rf_of_tree(self, tree: Tree) -> float:
+        """Average RF of one query tree (extracts masks with this hash's settings)."""
+        return self.average_rf(self.tree_masks(tree))
+
+    # -- derived views ---------------------------------------------------------------
+
+    def masks_with_support_at_least(self, threshold: float) -> list[int]:
+        """Masks whose support ≥ ``threshold`` (consensus building block)."""
+        if not 0.0 <= threshold <= 1.0:
+            raise ValueError(f"threshold must be in [0, 1], got {threshold}")
+        cutoff = threshold * self.n_trees
+        return [mask for mask, freq in self.counts.items() if freq >= cutoff]
+
+    def filtered(self, predicate: Callable[[int, int], bool]) -> "BipartitionFrequencyHash":
+        """A new BFH keeping entries where ``predicate(mask, freq)`` holds.
+
+        The non-transformative counterpart of per-tree filtering: because
+        keys are real splits, post-hoc filtering of the *hash* is possible
+        (not the case for HashRF's compressed keys — §VII-F).  ``n_trees``
+        is preserved; ``total`` is recomputed.
+        """
+        out = BipartitionFrequencyHash(include_trivial=self.include_trivial,
+                                       transform=self.transform)
+        out.counts = {m: f for m, f in self.counts.items() if predicate(m, f)}
+        out.n_trees = self.n_trees
+        out.total = sum(out.counts.values())
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BipartitionFrequencyHash(trees={self.n_trees}, "
+                f"unique={len(self.counts)}, total={self.total})")

@@ -1,0 +1,267 @@
+"""Lossless, reversible bipartition-key compression (future work, §IX).
+
+The paper proposes: "we will deploy a loss less and reversible
+compression of the bipartitions as keys in the hash to further reduce
+memory."  The crucial constraint is *reversibility* — unlike HashRF's
+lossy (h1, h2) scheme, the original split must be recoverable so the
+hash stays non-transformative (filters and variable-taxa projections
+can still be applied after the fact, §VII-F).
+
+Codec: each mask is encoded as whichever of three byte forms is
+shortest, tagged by a 1-byte header —
+
+* ``RAW``   — minimal big-endian bytes of the integer (dense masks);
+* ``GAPS``  — LEB128 varints of the gaps between consecutive set bits
+  (sparse masks);
+* ``CGAPS`` — gap encoding of the *complement* within a known leaf set.
+  Normalized splits keep the anchor taxon on the 1-side, which is
+  usually the dense side; the 0-side is the small clade, so encoding it
+  instead is where the real compression lives.  Requires the caller to
+  supply the same ``leaf_mask`` at decode time (the hash stores it once).
+
+All forms decode back to the exact integer, so
+:class:`CompressedBipartitionFrequencyHash` is algebraically identical
+to the plain :class:`~repro.hashing.bfh.BipartitionFrequencyHash` (its
+``average_rf`` results match bit-for-bit; property-tested) while keys
+shrink toward the information content of the split.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.trees.tree import Tree
+from repro.util.errors import BipartitionError, CollectionError
+
+__all__ = [
+    "compress_mask",
+    "decompress_mask",
+    "compressed_size",
+    "CompressedBipartitionFrequencyHash",
+]
+
+_RAW = 0x00
+_GAPS = 0x01
+_CGAPS = 0x02
+
+
+def _encode_varint(value: int, out: bytearray) -> None:
+    """LEB128 unsigned varint."""
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _decode_varint(data: bytes, offset: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(data):
+            raise BipartitionError("truncated varint in compressed mask")
+        byte = data[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+
+
+def _gaps_encoding(mask: int, tag: int) -> bytes:
+    out = bytearray([tag])
+    prev = -1
+    while mask:
+        lsb = mask & -mask
+        pos = lsb.bit_length() - 1
+        _encode_varint(pos - prev, out)
+        prev = pos
+        mask ^= lsb
+    return bytes(out)
+
+
+def compress_mask(mask: int, leaf_mask: int | None = None) -> bytes:
+    """Encode a split mask into its shortest reversible byte form.
+
+    Parameters
+    ----------
+    leaf_mask:
+        The full taxon bitmask the split lives in.  When given, the
+        complement side becomes a candidate encoding — for normalized
+        splits (anchor on the 1-side) the complement is the small clade
+        and usually wins.  The *same* ``leaf_mask`` must be passed to
+        :func:`decompress_mask`.
+
+    >>> decompress_mask(compress_mask(0b1011)) == 0b1011
+    True
+    >>> len(compress_mask(1 << 500)) < len((1 << 500).to_bytes(63, "big"))
+    True
+    >>> full = (1 << 64) - 1
+    >>> dense = full ^ (1 << 40)                    # all but one taxon
+    >>> decompress_mask(compress_mask(dense, full), full) == dense
+    True
+    >>> len(compress_mask(dense, full)) < len(compress_mask(dense))
+    True
+    """
+    if mask < 0:
+        raise BipartitionError("masks are non-negative")
+    candidates = [
+        bytes([_RAW]) + mask.to_bytes(max(1, (mask.bit_length() + 7) // 8), "big"),
+        _gaps_encoding(mask, _GAPS),
+    ]
+    if leaf_mask is not None:
+        if mask & ~leaf_mask:
+            raise BipartitionError(
+                f"mask {mask:#x} has bits outside leaf_mask {leaf_mask:#x}")
+        candidates.append(_gaps_encoding(mask ^ leaf_mask, _CGAPS))
+    return min(candidates, key=len)
+
+
+def _decode_gaps(data: bytes) -> int:
+    mask = 0
+    pos = -1
+    offset = 1
+    while offset < len(data):
+        gap, offset = _decode_varint(data, offset)
+        pos += gap
+        mask |= 1 << pos
+    return mask
+
+
+def decompress_mask(data: bytes, leaf_mask: int | None = None) -> int:
+    """Exact inverse of :func:`compress_mask` (same ``leaf_mask``)."""
+    if not data:
+        raise BipartitionError("empty compressed mask")
+    tag = data[0]
+    if tag == _RAW:
+        return int.from_bytes(data[1:], "big")
+    if tag == _GAPS:
+        return _decode_gaps(data)
+    if tag == _CGAPS:
+        if leaf_mask is None:
+            raise BipartitionError(
+                "complement-coded mask needs the leaf_mask it was encoded with")
+        return _decode_gaps(data) ^ leaf_mask
+    raise BipartitionError(f"unknown compression tag {tag:#x}")
+
+
+def compressed_size(mask: int, leaf_mask: int | None = None) -> int:
+    """Encoded size in bytes (for memory accounting / the A3 ablation)."""
+    return len(compress_mask(mask, leaf_mask))
+
+
+class CompressedBipartitionFrequencyHash:
+    """A BFH whose keys are compressed byte strings (§IX future work).
+
+    Functionally identical to :class:`BipartitionFrequencyHash` — same
+    streaming construction, same Algorithm-2 comparison — but the hash
+    keys are the reversible compressed encodings, trading a per-lookup
+    encode for smaller retained keys.  ``decompress`` recovers the exact
+    split population, preserving the non-transformative property.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> cbfh = CompressedBipartitionFrequencyHash.from_trees(trees)
+    >>> cbfh.average_rf_of_tree(trees[0])
+    1.0
+    """
+
+    __slots__ = ("_plain", "counts", "leaf_mask")
+
+    def __init__(self, *, include_trivial: bool = False,
+                 transform: MaskTransform | None = None):
+        # Reuse the plain BFH for extraction policy; its counts dict is
+        # replaced by the compressed-key dict held here.
+        self._plain = BipartitionFrequencyHash(include_trivial=include_trivial,
+                                               transform=transform)
+        self.counts: dict[bytes, int] = {}
+        # Captured from the first tree; complement-coded keys depend on it,
+        # so all trees must cover the same taxa (the paper's §II-A setting).
+        self.leaf_mask: int | None = None
+
+    @classmethod
+    def from_trees(cls, trees: Iterable[Tree], *, include_trivial: bool = False,
+                   transform: MaskTransform | None = None
+                   ) -> "CompressedBipartitionFrequencyHash":
+        cbfh = cls(include_trivial=include_trivial, transform=transform)
+        for tree in trees:
+            cbfh.add_tree(tree)
+        if cbfh.n_trees == 0:
+            raise CollectionError("reference collection is empty")
+        return cbfh
+
+    # -- construction ---------------------------------------------------------
+
+    def add_tree(self, tree: Tree) -> None:
+        tree_leaf_mask = tree.leaf_mask()
+        if self.leaf_mask is None:
+            self.leaf_mask = tree_leaf_mask
+        elif self.leaf_mask != tree_leaf_mask:
+            raise CollectionError(
+                "compressed hash requires fixed taxa across trees (complement-"
+                "coded keys are relative to one leaf set); use the plain BFH "
+                "with a restriction transform for variable taxa"
+            )
+        masks = self._plain.tree_masks(tree)
+        counts = self.counts
+        leaf_mask = self.leaf_mask
+        for mask in masks:
+            key = compress_mask(mask, leaf_mask)
+            counts[key] = counts.get(key, 0) + 1
+        self._plain.total += len(masks)
+        self._plain.n_trees += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_trees(self) -> int:
+        return self._plain.n_trees
+
+    @property
+    def total(self) -> int:
+        return self._plain.total
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def frequency(self, mask: int) -> int:
+        return self.counts.get(compress_mask(mask, self.leaf_mask), 0)
+
+    def decompress(self) -> BipartitionFrequencyHash:
+        """Recover the exact plain BFH — the reversibility guarantee."""
+        plain = BipartitionFrequencyHash(include_trivial=self._plain.include_trivial,
+                                         transform=self._plain.transform)
+        plain.counts = {decompress_mask(key, self.leaf_mask): freq
+                        for key, freq in self.counts.items()}
+        plain.n_trees = self._plain.n_trees
+        plain.total = self._plain.total
+        return plain
+
+    def key_bytes(self) -> int:
+        """Total bytes of stored keys (the quantity §IX wants reduced)."""
+        return sum(len(key) for key in self.counts)
+
+    # -- Algorithm 2 -------------------------------------------------------------
+
+    def average_rf(self, query_masks: Iterable[int]) -> float:
+        if self.n_trees == 0:
+            raise CollectionError("empty hash; average RF is undefined")
+        r = self.n_trees
+        counts = self.counts
+        leaf_mask = self.leaf_mask
+        rf_left = self.total
+        rf_right = 0
+        for mask in query_masks:
+            freq = counts.get(compress_mask(mask, leaf_mask), 0)
+            rf_left -= freq
+            rf_right += r - freq
+        return (rf_left + rf_right) / r
+
+    def average_rf_of_tree(self, tree: Tree) -> float:
+        return self.average_rf(self._plain.tree_masks(tree))

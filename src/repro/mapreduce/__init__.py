@@ -1,0 +1,5 @@
+"""Minimal MapReduce engine (substrate for the MrsRF reproduction)."""
+
+from repro.mapreduce.engine import JobStats, MapReduceJob, run_job
+
+__all__ = ["MapReduceJob", "run_job", "JobStats"]

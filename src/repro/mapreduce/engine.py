@@ -1,0 +1,164 @@
+"""A small, deterministic MapReduce engine.
+
+The paper's evaluation wanted to include **MrsRF** — the MapReduce
+formulation of HashRF (Matthews & Williams 2010) — but "was unable to
+be run ... the code has not been updated since the original release in
+2010" (§V).  To reproduce that comparison at all, this package rebuilds
+the substrate: a minimal but real MapReduce engine with the classic
+phases
+
+    map:      record -> [(key, value), ...]
+    shuffle:  group values by key (hash partitioned)
+    reduce:   (key, [values]) -> [output, ...]
+
+and two executors — in-process (deterministic, debuggable) and
+multiprocessing (fork-based, mirroring how MrsRF used MPI ranks).
+Jobs are expressed as plain functions so they pickle cleanly; partition
+count plays the role of MrsRF's ``q`` parameter (number of reducers).
+
+The engine is general: the word-count test uses it untouched, and
+:mod:`repro.core.mrsrf` builds the RF matrix on top.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Any, TypeVar
+
+from repro.core.parallel import fork_available, fork_payload_pool, payload
+from repro.util.chunking import chunk_indices, default_chunk_size
+
+__all__ = ["MapReduceJob", "run_job", "JobStats"]
+
+Record = TypeVar("Record")
+# map_fn(record) -> iterable of (key, value)
+MapFn = Callable[[Any], Iterable[tuple[Any, Any]]]
+# reduce_fn(key, values) -> iterable of outputs
+ReduceFn = Callable[[Any, list[Any]], Iterable[Any]]
+
+
+@dataclass
+class JobStats:
+    """Execution counters, mostly for tests and the bench narrative."""
+
+    records_mapped: int = 0
+    pairs_emitted: int = 0
+    distinct_keys: int = 0
+    partitions: int = 0
+
+
+@dataclass
+class MapReduceJob:
+    """A declarative MapReduce job.
+
+    Parameters
+    ----------
+    map_fn, reduce_fn:
+        Top-level (picklable) functions implementing the two phases.
+    partitions:
+        Number of shuffle partitions (MrsRF's ``q``).  Keys are assigned
+        by ``hash(key) % partitions``; each partition is reduced
+        independently (and in parallel under the multiprocessing
+        executor).
+    """
+
+    map_fn: MapFn
+    reduce_fn: ReduceFn
+    partitions: int = 4
+
+    def __post_init__(self) -> None:
+        if self.partitions <= 0:
+            raise ValueError("partitions must be positive")
+
+
+def _map_partition_range(bounds: tuple[int, int]) -> tuple[int, list[list[tuple[Any, Any]]]]:
+    """Worker task: map a slice of the records, pre-partitioned by key."""
+    records, map_fn, partitions = payload()
+    buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(partitions)]
+    count = 0
+    for record in records[bounds[0]:bounds[1]]:
+        for key, value in map_fn(record):
+            buckets[hash(key) % partitions].append((key, value))
+        count += 1
+    return count, buckets
+
+
+def _reduce_partition(index: int) -> list[Any]:
+    """Worker task: group one partition by key and reduce it."""
+    grouped_partitions, reduce_fn = payload()
+    grouped = grouped_partitions[index]
+    out: list[Any] = []
+    for key in sorted(grouped, key=repr):  # deterministic order
+        out.extend(reduce_fn(key, grouped[key]))
+    return out
+
+
+def run_job(job: MapReduceJob, records: Sequence[Any], *,
+            n_workers: int = 1) -> tuple[list[Any], JobStats]:
+    """Execute ``job`` over ``records``; returns (outputs, stats).
+
+    Outputs are concatenated partition results in partition order, with
+    keys reduced in a deterministic order inside each partition.  The
+    result is identical across executors (serial vs pool) within a run;
+    across runs it is fully deterministic for int/tuple keys (unsalted
+    hashes — MrsRF's case), while string keys shuffle with Python's
+    per-process hash seed.
+
+    Examples
+    --------
+    >>> def wc_map(line):
+    ...     for word in line.split():
+    ...         yield word, 1
+    >>> def wc_reduce(word, counts):
+    ...     yield word, sum(counts)
+    >>> job = MapReduceJob(wc_map, wc_reduce, partitions=2)
+    >>> outputs, stats = run_job(job, ["a b a", "b a"])
+    >>> sorted(outputs)
+    [('a', 3), ('b', 2)]
+    """
+    stats = JobStats(partitions=job.partitions)
+    use_pool = n_workers > 1 and fork_available() and len(records) > 1
+
+    # ---- map + local partitioning -------------------------------------------
+    partitioned: list[list[tuple[Any, Any]]] = [[] for _ in range(job.partitions)]
+    if use_pool:
+        size = default_chunk_size(len(records), n_workers)
+        with fork_payload_pool(n_workers,
+                               (records, job.map_fn, job.partitions)) as pool:
+            for count, buckets in pool.map(
+                    _map_partition_range,
+                    list(chunk_indices(len(records), size))):
+                stats.records_mapped += count
+                for i, bucket in enumerate(buckets):
+                    partitioned[i].extend(bucket)
+    else:
+        for record in records:
+            for key, value in job.map_fn(record):
+                partitioned[hash(key) % job.partitions].append((key, value))
+            stats.records_mapped += 1
+    stats.pairs_emitted = sum(len(p) for p in partitioned)
+
+    # ---- shuffle: group by key within each partition ---------------------------
+    grouped_partitions: list[dict[Any, list[Any]]] = []
+    for bucket in partitioned:
+        grouped: dict[Any, list[Any]] = defaultdict(list)
+        for key, value in bucket:
+            grouped[key].append(value)
+        grouped_partitions.append(dict(grouped))
+    stats.distinct_keys = sum(len(g) for g in grouped_partitions)
+
+    # ---- reduce ------------------------------------------------------------------
+    outputs: list[Any] = []
+    if use_pool:
+        with fork_payload_pool(n_workers,
+                               (grouped_partitions, job.reduce_fn)) as pool:
+            for block in pool.map(_reduce_partition, range(job.partitions)):
+                outputs.extend(block)
+    else:
+        for index in range(job.partitions):
+            grouped = grouped_partitions[index]
+            for key in sorted(grouped, key=repr):
+                outputs.extend(job.reduce_fn(key, grouped[key]))
+    return outputs, stats

@@ -1,0 +1,32 @@
+"""Catalogue of tree-comparison metrics beyond plain RF (§I refs [4,5,20], §IX)."""
+
+from repro.metrics.matching import matching_split_distance, split_transfer_cost
+from repro.metrics.quartet import (
+    leaf_distance_matrix,
+    n_quartets,
+    quartet_distance,
+    quartet_distance_sampled,
+    resolve_quartet,
+)
+from repro.metrics.triplet import (
+    lca_depth_matrix,
+    n_triplets,
+    resolve_triplet,
+    triplet_distance,
+    triplet_distance_sampled,
+)
+
+__all__ = [
+    "matching_split_distance",
+    "split_transfer_cost",
+    "triplet_distance",
+    "triplet_distance_sampled",
+    "lca_depth_matrix",
+    "resolve_triplet",
+    "n_triplets",
+    "quartet_distance",
+    "quartet_distance_sampled",
+    "leaf_distance_matrix",
+    "resolve_quartet",
+    "n_quartets",
+]

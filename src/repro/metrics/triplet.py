@@ -1,0 +1,150 @@
+"""Triplet distance for rooted trees (Critchlow et al. 1996; paper ref [4]).
+
+The paper cites triplet distance as the main rooted alternative to RF
+(§I).  For each 3-taxon subset {a, b, c}, a rooted binary tree resolves
+exactly one of ``ab|c``, ``ac|b``, ``bc|a`` (or leaves it unresolved at
+a polytomy); the triplet distance counts subsets resolved differently.
+
+Implementation: O(n²) preprocessing computes, for every leaf pair, the
+depth of their lowest common ancestor; a triplet's resolution is then
+decided by comparing the three pairwise LCA depths (the pair with the
+*deepest* LCA is the cherry of the triplet).  Total O(n³) over triplets
+with O(1) per triplet — exact and fast enough for the few-hundred-taxon
+trees this library targets; a sampling estimator mirrors the quartet
+module for larger inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError, TreeStructureError
+from repro.util.rng import RngLike, resolve_rng
+
+__all__ = ["triplet_distance", "triplet_distance_sampled", "lca_depth_matrix",
+           "resolve_triplet", "n_triplets"]
+
+
+def n_triplets(n_taxa: int) -> int:
+    """``C(n, 3)`` — the number of 3-taxon subsets.
+
+    >>> n_triplets(4)
+    4
+    """
+    return n_taxa * (n_taxa - 1) * (n_taxa - 2) // 6
+
+
+def lca_depth_matrix(tree: Tree) -> np.ndarray:
+    """``(n, n)`` matrix of LCA depths by taxon index (diagonal = own depth).
+
+    Computed in O(n²) total: for every internal node at depth d, each
+    pair of leaves split across two different children has LCA depth d;
+    iterating nodes bottom-up and outer-producting the child leaf sets
+    touches each pair exactly once.
+    """
+    ns = tree.taxon_namespace
+    n = len(ns)
+    depth_of: dict[int, int] = {id(tree.root): 0}
+    for node in tree.preorder():
+        if node.parent is not None:
+            depth_of[id(node)] = depth_of[id(node.parent)] + 1
+    matrix = np.full((n, n), -1, dtype=np.int32)
+    below: dict[int, list[int]] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            if node.taxon is None:
+                raise TreeStructureError("leaf without a taxon")
+            index = node.taxon.index
+            matrix[index, index] = depth_of[id(node)]
+            below[id(node)] = [index]
+        else:
+            child_sets = [below.pop(id(child)) for child in node.children]
+            d = depth_of[id(node)]
+            for i, left in enumerate(child_sets):
+                for right in child_sets[i + 1:]:
+                    for a in left:
+                        for b in right:
+                            matrix[a, b] = matrix[b, a] = d
+            merged: list[int] = []
+            for s in child_sets:
+                merged.extend(s)
+            below[id(node)] = merged
+    return matrix
+
+
+def resolve_triplet(lca: np.ndarray, a: int, b: int, c: int) -> int:
+    """Which pair is the cherry of triplet (a, b, c): 0=ab, 1=ac, 2=bc,
+    -1 when unresolved (polytomy: all three LCAs equal)."""
+    ab, ac, bc = lca[a, b], lca[a, c], lca[b, c]
+    if ab > ac and ab > bc:
+        return 0
+    if ac > ab and ac > bc:
+        return 1
+    if bc > ab and bc > ac:
+        return 2
+    return -1
+
+
+def triplet_distance(tree_a: Tree, tree_b: Tree) -> int:
+    """Number of 3-taxon subsets the two rooted trees resolve differently.
+
+    Unresolved-vs-resolved counts as a difference (the standard strict
+    convention).
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> t1, t2 = trees_from_string("((A,B),C);\\n((A,C),B);")
+    >>> triplet_distance(t1, t2)
+    1
+    >>> t3, t4 = trees_from_string("(((A,B),C),D);\\n(((A,B),D),C);")
+    >>> triplet_distance(t3, t4)
+    2
+    """
+    if tree_a.taxon_namespace is not tree_b.taxon_namespace:
+        raise CollectionError("trees must share one TaxonNamespace")
+    mask = tree_a.leaf_mask()
+    if mask != tree_b.leaf_mask():
+        raise CollectionError("triplet distance requires identical taxa")
+    indices = [i for i in range(len(tree_a.taxon_namespace)) if mask >> i & 1]
+    lca_a = lca_depth_matrix(tree_a)
+    lca_b = lca_depth_matrix(tree_b)
+    different = 0
+    for a, b, c in combinations(indices, 3):
+        if resolve_triplet(lca_a, a, b, c) != resolve_triplet(lca_b, a, b, c):
+            different += 1
+    return different
+
+
+def triplet_distance_sampled(tree_a: Tree, tree_b: Tree, *, samples: int = 10_000,
+                             rng: RngLike = None) -> float:
+    """Unbiased Monte-Carlo estimate of the *normalized* triplet distance.
+
+    Returns the estimated fraction of differing triplets (multiply by
+    :func:`n_triplets` for the count scale).  Use when n is large enough
+    that the exact O(n³) enumeration is unwelcome.
+    """
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    if tree_a.taxon_namespace is not tree_b.taxon_namespace:
+        raise CollectionError("trees must share one TaxonNamespace")
+    mask = tree_a.leaf_mask()
+    if mask != tree_b.leaf_mask():
+        raise CollectionError("triplet distance requires identical taxa")
+    indices = np.array([i for i in range(len(tree_a.taxon_namespace))
+                        if mask >> i & 1])
+    if len(indices) < 3:
+        return 0.0
+    gen = resolve_rng(rng)
+    lca_a = lca_depth_matrix(tree_a)
+    lca_b = lca_depth_matrix(tree_b)
+    different = 0
+    for _ in range(samples):
+        a, b, c = (int(indices[k]) for k in gen.choice(len(indices), size=3,
+                                                       replace=False))
+        if resolve_triplet(lca_a, a, b, c) != resolve_triplet(lca_b, a, b, c):
+            different += 1
+    return different / samples

@@ -1,0 +1,88 @@
+"""NEXUS ``TREES`` block writer — the inverse of :mod:`repro.newick.nexus`.
+
+Emits a conventional, tool-friendly NEXUS file: a ``TAXA`` block with
+the namespace, a ``TREES`` block with an integer ``TRANSLATE`` table
+(the compact form large collections use), and one ``TREE`` statement
+per tree.  Round-trips exactly through :func:`read_nexus_trees`
+(property-tested).
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Iterable, Sequence
+
+from repro.newick.io import open_tree_file
+from repro.newick.writer import format_label, write_newick
+from repro.trees.node import Node
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError
+
+__all__ = ["write_nexus_file", "nexus_string"]
+
+
+def _translated_newick(tree: Tree, tokens: dict[str, str], *,
+                       include_lengths: bool, precision: int | None) -> str:
+    """Newick text with leaf labels replaced by TRANSLATE tokens."""
+    # Cheap approach: temporarily swap taxa for token-labelled taxa in a
+    # scratch namespace would disturb indices; instead serialize via a
+    # custom leaf-label hook by copying and relabelling the copy.
+    clone = tree.copy()
+    scratch = TaxonNamespace()
+    for leaf in clone.leaves():
+        if leaf.taxon is not None:
+            leaf.taxon = scratch.require(tokens[leaf.taxon.label])
+    return write_newick(clone, include_lengths=include_lengths,
+                        precision=precision)
+
+
+def nexus_string(trees: Sequence[Tree], *, include_lengths: bool = True,
+                 precision: int | None = 12, translate: bool = True) -> str:
+    """Serialize a collection into one NEXUS document string."""
+    if not trees:
+        raise CollectionError("cannot write an empty collection")
+    namespace = trees[0].taxon_namespace
+    for i, tree in enumerate(trees):
+        if tree.taxon_namespace is not namespace:
+            raise CollectionError(f"tree {i} uses a different TaxonNamespace")
+
+    lines = ["#NEXUS", "", "BEGIN TAXA;"]
+    lines.append(f"  DIMENSIONS NTAX={len(namespace)};")
+    lines.append("  TAXLABELS")
+    for taxon in namespace:
+        lines.append(f"    {format_label(taxon.label)}")
+    lines.append("  ;")
+    lines.append("END;")
+    lines.append("")
+    lines.append("BEGIN TREES;")
+
+    if translate:
+        tokens = {taxon.label: str(taxon.index + 1) for taxon in namespace}
+        entries = [f"    {tokens[t.label]} {format_label(t.label)}"
+                   for t in namespace]
+        lines.append("  TRANSLATE")
+        lines.append(",\n".join(entries))
+        lines.append("  ;")
+    else:
+        tokens = {taxon.label: taxon.label for taxon in namespace}
+
+    for index, tree in enumerate(trees):
+        newick = _translated_newick(tree, tokens,
+                                    include_lengths=include_lengths,
+                                    precision=precision)
+        lines.append(f"  TREE tree_{index + 1} = [&U] {newick}")
+    lines.append("END;")
+    return "\n".join(lines) + "\n"
+
+
+def write_nexus_file(path: str | os.PathLike, trees: Sequence[Tree], *,
+                     include_lengths: bool = True, precision: int | None = 12,
+                     translate: bool = True) -> int:
+    """Write a NEXUS file (``.gz`` transparently compressed); returns the
+    number of trees written."""
+    text = nexus_string(trees, include_lengths=include_lengths,
+                        precision=precision, translate=translate)
+    with open_tree_file(path, "w") as fh:
+        fh.write(text)
+    return len(trees)

@@ -1,0 +1,33 @@
+"""Simulators: Yule / birth-death species trees, MSC gene trees, perturbations, datasets."""
+
+from repro.simulation.birthdeath import birth_death_tree
+from repro.simulation.coalescent import gene_tree_msc, node_ages
+from repro.simulation.datasets import (
+    Dataset,
+    avian_like,
+    clear_dataset_cache,
+    insect_like,
+    table2_datasets,
+    variable_taxa,
+    variable_trees,
+)
+from repro.simulation.perturb import perturbed_collection, random_nni, random_spr
+from repro.simulation.yule import default_labels, yule_tree
+
+__all__ = [
+    "yule_tree",
+    "default_labels",
+    "birth_death_tree",
+    "gene_tree_msc",
+    "node_ages",
+    "random_nni",
+    "random_spr",
+    "perturbed_collection",
+    "Dataset",
+    "avian_like",
+    "insect_like",
+    "variable_trees",
+    "variable_taxa",
+    "table2_datasets",
+    "clear_dataset_cache",
+]

@@ -1,0 +1,120 @@
+"""Constant-rate birth-death tree simulation.
+
+Generalizes the Yule process with an extinction rate: each extant
+lineage splits at rate ``birth_rate`` and dies at rate ``death_rate``.
+The simulation runs forward and is *conditioned on survival*: it
+retries until a replicate reaches the target leaf count without the
+whole clade going extinct.  Extinct lineages are pruned, so the
+returned tree contains exactly the surviving taxa — the "reconstructed
+tree" convention used by SimPhy-style pipelines.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.trees.manipulate import suppress_unifurcations
+from repro.trees.node import Node
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import SimulationError
+from repro.util.rng import RngLike, resolve_rng
+
+__all__ = ["birth_death_tree"]
+
+
+def birth_death_tree(n_taxa: int | Sequence[str], *,
+                     namespace: TaxonNamespace | None = None,
+                     birth_rate: float = 1.0,
+                     death_rate: float = 0.2,
+                     rng: RngLike = None,
+                     max_retries: int = 1000) -> Tree:
+    """Simulate a birth-death tree with exactly ``n_taxa`` surviving tips.
+
+    Parameters
+    ----------
+    birth_rate, death_rate:
+        λ > 0 and 0 ≤ μ < λ.  ``death_rate=0`` reduces to the Yule
+        process (but prefer :func:`repro.simulation.yule.yule_tree`,
+        which never needs retries).
+    max_retries:
+        Cap on restart attempts after clade extinction.
+
+    Examples
+    --------
+    >>> t = birth_death_tree(6, death_rate=0.3, rng=11)
+    >>> t.n_leaves
+    6
+    """
+    if birth_rate <= 0:
+        raise SimulationError(f"birth_rate must be positive, got {birth_rate}")
+    if death_rate < 0 or death_rate >= birth_rate:
+        raise SimulationError(
+            f"death_rate must satisfy 0 <= mu < lambda, got mu={death_rate}, lambda={birth_rate}"
+        )
+    from repro.simulation.yule import default_labels
+
+    labels = default_labels(n_taxa) if isinstance(n_taxa, int) else list(n_taxa)
+    n = len(labels)
+    if n < 2:
+        raise SimulationError(f"need at least 2 taxa, got {n}")
+    if len(set(labels)) != n:
+        raise SimulationError("taxon labels must be unique")
+    ns = namespace if namespace is not None else TaxonNamespace()
+    gen = resolve_rng(rng)
+    total_rate_per_lineage = birth_rate + death_rate
+    p_birth = birth_rate / total_rate_per_lineage
+
+    for _attempt in range(max_retries):
+        root = Node(length=None)
+        active: list[Node] = []
+        for _ in range(2):
+            child = Node(length=0.0)
+            root.add_child(child)
+            active.append(child)
+        extinct: list[Node] = []
+        failed = False
+        while len(active) < n:
+            k = len(active)
+            if k == 0:
+                failed = True
+                break
+            wait = gen.exponential(1.0 / (k * total_rate_per_lineage))
+            for node in active:
+                node.length += wait  # type: ignore[operator]
+            index = int(gen.integers(k))
+            if gen.random() < p_birth:
+                victim = active.pop(index)
+                for _ in range(2):
+                    child = Node(length=0.0)
+                    victim.add_child(child)
+                    active.append(child)
+            else:
+                extinct.append(active.pop(index))
+        if failed:
+            continue
+        final_wait = gen.exponential(1.0 / (len(active) * total_rate_per_lineage))
+        for node in active:
+            node.length += final_wait  # type: ignore[operator]
+
+        # Prune extinct lineages, contracting the unifurcations left behind.
+        tree = Tree(root, ns)
+        for corpse in extinct:
+            node = corpse
+            while node.parent is not None and not node.children:
+                parent = node.parent
+                parent.remove_child(node)
+                node = parent
+        suppress_unifurcations(tree)
+        if sum(1 for _ in tree.leaves()) != n:
+            continue  # pragma: no cover - root-side extinction edge case
+
+        order = gen.permutation(n)
+        for tip, label_index in zip(tree.leaves(), order):
+            tip.taxon = ns.require(labels[int(label_index)])
+        return tree
+
+    raise SimulationError(
+        f"birth-death simulation failed to reach {n} tips in {max_retries} attempts; "
+        "lower death_rate"
+    )

@@ -1,0 +1,154 @@
+"""Dataset factory mirroring the paper's Table II.
+
+The paper evaluates on two real collections (Avian: Jarvis et al. 2014;
+Insect: Sayyari et al. 2017) and two simulated families generated with
+SimPhy following ASTRAL-II's S100 protocol.  Offline, we regenerate all
+four *shapes* with the multispecies-coalescent simulator:
+
+=================  ======  ==============  =========================
+Name               Taxa n  Trees r         Substitution
+=================  ======  ==============  =========================
+avian_like         48      scaled 14446    MSC gene trees, weighted
+insect_like        144     scaled 149278   MSC gene trees, unweighted
+variable_trees     100     caller-chosen   MSC gene trees
+variable_taxa      chosen  caller-chosen   MSC gene trees
+=================  ======  ==============  =========================
+
+``insect_like`` strips branch lengths because the real Insect data is
+unweighted — the property that made HashRF unable to read it (§VI-B).
+Every generator is deterministic in its seed, and results are memoized
+per (family, n, r, seed) because the benchmark sweeps reuse prefixes of
+the same collection (the paper's Fig. 1 uses "the first r trees").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.birthdeath import birth_death_tree
+from repro.simulation.coalescent import gene_tree_msc
+from repro.simulation.yule import default_labels, yule_tree
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import SimulationError
+from repro.util.rng import resolve_rng
+
+__all__ = ["Dataset", "avian_like", "insect_like", "variable_trees",
+           "variable_taxa", "table2_datasets", "clear_dataset_cache"]
+
+
+@dataclass
+class Dataset:
+    """A generated tree collection with its Table-II style metadata."""
+
+    name: str
+    n_taxa: int
+    trees: list[Tree]
+    kind: str  # "real-like" | "simulated"
+    source: str
+    species_tree: Tree | None = field(default=None, repr=False)
+
+    @property
+    def n_trees(self) -> int:
+        return len(self.trees)
+
+    @property
+    def namespace(self) -> TaxonNamespace:
+        return self.trees[0].taxon_namespace
+
+    def prefix(self, r: int) -> "Dataset":
+        """The first ``r`` trees — the paper's Fig. 1 subsampling protocol."""
+        if r > len(self.trees):
+            raise SimulationError(
+                f"requested prefix of {r} trees but dataset has {len(self.trees)}"
+            )
+        return Dataset(self.name, self.n_taxa, self.trees[:r], self.kind,
+                       self.source, self.species_tree)
+
+
+_CACHE: dict[tuple, Dataset] = {}
+
+
+def clear_dataset_cache() -> None:
+    """Drop memoized datasets (tests use this to bound memory)."""
+    _CACHE.clear()
+
+
+def _msc_collection(name: str, kind: str, source: str, *, n_taxa: int, r: int,
+                    seed: int, pop_scale: float, weighted: bool) -> Dataset:
+    key = (name, n_taxa, r, seed, pop_scale, weighted)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    gen = resolve_rng(seed)
+    ns = TaxonNamespace(default_labels(n_taxa))
+    species = birth_death_tree(ns.labels, namespace=ns, birth_rate=1.0,
+                               death_rate=0.2, rng=gen)
+    trees: list[Tree] = []
+    for _ in range(r):
+        gene = gene_tree_msc(species, pop_scale=pop_scale, rng=gen)
+        if not weighted:
+            for node in gene.preorder():
+                node.length = None
+        trees.append(gene)
+    dataset = Dataset(name, n_taxa, trees, kind, source, species)
+    _CACHE[key] = dataset
+    return dataset
+
+
+def avian_like(r: int = 1000, *, seed: int = 2014, pop_scale: float = 1.0) -> Dataset:
+    """Avian-shaped collection: n=48 weighted gene trees (paper r=14446).
+
+    Moderate discordance — the real Avian gene trees disagree
+    substantially (the famous "avian tree-of-life conflict"), which
+    ``pop_scale=1.0`` approximates.
+    """
+    return _msc_collection(
+        "Avian-like", "real-like",
+        "substitute for Jarvis et al. 2014 (whole-genome avian gene trees)",
+        n_taxa=48, r=r, seed=seed, pop_scale=pop_scale, weighted=True,
+    )
+
+
+def insect_like(r: int = 1000, *, seed: int = 2017, pop_scale: float = 1.0) -> Dataset:
+    """Insect-shaped collection: n=144 *unweighted* gene trees (paper r=149278).
+
+    Unweighted (topology-only) Newick, reproducing the property that made
+    HashRF unable to read the real Insect data (§VI-B).
+    """
+    return _msc_collection(
+        "Insect-like", "real-like",
+        "substitute for Sayyari et al. 2017 (fragmentary insect gene trees)",
+        n_taxa=144, r=r, seed=seed, pop_scale=pop_scale, weighted=False,
+    )
+
+
+def variable_trees(r: int, *, n_taxa: int = 100, seed: int = 100,
+                   pop_scale: float = 1.0) -> Dataset:
+    """The paper's variable-trees family: fixed n=100, sweep r (Table V/Fig 2)."""
+    return _msc_collection(
+        "Variable Trees", "simulated",
+        "SimPhy/ASTRAL-II S100-style MSC simulation, tree-count sweep",
+        n_taxa=n_taxa, r=r, seed=seed, pop_scale=pop_scale, weighted=True,
+    )
+
+
+def variable_taxa(n_taxa: int, *, r: int = 1000, seed: int = 1000,
+                  pop_scale: float = 1.0) -> Dataset:
+    """The paper's variable-taxa family: fixed r=1000, sweep n (Table IV)."""
+    return _msc_collection(
+        "Variable Species", "simulated",
+        "SimPhy/ASTRAL-II S100-style MSC simulation, taxon-count sweep",
+        n_taxa=n_taxa, r=r, seed=seed + n_taxa, pop_scale=pop_scale, weighted=True,
+    )
+
+
+def table2_datasets(*, avian_r: int = 500, insect_r: int = 500,
+                    vt_r: int = 500, vs_n: int = 100, vs_r: int = 200) -> list[Dataset]:
+    """One instance of each Table-II family at benchmark-friendly sizes."""
+    return [
+        avian_like(avian_r),
+        insect_like(insect_r),
+        variable_trees(vt_r),
+        variable_taxa(vs_n, r=vs_r),
+    ]

@@ -1,0 +1,161 @@
+"""Topology perturbation: NNI and SPR moves.
+
+Perturbation-based collections complement the coalescent simulator:
+applying ``k`` random nearest-neighbour-interchange (NNI) or
+subtree-prune-regraft (SPR) moves to a base tree yields collections
+whose *expected RF to the base grows with k* — a controlled dial used
+by the correctness tests (known-answer RF structure) and by examples
+that need collections at a chosen disagreement level.
+"""
+
+from __future__ import annotations
+
+from repro.trees.node import Node
+from repro.trees.tree import Tree
+from repro.util.errors import SimulationError
+from repro.util.rng import RngLike, resolve_rng, spawn_children
+
+__all__ = ["random_nni", "random_spr", "perturbed_collection"]
+
+
+def _internal_edges(tree: Tree) -> list[Node]:
+    """Child endpoints of internal edges (child internal, parent any)."""
+    return [
+        node for node in tree.preorder()
+        if node.parent is not None and not node.is_leaf
+    ]
+
+
+def random_nni(tree: Tree, rng: RngLike = None) -> Tree:
+    """Apply one uniform random NNI move in place.
+
+    An NNI around internal edge (u=parent, v=child) exchanges one child
+    of ``v`` with one sibling of ``v`` — the minimal topology change,
+    altering exactly the split induced by that edge.
+    """
+    gen = resolve_rng(rng)
+    candidates = _internal_edges(tree)
+    if not candidates:
+        raise SimulationError("tree has no internal edge; NNI undefined (n < 4?)")
+    v = candidates[int(gen.integers(len(candidates)))]
+    u = v.parent
+    assert u is not None
+    siblings = [c for c in u.children if c is not v]
+    if not siblings or not v.children:
+        raise SimulationError("degenerate tree shape for NNI")  # pragma: no cover
+    s = siblings[int(gen.integers(len(siblings)))]
+    c = v.children[int(gen.integers(len(v.children)))]
+    # Swap s and c between u and v, preserving positions.
+    ui = u.children.index(s)
+    vi = v.children.index(c)
+    u.children[ui], v.children[vi] = c, s
+    c.parent, s.parent = u, v
+    return tree
+
+
+def random_spr(tree: Tree, rng: RngLike = None, max_attempts: int = 64) -> Tree:
+    """Apply one random SPR move in place.
+
+    Prunes a random non-root subtree and regrafts it onto a random edge
+    outside the pruned clade, producing larger jumps than NNI.  Branch
+    lengths around the cut are kept simple: the pruned edge retains its
+    length; the split edge halves its length across the new attachment.
+    """
+    gen = resolve_rng(rng)
+    for _ in range(max_attempts):
+        nodes = [n for n in tree.preorder() if n.parent is not None]
+        if len(nodes) < 4:
+            raise SimulationError("tree too small for SPR")
+        prune = nodes[int(gen.integers(len(nodes)))]
+        # Forbidden regraft targets: inside the pruned subtree, the prune
+        # edge itself, or its current parent edge (no-op).  When pruning
+        # a child of a bifurcating root, the sibling becomes the new root
+        # after contraction and has no parent edge to split — forbid it.
+        forbidden = {id(n) for n in _subtree_nodes(prune)}
+        forbidden.add(id(prune.parent))
+        parent = prune.parent
+        if parent is not None and parent.parent is None and len(parent.children) == 2:
+            for sibling in parent.children:
+                if sibling is not prune:
+                    forbidden.add(id(sibling))
+        targets = [n for n in nodes if id(n) not in forbidden]
+        if not targets:
+            continue
+        target = targets[int(gen.integers(len(targets)))]
+
+        old_parent = prune.parent
+        assert old_parent is not None
+        old_parent.remove_child(prune)
+        # Contract old_parent if it became a unifurcation.
+        if len(old_parent.children) == 1 and old_parent.parent is not None:
+            only = old_parent.children[0]
+            grand = old_parent.parent
+            idx = grand.children.index(old_parent)
+            grand.children[idx] = only
+            only.parent = grand
+            if only.length is not None or old_parent.length is not None:
+                only.length = (only.length or 0.0) + (old_parent.length or 0.0)
+            old_parent.parent = None
+            old_parent.children.clear()
+            if target is old_parent:  # pragma: no cover - excluded above
+                continue
+        elif len(old_parent.children) == 1 and old_parent.parent is None:
+            # Root down to one child: make that child the root.
+            only = old_parent.children[0]
+            only.parent = None
+            old_parent.children.clear()
+            tree.root = only
+        # Regraft: split the edge above target with a fresh node.  The
+        # forbidden set above guarantees target kept its parent edge.
+        anchor = target.parent
+        assert anchor is not None
+        joint = Node()
+        idx = anchor.children.index(target)
+        anchor.children[idx] = joint
+        joint.parent = anchor
+        if target.length is not None:
+            joint.length = target.length / 2.0
+            target.length = target.length / 2.0
+        joint.children = [target, prune]
+        target.parent = joint
+        prune.parent = joint
+        return tree
+    raise SimulationError(f"no valid SPR move found in {max_attempts} attempts")
+
+
+def _subtree_nodes(root: Node) -> list[Node]:
+    out = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(node.children)
+    return out
+
+
+def perturbed_collection(base: Tree, n_trees: int, *, moves: int = 3,
+                         move_kind: str = "nni", rng: RngLike = None) -> list[Tree]:
+    """``n_trees`` copies of ``base``, each with ``moves`` random moves applied.
+
+    Examples
+    --------
+    >>> from repro.simulation.yule import yule_tree
+    >>> base = yule_tree(12, rng=0)
+    >>> col = perturbed_collection(base, 5, moves=2, rng=1)
+    >>> len(col), all(t.n_leaves == 12 for t in col)
+    (5, True)
+    """
+    if n_trees < 0:
+        raise SimulationError("n_trees must be non-negative")
+    if moves < 0:
+        raise SimulationError("moves must be non-negative")
+    if move_kind not in ("nni", "spr"):
+        raise SimulationError(f"move_kind must be 'nni' or 'spr', got {move_kind!r}")
+    move = random_nni if move_kind == "nni" else random_spr
+    out: list[Tree] = []
+    for child_rng in spawn_children(rng, n_trees):
+        tree = base.copy()
+        for _ in range(moves):
+            move(tree, child_rng)
+        out.append(tree)
+    return out

@@ -1,0 +1,106 @@
+"""Yule (pure-birth) tree simulation.
+
+The Yule process is the standard null model for species trees: starting
+from two lineages, each extant lineage splits at rate ``birth_rate``;
+waiting times between successive splits are exponential with rate
+``k·birth_rate`` for ``k`` active lineages.  The resulting trees are
+ultrametric (all tips equidistant from the root), which the
+multispecies-coalescent gene-tree simulator relies on.
+
+These species trees seed the simulated datasets that substitute for the
+paper's SimPhy/ASTRAL-II S100 collections (§V, Table II).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.trees.node import Node
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import SimulationError
+from repro.util.rng import RngLike, resolve_rng
+
+__all__ = ["yule_tree", "default_labels"]
+
+
+def default_labels(n_taxa: int, prefix: str = "T") -> list[str]:
+    """Zero-padded taxon labels ``T000..`` keeping lexicographic = numeric order.
+
+    >>> default_labels(3)
+    ['T000', 'T001', 'T002']
+    """
+    width = max(3, len(str(n_taxa - 1)))
+    return [f"{prefix}{i:0{width}d}" for i in range(n_taxa)]
+
+
+def yule_tree(n_taxa: int | Sequence[str], *,
+              namespace: TaxonNamespace | None = None,
+              birth_rate: float = 1.0,
+              rng: RngLike = None) -> Tree:
+    """Simulate one ultrametric Yule tree.
+
+    Parameters
+    ----------
+    n_taxa:
+        Leaf count, or an explicit label sequence.
+    namespace:
+        Namespace to bind labels into (created fresh when ``None``).
+    birth_rate:
+        Speciation rate λ > 0; scales all branch lengths by 1/λ.
+    rng:
+        Seed or generator.
+
+    Returns
+    -------
+    A rooted binary ultrametric tree; taxa are assigned to tips in a
+    random permutation so label adjacency carries no signal.
+
+    Examples
+    --------
+    >>> t = yule_tree(8, rng=7)
+    >>> t.n_leaves
+    8
+    >>> t.is_binary()
+    True
+    """
+    if birth_rate <= 0:
+        raise SimulationError(f"birth_rate must be positive, got {birth_rate}")
+    labels = default_labels(n_taxa) if isinstance(n_taxa, int) else list(n_taxa)
+    n = len(labels)
+    if n < 2:
+        raise SimulationError(f"need at least 2 taxa, got {n}")
+    if len(set(labels)) != n:
+        raise SimulationError("taxon labels must be unique")
+    ns = namespace if namespace is not None else TaxonNamespace()
+
+    gen = resolve_rng(rng)
+    root = Node(length=None)
+    active: list[Node] = []
+    for _ in range(2):
+        child = Node(length=0.0)
+        root.add_child(child)
+        active.append(child)
+
+    while len(active) < n:
+        k = len(active)
+        wait = gen.exponential(1.0 / (k * birth_rate))
+        for node in active:
+            node.length += wait  # type: ignore[operator]
+        victim_index = int(gen.integers(k))
+        victim = active.pop(victim_index)
+        for _ in range(2):
+            child = Node(length=0.0)
+            victim.add_child(child)
+            active.append(child)
+
+    # Final stretch so tip branches have nonzero terminal length.
+    final_wait = gen.exponential(1.0 / (len(active) * birth_rate))
+    for node in active:
+        node.length += final_wait  # type: ignore[operator]
+
+    order = gen.permutation(n)
+    for tip, label_index in zip(active, order):
+        tip.taxon = ns.require(labels[int(label_index)])
+
+    return Tree(root, ns)

@@ -1,0 +1,39 @@
+"""Phylogenetic tree substrate: taxa, nodes, trees, traversal, surgery."""
+
+from repro.trees.manipulate import (
+    collapse_edge,
+    prune_to_taxa,
+    reroot_at_leaf,
+    reroot_at_node,
+    resolve_polytomies,
+    suppress_unifurcations,
+)
+from repro.trees.drawing import ascii_tree
+from repro.trees.node import Node
+from repro.trees.taxon import Taxon, TaxonNamespace
+from repro.trees.traversal import edges, internal_nodes, leaves, levelorder, postorder, preorder
+from repro.trees.tree import Tree
+from repro.trees.validate import check_shared_namespace, validate_collection, validate_tree
+
+__all__ = [
+    "Taxon",
+    "TaxonNamespace",
+    "Node",
+    "Tree",
+    "preorder",
+    "postorder",
+    "levelorder",
+    "leaves",
+    "internal_nodes",
+    "edges",
+    "reroot_at_node",
+    "reroot_at_leaf",
+    "prune_to_taxa",
+    "suppress_unifurcations",
+    "resolve_polytomies",
+    "collapse_edge",
+    "validate_tree",
+    "validate_collection",
+    "check_shared_namespace",
+    "ascii_tree",
+]

@@ -1,0 +1,91 @@
+"""ASCII tree rendering for terminals, examples, and the CLI.
+
+A dependency-free box-drawing renderer in the style of ``ete3``'s
+``print`` / ``scikit-bio``'s ``ascii_art``: one row per leaf, internal
+nodes drawn as connectors, optional internal labels (e.g. the support
+values written by :func:`repro.analysis.support.annotate_support`).
+"""
+
+from __future__ import annotations
+
+from repro.trees.node import Node
+from repro.trees.tree import Tree
+
+__all__ = ["ascii_tree"]
+
+
+def _render(node: Node, *, show_labels: bool) -> list[str]:
+    """Render a subtree to a list of lines; the connector row is marked
+    by the leading character set in ``_join``."""
+    if node.is_leaf:
+        label = node.taxon.label if node.taxon is not None else (node.label or "?")
+        return [f"─ {label}"]
+    blocks = [_render(child, show_labels=show_labels) for child in node.children]
+    tag = node.label if (show_labels and node.label) else ""
+    return _join(blocks, tag)
+
+
+def _anchor_row(block: list[str]) -> int:
+    """The row a parent connector should attach to (the subtree's spine)."""
+    for i, line in enumerate(block):
+        if line and line[0] in "─┬┴┤├┼╮╯╭╰":
+            return i
+    return len(block) // 2
+
+
+def _join(blocks: list[list[str]], tag: str) -> list[str]:
+    """Stack child blocks and draw the connector column."""
+    heights = [len(b) for b in blocks]
+    anchors = []
+    offset = 0
+    for block in blocks:
+        anchors.append(offset + _anchor_row(block))
+        offset += len(block)
+    top, bottom = anchors[0], anchors[-1]
+    mid = (top + bottom) // 2
+
+    lines: list[str] = []
+    row = 0
+    for block in blocks:
+        for line in block:
+            if row == mid and row in anchors:
+                prefix = "┼" if top < row < bottom else ("┬" if row == top else "┴")
+            elif row == mid:
+                prefix = "┤"
+            elif row in anchors:
+                if row == top:
+                    prefix = "╭"
+                elif row == bottom:
+                    prefix = "╰"
+                else:
+                    prefix = "├"
+            elif top < row < bottom:
+                prefix = "│"
+            else:
+                prefix = " "
+            lines.append(prefix + line)
+            row += 1
+    # Attach the subtree handle (and optional label) on the mid row.
+    handle = f"─{tag}" if tag else "─"
+    out = []
+    for i, line in enumerate(lines):
+        if i == mid:
+            out.append(handle + line)
+        else:
+            out.append(" " * len(handle) + line)
+    return out
+
+
+def ascii_tree(tree: Tree, *, show_internal_labels: bool = True) -> str:
+    """Render ``tree`` as ASCII art (one leaf per row).
+
+    Examples
+    --------
+    >>> from repro.newick import parse_newick
+    >>> print(ascii_tree(parse_newick("((A,B),C);")))
+     ╭─┬─ A
+    ─┤ ╰─ B
+     ╰─ C
+    """
+    lines = _render(tree.root, show_labels=show_internal_labels)
+    return "\n".join(line.rstrip() for line in lines)

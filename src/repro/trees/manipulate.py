@@ -1,0 +1,187 @@
+"""Structural tree surgery: rerooting, pruning, resolving polytomies.
+
+These operations back three parts of the reproduction:
+
+* Day's O(n) RF algorithm needs both trees rooted at the *same* leaf
+  (:func:`reroot_at_leaf`).
+* Variable-taxa RF (§VII-E) restricts trees to a common taxon subset
+  (:func:`prune_to_taxa` + :func:`suppress_unifurcations`).
+* Simulators occasionally produce polytomies that must be randomly
+  refined into binary trees (:func:`resolve_polytomies`).
+
+All functions mutate the given tree in place and return it, so calls
+chain; use ``tree.copy()`` first to preserve the original.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.trees.node import Node
+from repro.trees.tree import Tree
+from repro.util.errors import TaxonError, TreeStructureError
+from repro.util.rng import RngLike, resolve_rng
+
+__all__ = [
+    "reroot_at_leaf",
+    "reroot_at_node",
+    "prune_to_taxa",
+    "suppress_unifurcations",
+    "resolve_polytomies",
+    "collapse_edge",
+]
+
+
+def reroot_at_node(tree: Tree, new_root: Node) -> Tree:
+    """Re-hang the tree so ``new_root`` becomes the root (in place).
+
+    Parent pointers along the path from ``new_root`` to the old root are
+    reversed; branch lengths move with their edges (the length stored on
+    a node describes the edge to its parent, so reversing an edge moves
+    the length from child to former parent).
+    """
+    if new_root.parent is None:
+        tree.root = new_root
+        return tree
+    # Collect the path root-wards, then flip each edge from the top down.
+    path = [new_root]
+    path.extend(new_root.ancestors())
+    for child, parent in zip(reversed(path[:-1]), reversed(path)):
+        # Currently parent -> child; flip to child -> parent.
+        parent.children.remove(child)
+        child.children.append(parent)
+        parent.parent = child
+        parent.length, child.length = child.length, None
+        parent.label, child.label = child.label, parent.label
+    new_root.parent = None
+    new_root.length = None
+    tree.root = new_root
+    return tree
+
+
+def reroot_at_leaf(tree: Tree, label: str) -> Tree:
+    """Reroot so that the leaf labelled ``label`` hangs directly under the root.
+
+    The resulting shape is the canonical form Day's algorithm expects:
+    ``root`` has the chosen leaf as one child and the rest of the tree as
+    the other(s).  Implemented as rerooting at the leaf's parent.
+    """
+    target = None
+    for leaf in tree.leaves():
+        if leaf.taxon is not None and leaf.taxon.label == label:
+            target = leaf
+            break
+    if target is None:
+        raise TaxonError(f"leaf {label!r} not found in tree")
+    if target.parent is None:
+        raise TreeStructureError("cannot reroot a single-node tree")
+    return reroot_at_node(tree, target.parent)
+
+
+def prune_to_taxa(tree: Tree, keep_labels: Iterable[str]) -> Tree:
+    """Remove every leaf whose label is not in ``keep_labels`` (in place).
+
+    Degree-2 internal nodes left behind are suppressed (their incident
+    branch lengths summed), which is the standard restriction operation
+    used by supertree-style variable-taxa RF.  The taxon namespace is not
+    modified — masks derived afterwards simply have the pruned bits clear.
+    """
+    keep = set(keep_labels)
+    missing = keep - set(tree.taxon_namespace.labels)
+    if missing:
+        raise TaxonError(f"labels not in namespace: {sorted(missing)!r}")
+    if not any(leaf.taxon is not None and leaf.taxon.label in keep
+               for leaf in tree.leaves()):
+        raise TreeStructureError("pruning would remove every leaf")
+    doomed = [leaf for leaf in tree.leaves()
+              if leaf.taxon is None or leaf.taxon.label not in keep]
+    for leaf in doomed:
+        node = leaf
+        # Remove the leaf, then walk up deleting internal nodes that lost
+        # their last child.
+        while node.parent is not None and not node.children:
+            parent = node.parent
+            parent.remove_child(node)
+            node = parent
+    if not any(True for _ in tree.leaves()):
+        raise TreeStructureError("pruning removed every leaf")
+    return suppress_unifurcations(tree)
+
+
+def suppress_unifurcations(tree: Tree) -> Tree:
+    """Contract internal nodes with exactly one child (in place).
+
+    Branch lengths of the two merged edges are summed when either is
+    present.  A unifurcating root is replaced by its single child.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for node in list(tree.preorder()):
+            if node.is_leaf or len(node.children) != 1:
+                continue
+            child = node.children[0]
+            if node.length is not None or child.length is not None:
+                child.length = (child.length or 0.0) + (node.length or 0.0)
+            if node.parent is None:
+                child.parent = None
+                node.children.clear()
+                tree.root = child
+            else:
+                parent = node.parent
+                idx = parent.children.index(node)
+                parent.children[idx] = child
+                child.parent = parent
+                node.parent = None
+                node.children.clear()
+            changed = True
+            break
+    return tree
+
+
+def resolve_polytomies(tree: Tree, rng: RngLike = None) -> Tree:
+    """Randomly refine every polytomy into a binary subtree (in place).
+
+    Each node with more than the allowed child count is resolved by
+    repeatedly grouping two random children under a fresh zero-length
+    internal node.  The root keeps up to 3 children (unrooted convention);
+    other internal nodes keep 2.
+    """
+    gen = resolve_rng(rng)
+    for node in list(tree.preorder()):
+        limit = 3 if node.is_root else 2
+        while len(node.children) > limit:
+            i, j = sorted(gen.choice(len(node.children), size=2, replace=False))
+            a, b = node.children[i], node.children[j]
+            joint = Node(length=0.0)
+            node.children[i] = joint
+            joint.parent = node
+            node.children.pop(j)
+            joint.children = [a, b]
+            a.parent = joint
+            b.parent = joint
+    return tree
+
+
+def collapse_edge(tree: Tree, child: Node) -> Tree:
+    """Contract the internal edge above ``child`` (in place).
+
+    ``child`` must be an internal non-root node; its children are
+    promoted into its parent.  This creates the polytomies used when
+    testing non-binary tree handling.
+    """
+    if child.parent is None:
+        raise TreeStructureError("cannot collapse the root edge")
+    if child.is_leaf:
+        raise TreeStructureError("cannot collapse a pendant (leaf) edge")
+    parent = child.parent
+    idx = parent.children.index(child)
+    grandchildren = list(child.children)
+    parent.children[idx:idx + 1] = grandchildren
+    for g in grandchildren:
+        g.parent = parent
+    child.parent = None
+    child.children.clear()
+    return tree

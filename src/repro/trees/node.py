@@ -1,0 +1,104 @@
+"""Tree nodes.
+
+Plain-Python node objects with ``__slots__`` — the paper's workloads hold
+tens of thousands of trees in memory (reference collections), so per-node
+overhead matters more than flexibility.  Nodes carry an optional taxon
+(leaves), an optional branch length to the parent edge, and an optional
+internal label (support values in real Newick files).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.trees.taxon import Taxon
+
+__all__ = ["Node"]
+
+
+class Node:
+    """One vertex of a phylogenetic tree.
+
+    Attributes
+    ----------
+    taxon:
+        The leaf's taxon, or ``None`` for internal nodes.
+    length:
+        Branch length of the edge *above* this node (to its parent), or
+        ``None`` when the input carried no lengths (the paper's Insect
+        collection is unweighted — exactly the case that broke HashRF).
+    label:
+        Internal-node label (e.g. bootstrap support), or ``None``.
+    parent:
+        Parent node, ``None`` at the root.
+    children:
+        Child list in input order.
+    """
+
+    __slots__ = ("taxon", "length", "label", "parent", "children")
+
+    def __init__(self, taxon: Taxon | None = None, length: float | None = None,
+                 label: str | None = None):
+        self.taxon = taxon
+        self.length = length
+        self.label = label
+        self.parent: Node | None = None
+        self.children: list[Node] = []
+
+    # -- structure edits -----------------------------------------------------
+
+    def add_child(self, child: "Node") -> "Node":
+        """Attach ``child`` (detaching it from any previous parent) and return it."""
+        if child.parent is not None:
+            child.parent.children.remove(child)
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def remove_child(self, child: "Node") -> None:
+        """Detach ``child``; raises ``ValueError`` if it is not a child."""
+        self.children.remove(child)
+        child.parent = None
+
+    def detach(self) -> "Node":
+        """Detach this node from its parent (no-op at the root) and return it."""
+        if self.parent is not None:
+            self.parent.remove_child(self)
+        return self
+
+    # -- predicates -----------------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+    @property
+    def degree(self) -> int:
+        """Graph degree: child count plus one for the parent edge if any."""
+        return len(self.children) + (0 if self.parent is None else 1)
+
+    # -- local iteration --------------------------------------------------------
+
+    def siblings(self) -> Iterator["Node"]:
+        """Yield the other children of this node's parent."""
+        if self.parent is None:
+            return
+        for child in self.parent.children:
+            if child is not self:
+                yield child
+
+    def ancestors(self) -> Iterator["Node"]:
+        """Yield parent, grandparent, ... up to and including the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        if self.taxon is not None:
+            return f"Node(leaf={self.taxon.label!r})"
+        return f"Node(internal, children={len(self.children)})"

@@ -1,0 +1,81 @@
+"""Iterative tree traversals.
+
+All traversals are iterative (explicit stacks/queues) rather than
+recursive: the simulated collections contain trees with up to thousands
+of taxa, comfortably past CPython's default recursion limit, and the
+paper's workloads parse hundreds of thousands of trees — per-call
+overhead matters.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.trees.node import Node
+
+__all__ = ["preorder", "postorder", "levelorder", "leaves", "internal_nodes", "edges"]
+
+
+def preorder(root: Node) -> Iterator[Node]:
+    """Yield nodes parent-before-children (children in reverse push order
+    so they are visited in input order).
+
+    >>> from repro.trees.taxon import TaxonNamespace
+    >>> ns = TaxonNamespace(["A", "B"])
+    >>> r = Node(); _ = r.add_child(Node(ns["A"])); _ = r.add_child(Node(ns["B"]))
+    >>> [n.taxon.label if n.taxon else "*" for n in preorder(r)]
+    ['*', 'A', 'B']
+    """
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children))
+
+
+def postorder(root: Node) -> Iterator[Node]:
+    """Yield nodes children-before-parent, children in input order.
+
+    This is the order bipartition extraction needs: a node's leaf-set
+    bitmask is the OR of its children's masks, so by the time a node is
+    yielded all of its children have been.
+    """
+    # Two-stack postorder: first produce reverse-postorder, then replay.
+    stack = [root]
+    out: list[Node] = []
+    while stack:
+        node = stack.pop()
+        out.append(node)
+        stack.extend(node.children)
+    return reversed(out)  # type: ignore[return-value]
+
+
+def levelorder(root: Node) -> Iterator[Node]:
+    """Yield nodes breadth-first, top-down, children in input order."""
+    queue: deque[Node] = deque([root])
+    while queue:
+        node = queue.popleft()
+        yield node
+        queue.extend(node.children)
+
+
+def leaves(root: Node) -> Iterator[Node]:
+    """Yield leaf nodes in left-to-right (input) order."""
+    for node in preorder(root):
+        if node.is_leaf:
+            yield node
+
+
+def internal_nodes(root: Node) -> Iterator[Node]:
+    """Yield non-leaf nodes in preorder."""
+    for node in preorder(root):
+        if not node.is_leaf:
+            yield node
+
+
+def edges(root: Node) -> Iterator[tuple[Node, Node]]:
+    """Yield ``(parent, child)`` pairs for every edge, preorder by child."""
+    for node in preorder(root):
+        if node.parent is not None:
+            yield node.parent, node

@@ -1,0 +1,89 @@
+"""Structural validation of trees and collections.
+
+Fail-fast checks used at API boundaries: the core algorithms assume
+well-formed trees over a shared namespace, and these helpers turn silent
+wrong answers into diagnosable errors (the paper's "not typical of
+real-world data sets" pain points — mismatched taxa, unweighted trees,
+non-binary shapes — all surface here).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.trees.tree import Tree
+from repro.util.errors import CollectionError, TaxonError, TreeStructureError
+
+__all__ = ["validate_tree", "validate_collection", "check_shared_namespace"]
+
+
+def validate_tree(tree: Tree, *, require_binary: bool = False,
+                  min_leaves: int = 1) -> Tree:
+    """Check structural invariants of one tree; returns it for chaining.
+
+    Verifies parent/child pointer consistency, that every leaf carries a
+    taxon, that no taxon appears twice, and optionally that the tree is a
+    (unrooted-)binary tree with at least ``min_leaves`` leaves.
+    """
+    seen_bits = 0
+    leaf_count = 0
+    for node in tree.preorder():
+        for child in node.children:
+            if child.parent is not node:
+                raise TreeStructureError("child node with inconsistent parent pointer")
+        if node.is_leaf:
+            if node.taxon is None:
+                raise TreeStructureError("leaf node without a taxon")
+            if seen_bits & node.taxon.bit:
+                raise TaxonError(f"taxon {node.taxon.label!r} appears on two leaves")
+            seen_bits |= node.taxon.bit
+            leaf_count += 1
+    if leaf_count < min_leaves:
+        raise TreeStructureError(f"tree has {leaf_count} leaves, need >= {min_leaves}")
+    if require_binary and not tree.is_binary():
+        raise TreeStructureError("tree is not binary (unresolved polytomy present)")
+    return tree
+
+
+def check_shared_namespace(trees: Sequence[Tree]) -> None:
+    """Require all trees to use one namespace object.
+
+    Bitmask comparability depends on identical label→index assignments;
+    the cheap and safe contract is object identity of the namespace.
+    """
+    if not trees:
+        return
+    ns = trees[0].taxon_namespace
+    for i, tree in enumerate(trees):
+        if tree.taxon_namespace is not ns:
+            raise TaxonError(
+                f"tree {i} uses a different TaxonNamespace object; parse all "
+                "collections with one shared namespace"
+            )
+
+
+def validate_collection(trees: Sequence[Tree], *, require_same_taxa: bool = True,
+                        require_binary: bool = False, name: str = "collection") -> None:
+    """Validate a tree collection for the fixed-taxa RF setting (§II-A).
+
+    Parameters
+    ----------
+    require_same_taxa:
+        Enforce the paper's baseline assumption that every tree covers the
+        same taxon set.  Disable for the variable-taxa extension.
+    """
+    if not trees:
+        raise CollectionError(f"{name} is empty; average RF is undefined")
+    check_shared_namespace(trees)
+    reference_mask = None
+    for i, tree in enumerate(trees):
+        validate_tree(tree, require_binary=require_binary, min_leaves=3)
+        if require_same_taxa:
+            mask = tree.leaf_mask()
+            if reference_mask is None:
+                reference_mask = mask
+            elif mask != reference_mask:
+                raise CollectionError(
+                    f"{name}: tree {i} covers a different taxon set; use the "
+                    "variable-taxa variant (repro.core.variants) for mixed coverage"
+                )

@@ -1,0 +1,97 @@
+"""Work-partitioning helpers for the multiprocessing layers.
+
+DSMP and parallel BFHRF both fan out *query trees* to worker processes
+(§III-B of the paper: "parallelization of bipartition calculations and
+comparisons at tree level").  Per-task overhead in :mod:`multiprocessing`
+is dominated by pickling, so we ship contiguous chunks of trees rather
+than single trees.  These helpers centralize the chunk-size policy so the
+sequential/parallel implementations and the benchmarks all split work the
+same way.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from itertools import islice
+from typing import TypeVar
+
+__all__ = ["chunk_indices", "chunked", "default_chunk_size", "balanced_chunk_count"]
+
+T = TypeVar("T")
+
+
+def default_chunk_size(n_items: int, n_workers: int, *, per_worker: int = 4, min_size: int = 1,
+                       max_size: int = 2048) -> int:
+    """Choose a chunk size for ``n_items`` spread over ``n_workers``.
+
+    Targets ``per_worker`` chunks per worker — enough slack for dynamic
+    load balancing when tree sizes vary, without drowning in IPC overhead.
+
+    >>> default_chunk_size(1000, 4)
+    62
+    >>> default_chunk_size(3, 8)
+    1
+    """
+    if n_items <= 0:
+        return min_size
+    if n_workers <= 0:
+        raise ValueError(f"n_workers must be positive, got {n_workers}")
+    size = n_items // (n_workers * per_worker)
+    return max(min_size, min(max_size, size if size > 0 else min_size))
+
+
+def balanced_chunk_count(n_items: int, chunk_size: int) -> int:
+    """Number of chunks produced when splitting ``n_items`` by ``chunk_size``."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return (n_items + chunk_size - 1) // chunk_size
+
+
+def chunk_indices(n_items: int, chunk_size: int) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` half-open index ranges covering ``range(n_items)``.
+
+    >>> list(chunk_indices(7, 3))
+    [(0, 3), (3, 6), (6, 7)]
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    for start in range(0, n_items, chunk_size):
+        yield start, min(start + chunk_size, n_items)
+
+
+def chunked(items: Iterable[T], chunk_size: int) -> Iterator[list[T]]:
+    """Yield successive lists of up to ``chunk_size`` elements from ``items``.
+
+    Works on arbitrary iterables (including streaming Newick readers) —
+    the whole point is to avoid materializing ``items`` at once.
+
+    >>> list(chunked(iter(range(5)), 2))
+    [[0, 1], [2, 3], [4]]
+    """
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    it = iter(items)
+    while True:
+        block = list(islice(it, chunk_size))
+        if not block:
+            return
+        yield block
+
+
+def split_evenly(items: Sequence[T], n_parts: int) -> list[list[T]]:
+    """Split ``items`` into ``n_parts`` contiguous lists whose sizes differ by ≤1.
+
+    >>> split_evenly([1, 2, 3, 4, 5], 2)
+    [[1, 2, 3], [4, 5]]
+    """
+    if n_parts <= 0:
+        raise ValueError(f"n_parts must be positive, got {n_parts}")
+    n = len(items)
+    base, extra = divmod(n, n_parts)
+    out: list[list[T]] = []
+    start = 0
+    for i in range(n_parts):
+        size = base + (1 if i < extra else 0)
+        out.append(list(items[start:start + size]))
+        start += size
+    return out

@@ -1,0 +1,126 @@
+"""Peak-memory measurement for the benchmark harness.
+
+The paper reports "maximum resident memory" per run (Figs 1–2, Tables
+III–V).  Inside one long-lived pytest process we cannot use RSS for
+per-algorithm attribution (RSS never shrinks), so the harness offers two
+complementary measurements:
+
+* :func:`trace_peak` — Python-heap peak via :mod:`tracemalloc`; precise
+  attribution of allocations made *during* the traced block, which is the
+  right tool for comparing the algorithms' data-structure footprints
+  (bipartition sets vs the frequency hash vs the r×r matrix).
+* :func:`rss_peak_mb` — OS-reported high-water mark via
+  ``resource.getrusage``, matching the paper's profiler numbers when a
+  whole process runs one algorithm (the CLI uses this).
+
+Both are exposed through :class:`MemoryProbe` so callers pick a policy
+once.
+"""
+
+from __future__ import annotations
+
+import resource
+import sys
+import tracemalloc
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+__all__ = ["trace_peak", "rss_peak_mb", "MemoryProbe", "MemorySample"]
+
+
+def rss_peak_mb() -> float:
+    """Return the process high-water RSS in MiB.
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+@dataclass(frozen=True)
+class MemorySample:
+    """Result of one traced block.
+
+    Attributes
+    ----------
+    peak_mb:
+        Peak Python-heap usage above the pre-block baseline, in MiB.
+    current_mb:
+        Heap retained at block exit above the baseline, in MiB — the
+        *persistent* footprint of whatever the block returned (e.g. the
+        BFH vs a full bipartition table).
+    """
+
+    peak_mb: float
+    current_mb: float
+
+
+@contextmanager
+def trace_peak():
+    """Context manager measuring Python-heap peak within the block.
+
+    Yields a :class:`MemorySample` whose fields are filled in on exit::
+
+        with trace_peak() as sample:
+            hash_ = build_bfh(trees)
+        print(sample.peak_mb)
+
+    Nested use is supported; each block sees allocations relative to its
+    own entry point because tracemalloc snapshots are differential.
+    """
+
+    class _Box:
+        peak_mb = 0.0
+        current_mb = 0.0
+
+    box = _Box()
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    base_current, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        yield box
+    finally:
+        current, peak = tracemalloc.get_traced_memory()
+        box.peak_mb = max(0.0, (peak - base_current) / (1024 * 1024))
+        box.current_mb = max(0.0, (current - base_current) / (1024 * 1024))
+        if not was_tracing:
+            tracemalloc.stop()
+
+
+class MemoryProbe:
+    """Unified peak-memory probe.
+
+    Parameters
+    ----------
+    mode:
+        ``"trace"`` (default) for tracemalloc attribution inside a shared
+        process, ``"rss"`` for OS high-water RSS (whole-process runs).
+    """
+
+    def __init__(self, mode: str = "trace"):
+        if mode not in ("trace", "rss"):
+            raise ValueError(f"mode must be 'trace' or 'rss', got {mode!r}")
+        self.mode = mode
+
+    @contextmanager
+    def measure(self):
+        """Yield an object with a ``peak_mb`` attribute filled in on exit."""
+        if self.mode == "trace":
+            with trace_peak() as sample:
+                yield sample
+        else:
+            class _Box:
+                peak_mb = 0.0
+                current_mb = 0.0
+
+            box = _Box()
+            before = rss_peak_mb()
+            try:
+                yield box
+            finally:
+                box.peak_mb = max(0.0, rss_peak_mb() - before)
+                box.current_mb = box.peak_mb

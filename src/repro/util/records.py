@@ -1,0 +1,121 @@
+"""Run-record dataclasses shared by the CLI and the benchmark harness.
+
+Every experiment in the paper reports the same tuple per configuration —
+algorithm, n, r, wall time, peak memory — plus an occasional marker for
+jobs that were killed or could not run (Tables III and V use ``*`` and
+``-``).  Centralizing that record here keeps the table-printing code in
+``benchmarks/`` purely presentational.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, asdict
+from typing import Any
+
+__all__ = ["RunRecord", "ExperimentTable"]
+
+
+@dataclass
+class RunRecord:
+    """One (algorithm, dataset-point) measurement.
+
+    Attributes
+    ----------
+    algorithm:
+        Display name, e.g. ``"BFHRF8"`` — algorithm plus worker count,
+        matching the paper's row labels.
+    n_taxa, n_trees:
+        Dataset coordinates (the paper's ``n`` and ``R`` columns).
+    seconds:
+        Wall-clock time. ``float("nan")`` when the run could not execute
+        (the paper's ``-`` marker).
+    memory_mb:
+        Peak memory in MiB (see :mod:`repro.util.memory` for semantics).
+    estimated:
+        True when ``seconds`` was extrapolated from a partial run (the
+        paper's protocol for DS on very large inputs).
+    killed:
+        True when the run was aborted (the paper's ``*`` marker — kernel
+        OOM kills); we use it for runs aborted by our own guard rails.
+    extra:
+        Free-form per-experiment annotations (worker count, scale factor,
+        collision rate, ...).
+    """
+
+    algorithm: str
+    n_taxa: int
+    n_trees: int
+    seconds: float
+    memory_mb: float
+    estimated: bool = False
+    killed: bool = False
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def time_label(self) -> str:
+        """Paper-style time cell: value with ``*`` (killed) / ``~`` (estimated)."""
+        import math
+
+        if math.isnan(self.seconds):
+            return "-"
+        label = f"{self.seconds:.4f}"
+        if self.killed:
+            label += "*"
+        elif self.estimated:
+            label = "~" + label
+        return label
+
+    @property
+    def memory_label(self) -> str:
+        import math
+
+        if math.isnan(self.memory_mb):
+            return "-"
+        label = f"{self.memory_mb:.2f}"
+        if self.killed:
+            label += "*"
+        return label
+
+    def to_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+
+@dataclass
+class ExperimentTable:
+    """A named collection of :class:`RunRecord` rows with a text renderer."""
+
+    title: str
+    rows: list[RunRecord] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, record: RunRecord) -> None:
+        self.rows.append(record)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Render the table in the paper's layout (Algorithm, n, R, Time, Memory)."""
+        header = ("Algorithm", "n", "R", "Time(s)", "Memory(MB)")
+        cells = [header] + [
+            (
+                row.algorithm,
+                str(row.n_taxa),
+                str(row.n_trees),
+                row.time_label,
+                row.memory_label,
+            )
+            for row in self.rows
+        ]
+        widths = [max(len(c[i]) for c in cells) for i in range(len(header))]
+        lines = [self.title, "=" * len(self.title)]
+        for i, row_cells in enumerate(cells):
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row_cells, widths)))
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def by_algorithm(self, algorithm: str) -> list[RunRecord]:
+        return [r for r in self.rows if r.algorithm == algorithm]

@@ -1,0 +1,98 @@
+"""Wall-clock timing helpers shared by the CLI and benchmark harness.
+
+Follows the optimization-workflow guidance baked into this repo: measure
+first, with a monotonic clock, and keep the measurement machinery out of
+the algorithm code.  Also implements the paper's *rate extrapolation*
+protocol (§VI: "we estimated the rate of trees per minute ... and
+estimated the total amount of time for Q trees") used for DS on inputs
+too large to run to completion.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "stopwatch", "estimate_total_seconds", "format_seconds"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating wall-clock stopwatch based on ``perf_counter``.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     _ = sum(range(1000))
+    >>> sw.elapsed > 0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Stopwatch already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@contextmanager
+def stopwatch():
+    """Yield a fresh running :class:`Stopwatch`, stopped at block exit."""
+    sw = Stopwatch()
+    sw.start()
+    try:
+        yield sw
+    finally:
+        if sw._start is not None:
+            sw.stop()
+
+
+def estimate_total_seconds(measured_seconds: float, items_done: int, items_total: int) -> float:
+    """Extrapolate a full-run time from a partial run at constant rate.
+
+    This mirrors the paper's protocol for DS on the Insect dataset, where
+    full runs would take days: time a prefix, then scale linearly in the
+    number of *query* trees (each query tree costs the same full pass over
+    the reference collection, so per-query cost is constant).
+
+    >>> estimate_total_seconds(10.0, 5, 50)
+    100.0
+    """
+    if items_done <= 0:
+        raise ValueError("need at least one completed item to extrapolate")
+    if items_total < items_done:
+        raise ValueError("items_total must be >= items_done")
+    return measured_seconds * (items_total / items_done)
+
+
+def format_seconds(seconds: float) -> str:
+    """Render seconds compactly for tables (``ms``, ``s``, or ``m``).
+
+    >>> format_seconds(0.0042)
+    '4.2ms'
+    >>> format_seconds(3.25)
+    '3.25s'
+    >>> format_seconds(312)
+    '5.20m'
+    """
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds / 60.0:.2f}m"

@@ -1,0 +1,132 @@
+"""Unit tests for repro.analysis.clustering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.clustering import (
+    cluster_consensus,
+    kmedoids_rf,
+    silhouette_score,
+)
+from repro.bipartitions import bipartition_masks
+from repro.newick import trees_from_string
+from repro.simulation import gene_tree_msc, yule_tree
+from repro.trees import TaxonNamespace
+from repro.util.errors import CollectionError
+
+
+def two_island_collection(per_group=10, n_taxa=16, seed=5):
+    rng = np.random.default_rng(seed)
+    ns = TaxonNamespace()
+    species_a = yule_tree(n_taxa, namespace=ns, rng=rng)
+    species_b = yule_tree([t.label for t in ns], namespace=ns, rng=rng)
+    trees, truth = [], []
+    for label, sp in (("A", species_a), ("B", species_b)):
+        for _ in range(per_group):
+            trees.append(gene_tree_msc(sp, pop_scale=0.05, rng=rng))
+            truth.append(label)
+    return trees, truth
+
+
+class TestKMedoids:
+    def test_two_islands_recovered(self):
+        trees, truth = two_island_collection()
+        result = kmedoids_rf(trees, 2, rng=1)
+        groups = {}
+        for label, assigned in zip(truth, result.labels):
+            groups.setdefault(label, set()).add(int(assigned))
+        # Each truth group maps to exactly one cluster, distinct.
+        assert all(len(g) == 1 for g in groups.values())
+        assert groups["A"] != groups["B"]
+
+    def test_quartet_camps(self):
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));\n((A,C),(B,D));")
+        result = kmedoids_rf(trees, 2, rng=0)
+        assert result.labels[0] == result.labels[1]
+        assert result.labels[2] == result.labels[3]
+        assert result.labels[0] != result.labels[2]
+        assert result.cost == 0.0
+
+    def test_k_one(self):
+        trees, _ = two_island_collection(per_group=4)
+        result = kmedoids_rf(trees, 1, rng=2)
+        assert set(result.labels.tolist()) == {0}
+        assert result.n_clusters == 1
+
+    def test_k_equals_r(self):
+        trees, _ = two_island_collection(per_group=3)
+        result = kmedoids_rf(trees, len(trees), rng=3)
+        assert result.cost == 0.0
+
+    def test_validation(self):
+        trees, _ = two_island_collection(per_group=2)
+        with pytest.raises(ValueError):
+            kmedoids_rf(trees, 0)
+        with pytest.raises(ValueError):
+            kmedoids_rf(trees, len(trees) + 1)
+        with pytest.raises(CollectionError):
+            kmedoids_rf([], 1)
+
+    def test_precomputed_matrix_used(self):
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        matrix = np.array([[0, 0, 2], [0, 0, 2], [2, 2, 0]], dtype=np.int32)
+        result = kmedoids_rf(trees, 2, matrix=matrix, rng=0)
+        assert result.matrix is not None
+        assert result.labels[0] == result.labels[1] != result.labels[2]
+
+    def test_deterministic_given_seed(self):
+        trees, _ = two_island_collection()
+        a = kmedoids_rf(trees, 2, rng=7)
+        b = kmedoids_rf(trees, 2, rng=7)
+        assert (a.labels == b.labels).all()
+        assert a.medoid_indices == b.medoid_indices
+
+    def test_medoids_are_members(self):
+        trees, _ = two_island_collection()
+        result = kmedoids_rf(trees, 2, rng=4)
+        for cluster, medoid in enumerate(result.medoid_indices):
+            assert result.labels[medoid] == cluster
+
+
+class TestSilhouette:
+    def test_perfect_separation(self):
+        matrix = np.array([
+            [0, 1, 9, 9],
+            [1, 0, 9, 9],
+            [9, 9, 0, 1],
+            [9, 9, 1, 0],
+        ], dtype=float)
+        labels = np.array([0, 0, 1, 1])
+        assert silhouette_score(matrix, labels) > 0.8
+
+    def test_bad_clustering_scores_lower(self):
+        matrix = np.array([
+            [0, 1, 9, 9],
+            [1, 0, 9, 9],
+            [9, 9, 0, 1],
+            [9, 9, 1, 0],
+        ], dtype=float)
+        good = silhouette_score(matrix, np.array([0, 0, 1, 1]))
+        bad = silhouette_score(matrix, np.array([0, 1, 0, 1]))
+        assert good > bad
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 3)), np.array([0, 0, 0]))
+
+    def test_islands_scored_high(self):
+        trees, _ = two_island_collection()
+        result = kmedoids_rf(trees, 2, rng=1)
+        assert silhouette_score(result.matrix, result.labels) > 0.3
+
+
+class TestClusterConsensus:
+    def test_per_cluster_topology(self):
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));\n((A,C),(B,D));")
+        result = kmedoids_rf(trees, 2, rng=0)
+        consensuses = cluster_consensus(trees, result)
+        masks = {frozenset(bipartition_masks(t)) for t in consensuses}
+        assert masks == {frozenset({0b0011}), frozenset({0b0101})}

@@ -1,0 +1,160 @@
+"""Unit + property tests for repro.analysis.completion (greedy RF completion)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.completion import (
+    attach_leaf_on_edge,
+    complete_tree_greedy,
+    project_hash,
+)
+from repro.bipartitions import bipartition_masks
+from repro.core.day import day_rf
+from repro.core.variants import restrict_taxa_transform
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick import parse_newick, trees_from_string
+from repro.trees.manipulate import prune_to_taxa
+from repro.trees.validate import validate_tree
+from repro.util.errors import CollectionError, TaxonError
+
+from tests.conftest import make_collection, make_random_tree
+
+
+class TestAttachDetach:
+    def test_attach_adds_leaf(self):
+        refs = trees_from_string("((A,B),(C,D));")
+        ns = refs[0].taxon_namespace
+        tree = parse_newick("((A,B),C);", ns)
+        target = next(l for l in tree.leaves() if l.taxon.label == "C")
+        attach_leaf_on_edge(tree, target, "D")
+        assert sorted(tree.leaf_labels()) == ["A", "B", "C", "D"]
+        validate_tree(tree)
+        assert bipartition_masks(tree) == {0b0011}
+
+    def test_attach_on_root_rejected(self):
+        refs = trees_from_string("((A,B),(C,D));")
+        ns = refs[0].taxon_namespace
+        tree = parse_newick("((A,B),C);", ns)
+        with pytest.raises(TaxonError):
+            attach_leaf_on_edge(tree, tree.root, "D")
+
+    def test_attach_halves_length(self):
+        ns = trees_from_string("((A,B),(C,D));")[0].taxon_namespace
+        tree = parse_newick("((A:1,B:1):1,C:4);", ns)
+        target = next(l for l in tree.leaves() if l.taxon.label == "C")
+        attach_leaf_on_edge(tree, target, "D")
+        assert target.length == pytest.approx(2.0)
+        assert target.parent.length == pytest.approx(2.0)
+
+
+class TestProjectHash:
+    def test_upper_bounds_transform_rebuild(self, medium_collection):
+        """Projection from the hash overcounts exactly when two splits of
+        one tree collide after restriction (documented caveat); it must
+        never undercount, and the key sets must match."""
+        ns = medium_collection[0].taxon_namespace
+        full = ns.full_mask()
+        keep = ns.mask_of(ns.labels[:10])
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        projected = project_hash(bfh, full, keep)
+        rebuilt = BipartitionFrequencyHash.from_trees(
+            medium_collection, transform=restrict_taxa_transform(keep))
+        assert set(projected.counts) == set(rebuilt.counts)
+        for mask, freq in rebuilt.counts.items():
+            assert projected.counts[mask] >= freq
+        assert projected.total >= rebuilt.total
+        assert projected.n_trees == rebuilt.n_trees
+
+    def test_identity_projection_exact(self, medium_collection):
+        ns = medium_collection[0].taxon_namespace
+        full = ns.full_mask()
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        projected = project_hash(bfh, full, full)
+        assert projected.counts == bfh.counts
+        assert projected.total == bfh.total
+
+
+class TestCompletion:
+    def test_single_missing_recovers_reference(self):
+        refs = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        ns = refs[0].taxon_namespace
+        partial = parse_newick("((A,B),C);", ns)
+        bfh = BipartitionFrequencyHash.from_trees(refs)
+        completed, score = complete_tree_greedy(partial, bfh)
+        assert score == 0.0
+        assert day_rf(completed, refs[0]) == 0
+
+    def test_partial_not_mutated(self):
+        refs = trees_from_string("((A,B),(C,D));")
+        ns = refs[0].taxon_namespace
+        partial = parse_newick("((A,B),C);", ns)
+        bfh = BipartitionFrequencyHash.from_trees(refs)
+        complete_tree_greedy(partial, bfh)
+        assert partial.n_leaves == 3
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(8, 14), st.integers(0, 500), st.integers(1, 3))
+    def test_recovers_planted_placements(self, n, seed, n_missing):
+        """Prune taxa from the collection's central tree and complete it
+        back: against a tight collection the greedy completion must
+        recover a tree close to the original."""
+        trees = make_collection(n, 12, seed=seed, pop_scale=0.01)
+        ns = trees[0].taxon_namespace
+        base = trees[0]
+        missing = [ns[i].label for i in range(1, 1 + n_missing)]
+        keep = [label for label in ns.labels if label not in missing]
+        partial = prune_to_taxa(base.copy(), keep)
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        completed, score = complete_tree_greedy(partial, bfh)
+        assert sorted(completed.leaf_labels()) == sorted(ns.labels)
+        # Score must match the direct hash evaluation of the result.
+        assert score == pytest.approx(
+            bfh.average_rf(bipartition_masks(completed)))
+        # Near-identical collection: completion should land at (or very
+        # near) the collection's own average level.
+        base_score = bfh.average_rf(bipartition_masks(base))
+        assert score <= base_score + 2 * n_missing
+
+    def test_explicit_missing_labels_validated(self):
+        refs = trees_from_string("((A,B),(C,D));")
+        ns = refs[0].taxon_namespace
+        partial = parse_newick("((A,B),C);", ns)
+        bfh = BipartitionFrequencyHash.from_trees(refs)
+        with pytest.raises(TaxonError):
+            complete_tree_greedy(partial, bfh, missing_labels=["Z"])
+        with pytest.raises(TaxonError):
+            complete_tree_greedy(partial, bfh, missing_labels=["A"])
+
+    def test_nothing_missing_is_identity(self):
+        refs = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        bfh = BipartitionFrequencyHash.from_trees(refs)
+        completed, score = complete_tree_greedy(refs[0], bfh)
+        assert day_rf(completed, refs[0]) == 0
+        assert score == 1.0
+
+    def test_empty_hash(self):
+        refs = trees_from_string("((A,B),(C,D));")
+        with pytest.raises(CollectionError):
+            complete_tree_greedy(refs[0], BipartitionFrequencyHash())
+
+    def test_completion_beats_random_placement(self):
+        """Greedy choice must be at least as good as every alternative
+        single placement (optimality of one greedy step)."""
+        trees = make_collection(10, 15, seed=77, pop_scale=0.3)
+        ns = trees[0].taxon_namespace
+        base = trees[0]
+        label = ns[2].label
+        keep = [l for l in ns.labels if l != label]
+        partial = prune_to_taxa(base.copy(), keep)
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        _completed, best = complete_tree_greedy(partial, bfh)
+        # Enumerate all placements by hand.
+        for child in [n for n in partial.preorder() if n.parent is not None]:
+            candidate = partial.copy()
+            # Find the corresponding node in the copy by position.
+            originals = [n for n in partial.preorder() if n.parent is not None]
+            copies = [n for n in candidate.preorder() if n.parent is not None]
+            target = copies[originals.index(child)]
+            attach_leaf_on_edge(candidate, target, label)
+            assert best <= bfh.average_rf(bipartition_masks(candidate)) + 1e-9

@@ -1,0 +1,142 @@
+"""Unit tests for repro.analysis.convergence and BFH removal."""
+
+import pytest
+
+from repro.analysis.convergence import SlidingWindowBFH, asdsf, split_frequency_differences
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick import trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_collection
+
+
+class TestRemoveTree:
+    def test_add_remove_roundtrip(self, medium_collection):
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        snapshot = dict(bfh.counts)
+        extra = medium_collection[0]
+        bfh.add_tree(extra)
+        bfh.remove_tree(extra)
+        assert bfh.counts == snapshot
+        assert bfh.n_trees == len(medium_collection)
+
+    def test_remove_to_empty(self):
+        trees = trees_from_string("((A,B),(C,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        bfh.remove_tree(trees[0])
+        assert bfh.n_trees == 0
+        assert bfh.total == 0
+        assert len(bfh) == 0
+
+    def test_remove_never_added_detected(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees[:1])
+        with pytest.raises(CollectionError):
+            bfh.remove_tree(trees[1])
+
+    def test_remove_from_empty(self):
+        trees = trees_from_string("((A,B),(C,D));")
+        with pytest.raises(CollectionError):
+            BipartitionFrequencyHash().remove_tree(trees[0])
+
+
+class TestAsdsf:
+    def test_identical_runs_zero(self, medium_collection):
+        assert asdsf([medium_collection, list(medium_collection)]) == 0.0
+
+    def test_disjoint_runs_half(self):
+        a = trees_from_string("((A,B),(C,D));")
+        ns = a[0].taxon_namespace
+        b = trees_from_string("((A,C),(B,D));", ns)
+        # Two splits, each support (1, 0): population sd = 0.5 each.
+        assert asdsf([a, b]) == pytest.approx(0.5)
+
+    def test_similar_runs_small(self):
+        trees = make_collection(12, 40, seed=42, pop_scale=0.2)
+        a, b = trees[::2], trees[1::2]
+        mixed = asdsf([a, b])
+        assert 0.0 <= mixed < 0.3
+
+    def test_more_runs_supported(self):
+        trees = make_collection(10, 30, seed=43)
+        value = asdsf([trees[:10], trees[10:20], trees[20:]])
+        assert value >= 0.0
+
+    def test_accepts_prebuilt_hashes(self, medium_collection):
+        h1 = BipartitionFrequencyHash.from_trees(medium_collection[:15])
+        h2 = BipartitionFrequencyHash.from_trees(medium_collection[15:])
+        assert asdsf([h1, h2]) == pytest.approx(
+            asdsf([medium_collection[:15], medium_collection[15:]]))
+
+    def test_requires_two_runs(self, medium_collection):
+        with pytest.raises(CollectionError):
+            asdsf([medium_collection])
+
+    def test_min_support_filters(self):
+        trees = make_collection(12, 20, seed=44, pop_scale=2.0)
+        strict = asdsf([trees[:10], trees[10:]], min_support=0.5)
+        loose = asdsf([trees[:10], trees[10:]], min_support=0.0)
+        assert strict >= 0.0 and loose >= 0.0
+
+
+class TestFrequencyTable:
+    def test_table_structure(self):
+        a = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        ns = a[0].taxon_namespace
+        b = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));", ns)
+        table = split_frequency_differences([
+            BipartitionFrequencyHash.from_trees(a),
+            BipartitionFrequencyHash.from_trees(b),
+        ])
+        assert table[0b0011] == [1.0, 0.5]
+        assert table[0b0101] == [0.0, 0.5]
+
+    def test_empty_run_rejected(self):
+        a = trees_from_string("((A,B),(C,D));")
+        with pytest.raises(CollectionError):
+            split_frequency_differences([
+                BipartitionFrequencyHash.from_trees(a),
+                BipartitionFrequencyHash(),
+            ])
+
+
+class TestSlidingWindow:
+    def test_window_contents(self):
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        window = SlidingWindowBFH(2)
+        evicted = [window.push(t) for t in trees]
+        assert evicted[:2] == [None, None]
+        assert evicted[2] is trees[0]
+        assert window.bfh.n_trees == 2
+        assert window.bfh.frequency(0b0011) == 1
+        assert window.full
+
+    def test_matches_batch_hash(self, medium_collection):
+        width = 10
+        window = SlidingWindowBFH(width)
+        for tree in medium_collection:
+            window.push(tree)
+        batch = BipartitionFrequencyHash.from_trees(medium_collection[-width:])
+        assert window.bfh.counts == batch.counts
+        assert window.bfh.total == batch.total
+
+    def test_burn_in_scan_converges(self):
+        """A chain that starts far from the posterior and settles: the
+        windowed ASDSF against the stationary sample must shrink."""
+        stationary = make_collection(12, 30, seed=45, pop_scale=0.05)
+        ns = stationary[0].taxon_namespace
+        burn_in = make_collection(12, 10, seed=99, pop_scale=5.0,
+                                  namespace=ns)
+        reference = BipartitionFrequencyHash.from_trees(stationary)
+        window = SlidingWindowBFH(10)
+        scores = []
+        for tree in burn_in + stationary:
+            window.push(tree)
+            if window.full:
+                scores.append(window.scan_asdsf(reference))
+        assert scores[-1] < scores[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlidingWindowBFH(0)

@@ -1,0 +1,95 @@
+"""Unit + property tests for repro.analysis.diversity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.analysis.diversity import (
+    diversity_report,
+    mean_pairwise_rf,
+    sum_pairwise_rf,
+    support_spectrum,
+)
+from repro.core.matrix import rf_matrix
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick import trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import collection_shapes, make_collection
+
+
+class TestPairwiseSums:
+    def test_known_answer(self):
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert sum_pairwise_rf(bfh) == 4
+        assert mean_pairwise_rf(bfh) == pytest.approx(4 / 3)
+
+    @settings(max_examples=25, deadline=None)
+    @given(collection_shapes)
+    def test_matches_matrix(self, shape):
+        """The frequency identity must equal the explicit matrix sums."""
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        matrix = rf_matrix(trees, method="naive")
+        expected_sum = int(matrix.sum() // 2)
+        assert sum_pairwise_rf(bfh) == expected_sum
+        if r > 1:
+            assert mean_pairwise_rf(bfh) == pytest.approx(
+                expected_sum / (r * (r - 1) / 2))
+
+    def test_single_tree(self):
+        trees = make_collection(8, 1, seed=1)
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert mean_pairwise_rf(bfh) == 0.0
+        assert sum_pairwise_rf(bfh) == 0
+
+    def test_empty_hash(self):
+        with pytest.raises(CollectionError):
+            sum_pairwise_rf(BipartitionFrequencyHash())
+
+
+class TestSpectrum:
+    def test_bins_sum_to_unique_splits(self, medium_collection):
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        spectrum = support_spectrum(bfh, bins=8)
+        assert sum(spectrum) == len(bfh)
+        assert len(spectrum) == 8
+
+    def test_identical_collection_all_top_bin(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        spectrum = support_spectrum(bfh, bins=4)
+        assert spectrum == [0, 0, 0, 1]
+
+    def test_validation(self, medium_collection):
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        with pytest.raises(ValueError):
+            support_spectrum(bfh, bins=0)
+        with pytest.raises(CollectionError):
+            support_spectrum(BipartitionFrequencyHash())
+
+
+class TestReport:
+    def test_fields_consistent(self, medium_collection):
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        report = diversity_report(bfh, n_taxa=16)
+        assert report.n_trees == len(medium_collection)
+        assert report.unique_splits == len(bfh)
+        assert 0.0 <= report.normalized_mean_pairwise_rf <= 1.0
+        assert report.unanimous_splits <= report.majority_splits
+        assert 0.0 < report.mean_support <= 1.0
+
+    def test_concentration_ordering(self):
+        """Tighter collections -> lower mean pairwise RF, more majority splits."""
+        tight = make_collection(16, 20, seed=5, pop_scale=0.05)
+        loose = make_collection(16, 20, seed=5, pop_scale=5.0)
+        tight_report = diversity_report(
+            BipartitionFrequencyHash.from_trees(tight), 16)
+        loose_report = diversity_report(
+            BipartitionFrequencyHash.from_trees(loose), 16)
+        assert tight_report.mean_pairwise_rf < loose_report.mean_pairwise_rf
+        assert tight_report.majority_splits >= loose_report.majority_splits
+        assert tight_report.unique_splits <= loose_report.unique_splits

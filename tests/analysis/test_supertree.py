@@ -1,0 +1,128 @@
+"""Unit + property tests for the greedy RF supertree (§I refs [14-16])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.supertree import greedy_rf_supertree, total_restricted_rf
+from repro.core.day import day_rf
+from repro.newick import parse_newick
+from repro.trees import TaxonNamespace
+from repro.trees.manipulate import prune_to_taxa
+from repro.trees.validate import validate_tree
+from repro.util.errors import CollectionError, TreeStructureError
+
+from tests.conftest import make_random_tree
+
+
+class TestObjective:
+    def test_zero_for_restrictions(self):
+        full = make_random_tree(12, seed=1)
+        ns = full.taxon_namespace
+        sources = [
+            prune_to_taxa(full.copy(), [ns[i].label for i in range(8)]),
+            prune_to_taxa(full.copy(), [ns[i].label for i in range(4, 12)]),
+        ]
+        assert total_restricted_rf(full, sources) == 0
+
+    def test_counts_disagreement(self):
+        ns = TaxonNamespace(["A", "B", "C", "D"])
+        supertree = parse_newick("((A,B),(C,D));", ns)
+        conflicting = parse_newick("((A,C),(B,D));", ns)
+        assert total_restricted_rf(supertree, [conflicting]) == 2
+
+    def test_fixed_taxa_reduces_to_rf_sum(self):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(10, seed=2, namespace=ns)
+        t2 = make_random_tree(10, seed=3, namespace=ns)
+        t3 = make_random_tree(10, seed=4, namespace=ns)
+        assert total_restricted_rf(t1, [t2, t3]) == \
+            day_rf(t1, t2) + day_rf(t1, t3)
+
+
+class TestGreedySupertree:
+    def test_doc_example(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        s1 = parse_newick("((A,B),(C,D));", ns)
+        s2 = parse_newick("((A,B),(D,E));", ns)
+        st_tree = greedy_rf_supertree([s1, s2], ns)
+        assert sorted(st_tree.leaf_labels()) == ["A", "B", "C", "D", "E"]
+        assert total_restricted_rf(st_tree, [s1, s2]) == 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(8, 14), st.integers(0, 300))
+    def test_near_optimal_on_compatible_sources(self, n, seed):
+        """Sources that are restrictions of one tree admit a perfect
+        supertree (score 0).  The greedy+SPR heuristic is not guaranteed
+        to escape every local optimum (the problem is NP-hard), but it
+        must land very close — and always produce a valid full-coverage
+        tree."""
+        full = make_random_tree(n, seed=seed)
+        ns = full.taxon_namespace
+        labels = ns.labels
+        k = n * 2 // 3
+        sources = [
+            prune_to_taxa(full.copy(), labels[:k]),
+            prune_to_taxa(full.copy(), labels[n - k:]),
+            prune_to_taxa(full.copy(), labels[::2] + labels[1:2]),
+        ]
+        st_tree = greedy_rf_supertree(sources, ns)
+        validate_tree(st_tree)
+        assert sorted(st_tree.leaf_labels()) == sorted(labels)
+        # The optimum is 0; stay within a couple of split-moves of it.
+        assert total_restricted_rf(st_tree, sources) <= 4
+
+    @pytest.mark.parametrize("n,seed", [(8, 0), (8, 58), (10, 3), (12, 21),
+                                        (12, 5), (14, 2)])
+    def test_exact_recovery_cases(self, n, seed):
+        """Deterministic instances where the heuristic does reach 0."""
+        full = make_random_tree(n, seed=seed)
+        ns = full.taxon_namespace
+        labels = ns.labels
+        k = n * 2 // 3
+        sources = [
+            prune_to_taxa(full.copy(), labels[:k]),
+            prune_to_taxa(full.copy(), labels[n - k:]),
+            prune_to_taxa(full.copy(), labels[::2] + labels[1:2]),
+        ]
+        st_tree = greedy_rf_supertree(sources, ns)
+        assert total_restricted_rf(st_tree, sources) == 0
+
+    def test_union_covers_all_taxa(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E", "F", "G"])
+        s1 = parse_newick("((A,B),(C,D));", ns)
+        s2 = parse_newick("((E,F),(G,A));", ns)
+        st_tree = greedy_rf_supertree([s1, s2], ns)
+        assert sorted(st_tree.leaf_labels()) == list("ABCDEFG")
+
+    def test_conflicting_sources_still_build(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        s1 = parse_newick("((A,B),(C,D));", ns)
+        s2 = parse_newick("((A,C),(B,D));", ns)
+        st_tree = greedy_rf_supertree([s1, s2], ns)
+        validate_tree(st_tree)
+        # Best achievable against two maximally conflicting quartets: the
+        # supertree can satisfy one of them.
+        assert total_restricted_rf(st_tree, [s1, s2]) <= 3
+
+    def test_no_sources(self):
+        with pytest.raises(CollectionError):
+            greedy_rf_supertree([])
+
+    def test_namespace_mismatch(self):
+        s1 = parse_newick("((A,B),(C,D));")
+        s2 = parse_newick("((A,B),(C,D));")
+        with pytest.raises(CollectionError):
+            greedy_rf_supertree([s1, s2])
+
+    def test_too_few_union_taxa(self):
+        ns = TaxonNamespace(["A", "B", "C"])
+        s1 = parse_newick("(A,B,C);", ns)
+        with pytest.raises(TreeStructureError):
+            greedy_rf_supertree([s1], ns)
+
+    def test_single_source_is_reproduced(self):
+        source = make_random_tree(10, seed=5)
+        st_tree = greedy_rf_supertree([source])
+        assert total_restricted_rf(st_tree, [source]) == 0
+        assert day_rf(st_tree, source) == 0

@@ -1,0 +1,74 @@
+"""Unit tests for repro.analysis.support."""
+
+import pytest
+
+from repro.analysis.support import annotate_support, split_supports
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick import trees_from_string, write_newick
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_collection
+
+
+@pytest.fixture
+def camp_setup():
+    trees = trees_from_string(
+        "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+    return trees, BipartitionFrequencyHash.from_trees(trees)
+
+
+class TestSplitSupports:
+    def test_values(self, camp_setup):
+        trees, bfh = camp_setup
+        assert split_supports(trees[0], bfh) == {0b0011: pytest.approx(2 / 3)}
+        assert split_supports(trees[2], bfh) == {0b0101: pytest.approx(1 / 3)}
+
+    def test_unseen_split_zero(self, camp_setup):
+        trees, bfh = camp_setup
+        ns = trees[0].taxon_namespace
+        novel = trees_from_string("((A,D),(B,C));", ns)[0]
+        assert split_supports(novel, bfh) == {0b1001: 0.0}
+
+    def test_empty_hash(self, camp_setup):
+        trees, _ = camp_setup
+        with pytest.raises(CollectionError):
+            split_supports(trees[0], BipartitionFrequencyHash())
+
+
+class TestAnnotate:
+    def test_percent_labels(self, camp_setup):
+        trees, bfh = camp_setup
+        out = write_newick(annotate_support(trees[0].copy(), bfh))
+        assert out == "((A,B)67,(C,D)67);"
+
+    def test_fraction_labels(self, camp_setup):
+        trees, bfh = camp_setup
+        annotated = annotate_support(trees[0].copy(), bfh, percent=False,
+                                     decimals=2)
+        labels = {n.label for n in annotated.internal_nodes() if n.label}
+        assert labels == {"0.67"}
+
+    def test_leaves_untouched(self, camp_setup):
+        trees, bfh = camp_setup
+        annotated = annotate_support(trees[0].copy(), bfh)
+        assert sorted(annotated.leaf_labels()) == ["A", "B", "C", "D"]
+
+    def test_consensus_support_above_half(self, medium_collection):
+        from repro.core.consensus import consensus_tree
+
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        ns = medium_collection[0].taxon_namespace
+        ctree = annotate_support(consensus_tree(bfh, ns), bfh)
+        for node in ctree.internal_nodes():
+            if node.label:
+                assert float(node.label) > 50.0
+
+    def test_returns_same_tree(self, camp_setup):
+        trees, bfh = camp_setup
+        tree = trees[0].copy()
+        assert annotate_support(tree, bfh) is tree
+
+    def test_empty_hash(self, camp_setup):
+        trees, _ = camp_setup
+        with pytest.raises(CollectionError):
+            annotate_support(trees[0].copy(), BipartitionFrequencyHash())

@@ -1,0 +1,102 @@
+"""Unit + property tests for repro.analysis.topology."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.topology import (
+    credible_set,
+    topology_frequencies,
+    topology_key,
+    unique_topology_count,
+)
+from repro.core.day import day_rf
+from repro.newick import trees_from_string
+from repro.trees import TaxonNamespace
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_collection, make_random_tree
+
+
+class TestTopologyKey:
+    def test_rotation_invariant(self):
+        trees = trees_from_string("((A,B),(C,D));\n((D,C),(B,A));")
+        assert topology_key(trees[0]) == topology_key(trees[1])
+
+    def test_rooting_invariant(self):
+        ns = TaxonNamespace()
+        trees = trees_from_string(
+            "(((A,B),C),(D,E));\n((A,B),C,(D,E));", ns)
+        assert topology_key(trees[0]) == topology_key(trees[1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(5, 14), st.integers(0, 300), st.integers(0, 300))
+    def test_key_equality_iff_rf_zero(self, n, s1, s2):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(n, seed=s1, namespace=ns)
+        t2 = make_random_tree(n, seed=s2, namespace=ns)
+        assert (topology_key(t1) == topology_key(t2)) == (day_rf(t1, t2) == 0)
+
+
+class TestFrequencies:
+    def test_counts_and_order(self):
+        trees = trees_from_string("\n".join(
+            ["((A,B),(C,D));"] * 3 + ["((A,C),(B,D));"] * 2 + ["((A,D),(B,C));"]))
+        freqs = topology_frequencies(trees)
+        assert [count for _k, count, _t in freqs] == [3, 2, 1]
+        assert freqs[0][2] is trees[0]  # exemplar = first seen
+
+    def test_tie_broken_by_first_seen(self):
+        trees = trees_from_string(
+            "((A,C),(B,D));\n((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        freqs = topology_frequencies(trees)
+        assert freqs[0][2] is trees[0] or freqs[0][2] is trees[1]
+        # Equal counts: the first-seen topology (index 0) leads.
+        assert freqs[0][2] is trees[0]
+
+    def test_empty(self):
+        with pytest.raises(CollectionError):
+            topology_frequencies([])
+
+    def test_unique_count(self, medium_collection):
+        count = unique_topology_count(medium_collection)
+        assert 1 <= count <= len(medium_collection)
+
+    def test_total_mass(self, medium_collection):
+        freqs = topology_frequencies(medium_collection)
+        assert sum(c for _k, c, _t in freqs) == len(medium_collection)
+
+
+class TestCredibleSet:
+    def test_doc_example(self):
+        trees = trees_from_string("\n".join(
+            ["((A,B),(C,D));"] * 8 + ["((A,C),(B,D));"] * 2))
+        chosen = credible_set(trees, 0.75)
+        assert len(chosen) == 1
+        assert chosen[0][1] == pytest.approx(0.8)
+
+    def test_full_probability_includes_everything_needed(self):
+        trees = trees_from_string("\n".join(
+            ["((A,B),(C,D));"] * 5 + ["((A,C),(B,D));"] * 4 + ["((A,D),(B,C));"]))
+        chosen = credible_set(trees, 1.0)
+        assert len(chosen) == 3
+        assert sum(f for _t, f in chosen) == pytest.approx(1.0)
+
+    def test_mass_threshold_met_minimally(self, medium_collection):
+        chosen = credible_set(medium_collection, 0.5)
+        mass = sum(f for _t, f in chosen)
+        assert mass >= 0.5 - 1e-9
+        # Minimality: dropping the last entry must fall below the target.
+        if len(chosen) > 1:
+            assert mass - chosen[-1][1] < 0.5
+
+    def test_validation(self, medium_collection):
+        with pytest.raises(ValueError):
+            credible_set(medium_collection, 0.0)
+        with pytest.raises(ValueError):
+            credible_set(medium_collection, 1.5)
+
+    def test_concentrated_posterior_small_set(self):
+        tight = make_collection(10, 30, seed=8, pop_scale=0.01)
+        loose = make_collection(10, 30, seed=8, pop_scale=5.0)
+        assert len(credible_set(tight, 0.95)) <= len(credible_set(loose, 0.95))

@@ -1,0 +1,77 @@
+"""Unit tests for repro.bipartitions.build (splits -> tree reconstruction)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bipartitions.build import tree_from_bipartitions
+from repro.bipartitions.extract import bipartition_masks
+from repro.trees import TaxonNamespace
+from repro.util.errors import BipartitionError
+
+from tests.conftest import make_random_tree, tree_shapes
+
+
+class TestBasics:
+    def test_single_split(self, quartet_namespace):
+        t = tree_from_bipartitions({0b0011}, quartet_namespace)
+        assert bipartition_masks(t) == {0b0011}
+        assert sorted(t.leaf_labels()) == ["A", "B", "C", "D"]
+
+    def test_empty_split_set_gives_star(self, quartet_namespace):
+        t = tree_from_bipartitions(set(), quartet_namespace)
+        assert bipartition_masks(t) == set()
+        assert t.n_leaves == 4
+
+    def test_trivial_splits_ignored(self, quartet_namespace):
+        t = tree_from_bipartitions({0b0001, 0b0011}, quartet_namespace)
+        assert bipartition_masks(t) == {0b0011}
+
+    def test_unnormalized_input_accepted(self, quartet_namespace):
+        t = tree_from_bipartitions({0b1100}, quartet_namespace)  # complement form
+        assert bipartition_masks(t) == {0b0011}
+
+    def test_incompatible_raises(self, quartet_namespace):
+        with pytest.raises(BipartitionError):
+            tree_from_bipartitions({0b0011, 0b0101}, quartet_namespace)
+
+    def test_incompatible_unchecked_when_disabled(self, quartet_namespace):
+        # validate=False skips the check (caller's contract); we only
+        # assert it doesn't raise the compatibility error.
+        tree_from_bipartitions({0b0011}, quartet_namespace, validate=False)
+
+    def test_too_few_taxa(self):
+        ns = TaxonNamespace(["A", "B"])
+        with pytest.raises(BipartitionError):
+            tree_from_bipartitions(set(), ns)
+
+
+class TestRoundTrip:
+    """extract(build(S)) == S — the inverse property (binary and partial)."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree_shapes)
+    def test_full_roundtrip(self, shape):
+        n, seed = shape
+        original = make_random_tree(n, seed=seed)
+        masks = bipartition_masks(original)
+        rebuilt = tree_from_bipartitions(masks, original.taxon_namespace)
+        assert bipartition_masks(rebuilt) == masks
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_shapes)
+    def test_partial_split_set_roundtrip(self, shape):
+        """Any subset of one tree's splits is compatible and rebuildable."""
+        n, seed = shape
+        original = make_random_tree(n, seed=seed)
+        masks = sorted(bipartition_masks(original))
+        subset = set(masks[::2])
+        rebuilt = tree_from_bipartitions(subset, original.taxon_namespace)
+        assert bipartition_masks(rebuilt) == subset
+
+    def test_rebuilt_tree_is_unrooted_shape(self):
+        original = make_random_tree(10, seed=5)
+        rebuilt = tree_from_bipartitions(bipartition_masks(original),
+                                         original.taxon_namespace)
+        # Fully resolved split set => binary unrooted tree.
+        assert rebuilt.is_binary()
+        assert len(rebuilt.root.children) >= 3

@@ -1,0 +1,154 @@
+"""Unit tests for repro.bipartitions.encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartitions.encoding import (
+    Bipartition,
+    complement,
+    is_trivial,
+    mask_to_string,
+    normalize_mask,
+    project_mask,
+    side_sizes,
+)
+from repro.trees import TaxonNamespace
+from repro.util.errors import BipartitionError
+
+FULL4 = 0b1111
+
+
+class TestNormalizeMask:
+    def test_keeps_anchor_side(self):
+        assert normalize_mask(0b0011, FULL4) == 0b0011
+
+    def test_flips_complement(self):
+        assert normalize_mask(0b1100, FULL4) == 0b0011
+
+    def test_pair_maps_to_same(self):
+        for mask in range(1, FULL4):
+            assert normalize_mask(mask, FULL4) == normalize_mask(mask ^ FULL4, FULL4)
+
+    def test_partial_leafset_anchor(self):
+        # Leaf set {B, C, D} (bits 1..3): anchor is bit 1.
+        leafset = 0b1110
+        assert normalize_mask(0b0110, leafset) == 0b0110
+        assert normalize_mask(0b1000, leafset) == 0b0110
+
+    def test_rejects_out_of_range_bits(self):
+        with pytest.raises(BipartitionError):
+            normalize_mask(0b10000, FULL4)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(4, 40), st.data())
+    def test_idempotent(self, n, data):
+        full = (1 << n) - 1
+        mask = data.draw(st.integers(0, full))
+        once = normalize_mask(mask, full)
+        assert normalize_mask(once, full) == once
+        assert once & 1  # anchor bit set
+
+
+class TestSideHelpers:
+    def test_complement(self):
+        assert complement(0b0011, FULL4) == 0b1100
+
+    def test_side_sizes(self):
+        assert side_sizes(0b0111, FULL4) == (3, 1)
+
+    def test_is_trivial_singleton(self):
+        assert is_trivial(0b0001, FULL4)
+        assert is_trivial(0b1110, FULL4)
+
+    def test_is_trivial_empty_and_full(self):
+        assert is_trivial(0, FULL4)
+        assert is_trivial(FULL4, FULL4)
+
+    def test_nontrivial(self):
+        assert not is_trivial(0b0011, FULL4)
+
+    def test_mask_to_string_matches_paper_orientation(self):
+        # §II-B: species A is the rightmost bit.
+        assert mask_to_string(0b0001, 4) == "0001"
+        assert mask_to_string(0b0011, 4) == "0011"
+
+
+class TestProjectMask:
+    FULL8 = 0b11111111
+
+    def test_projection_survives(self):
+        # Split {0,1,2,3} vs {4..7}; keep {0,1,4,5} -> {0,1} vs {4,5}.
+        projected = project_mask(0b00001111, self.FULL8, 0b00110011)
+        assert projected == normalize_mask(0b00000011, 0b00110011)
+
+    def test_projection_trivial_dropped(self):
+        # Keep {0,4,5,6}: split {0,1,2,3} restricts to {0} vs {4,5,6} — trivial.
+        assert project_mask(0b00001111, self.FULL8, 0b01110001) is None
+
+    def test_too_few_shared_taxa(self):
+        assert project_mask(0b0011, FULL4, 0b0111) is None  # 3 shared taxa
+
+    def test_identity_projection(self):
+        assert project_mask(0b0011, FULL4, FULL4) == 0b0011
+
+
+class TestBipartitionObject:
+    def test_side_labels_and_str(self, quartet_namespace):
+        b = Bipartition(0b0011, FULL4, quartet_namespace)
+        assert b.side_labels() == (["A", "B"], ["C", "D"])
+        assert str(b) == "AB|CD"
+
+    def test_normalization_in_constructor(self, quartet_namespace):
+        b = Bipartition(0b1100, FULL4, quartet_namespace)
+        assert b.mask == 0b0011
+
+    def test_equality_and_hash(self, quartet_namespace):
+        a = Bipartition(0b0011, FULL4, quartet_namespace)
+        b = Bipartition(0b1100, FULL4, quartet_namespace)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_unequal_leafsets_differ(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        x = Bipartition(0b00011, 0b11111, ns)
+        y = Bipartition(0b0011, 0b1111, ns)
+        assert x != y
+
+    def test_rejects_degenerate(self, quartet_namespace):
+        with pytest.raises(BipartitionError):
+            Bipartition(0, FULL4, quartet_namespace)
+        with pytest.raises(BipartitionError):
+            Bipartition(FULL4, FULL4, quartet_namespace)
+
+    def test_trivial_flag(self, quartet_namespace):
+        assert Bipartition(0b0001, FULL4, quartet_namespace).is_trivial
+        assert not Bipartition(0b0011, FULL4, quartet_namespace).is_trivial
+
+    def test_smaller_side_size(self, quartet_namespace):
+        assert Bipartition(0b0111, FULL4, quartet_namespace).smaller_side_size == 1
+
+    def test_bitstring(self, quartet_namespace):
+        assert Bipartition(0b0011, FULL4, quartet_namespace).bitstring() == "0011"
+
+    def test_length_carried(self, quartet_namespace):
+        assert Bipartition(0b0011, FULL4, quartet_namespace, length=1.5).length == 1.5
+
+
+class TestPaperExample:
+    """The worked example of §II-B, bit-for-bit."""
+
+    def test_bipartition_sets(self):
+        from repro.bipartitions.extract import bipartition_masks
+        from repro.newick import parse_newick
+
+        ns = TaxonNamespace(["A", "B", "C", "D"])
+        t = parse_newick("((A,B),(C,D));", ns)
+        t_prime = parse_newick("((D,B),(C,A));", ns)
+        assert bipartition_masks(t, include_trivial=True) == {
+            0b0001, 0b1101, 0b1011, 0b0111, 0b0011
+        }
+        assert bipartition_masks(t_prime, include_trivial=True) == {
+            0b0111, 0b1101, 0b1011, 0b0001, 0b0101
+        }

@@ -1,0 +1,134 @@
+"""Unit tests for repro.bipartitions.extract."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bipartitions.encoding import is_trivial, normalize_mask
+from repro.bipartitions.extract import (
+    bipartition_masks,
+    bipartitions_with_lengths,
+    expected_bipartition_count,
+    subtree_masks,
+    tree_bipartitions,
+)
+from repro.newick import parse_newick
+from repro.trees import TaxonNamespace
+
+from tests.conftest import make_random_tree, tree_shapes
+
+
+class TestSubtreeMasks:
+    def test_root_covers_all(self):
+        t = parse_newick("((A,B),(C,D));")
+        masks = subtree_masks(t)
+        assert masks[id(t.root)] == t.leaf_mask()
+
+    def test_leaf_masks_are_bits(self):
+        t = parse_newick("((A,B),(C,D));")
+        masks = subtree_masks(t)
+        for leaf in t.leaves():
+            assert masks[id(leaf)] == leaf.taxon.bit
+
+    def test_internal_is_or_of_children(self):
+        t = parse_newick("(((A,B),C),(D,E));")
+        masks = subtree_masks(t)
+        for node in t.internal_nodes():
+            expected = 0
+            for child in node.children:
+                expected |= masks[id(child)]
+            assert masks[id(node)] == expected
+
+
+class TestBipartitionMasks:
+    def test_quartet_internal_only(self):
+        t = parse_newick("((A,B),(C,D));")
+        assert bipartition_masks(t) == {0b0011}
+
+    def test_rooted_duplicate_split_deduped(self):
+        # Bifurcating root: both root edges induce AB|CD once.
+        t = parse_newick("((A,B),(C,D));")
+        assert len(bipartition_masks(t, include_trivial=True)) == 5
+
+    def test_unrooted_same_as_rooted(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        rooted = parse_newick("(((A,B),C),(D,E));", ns)
+        unrooted = parse_newick("((A,B),C,(D,E));", ns)
+        assert bipartition_masks(rooted) == bipartition_masks(unrooted)
+
+    def test_star_tree_no_internal_splits(self):
+        t = parse_newick("(A,B,C,D,E);")
+        assert bipartition_masks(t) == set()
+        assert len(bipartition_masks(t, include_trivial=True)) == 5
+
+    def test_counts_match_theory(self):
+        for n, seed in [(5, 1), (8, 2), (16, 3), (30, 4)]:
+            t = make_random_tree(n, seed=seed)
+            assert len(bipartition_masks(t)) == expected_bipartition_count(n)
+            assert len(bipartition_masks(t, include_trivial=True)) == \
+                expected_bipartition_count(n, include_trivial=True)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree_shapes)
+    def test_masks_are_normalized_nontrivial(self, shape):
+        n, seed = shape
+        t = make_random_tree(n, seed=seed)
+        full = t.leaf_mask()
+        for mask in bipartition_masks(t):
+            assert mask == normalize_mask(mask, full)
+            assert not is_trivial(mask, full)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_shapes)
+    def test_binary_count_property(self, shape):
+        n, seed = shape
+        t = make_random_tree(n, seed=seed)
+        assert len(bipartition_masks(t)) == n - 3
+        assert len(bipartition_masks(t, include_trivial=True)) == 2 * n - 3
+
+
+class TestWithLengths:
+    def test_root_edges_summed(self):
+        t = parse_newick("((A:1,B:1):2,(C:1,D:1):3);")
+        weighted = bipartitions_with_lengths(t)
+        assert weighted == {0b0011: pytest.approx(5.0)}
+
+    def test_missing_lengths_default(self):
+        t = parse_newick("((A,B),(C,D));")
+        weighted = bipartitions_with_lengths(t, default_length=0.0)
+        assert weighted == {0b0011: 0.0}
+
+    def test_trivial_lengths_included_on_request(self):
+        t = parse_newick("((A:1,B:2):0.5,(C:3,D:4):0.5);")
+        weighted = bipartitions_with_lengths(t, include_trivial=True)
+        assert len(weighted) == 5
+        # Pendant split of A carries A's branch length.
+        assert weighted[0b0001] == pytest.approx(1.0)
+
+    def test_keys_match_masks(self):
+        t = make_random_tree(12, seed=6)
+        assert set(bipartitions_with_lengths(t)) == bipartition_masks(t)
+
+
+class TestTreeBipartitions:
+    def test_objects_sorted_and_normalized(self):
+        t = make_random_tree(10, seed=7)
+        objs = tree_bipartitions(t)
+        masks = [b.mask for b in objs]
+        assert masks == sorted(masks)
+        assert {b.mask for b in objs} == bipartition_masks(t)
+
+    def test_lengths_attached(self):
+        t = parse_newick("((A:1,B:1):2,(C:1,D:1):3);")
+        (b,) = tree_bipartitions(t)
+        assert b.length == pytest.approx(5.0)
+
+
+class TestExpectedCount:
+    def test_values(self):
+        assert expected_bipartition_count(4) == 1
+        assert expected_bipartition_count(4, include_trivial=True) == 5
+        assert expected_bipartition_count(10) == 7
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            expected_bipartition_count(2)

@@ -1,0 +1,99 @@
+"""Unit tests for repro.bipartitions.setops and .compat."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartitions.compat import (
+    all_pairwise_compatible,
+    are_compatible,
+    is_compatible_with_all,
+)
+from repro.bipartitions.extract import bipartition_masks
+from repro.bipartitions.setops import (
+    left_difference_size,
+    rf_from_shared,
+    shared_count,
+    symmetric_difference_size,
+)
+
+from tests.conftest import make_random_tree, tree_shapes
+
+mask_sets = st.sets(st.integers(1, 1 << 20), max_size=40)
+
+
+class TestSetOps:
+    def test_left_difference(self):
+        assert left_difference_size({1, 2, 3}, {2, 3, 4}) == 1
+        assert left_difference_size(set(), {1}) == 0
+        assert left_difference_size({1}, set()) == 1
+
+    def test_symmetric_difference(self):
+        assert symmetric_difference_size({1, 2}, {2, 3}) == 2
+        assert symmetric_difference_size(set(), set()) == 0
+        assert symmetric_difference_size({1}, {1}) == 0
+
+    def test_shared_count(self):
+        assert shared_count({1, 2, 3}, {3, 4}) == 1
+        assert shared_count(set(), {1}) == 0
+
+    def test_rf_from_shared(self):
+        assert rf_from_shared(5, 5, 4) == 2
+        assert rf_from_shared(3, 7, 0) == 10
+
+    def test_rf_from_shared_validates(self):
+        with pytest.raises(ValueError):
+            rf_from_shared(2, 2, 3)
+
+    @settings(max_examples=100, deadline=None)
+    @given(mask_sets, mask_sets)
+    def test_agree_with_python_sets(self, a, b):
+        assert symmetric_difference_size(a, b) == len(a ^ b)
+        assert left_difference_size(a, b) == len(a - b)
+        assert shared_count(a, b) == len(a & b)
+        assert symmetric_difference_size(a, b) == \
+            left_difference_size(a, b) + left_difference_size(b, a)
+
+    @settings(max_examples=50, deadline=None)
+    @given(mask_sets, mask_sets)
+    def test_rf_identity(self, a, b):
+        assert rf_from_shared(len(a), len(b), shared_count(a, b)) == \
+            symmetric_difference_size(a, b)
+
+
+class TestCompatibility:
+    FULL4 = 0b1111
+
+    def test_nested_compatible(self):
+        assert are_compatible(0b0011, 0b0111, self.FULL4)
+
+    def test_disjoint_compatible(self):
+        full6 = 0b111111
+        assert are_compatible(0b000011, 0b001100 ^ full6, full6) or \
+            are_compatible(0b000011, 0b110011, full6)
+
+    def test_crossing_incompatible(self):
+        assert not are_compatible(0b0011, 0b0101, self.FULL4)
+
+    def test_self_compatible(self):
+        assert are_compatible(0b0011, 0b0011, self.FULL4)
+
+    def test_complement_compatible(self):
+        assert are_compatible(0b0011, 0b1100, self.FULL4)
+
+    def test_is_compatible_with_all(self):
+        assert is_compatible_with_all(0b0011, [0b0111, 0b0011], self.FULL4)
+        assert not is_compatible_with_all(0b0101, [0b0011], self.FULL4)
+        assert is_compatible_with_all(0b0101, [], self.FULL4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_shapes)
+    def test_tree_splits_pairwise_compatible(self, shape):
+        """The defining property: splits of one tree are mutually compatible."""
+        n, seed = shape
+        t = make_random_tree(n, seed=seed)
+        masks = sorted(bipartition_masks(t))
+        assert all_pairwise_compatible(masks, t.leaf_mask())
+
+    def test_all_pairwise_detects_conflict(self):
+        assert not all_pairwise_compatible([0b0011, 0b0101], self.FULL4)

@@ -1,0 +1,106 @@
+"""The paper's central correctness claims, as properties.
+
+§III-C: "The reported RF for all methods were equivalent" — BFHRF's
+tree-vs-hash average must equal the mean of pairwise RF distances, and
+all four implementations (DS, DSMP, HashRF, BFHRF) must agree exactly.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.core.hashrf import hashrf_average_rf
+from repro.core.parallel import dsmp_average_rf
+from repro.core.rf import robinson_foulds
+from repro.core.sequential import sequential_average_rf
+from repro.trees import TaxonNamespace
+
+from tests.conftest import collection_shapes, make_collection, make_random_tree
+
+
+def naive_average(query, reference):
+    """Ground truth: mean of explicit pairwise RF distances."""
+    return [
+        sum(robinson_foulds(q, t) for t in reference) / len(reference)
+        for q in query
+    ]
+
+
+class TestBFHRFTheorem:
+    """avgRF via the frequency hash == mean of pairwise RF (the core theorem)."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(collection_shapes)
+    def test_q_is_r(self, shape):
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        assert bfhrf_average_rf(trees) == pytest.approx(naive_average(trees, trees))
+
+    @settings(max_examples=20, deadline=None)
+    @given(collection_shapes, st.integers(1, 6), st.integers(0, 999))
+    def test_disparate_q_and_r(self, shape, q_size, q_seed):
+        n, r, seed = shape
+        reference = make_collection(n, r, seed=seed)
+        ns = reference[0].taxon_namespace
+        query = [make_random_tree(n, seed=q_seed + i, namespace=ns)
+                 for i in range(q_size)]
+        assert bfhrf_average_rf(query, reference) == pytest.approx(
+            naive_average(query, reference))
+
+    @settings(max_examples=15, deadline=None)
+    @given(collection_shapes)
+    def test_include_trivial_invariant(self, shape):
+        """Over fixed taxa, trivial splits cancel: averages are identical."""
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        plain = bfhrf_average_rf(trees)
+        with_trivial = bfhrf_average_rf(trees, include_trivial=True)
+        assert plain == pytest.approx(with_trivial)
+
+
+class TestAllMethodsAgree:
+    """DS == DSMP == HashRF == BFHRF, exactly (§III-C accuracy)."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(collection_shapes)
+    def test_q_is_r_agreement(self, shape):
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        ds = sequential_average_rf(trees, trees)
+        bfhrf = bfhrf_average_rf(trees)
+        hashrf = hashrf_average_rf(trees)
+        assert bfhrf == pytest.approx(ds)
+        assert hashrf == pytest.approx(ds)
+
+    def test_parallel_methods_agree(self, medium_collection):
+        trees = medium_collection
+        ds = sequential_average_rf(trees, trees)
+        dsmp = dsmp_average_rf(trees, trees, n_workers=2)
+        bfhrf_par = bfhrf_average_rf(trees, n_workers=2)
+        assert dsmp == pytest.approx(ds)
+        assert bfhrf_par == pytest.approx(ds)
+
+    def test_prebuilt_hash_agrees(self, medium_collection):
+        bfh = build_bfh(medium_collection)
+        via_hash = bfhrf_average_rf(medium_collection, bfh=bfh)
+        assert via_hash == pytest.approx(sequential_average_rf(
+            medium_collection, medium_collection))
+
+
+class TestKnownAnswers:
+    def test_all_identical_trees(self):
+        trees = make_collection(10, 1, seed=1) * 5
+        assert bfhrf_average_rf(trees) == [0.0] * 5
+
+    def test_two_camps(self, paper_trees):
+        # One tree of each topology: every tree sees (0 + 2)/2 = 1.
+        assert bfhrf_average_rf(paper_trees) == [1.0, 1.0]
+
+    def test_weighted_camps(self):
+        from repro.newick import trees_from_string
+
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        # Camp 1 (2 trees): (0+0+2)/3; camp 2: (2+2+0)/3.
+        assert bfhrf_average_rf(trees) == pytest.approx([2 / 3, 2 / 3, 4 / 3])

@@ -1,0 +1,136 @@
+"""Unit tests for repro.core.api (high-level entry points)."""
+
+import pytest
+
+from repro.core.api import (
+    as_trees,
+    average_rf,
+    best_query_tree,
+    consensus,
+    distance_matrix,
+    rf_distance,
+)
+from repro.newick import trees_from_string, write_newick_file
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_collection
+
+NEWICK_TEXT = "((A,B),(C,D));\n((A,C),(B,D));"
+
+
+class TestAsTrees:
+    def test_list_passthrough(self, medium_collection):
+        out = as_trees(medium_collection)
+        assert out == list(medium_collection)
+
+    def test_newick_text(self):
+        out = as_trees(NEWICK_TEXT)
+        assert len(out) == 2
+
+    def test_path(self, tmp_path):
+        trees = make_collection(8, 4, seed=61)
+        path = tmp_path / "t.nwk"
+        write_newick_file(path, trees)
+        assert len(as_trees(str(path))) == 4
+        assert len(as_trees(path)) == 4
+
+    def test_bad_type(self):
+        with pytest.raises(TypeError):
+            as_trees(42)  # type: ignore[arg-type]
+
+
+class TestAverageRF:
+    def test_methods_agree_via_api(self):
+        trees = make_collection(10, 12, seed=62)
+        baseline = average_rf(trees, method="ds")
+        for method in ("bfhrf", "dsmp", "hashrf"):
+            assert average_rf(trees, method=method) == pytest.approx(baseline)
+
+    def test_text_input(self):
+        assert average_rf(NEWICK_TEXT) == [1.0, 1.0]
+
+    def test_query_and_reference_share_namespace(self):
+        values = average_rf("((A,B),(C,D));", "((A,C),(B,D));\n((A,B),(C,D));")
+        assert values == [1.0]
+
+    def test_normalized(self):
+        assert average_rf(NEWICK_TEXT, normalized=True) == [0.5, 0.5]
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            average_rf(NEWICK_TEXT, method="psychic")
+
+    def test_hashrf_rejects_disparate_collections(self):
+        with pytest.raises(CollectionError):
+            average_rf("((A,B),(C,D));", "((A,C),(B,D));", method="hashrf")
+
+    def test_hashrf_rejects_transform(self):
+        from repro.core.variants import size_filter_transform
+
+        with pytest.raises(CollectionError):
+            average_rf(NEWICK_TEXT, method="hashrf",
+                       transform=size_filter_transform(min_size=2))
+
+    def test_workers_parameter(self):
+        trees = make_collection(10, 8, seed=63)
+        assert average_rf(trees, method="bfhrf", n_workers=2) == pytest.approx(
+            average_rf(trees, method="bfhrf"))
+
+
+class TestRfDistance:
+    def test_day_and_sets_agree(self, paper_trees):
+        assert rf_distance(*paper_trees, method="day") == 2
+        assert rf_distance(*paper_trees, method="sets") == 2
+
+    def test_normalized(self, paper_trees):
+        assert rf_distance(*paper_trees, method="day", normalized=True) == 1.0
+        assert rf_distance(*paper_trees, method="sets", normalized=True) == 1.0
+
+    def test_unknown_method(self, paper_trees):
+        with pytest.raises(ValueError):
+            rf_distance(*paper_trees, method="guess")
+
+
+class TestDistanceMatrix:
+    def test_from_text(self):
+        m = distance_matrix(NEWICK_TEXT, method="naive")
+        assert m.tolist() == [[0, 2], [2, 0]]
+
+
+class TestBestQueryTree:
+    def test_finds_majority_topology(self):
+        refs = "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));"
+        candidates = "((A,D),(B,C));\n((A,B),(C,D));"
+        index, tree, value = best_query_tree(candidates, refs)
+        assert index == 1
+        assert value == pytest.approx(2 / 3)
+
+    def test_tie_goes_to_lowest_index(self):
+        refs = "((A,B),(C,D));\n((A,C),(B,D));"
+        candidates = "((A,B),(C,D));\n((A,C),(B,D));"
+        index, _, value = best_query_tree(candidates, refs)
+        assert index == 0
+        assert value == 1.0
+
+    def test_q_is_r(self):
+        trees = make_collection(10, 8, seed=64)
+        index, tree, value = best_query_tree(trees)
+        values = average_rf(trees)
+        assert value == min(values)
+        assert index == values.index(min(values))
+
+    def test_empty_query(self):
+        with pytest.raises(CollectionError):
+            best_query_tree([], NEWICK_TEXT)
+
+
+class TestConsensusAPI:
+    def test_majority_from_text(self):
+        tree = consensus("((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        from repro.bipartitions import bipartition_masks
+
+        assert bipartition_masks(tree) == {0b0011}
+
+    def test_empty(self):
+        with pytest.raises(CollectionError):
+            consensus([])

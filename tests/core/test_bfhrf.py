@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.bfhrf."""
+
+import pytest
+
+from repro.core.bfhrf import bfhrf_average_rf, bfhrf_average_rf_stream, build_bfh
+from repro.core.sequential import sequential_average_rf
+from repro.core.variants import size_filter_transform
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick import trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_collection
+
+
+class TestBuildBFH:
+    def test_serial_build(self, medium_collection):
+        bfh = build_bfh(medium_collection)
+        assert bfh.n_trees == len(medium_collection)
+
+    def test_parallel_build_matches_serial(self, medium_collection):
+        serial = build_bfh(medium_collection)
+        parallel = build_bfh(medium_collection, n_workers=2)
+        assert parallel.counts == serial.counts
+        assert parallel.total == serial.total
+        assert parallel.n_trees == serial.n_trees
+
+    def test_parallel_build_with_transform(self, medium_collection):
+        transform = size_filter_transform(min_size=3)
+        serial = build_bfh(medium_collection, transform=transform)
+        parallel = build_bfh(medium_collection, n_workers=2, transform=transform)
+        assert parallel.counts == serial.counts
+
+    def test_streaming_source(self, medium_collection):
+        bfh = build_bfh(iter(medium_collection))
+        assert bfh.n_trees == len(medium_collection)
+
+    def test_empty_raises_serial_and_parallel(self):
+        with pytest.raises(CollectionError):
+            build_bfh([])
+        with pytest.raises(CollectionError):
+            build_bfh([], n_workers=2)
+
+
+class TestAverageRF:
+    def test_q_is_r_default(self, medium_collection):
+        expected = sequential_average_rf(medium_collection, medium_collection)
+        assert bfhrf_average_rf(medium_collection) == pytest.approx(expected)
+
+    def test_parallel_query(self, medium_collection):
+        expected = bfhrf_average_rf(medium_collection)
+        for workers in (2, 4):
+            got = bfhrf_average_rf(medium_collection, n_workers=workers)
+            assert got == pytest.approx(expected)
+
+    def test_parallel_chunking(self, medium_collection):
+        expected = bfhrf_average_rf(medium_collection)
+        got = bfhrf_average_rf(medium_collection, n_workers=2, chunk_size=1)
+        assert got == pytest.approx(expected)
+
+    def test_disparate_collections(self):
+        trees = make_collection(12, 16, seed=71)
+        q, r = trees[:5], trees[5:]
+        expected = sequential_average_rf(q, r)
+        assert bfhrf_average_rf(q, r) == pytest.approx(expected)
+        assert bfhrf_average_rf(q, r, n_workers=2) == pytest.approx(expected)
+
+    def test_empty_query(self, medium_collection):
+        assert bfhrf_average_rf([], medium_collection) == []
+        assert bfhrf_average_rf([], medium_collection, n_workers=2) == []
+
+    def test_prebuilt_bfh_reused(self, medium_collection):
+        bfh = build_bfh(medium_collection)
+        a = bfhrf_average_rf(medium_collection[:3], bfh=bfh)
+        b = bfhrf_average_rf(medium_collection[:3], medium_collection)
+        assert a == pytest.approx(b)
+
+    def test_transform_matches_sequential(self, medium_collection):
+        transform = size_filter_transform(min_size=3)
+        expected = sequential_average_rf(medium_collection, medium_collection,
+                                         transform=transform)
+        got = bfhrf_average_rf(medium_collection, transform=transform)
+        assert got == pytest.approx(expected)
+        got_parallel = bfhrf_average_rf(medium_collection, n_workers=2,
+                                        transform=transform)
+        assert got_parallel == pytest.approx(expected)
+
+    def test_streaming_generator(self, medium_collection):
+        bfh = build_bfh(iter(medium_collection))
+        stream = bfhrf_average_rf_stream(iter(medium_collection), bfh)
+        values = list(stream)
+        assert values == pytest.approx(bfhrf_average_rf(medium_collection))
+
+    def test_unweighted_trees(self):
+        """BFHRF handles topology-only input (the Insect case HashRF choked on)."""
+        trees = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        assert bfhrf_average_rf(trees) == [1.0, 1.0]

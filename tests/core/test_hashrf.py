@@ -1,0 +1,79 @@
+"""Unit tests for repro.core.hashrf."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hashrf import hashrf_average_rf, hashrf_matrix, next_prime
+from repro.core.rf import robinson_foulds
+from repro.newick import trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import collection_shapes, make_collection
+
+
+class TestNextPrime:
+    @pytest.mark.parametrize("n,expected", [
+        (0, 2), (2, 2), (3, 3), (4, 5), (10, 11), (13, 13), (100, 101), (7919, 7919),
+    ])
+    def test_values(self, n, expected):
+        assert next_prime(n) == expected
+
+
+class TestExactMatrix:
+    def test_doc_example(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        assert hashrf_matrix(trees).tolist() == [[0, 2], [2, 0]]
+
+    def test_matrix_properties(self, medium_collection):
+        m = hashrf_matrix(medium_collection)
+        assert m.shape == (len(medium_collection),) * 2
+        assert (m == m.T).all()
+        assert (np.diag(m) == 0).all()
+        assert (m >= 0).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(collection_shapes)
+    def test_matches_pairwise_rf(self, shape):
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        m = hashrf_matrix(trees)
+        for i in range(r):
+            for j in range(r):
+                assert m[i, j] == robinson_foulds(trees[i], trees[j])
+
+    def test_empty_raises(self):
+        with pytest.raises(CollectionError):
+            hashrf_matrix([])
+
+    def test_single_tree(self, medium_collection):
+        assert hashrf_matrix(medium_collection[:1]).tolist() == [[0]]
+
+
+class TestAverage:
+    def test_average_is_row_mean(self, medium_collection):
+        m = hashrf_matrix(medium_collection)
+        expected = (m.sum(axis=1) / m.shape[0]).tolist()
+        assert hashrf_average_rf(medium_collection) == pytest.approx(expected)
+
+
+class TestLossyKeys:
+    def test_wide_lossy_keys_exact(self, medium_collection):
+        exact = hashrf_matrix(medium_collection, exact_keys=True)
+        lossy = hashrf_matrix(medium_collection, exact_keys=False,
+                              m2=1 << 48, rng=0)
+        assert (exact == lossy).all()
+
+    def test_narrow_keys_introduce_errors(self):
+        trees = make_collection(16, 40, seed=91)
+        exact = hashrf_matrix(trees, exact_keys=True)
+        lossy = hashrf_matrix(trees, exact_keys=False, m2=2, rng=0)
+        # With a 1-bit identifier, collisions must corrupt some distances,
+        # always by *underestimating* (splits conflated = spurious sharing).
+        assert (lossy <= exact).all()
+        assert (lossy < exact).any()
+
+    def test_lossy_deterministic_in_seed(self, medium_collection):
+        a = hashrf_matrix(medium_collection, exact_keys=False, m2=16, rng=7)
+        b = hashrf_matrix(medium_collection, exact_keys=False, m2=16, rng=7)
+        assert (a == b).all()

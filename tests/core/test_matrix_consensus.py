@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.matrix and repro.core.consensus."""
+
+import numpy as np
+import pytest
+
+from repro.bipartitions import bipartition_masks
+from repro.core.consensus import consensus_splits, consensus_tree
+from repro.core.matrix import average_from_matrix, normalize_matrix, rf_matrix
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick import trees_from_string
+from repro.simulation import perturbed_collection, yule_tree
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_collection
+
+
+class TestMatrixEngines:
+    def test_three_engines_agree(self):
+        trees = make_collection(12, 10, seed=21)
+        hash_m = rf_matrix(trees, method="hashrf")
+        naive_m = rf_matrix(trees, method="naive")
+        day_m = rf_matrix(trees, method="day")
+        assert (hash_m == naive_m).all()
+        assert (hash_m == day_m).all()
+
+    def test_unknown_method(self, medium_collection):
+        with pytest.raises(ValueError):
+            rf_matrix(medium_collection, method="quantum")
+
+    def test_empty_collection(self):
+        with pytest.raises(CollectionError):
+            rf_matrix([], method="naive")
+
+    def test_average_from_matrix(self):
+        m = np.array([[0, 2], [2, 0]])
+        assert average_from_matrix(m) == [1.0, 1.0]
+
+    def test_average_requires_square(self):
+        with pytest.raises(ValueError):
+            average_from_matrix(np.zeros((2, 3)))
+
+    def test_normalize_matrix(self):
+        m = np.array([[0, 2], [2, 0]])
+        out = normalize_matrix(m, 4)  # max RF = 2
+        assert out.tolist() == [[0.0, 1.0], [1.0, 0.0]]
+
+    def test_normalize_matrix_degenerate_n(self):
+        out = normalize_matrix(np.zeros((2, 2)), 3)
+        assert (out == 0).all()
+
+
+class TestConsensusSplits:
+    @pytest.fixture
+    def camp_trees(self):
+        return trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+
+    def test_majority(self, camp_trees):
+        bfh = BipartitionFrequencyHash.from_trees(camp_trees)
+        ns = camp_trees[0].taxon_namespace
+        assert consensus_splits(bfh, ns, method="majority") == [0b0011]
+
+    def test_strict_empty_when_conflict(self, camp_trees):
+        bfh = BipartitionFrequencyHash.from_trees(camp_trees)
+        ns = camp_trees[0].taxon_namespace
+        assert consensus_splits(bfh, ns, method="strict") == []
+
+    def test_strict_full_when_identical(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert consensus_splits(bfh, trees[0].taxon_namespace,
+                                method="strict") == [0b0011]
+
+    def test_greedy_resolves_further(self, camp_trees):
+        bfh = BipartitionFrequencyHash.from_trees(camp_trees)
+        ns = camp_trees[0].taxon_namespace
+        greedy = consensus_splits(bfh, ns, method="greedy")
+        assert 0b0011 in greedy  # majority split wins the tie-break
+
+    def test_majority_threshold_below_half_rejected(self, camp_trees):
+        bfh = BipartitionFrequencyHash.from_trees(camp_trees)
+        with pytest.raises(ValueError):
+            consensus_splits(bfh, camp_trees[0].taxon_namespace, threshold=0.3)
+
+    def test_unknown_method(self, camp_trees):
+        bfh = BipartitionFrequencyHash.from_trees(camp_trees)
+        with pytest.raises(ValueError):
+            consensus_splits(bfh, camp_trees[0].taxon_namespace, method="vibes")
+
+    def test_empty_hash(self, quartet_namespace):
+        with pytest.raises(CollectionError):
+            consensus_splits(BipartitionFrequencyHash(), quartet_namespace)
+
+
+class TestConsensusTree:
+    def test_recovers_base_tree_under_light_noise(self):
+        """Majority consensus of lightly perturbed copies == the base tree."""
+        base = yule_tree(16, rng=5)
+        # 1 NNI per copy: each split survives in most copies.
+        trees = [base.copy()] * 0 + perturbed_collection(base, 20, moves=1, rng=6)
+        consensus = consensus_tree(trees, base.taxon_namespace)
+        base_masks = bipartition_masks(base)
+        consensus_masks = bipartition_masks(consensus)
+        # Majority consensus must be a subset of ... the base splits
+        # dominate: at least 80% recovered, no conflicting extras.
+        assert len(consensus_masks & base_masks) >= 0.8 * len(base_masks)
+
+    def test_consensus_splits_frequency_correct(self, medium_collection):
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        ns = medium_collection[0].taxon_namespace
+        tree = consensus_tree(bfh, ns, method="majority")
+        r = len(medium_collection)
+        for mask in bipartition_masks(tree):
+            assert bfh.frequency(mask) > r / 2
+
+    def test_prebuilt_hash_requires_namespace(self, medium_collection):
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        with pytest.raises(ValueError):
+            consensus_tree(bfh)
+
+    def test_empty_collection(self):
+        with pytest.raises(CollectionError):
+            consensus_tree([])
+
+    def test_all_leaves_present(self, medium_collection):
+        tree = consensus_tree(medium_collection)
+        assert tree.n_leaves == 16
+
+    def test_strict_consensus_star_under_conflict(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        tree = consensus_tree(trees, method="strict")
+        assert bipartition_masks(tree) == set()
+        assert tree.n_leaves == 4

@@ -1,0 +1,75 @@
+"""Unit + property tests for repro.core.mrsrf (MapReduce HashRF)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.hashrf import hashrf_matrix
+from repro.core.mrsrf import mrsrf_average_rf, mrsrf_matrix
+from repro.newick import trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import collection_shapes, make_collection
+
+
+class TestBasics:
+    def test_doc_example(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        matrix, stats = mrsrf_matrix(trees, partitions=2)
+        assert matrix.tolist() == [[0, 2], [2, 0]]
+        assert stats.records_mapped == 2
+        assert stats.pairs_emitted == 2  # one internal split per tree
+
+    def test_empty(self):
+        with pytest.raises(CollectionError):
+            mrsrf_matrix([])
+
+    def test_matrix_properties(self, medium_collection):
+        matrix, _ = mrsrf_matrix(medium_collection, partitions=3)
+        assert (matrix == matrix.T).all()
+        assert (np.diag(matrix) == 0).all()
+
+
+class TestAgainstHashRF:
+    """MrsRF must be bit-identical to the single-node HashRF baseline."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(collection_shapes)
+    def test_exact_keys_identical(self, shape):
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        reference = hashrf_matrix(trees)
+        for partitions in (1, 3):
+            matrix, _ = mrsrf_matrix(trees, partitions=partitions)
+            assert (matrix == reference).all()
+
+    def test_parallel_workers_identical(self, medium_collection):
+        reference = hashrf_matrix(medium_collection)
+        matrix, _ = mrsrf_matrix(medium_collection, partitions=4, n_workers=2)
+        assert (matrix == reference).all()
+
+    def test_lossy_keys_deterministic(self, medium_collection):
+        a, _ = mrsrf_matrix(medium_collection, exact_keys=False, m2=64, rng=3)
+        b, _ = mrsrf_matrix(medium_collection, exact_keys=False, m2=64, rng=3)
+        assert (a == b).all()
+
+    def test_lossy_underestimates(self):
+        trees = make_collection(16, 30, seed=14)
+        exact, _ = mrsrf_matrix(trees)
+        lossy, _ = mrsrf_matrix(trees, exact_keys=False, m2=2, rng=0)
+        assert (lossy <= exact).all()
+
+    def test_average(self, medium_collection):
+        matrix, _ = mrsrf_matrix(medium_collection)
+        r = matrix.shape[0]
+        expected = (matrix.sum(axis=1) / r).tolist()
+        assert mrsrf_average_rf(medium_collection) == pytest.approx(expected)
+
+
+class TestStats:
+    def test_pairs_emitted_counts_splits(self, medium_collection):
+        _, stats = mrsrf_matrix(medium_collection, partitions=2)
+        # Binary trees over n=16 have 13 internal splits each.
+        assert stats.pairs_emitted == 13 * len(medium_collection)
+        assert stats.records_mapped == len(medium_collection)
+        assert stats.distinct_keys >= 13

@@ -1,0 +1,146 @@
+"""Unit + property tests for repro.core.rf and repro.core.day."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartitions import bipartition_masks
+from repro.core.day import day_rf
+from repro.core.rf import max_rf, rf_from_mask_sets, robinson_foulds
+from repro.newick import parse_newick, trees_from_string
+from repro.simulation import random_nni
+from repro.trees import TaxonNamespace
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_random_tree, tree_shapes
+
+
+class TestMaxRF:
+    def test_values(self):
+        assert max_rf(4) == 2
+        assert max_rf(10) == 14
+
+    def test_min_taxa(self):
+        assert max_rf(3) == 0
+        with pytest.raises(ValueError):
+            max_rf(2)
+
+
+class TestPaperExample:
+    def test_rf_is_two(self, paper_trees):
+        assert robinson_foulds(*paper_trees) == 2
+        assert day_rf(*paper_trees) == 2
+
+    def test_halved(self, paper_trees):
+        assert robinson_foulds(*paper_trees, halved=True) == 1.0
+
+    def test_normalized(self, paper_trees):
+        assert robinson_foulds(*paper_trees, normalized=True) == 1.0
+
+    def test_halved_and_normalized_exclusive(self, paper_trees):
+        with pytest.raises(ValueError):
+            robinson_foulds(*paper_trees, halved=True, normalized=True)
+
+    def test_include_trivial_no_effect_fixed_taxa(self, paper_trees):
+        assert robinson_foulds(*paper_trees, include_trivial=True) == 2
+
+
+class TestMetricProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(tree_shapes)
+    def test_identity(self, shape):
+        n, seed = shape
+        t = make_random_tree(n, seed=seed)
+        assert robinson_foulds(t, t) == 0
+        assert day_rf(t, t) == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_shapes, st.integers(0, 1000))
+    def test_symmetry(self, shape, seed2):
+        n, seed = shape
+        ns = TaxonNamespace()
+        t1 = make_random_tree(n, seed=seed, namespace=ns)
+        t2 = make_random_tree(n, seed=seed2, namespace=ns)
+        assert robinson_foulds(t1, t2) == robinson_foulds(t2, t1)
+        assert day_rf(t1, t2) == day_rf(t2, t1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 14), st.integers(0, 500), st.integers(0, 500),
+           st.integers(0, 500))
+    def test_triangle_inequality(self, n, s1, s2, s3):
+        ns = TaxonNamespace()
+        a = make_random_tree(n, seed=s1, namespace=ns)
+        b = make_random_tree(n, seed=s2, namespace=ns)
+        c = make_random_tree(n, seed=s3, namespace=ns)
+        assert robinson_foulds(a, c) <= robinson_foulds(a, b) + robinson_foulds(b, c)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tree_shapes, st.integers(0, 1000))
+    def test_bounds_and_parity(self, shape, seed2):
+        n, seed = shape
+        ns = TaxonNamespace()
+        t1 = make_random_tree(n, seed=seed, namespace=ns)
+        t2 = make_random_tree(n, seed=seed2, namespace=ns)
+        rf = robinson_foulds(t1, t2)
+        assert 0 <= rf <= max_rf(n)
+        assert rf % 2 == 0  # binary trees with equal split counts: even RF
+
+
+class TestDayAgreesWithSets:
+    """Day's O(n) algorithm must agree with the set model on every input."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(tree_shapes, st.integers(0, 1000))
+    def test_random_pairs(self, shape, seed2):
+        n, seed = shape
+        ns = TaxonNamespace()
+        t1 = make_random_tree(n, seed=seed, namespace=ns)
+        t2 = make_random_tree(n, seed=seed2, namespace=ns)
+        assert day_rf(t1, t2) == robinson_foulds(t1, t2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree_shapes, st.integers(1, 6))
+    def test_nni_neighbours(self, shape, moves):
+        """NNI chains give controlled near-identical pairs (RF <= 2*moves)."""
+        n, seed = shape
+        t1 = make_random_tree(n, seed=seed)
+        t2 = t1.copy()
+        for i in range(moves):
+            random_nni(t2, rng=seed + i)
+        rf_sets = robinson_foulds(t1, t2)
+        assert day_rf(t1, t2) == rf_sets
+        assert rf_sets <= 2 * moves
+
+    def test_small_trees(self):
+        ns = TaxonNamespace()
+        t1 = parse_newick("(A,B,C);", ns)
+        t2 = parse_newick("(C,B,A);", ns)
+        assert day_rf(t1, t2) == 0
+
+    def test_rooted_vs_unrooted_input_shapes(self):
+        ns = TaxonNamespace()
+        rooted = parse_newick("(((A,B),C),(D,E));", ns)
+        unrooted = parse_newick("((A,B),C,(D,E));", ns)
+        assert day_rf(rooted, unrooted) == 0
+
+    def test_requires_shared_namespace(self):
+        t1 = parse_newick("((A,B),(C,D));")
+        t2 = parse_newick("((A,B),(C,D));")
+        with pytest.raises(CollectionError):
+            day_rf(t1, t2)
+        with pytest.raises(CollectionError):
+            robinson_foulds(t1, t2)
+
+    def test_requires_same_leaf_set(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        t1 = parse_newick("((A,B),(C,D));", ns)
+        t2 = parse_newick("((A,B),(C,E));", ns)
+        with pytest.raises(CollectionError):
+            day_rf(t1, t2)
+
+
+class TestRfFromMaskSets:
+    def test_direct(self, paper_trees):
+        a = bipartition_masks(paper_trees[0])
+        b = bipartition_masks(paper_trees[1])
+        assert rf_from_mask_sets(a, b) == 2

@@ -1,0 +1,49 @@
+"""Tests for the generalized tree_distance API."""
+
+import pytest
+
+from repro.core.api import TREE_METRICS, tree_distance
+from repro.newick import trees_from_string
+
+from tests.conftest import make_random_tree
+from repro.trees import TaxonNamespace
+
+
+@pytest.fixture
+def quartet_pair():
+    return trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+
+
+class TestTreeDistance:
+    def test_all_metrics_run(self, quartet_pair):
+        t1, t2 = quartet_pair
+        values = {metric: tree_distance(t1, t2, metric=metric)
+                  for metric in TREE_METRICS}
+        assert values["rf"] == 2
+        assert values["matching"] == 2
+        assert values["quartet"] == 1
+        assert values["triplet"] >= 1
+        assert values["branch-score"] >= 0
+
+    def test_identity_for_all_metrics(self):
+        t = make_random_tree(10, seed=13)
+        for metric in TREE_METRICS:
+            assert tree_distance(t, t, metric=metric) == 0
+
+    def test_symmetry_for_all_metrics(self):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(9, seed=14, namespace=ns)
+        t2 = make_random_tree(9, seed=15, namespace=ns)
+        for metric in TREE_METRICS:
+            assert tree_distance(t1, t2, metric=metric) == pytest.approx(
+                tree_distance(t2, t1, metric=metric))
+
+    def test_branch_score_uses_lengths(self):
+        trees = trees_from_string(
+            "((A:1,B:1):2,(C:1,D:1):0);\n((A:1,B:1):1,(C:1,D:1):0);")
+        assert tree_distance(*trees, metric="branch-score") == pytest.approx(1.0)
+        assert tree_distance(*trees, metric="rf") == 0
+
+    def test_unknown_metric(self, quartet_pair):
+        with pytest.raises(ValueError):
+            tree_distance(*quartet_pair, metric="vibes")

@@ -1,0 +1,200 @@
+"""Unit tests for repro.core.variants (the extensibility layer)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartitions import bipartition_masks, side_sizes
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.core.sequential import sequential_average_rf
+from repro.core.variants import (
+    average_valued_rf,
+    compose_transforms,
+    halve_average,
+    information_weighted_average_rf,
+    normalize_average,
+    restrict_taxa_transform,
+    size_filter_transform,
+    split_information_content,
+)
+from repro.newick import parse_newick, trees_from_string
+from repro.trees import TaxonNamespace
+from repro.trees.manipulate import prune_to_taxa
+
+from tests.conftest import make_collection, make_random_tree
+
+
+class TestSizeFilter:
+    def test_filters_small_splits(self):
+        t = size_filter_transform(min_size=3)
+        full = 0b11111111
+        assert t({0b0011, 0b0111}, full) == {0b0111}
+
+    def test_max_size(self):
+        t = size_filter_transform(min_size=1, max_size=2)
+        full = 0b11111111
+        assert t({0b0011, 0b0111}, full) == {0b0011}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            size_filter_transform(min_size=0)
+        with pytest.raises(ValueError):
+            size_filter_transform(min_size=3, max_size=2)
+
+    def test_filtered_rf_bounded_by_plain(self, medium_collection):
+        """Filtering can only remove mismatches: filtered avg <= plain avg."""
+        plain = bfhrf_average_rf(medium_collection)
+        filtered = bfhrf_average_rf(medium_collection,
+                                    transform=size_filter_transform(min_size=4))
+        assert all(f <= p + 1e-9 for f, p in zip(filtered, plain))
+
+    def test_picklable(self):
+        import pickle
+
+        t = size_filter_transform(min_size=2, max_size=5)
+        again = pickle.loads(pickle.dumps(t))
+        assert again({0b0011}, 0b1111) == {0b0011}
+
+
+class TestRestrictTaxa:
+    def test_variable_taxa_rf_matches_pruned_trees(self):
+        """Hash-transform restriction == physically pruning every tree."""
+        trees = make_collection(12, 10, seed=31)
+        ns = trees[0].taxon_namespace
+        keep_labels = [ns[i].label for i in (0, 1, 3, 4, 6, 8, 10)]
+        transform = restrict_taxa_transform(keep_labels, ns)
+
+        via_transform = bfhrf_average_rf(trees, transform=transform)
+
+        pruned = [prune_to_taxa(t.copy(), keep_labels) for t in trees]
+        via_pruning = sequential_average_rf(pruned, pruned)
+        assert via_transform == pytest.approx(via_pruning)
+
+    def test_mask_input(self):
+        trees = make_collection(8, 5, seed=32)
+        transform = restrict_taxa_transform(0b00111111)
+        values = bfhrf_average_rf(trees, transform=transform)
+        assert len(values) == 5
+
+    def test_mixed_leaf_sets_become_comparable(self):
+        """The supertree setting: trees over different taxa, compared on
+        the intersection — impossible for HashRF/DS (§VII-E)."""
+        ns = TaxonNamespace(["A", "B", "C", "D", "E", "F"])
+        t1 = parse_newick("(((A,B),(C,D)),E);", ns)      # lacks F
+        t2 = parse_newick("(((A,B),(C,D)),F);", ns)      # lacks E
+        common = ns.mask_of(["A", "B", "C", "D"])
+        transform = restrict_taxa_transform(common)
+        bfh = build_bfh([t2], transform=transform)
+        # Restricted to {A,B,C,D}, both trees display AB|CD: distance 0.
+        assert bfh.average_rf(transform(bipartition_masks(t1), t1.leaf_mask())) == 0.0
+
+    def test_labels_need_namespace(self):
+        with pytest.raises(ValueError):
+            restrict_taxa_transform(["A", "B"])
+
+    def test_empty_keep_rejected(self):
+        with pytest.raises(ValueError):
+            restrict_taxa_transform(0)
+
+
+class TestCompose:
+    def test_order_left_to_right(self):
+        full = 0b11111111
+        t = compose_transforms(size_filter_transform(min_size=2),
+                               size_filter_transform(min_size=3))
+        assert t({0b0011, 0b0111}, full) == {0b0111}
+
+    def test_picklable(self):
+        import pickle
+
+        t = compose_transforms(size_filter_transform(min_size=2))
+        pickle.loads(pickle.dumps(t))
+
+
+class TestValuedRF:
+    def test_unit_value_is_plain_rf(self, medium_collection):
+        bfh = build_bfh(medium_collection)
+        for tree in medium_collection[:5]:
+            masks = bipartition_masks(tree)
+            assert average_valued_rf(bfh, masks, lambda m: 1.0) == pytest.approx(
+                bfh.average_rf(masks))
+
+    def test_zero_value_zero_distance(self, medium_collection):
+        bfh = build_bfh(medium_collection)
+        masks = bipartition_masks(medium_collection[0])
+        assert average_valued_rf(bfh, masks, lambda m: 0.0) == 0.0
+
+    def test_matches_naive_weighted_symmetric_difference(self):
+        trees = make_collection(10, 6, seed=41)
+        bfh = build_bfh(trees)
+        full = trees[0].leaf_mask()
+
+        def value(mask):
+            return float(min(side_sizes(mask, full)))
+
+        for query in trees[:3]:
+            q_masks = bipartition_masks(query)
+            expected = 0.0
+            for t in trees:
+                t_masks = bipartition_masks(t)
+                expected += sum(value(m) for m in q_masks ^ t_masks)
+            expected /= len(trees)
+            assert average_valued_rf(bfh, q_masks, value) == pytest.approx(expected)
+
+
+class TestInformationContent:
+    def test_quartet_value(self):
+        # P(AB|CD on 4 taxa) = 1/3 -> log2(3) bits.
+        assert split_information_content(0b0011, 0b1111) == pytest.approx(
+            math.log2(3))
+
+    def test_trivial_zero(self):
+        assert split_information_content(0b0001, 0b1111) == 0.0
+
+    def test_balanced_splits_carry_more_information(self):
+        full = (1 << 12) - 1
+        cherry = (1 << 2) - 1          # 2 vs 10
+        balanced = (1 << 6) - 1        # 6 vs 6
+        assert split_information_content(balanced, full) > \
+            split_information_content(cherry, full)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(4, 20), st.integers(2, 18))
+    def test_non_negative_and_symmetric(self, n, a):
+        if a >= n - 1:
+            a = n - 2
+        full = (1 << n) - 1
+        mask = (1 << a) - 1
+        ic = split_information_content(mask, full)
+        ic_complement = split_information_content(mask ^ full, full)
+        assert ic >= 0.0
+        assert ic == pytest.approx(ic_complement)
+
+    def test_probability_interpretation_exhaustive_quartet(self):
+        # Sum of 2^-IC over the 3 quartet splits must be 1.
+        total = sum(2 ** -split_information_content(m, 0b1111)
+                    for m in (0b0011, 0b0101, 0b0110))
+        assert total == pytest.approx(1.0)
+
+    def test_information_weighted_average(self, medium_collection):
+        bfh = build_bfh(medium_collection)
+        full = medium_collection[0].leaf_mask()
+        masks = bipartition_masks(medium_collection[0])
+        value = information_weighted_average_rf(bfh, masks, full)
+        assert value >= 0.0
+        # Weighted by ≤ max IC, so bounded by plain RF times max weight.
+        max_ic = max(split_information_content(m, full) for m in masks)
+        assert value <= bfh.average_rf(masks) * max_ic + 1e-9
+
+
+class TestPostprocessing:
+    def test_normalize(self):
+        assert normalize_average([2.0, 4.0], 5) == [0.5, 1.0]
+
+    def test_normalize_degenerate(self):
+        assert normalize_average([0.0], 3) == [0.0]
+
+    def test_halve(self):
+        assert halve_average([2.0, 3.0]) == [1.0, 1.5]

@@ -1,0 +1,123 @@
+"""Unit + property tests for repro.core.vectorized (GPU-style batch backend)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.core.variants import size_filter_transform
+from repro.core.vectorized import VectorizedBFH, _masks_to_words, vectorized_average_rf
+from repro.newick import parse_newick, trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import collection_shapes, make_collection
+
+
+class TestWordPacking:
+    def test_single_word(self):
+        words = _masks_to_words([0b1011, 0], 1)
+        assert words.tolist() == [[0b1011], [0]]
+
+    def test_multi_word_big_endian(self):
+        mask = (1 << 100) | 1
+        words = _masks_to_words([mask], 2)
+        assert words[0, 0] == 1 << 36   # high word
+        assert words[0, 1] == 1         # low word
+
+    def test_packing_injective(self):
+        masks = [5, 1 << 70, (1 << 70) | 3, 2, 256, 1]
+        words = _masks_to_words(masks, 2)
+        void = words.view(np.dtype((np.void, 16))).ravel()
+        assert len(set(void.tolist())) == len(masks)
+
+    def test_probe_finds_every_stored_key(self, medium_collection):
+        from repro.core.bfhrf import build_bfh
+
+        bfh = build_bfh(medium_collection)
+        vbfh = VectorizedBFH.from_bfh(bfh, 16)
+        masks = sorted(bfh.counts)
+        words = _masks_to_words(masks, vbfh.n_words)
+        freqs = vbfh.lookup_frequencies(words)
+        assert freqs.tolist() == [bfh.counts[m] for m in masks]
+
+
+class TestEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(collection_shapes)
+    def test_matches_dict_backend(self, shape):
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        expected = bfhrf_average_rf(trees)
+        got = vectorized_average_rf(trees)
+        assert got == pytest.approx(expected)
+
+    def test_large_n_multiword(self):
+        trees = make_collection(130, 8, seed=9)  # 3 words of 64 bits
+        assert vectorized_average_rf(trees) == pytest.approx(
+            bfhrf_average_rf(trees))
+
+    def test_disparate_collections(self):
+        trees = make_collection(12, 14, seed=10)
+        q, r = trees[:5], trees[5:]
+        assert vectorized_average_rf(q, r) == pytest.approx(
+            bfhrf_average_rf(q, r))
+
+    def test_transform_supported(self, medium_collection):
+        transform = size_filter_transform(min_size=3)
+        assert vectorized_average_rf(medium_collection, transform=transform) == \
+            pytest.approx(bfhrf_average_rf(medium_collection, transform=transform))
+
+    def test_from_bfh_conversion(self, medium_collection):
+        bfh = build_bfh(medium_collection)
+        vbfh = VectorizedBFH.from_bfh(bfh, 16)
+        assert len(vbfh) == len(bfh)
+        got = vbfh.average_rf_batch(medium_collection)
+        assert got.tolist() == pytest.approx(bfhrf_average_rf(medium_collection))
+
+
+class TestProbeEdgeCases:
+    def test_unseen_splits_score_zero_frequency(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        vbfh = VectorizedBFH.from_trees(trees)
+        ns = trees[0].taxon_namespace
+        novel = trees_from_string("((A,D),(B,C));", ns)
+        assert vbfh.average_rf_batch(novel).tolist() == [2.0]
+
+    def test_query_mask_wider_than_reference_keys(self):
+        """A query split using a high taxon bit absent from every
+        reference key must not alias into a false hit."""
+        ns_text = "((A,B),(C,D),E);"   # E gets bit 4 but no internal split uses it
+        base = trees_from_string(ns_text)
+        ns = base[0].taxon_namespace
+        reference = trees_from_string("((A,B),(C,D),E);\n((A,B),(C,D),E);", ns)
+        vbfh = VectorizedBFH.from_trees(reference)
+        query = trees_from_string("((A,B),(C,E),D);", ns)
+        expected = bfhrf_average_rf(query, reference)
+        assert vbfh.average_rf_batch(query).tolist() == pytest.approx(expected)
+
+    def test_empty_batch(self, medium_collection):
+        vbfh = VectorizedBFH.from_trees(medium_collection)
+        assert vbfh.average_rf_batch([]).shape == (0,)
+
+    def test_star_query_tree(self, quartet_namespace):
+        """A star tree has no internal splits: avgRF = mean split count."""
+        reference = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        vbfh = VectorizedBFH.from_trees(reference)
+        star = parse_newick("(A,B,C,D);", reference[0].taxon_namespace)
+        # Left term: every reference split unmatched (1 per tree);
+        # right term: zero query splits. avg = 2/2 = 1.
+        assert vbfh.average_rf_batch([star]).tolist() == [1.0]
+
+    def test_mixed_batch_with_star(self):
+        reference = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        ns = reference[0].taxon_namespace
+        batch = [parse_newick("(A,B,C,D);", ns),
+                 parse_newick("((A,B),(C,D));", ns),
+                 parse_newick("(A,B,C,D);", ns)]
+        got = VectorizedBFH.from_trees(reference).average_rf_batch(batch)
+        expected = [1.0, 1.0, 1.0]
+        assert got.tolist() == pytest.approx(expected)
+
+    def test_empty_reference(self):
+        with pytest.raises(CollectionError):
+            VectorizedBFH.from_trees([])

@@ -1,0 +1,162 @@
+"""Unit tests for repro.hashing.bfh — the core data structure."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bipartitions import bipartition_masks
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick import trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import collection_shapes, make_collection
+
+
+class TestConstruction:
+    def test_from_trees_counts(self, paper_trees):
+        bfh = BipartitionFrequencyHash.from_trees(paper_trees)
+        assert bfh.n_trees == 2
+        # Each tree has one internal split; they differ.
+        assert bfh.total == 2
+        assert len(bfh) == 2
+        assert bfh.frequency(0b0011) == 1
+        assert bfh.frequency(0b0101) == 1
+
+    def test_shared_split_accumulates(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert bfh.frequency(0b0011) == 2
+        assert len(bfh) == 1
+
+    def test_empty_collection_raises(self):
+        with pytest.raises(CollectionError):
+            BipartitionFrequencyHash.from_trees([])
+
+    def test_streaming_add(self, small_collection):
+        bfh = BipartitionFrequencyHash()
+        for tree in small_collection:
+            bfh.add_tree(tree)
+        reference = BipartitionFrequencyHash.from_trees(small_collection)
+        assert bfh.counts == reference.counts
+        assert bfh.total == reference.total
+
+    def test_include_trivial(self, paper_trees):
+        bfh = BipartitionFrequencyHash.from_trees(paper_trees, include_trivial=True)
+        # 4 shared pendant splits at frequency 2, plus 2 distinct internal.
+        assert bfh.total == 10
+        assert bfh.frequency(0b0001) == 2
+
+    def test_unknown_mask_zero(self, paper_trees):
+        bfh = BipartitionFrequencyHash.from_trees(paper_trees)
+        assert bfh.frequency(0b0110) == 0
+        assert 0b0110 not in bfh
+        assert 0b0011 in bfh
+
+    def test_transform_applied(self, small_collection):
+        def drop_all(masks, leaf_mask):
+            return set()
+
+        bfh = BipartitionFrequencyHash.from_trees(small_collection, transform=drop_all)
+        assert bfh.total == 0
+        assert bfh.n_trees == len(small_collection)
+
+
+class TestInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(collection_shapes)
+    def test_total_is_sum_of_counts(self, shape):
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert bfh.total == sum(freq for _, freq in bfh.items())
+        assert bfh.n_trees == r
+
+    @settings(max_examples=30, deadline=None)
+    @given(collection_shapes)
+    def test_frequencies_bounded_by_r(self, shape):
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert all(1 <= freq <= r for _, freq in bfh.items())
+
+    @settings(max_examples=30, deadline=None)
+    @given(collection_shapes)
+    def test_total_equals_r_times_splits_per_tree(self, shape):
+        """Binary trees over fixed n each contribute exactly n-3 splits."""
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert bfh.total == r * (n - 3)
+
+
+class TestMerge:
+    def test_merge_equals_whole(self, medium_collection):
+        half = len(medium_collection) // 2
+        a = BipartitionFrequencyHash.from_trees(medium_collection[:half])
+        b = BipartitionFrequencyHash.from_trees(medium_collection[half:])
+        a.merge(b)
+        whole = BipartitionFrequencyHash.from_trees(medium_collection)
+        assert a.counts == whole.counts
+        assert a.total == whole.total
+        assert a.n_trees == whole.n_trees
+
+    def test_merge_policy_mismatch(self, paper_trees):
+        a = BipartitionFrequencyHash.from_trees(paper_trees)
+        b = BipartitionFrequencyHash.from_trees(paper_trees, include_trivial=True)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestAverageRF:
+    def test_terms_match_paper_algebra(self, paper_trees):
+        bfh = BipartitionFrequencyHash.from_trees(paper_trees)
+        masks = bipartition_masks(paper_trees[0])
+        left, right = bfh.average_rf_terms(masks)
+        # RF_left: sum(BFH)=2 minus freq(query split)=1 -> 1
+        # RF_right: r - freq = 2 - 1 -> 1
+        assert (left, right) == (1, 1)
+        assert bfh.average_rf(masks) == 1.0
+
+    def test_identical_collection_zero(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,B),(C,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert bfh.average_rf_of_tree(trees[0]) == 0.0
+
+    def test_disjoint_query_max(self, paper_trees):
+        bfh = BipartitionFrequencyHash.from_trees(paper_trees)
+        # Query split absent from both reference trees.
+        assert bfh.average_rf({0b0110}) == 2.0
+
+    def test_empty_hash_raises(self):
+        with pytest.raises(CollectionError):
+            BipartitionFrequencyHash().average_rf({1})
+
+
+class TestSupportAndFiltering:
+    def test_support(self):
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert bfh.support(0b0011) == pytest.approx(2 / 3)
+
+    def test_support_empty_hash(self):
+        with pytest.raises(CollectionError):
+            BipartitionFrequencyHash().support(1)
+
+    def test_masks_with_support(self):
+        trees = trees_from_string(
+            "((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));")
+        bfh = BipartitionFrequencyHash.from_trees(trees)
+        assert bfh.masks_with_support_at_least(0.6) == [0b0011]
+        assert set(bfh.masks_with_support_at_least(0.0)) == {0b0011, 0b0101}
+
+    def test_masks_with_support_validates(self, paper_trees):
+        bfh = BipartitionFrequencyHash.from_trees(paper_trees)
+        with pytest.raises(ValueError):
+            bfh.masks_with_support_at_least(1.5)
+
+    def test_filtered_keeps_r(self, medium_collection):
+        bfh = BipartitionFrequencyHash.from_trees(medium_collection)
+        frequent = bfh.filtered(lambda mask, freq: freq >= 5)
+        assert frequent.n_trees == bfh.n_trees
+        assert all(freq >= 5 for _, freq in frequent.items())
+        assert frequent.total == sum(f for _, f in frequent.items())

@@ -1,0 +1,99 @@
+"""Unit + property tests for repro.hashing.compression (§IX future work)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.hashing.compression import (
+    CompressedBipartitionFrequencyHash,
+    compress_mask,
+    compressed_size,
+    decompress_mask,
+)
+from repro.util.errors import BipartitionError, CollectionError
+
+from tests.conftest import make_collection
+
+
+class TestCodec:
+    @pytest.mark.parametrize("mask", [0, 1, 0b1011, (1 << 64) - 1, 1 << 200,
+                                      0b101 << 300, (1 << 1000) | 1])
+    def test_roundtrip_known(self, mask):
+        assert decompress_mask(compress_mask(mask)) == mask
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.integers(min_value=0, max_value=(1 << 2048) - 1))
+    def test_roundtrip_property(self, mask):
+        assert decompress_mask(compress_mask(mask)) == mask
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, (1 << 512) - 1), st.integers(0, (1 << 512) - 1))
+    def test_injective(self, a, b):
+        if a != b:
+            assert compress_mask(a) != compress_mask(b)
+
+    def test_sparse_masks_compress_well(self):
+        sparse = (1 << 900) | (1 << 10)
+        assert compressed_size(sparse) < 10  # raw form would be 113+ bytes
+
+    def test_dense_masks_fall_back_to_raw(self):
+        dense = (1 << 256) - 1
+        # Raw: 1 + 32 bytes; gaps would be 1 + 256 bytes.
+        assert compressed_size(dense) == 33
+
+    def test_never_larger_than_raw_plus_header(self):
+        for mask in (0, 1, 0b1010101, (1 << 100) - 1, 1 << 99):
+            raw_len = 1 + max(1, (mask.bit_length() + 7) // 8)
+            assert compressed_size(mask) <= raw_len
+
+    def test_rejects_negative(self):
+        with pytest.raises(BipartitionError):
+            compress_mask(-1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(BipartitionError):
+            decompress_mask(b"")
+        with pytest.raises(BipartitionError):
+            decompress_mask(b"\x7fanything")
+        with pytest.raises(BipartitionError):
+            decompress_mask(b"\x01\x80")  # truncated varint
+
+
+class TestCompressedBFH:
+    def test_equivalent_to_plain(self, medium_collection):
+        plain = BipartitionFrequencyHash.from_trees(medium_collection)
+        compressed = CompressedBipartitionFrequencyHash.from_trees(medium_collection)
+        assert compressed.n_trees == plain.n_trees
+        assert compressed.total == plain.total
+        assert len(compressed) == len(plain)
+        for mask, freq in plain.items():
+            assert compressed.frequency(mask) == freq
+
+    def test_average_rf_identical(self, medium_collection):
+        plain = BipartitionFrequencyHash.from_trees(medium_collection)
+        compressed = CompressedBipartitionFrequencyHash.from_trees(medium_collection)
+        for tree in medium_collection[:8]:
+            assert compressed.average_rf_of_tree(tree) == \
+                plain.average_rf_of_tree(tree)
+
+    def test_decompress_recovers_plain(self, medium_collection):
+        plain = BipartitionFrequencyHash.from_trees(medium_collection)
+        compressed = CompressedBipartitionFrequencyHash.from_trees(medium_collection)
+        recovered = compressed.decompress()
+        assert recovered.counts == plain.counts
+        assert recovered.total == plain.total
+        assert recovered.n_trees == plain.n_trees
+
+    def test_key_bytes_below_raw(self):
+        # Large n: per-key compression should beat fixed-width raw bytes.
+        trees = make_collection(200, 10, seed=5)
+        compressed = CompressedBipartitionFrequencyHash.from_trees(trees)
+        raw_bytes = len(compressed) * ((200 + 7) // 8)
+        assert compressed.key_bytes() < raw_bytes * 1.5
+
+    def test_empty_raises(self):
+        with pytest.raises(CollectionError):
+            CompressedBipartitionFrequencyHash.from_trees([])
+        with pytest.raises(CollectionError):
+            CompressedBipartitionFrequencyHash().average_rf([1])

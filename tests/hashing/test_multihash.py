@@ -1,0 +1,77 @@
+"""Unit tests for repro.hashing.multihash (HashRF-style hashing)."""
+
+import pytest
+
+from repro.bipartitions import bipartition_masks
+from repro.hashing.multihash import UniversalSplitHasher, collision_rate
+
+from tests.conftest import make_collection
+
+
+class TestHasher:
+    def test_deterministic_for_seed(self):
+        a = UniversalSplitHasher(16, m1=101, m2=257, rng=5)
+        b = UniversalSplitHasher(16, m1=101, m2=257, rng=5)
+        assert [a.key(m) for m in (1, 5, 0b1010)] == [b.key(m) for m in (1, 5, 0b1010)]
+
+    def test_h1_is_linear_sum(self):
+        h = UniversalSplitHasher(8, m1=97, m2=1 << 16, rng=42)
+        mask = 0b10110
+        expected = (h.coeffs1[1] + h.coeffs1[2] + h.coeffs1[4]) % 97
+        assert h.h1(mask) == expected
+
+    def test_h2_independent_of_h1(self):
+        h = UniversalSplitHasher(8, m1=97, m2=89, rng=1)
+        assert h.key(0b0110) == (h.h1(0b0110), h.h2(0b0110))
+
+    def test_ranges(self):
+        h = UniversalSplitHasher(32, m1=13, m2=7, rng=2)
+        for mask in range(1, 200):
+            h1, h2 = h.key(mask)
+            assert 0 <= h1 < 13
+            assert 0 <= h2 < 7
+
+    def test_empty_mask(self):
+        h = UniversalSplitHasher(8, m1=13, m2=7, rng=3)
+        assert h.key(0) == (0, 0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_taxa=0, m1=5, m2=5),
+        dict(n_taxa=4, m1=1, m2=5),
+        dict(n_taxa=4, m1=5, m2=1),
+    ])
+    def test_rejects_bad_params(self, kwargs):
+        with pytest.raises(ValueError):
+            UniversalSplitHasher(**kwargs)
+
+
+class TestCollisionRate:
+    def test_zero_for_empty(self):
+        h = UniversalSplitHasher(8, m1=101, m2=101, rng=0)
+        assert collision_rate([], h) == 0.0
+
+    def test_wide_keys_rarely_collide(self):
+        trees = make_collection(16, 20, seed=77)
+        masks = set()
+        for t in trees:
+            masks |= bipartition_masks(t)
+        h = UniversalSplitHasher(16, m1=1 << 20, m2=1 << 30, rng=0)
+        assert collision_rate(masks, h) == 0.0
+
+    def test_narrow_keys_collide(self):
+        trees = make_collection(16, 30, seed=78)
+        masks = set()
+        for t in trees:
+            masks |= bipartition_masks(t)
+        # Tiny key space: collisions guaranteed by pigeonhole.
+        h = UniversalSplitHasher(16, m1=3, m2=2, rng=0)
+        assert collision_rate(masks, h) > 0.5
+
+    def test_rate_monotone_in_key_width(self):
+        trees = make_collection(12, 40, seed=79)
+        masks = set()
+        for t in trees:
+            masks |= bipartition_masks(t)
+        narrow = collision_rate(masks, UniversalSplitHasher(12, m1=7, m2=3, rng=1))
+        wide = collision_rate(masks, UniversalSplitHasher(12, m1=1 << 16, m2=1 << 16, rng=1))
+        assert narrow >= wide

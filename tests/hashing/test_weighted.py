@@ -1,0 +1,97 @@
+"""Unit tests for repro.hashing.weighted (branch-score through the hash)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartitions import bipartitions_with_lengths
+from repro.hashing.weighted import WeightedBipartitionHash
+from repro.newick import trees_from_string
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_collection
+
+
+def naive_branch_score(tree_a, tree_b) -> float:
+    """Reference implementation: direct two-tree branch-score distance."""
+    wa = bipartitions_with_lengths(tree_a)
+    wb = bipartitions_with_lengths(tree_b)
+    total = 0.0
+    for mask in set(wa) | set(wb):
+        total += abs(wa.get(mask, 0.0) - wb.get(mask, 0.0))
+    return total
+
+
+class TestBasics:
+    def test_doc_example(self):
+        trees = trees_from_string(
+            "((A:1,B:1):2,(C:1,D:1):0);\n((A:1,B:1):1,(C:1,D:1):0);")
+        wh = WeightedBipartitionHash.from_trees(trees)
+        assert wh.average_branch_score(trees[0]) == pytest.approx(0.5)
+
+    def test_frequency_and_weight_sum(self):
+        trees = trees_from_string(
+            "((A:1,B:1):2,(C:1,D:1):0);\n((A:1,B:1):1,(C:1,D:1):0);")
+        wh = WeightedBipartitionHash.from_trees(trees)
+        assert wh.frequency(0b0011) == 2
+        assert wh.weight_sum(0b0011) == pytest.approx(3.0)
+        assert wh.mean_weight(0b0011) == pytest.approx(1.5)
+
+    def test_mean_weight_missing_split(self):
+        trees = trees_from_string("((A:1,B:1):2,(C:1,D:1):0);")
+        wh = WeightedBipartitionHash.from_trees(trees)
+        with pytest.raises(KeyError):
+            wh.mean_weight(0b0101)
+
+    def test_empty_raises(self):
+        with pytest.raises(CollectionError):
+            WeightedBipartitionHash.from_trees([])
+
+    def test_add_after_finalize_rejected(self):
+        trees = trees_from_string("((A:1,B:1):2,(C:1,D:1):0);")
+        wh = WeightedBipartitionHash.from_trees(trees)
+        with pytest.raises(RuntimeError):
+            wh.add_tree(trees[0])
+
+    def test_contains_len(self):
+        trees = trees_from_string("((A:1,B:1):2,(C:1,D:1):0);")
+        wh = WeightedBipartitionHash.from_trees(trees)
+        assert 0b0011 in wh
+        assert len(wh) == 1
+
+
+class TestAbsDeviation:
+    def test_against_numpy(self):
+        trees = trees_from_string(
+            "((A:1,B:1):2,(C:1,D:1):0);\n"
+            "((A:1,B:1):5,(C:1,D:1):0);\n"
+            "((A:1,B:1):3,(C:1,D:1):0);")
+        wh = WeightedBipartitionHash.from_trees(trees)
+        weights = np.array([2.0, 5.0, 3.0])
+        for probe in (0.0, 2.0, 3.3, 10.0):
+            assert wh.abs_deviation_sum(0b0011, probe) == pytest.approx(
+                np.abs(weights - probe).sum())
+
+    def test_absent_mask_zero(self):
+        trees = trees_from_string("((A:1,B:1):2,(C:1,D:1):0);")
+        wh = WeightedBipartitionHash.from_trees(trees)
+        assert wh.abs_deviation_sum(0b0101, 5.0) == 0.0
+
+
+class TestAgainstNaive:
+    """The hash-based average must equal the mean of pairwise branch scores."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(5, 12), st.integers(2, 8), st.integers(0, 500))
+    def test_average_equals_naive_mean(self, n, r, seed):
+        trees = make_collection(n, r, seed=seed)
+        wh = WeightedBipartitionHash.from_trees(trees)
+        for query in trees[: min(3, r)]:
+            expected = sum(naive_branch_score(query, t) for t in trees) / r
+            assert wh.average_branch_score(query) == pytest.approx(expected, rel=1e-9)
+
+    def test_self_collection_zero_for_single(self):
+        trees = make_collection(8, 1, seed=3)
+        wh = WeightedBipartitionHash.from_trees(trees)
+        assert wh.average_branch_score(trees[0]) == pytest.approx(0.0)

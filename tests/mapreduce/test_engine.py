@@ -1,0 +1,99 @@
+"""Unit tests for the MapReduce engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mapreduce.engine import JobStats, MapReduceJob, run_job
+
+
+def wc_map(line):
+    for word in line.split():
+        yield word, 1
+
+
+def wc_reduce(word, counts):
+    yield word, sum(counts)
+
+
+def identity_map(record):
+    yield record % 7, record
+
+
+def collect_reduce(key, values):
+    yield key, sorted(values)
+
+
+class TestWordCount:
+    LINES = ["the quick brown fox", "the lazy dog", "the fox"]
+
+    def test_counts(self):
+        outputs, stats = run_job(MapReduceJob(wc_map, wc_reduce), self.LINES)
+        assert dict(outputs) == {"the": 3, "quick": 1, "brown": 1,
+                                 "fox": 2, "lazy": 1, "dog": 1}
+        assert stats.records_mapped == 3
+        assert stats.pairs_emitted == 9
+        assert stats.distinct_keys == 6
+
+    @pytest.mark.parametrize("partitions", [1, 2, 5, 16])
+    def test_partition_count_irrelevant_to_result(self, partitions):
+        outputs, stats = run_job(
+            MapReduceJob(wc_map, wc_reduce, partitions=partitions), self.LINES)
+        assert dict(outputs) == {"the": 3, "quick": 1, "brown": 1,
+                                 "fox": 2, "lazy": 1, "dog": 1}
+        assert stats.partitions == partitions
+
+    def test_parallel_matches_serial(self):
+        serial, _ = run_job(MapReduceJob(wc_map, wc_reduce, partitions=3),
+                            self.LINES)
+        parallel, _ = run_job(MapReduceJob(wc_map, wc_reduce, partitions=3),
+                              self.LINES, n_workers=2)
+        assert sorted(serial) == sorted(parallel)
+
+
+class TestEdgeCases:
+    def test_empty_input(self):
+        outputs, stats = run_job(MapReduceJob(wc_map, wc_reduce), [])
+        assert outputs == []
+        assert stats.records_mapped == 0
+
+    def test_map_emitting_nothing(self):
+        outputs, _ = run_job(MapReduceJob(lambda r: [], wc_reduce), [1, 2, 3])
+        assert outputs == []
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            MapReduceJob(wc_map, wc_reduce, partitions=0)
+
+    def test_reduce_multi_output(self):
+        def explode(key, values):
+            for v in values:
+                yield key, v
+
+        outputs, _ = run_job(MapReduceJob(identity_map, explode), list(range(10)))
+        assert sorted(v for _k, v in outputs) == list(range(10))
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1000), max_size=80),
+           st.integers(1, 8))
+    def test_grouping_partition_invariant(self, records, partitions):
+        """Every value lands in exactly one group, keyed correctly."""
+        outputs, stats = run_job(
+            MapReduceJob(identity_map, collect_reduce, partitions=partitions),
+            records)
+        reassembled = sorted(v for _key, values in outputs for v in values)
+        assert reassembled == sorted(records)
+        for key, values in outputs:
+            assert all(v % 7 == key for v in values)
+        assert stats.pairs_emitted == len(records)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=60))
+    def test_workers_equivalent(self, records):
+        a, _ = run_job(MapReduceJob(identity_map, collect_reduce, partitions=3),
+                       records)
+        b, _ = run_job(MapReduceJob(identity_map, collect_reduce, partitions=3),
+                       records, n_workers=2)
+        assert a == b  # int keys: fully deterministic order

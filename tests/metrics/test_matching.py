@@ -1,0 +1,92 @@
+"""Unit + property tests for the Matching Split distance."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rf import robinson_foulds
+from repro.metrics.matching import matching_split_distance, split_transfer_cost
+from repro.newick import trees_from_string
+from repro.simulation import random_nni
+from repro.trees import TaxonNamespace
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_random_tree, tree_shapes
+
+FULL4 = 0b1111
+
+
+class TestTransferCost:
+    def test_equal_splits_zero(self):
+        assert split_transfer_cost(0b0011, 0b0011, FULL4) == 0
+        assert split_transfer_cost(0b0011, 0b1100, FULL4) == 0  # complement form
+
+    def test_crossing_quartet_splits(self):
+        assert split_transfer_cost(0b0011, 0b0101, FULL4) == 2
+
+    def test_one_move(self):
+        full6 = 0b111111
+        # {A,B,C}|{D,E,F} vs {A,B}|{C,D,E,F}: move C.
+        assert split_transfer_cost(0b000111, 0b000011, full6) == 1
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(4, 16), st.data())
+    def test_symmetric_and_bounded(self, n, data):
+        full = (1 << n) - 1
+        a = data.draw(st.integers(1, full - 1))
+        b = data.draw(st.integers(1, full - 1))
+        cost_ab = split_transfer_cost(a, b, full)
+        assert cost_ab == split_transfer_cost(b, a, full)
+        assert 0 <= cost_ab <= n // 2
+        assert split_transfer_cost(a, a, full) == 0
+
+
+class TestMatchingDistance:
+    def test_paper_example_trees(self, paper_trees):
+        assert matching_split_distance(*paper_trees) == 2
+
+    def test_identity(self):
+        t = make_random_tree(12, seed=3)
+        assert matching_split_distance(t, t) == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(tree_shapes, st.integers(0, 500))
+    def test_metric_properties(self, shape, seed2):
+        n, seed = shape
+        ns = TaxonNamespace()
+        t1 = make_random_tree(n, seed=seed, namespace=ns)
+        t2 = make_random_tree(n, seed=seed2, namespace=ns)
+        d = matching_split_distance(t1, t2)
+        assert d == matching_split_distance(t2, t1)
+        assert d >= 0
+        assert matching_split_distance(t1, t1) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(tree_shapes)
+    def test_refines_rf_on_nni_neighbours(self, shape):
+        """One NNI changes one split by a bounded transfer: MS stays small
+        while being >= 1 when RF > 0."""
+        n, seed = shape
+        t1 = make_random_tree(n, seed=seed)
+        t2 = t1.copy()
+        random_nni(t2, rng=seed)
+        ms = matching_split_distance(t1, t2)
+        rf = robinson_foulds(t1, t2)
+        if rf == 0:
+            assert ms == 0
+        else:
+            assert 1 <= ms <= n
+
+    def test_zero_iff_equal_topology(self):
+        trees = trees_from_string("((A,B),(C,D));\n((B,A),(D,C));")
+        assert matching_split_distance(*trees) == 0
+
+    def test_namespace_and_taxa_checks(self):
+        t1 = trees_from_string("((A,B),(C,D));")[0]
+        t2 = trees_from_string("((A,B),(C,D));")[0]
+        with pytest.raises(CollectionError):
+            matching_split_distance(t1, t2)
+
+    def test_small_trees(self):
+        trees = trees_from_string("(A,B,C);\n(C,A,B);")
+        assert matching_split_distance(*trees) == 0

@@ -1,0 +1,162 @@
+"""Unit + property tests for triplet and quartet distances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rf import robinson_foulds
+from repro.metrics.quartet import (
+    leaf_distance_matrix,
+    n_quartets,
+    quartet_distance,
+    quartet_distance_sampled,
+    resolve_quartet,
+)
+from repro.metrics.triplet import (
+    lca_depth_matrix,
+    n_triplets,
+    resolve_triplet,
+    triplet_distance,
+    triplet_distance_sampled,
+)
+from repro.newick import parse_newick, trees_from_string
+from repro.trees import TaxonNamespace
+from repro.util.errors import CollectionError
+
+from tests.conftest import make_random_tree
+
+
+class TestLcaMatrix:
+    def test_quartet_tree(self):
+        t = parse_newick("((A,B),(C,D));")
+        lca = lca_depth_matrix(t)
+        assert lca[0, 1] == 1   # A,B meet below the root
+        assert lca[0, 2] == 0   # A,C meet at the root
+        assert lca[2, 3] == 1
+
+    def test_symmetric(self):
+        t = make_random_tree(12, seed=1)
+        lca = lca_depth_matrix(t)
+        assert (lca == lca.T).all()
+
+    def test_caterpillar_depths(self):
+        t = parse_newick("(((A,B),C),D);")
+        lca = lca_depth_matrix(t)
+        assert lca[0, 1] == 2 and lca[0, 2] == 1 and lca[0, 3] == 0
+
+
+class TestTriplet:
+    def test_counts(self):
+        assert n_triplets(4) == 4
+        assert n_triplets(10) == 120
+
+    def test_one_triplet_difference(self):
+        t1, t2 = trees_from_string("((A,B),C);\n((A,C),B);")
+        assert triplet_distance(t1, t2) == 1
+
+    def test_identity(self):
+        t = make_random_tree(10, seed=2)
+        assert triplet_distance(t, t) == 0
+
+    def test_polytomy_vs_resolved(self):
+        ns = TaxonNamespace(["A", "B", "C"])
+        star = parse_newick("(A,B,C);", ns)
+        resolved = parse_newick("((A,B),C);", ns)
+        assert triplet_distance(star, resolved) == 1
+
+    def test_symmetry_and_bound(self):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(9, seed=3, namespace=ns)
+        t2 = make_random_tree(9, seed=4, namespace=ns)
+        d = triplet_distance(t1, t2)
+        assert d == triplet_distance(t2, t1)
+        assert 0 <= d <= n_triplets(9)
+
+    def test_checks(self):
+        t1 = parse_newick("((A,B),C);")
+        t2 = parse_newick("((A,B),C);")
+        with pytest.raises(CollectionError):
+            triplet_distance(t1, t2)
+
+    def test_sampled_close_to_exact(self):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(12, seed=5, namespace=ns)
+        t2 = make_random_tree(12, seed=6, namespace=ns)
+        exact = triplet_distance(t1, t2) / n_triplets(12)
+        estimate = triplet_distance_sampled(t1, t2, samples=4000, rng=1)
+        assert abs(estimate - exact) < 0.05
+
+    def test_sampled_validation(self):
+        t = make_random_tree(6, seed=7)
+        with pytest.raises(ValueError):
+            triplet_distance_sampled(t, t, samples=0)
+
+
+class TestQuartetResolution:
+    def test_distance_matrix(self):
+        t = parse_newick("((A,B),(C,D));")
+        dist = leaf_distance_matrix(t)
+        assert dist[0, 1] == 2
+        assert dist[0, 2] == 4  # through the (degree-2) root
+        assert (dist == dist.T).all()
+        assert (np.diag(dist) == 0).all()
+
+    def test_resolves_quartet(self):
+        t = parse_newick("((A,B),(C,D));")
+        dist = leaf_distance_matrix(t)
+        assert resolve_quartet(dist, 0, 1, 2, 3) == 0  # AB|CD
+
+    def test_star_unresolved(self):
+        t = parse_newick("(A,B,C,D);")
+        dist = leaf_distance_matrix(t)
+        assert resolve_quartet(dist, 0, 1, 2, 3) == -1
+
+
+class TestQuartetDistance:
+    def test_counts(self):
+        assert n_quartets(5) == 5
+
+    def test_single_quartet(self):
+        t1, t2 = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        assert quartet_distance(t1, t2) == 1
+        assert quartet_distance(t1, t1) == 0
+
+    def test_rooting_invariance(self):
+        """The quartet distance must ignore the root placement."""
+        ns = TaxonNamespace()
+        rooted = parse_newick("(((A,B),C),(D,E));", ns)
+        rerooted = parse_newick("((D,E),((A,B),C));", ns)
+        assert quartet_distance(rooted, rerooted) == 0
+
+    def test_rf_zero_implies_quartet_zero(self):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(10, seed=8, namespace=ns)
+        t2 = make_random_tree(10, seed=9, namespace=ns)
+        if robinson_foulds(t1, t2) == 0:
+            assert quartet_distance(t1, t2) == 0
+        assert quartet_distance(t1, t1) == 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(5, 10), st.integers(0, 200), st.integers(0, 200))
+    def test_metric_properties(self, n, s1, s2):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(n, seed=s1, namespace=ns)
+        t2 = make_random_tree(n, seed=s2, namespace=ns)
+        d = quartet_distance(t1, t2)
+        assert d == quartet_distance(t2, t1)
+        assert 0 <= d <= n_quartets(n)
+
+    def test_sampled_close_to_exact(self):
+        ns = TaxonNamespace()
+        t1 = make_random_tree(12, seed=10, namespace=ns)
+        t2 = make_random_tree(12, seed=11, namespace=ns)
+        exact = quartet_distance(t1, t2) / n_quartets(12)
+        estimate = quartet_distance_sampled(t1, t2, samples=4000, rng=2)
+        assert abs(estimate - exact) < 0.05
+
+    def test_checks(self):
+        t1 = parse_newick("((A,B),(C,D));")
+        t2 = parse_newick("((A,B),(C,D));")
+        with pytest.raises(CollectionError):
+            quartet_distance(t1, t2)

@@ -1,0 +1,95 @@
+"""Fuzz tests: parsers must terminate with a library error, never crash.
+
+Malformed tree files are everyday reality (truncated downloads, mixed
+formats, editor mangling).  These tests feed adversarial text to the
+Newick and NEXUS parsers and assert the failure contract: either a
+successful parse or a :class:`ReproError` subclass — never an unhandled
+exception, never a hang.
+"""
+
+from __future__ import annotations
+
+import io
+
+from hypothesis import example, given, settings
+from hypothesis import strategies as st
+
+from repro.newick import parse_newick, write_newick
+from repro.newick.io import iter_newick_strings
+from repro.newick.nexus import read_nexus_trees
+from repro.util.errors import ReproError
+
+# Character soup weighted toward Newick-structural characters so the
+# fuzzer actually reaches deep parser states.
+newick_soup = st.text(
+    alphabet=st.sampled_from(list("(),;:'[]ABCxyz0123._- \t\n")),
+    max_size=80,
+)
+
+
+class TestNewickFuzz:
+    @settings(max_examples=300, deadline=None)
+    @example("((A,B),(C,D));")
+    @example("(((((((")
+    @example("';';';'")
+    @example("(A:(B));")
+    @example("[[[]]];")
+    @example("(A)(B);")
+    @example(");(")
+    @given(newick_soup)
+    def test_parse_contract(self, text):
+        try:
+            tree = parse_newick(text)
+        except ReproError:
+            return
+        # Successful parses must produce a serializable tree.
+        assert write_newick(tree).endswith(";")
+
+    @settings(max_examples=200, deadline=None)
+    @given(newick_soup)
+    def test_record_splitter_contract(self, text):
+        try:
+            records = list(iter_newick_strings(io.StringIO(text)))
+        except ReproError:
+            return
+        for record in records:
+            assert record.endswith(";")
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(newick_soup, max_size=5))
+    def test_multirecord_streams(self, chunks):
+        stream = io.StringIO("\n".join(chunks))
+        try:
+            for record in iter_newick_strings(stream):
+                try:
+                    parse_newick(record)
+                except ReproError:
+                    pass
+        except ReproError:
+            pass
+
+
+nexus_soup = st.text(
+    alphabet=st.sampled_from(list("(),;:'=#NEXUSBEGINTREESTRANSLATED abc123\n\t")),
+    max_size=120,
+)
+
+
+class TestNexusFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(nexus_soup)
+    def test_reader_contract(self, text):
+        try:
+            trees = read_nexus_trees(io.StringIO(text))
+        except ReproError:
+            return
+        for tree in trees:
+            assert tree.n_leaves >= 1
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=60))
+    def test_arbitrary_unicode(self, text):
+        try:
+            read_nexus_trees(io.StringIO("#NEXUS\n" + text))
+        except ReproError:
+            pass

@@ -1,0 +1,115 @@
+"""Tests for gzip-transparent IO and the NEXUS writer."""
+
+import gzip
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bipartitions import bipartition_masks, bipartitions_with_lengths
+from repro.newick.io import open_tree_file, read_newick_file, write_newick_file
+from repro.newick.nexus import read_nexus_trees
+from repro.newick.nexus_writer import nexus_string, write_nexus_file
+from repro.trees import TaxonNamespace
+from repro.util.errors import CollectionError
+
+from tests.conftest import collection_shapes, make_collection
+
+
+class TestGzipIO:
+    def test_roundtrip_gz(self, tmp_path):
+        trees = make_collection(10, 6, seed=1)
+        path = tmp_path / "trees.nwk.gz"
+        assert write_newick_file(path, trees) == 6
+        # The file is genuinely gzipped.
+        with gzip.open(path, "rt") as fh:
+            assert fh.readline().strip().endswith(";")
+        loaded = read_newick_file(path, TaxonNamespace(trees[0].taxon_namespace.labels))
+        assert len(loaded) == 6
+        for a, b in zip(trees, loaded):
+            assert bipartition_masks(a) == bipartition_masks(b)
+
+    def test_plain_unchanged(self, tmp_path):
+        trees = make_collection(6, 3, seed=2)
+        path = tmp_path / "plain.nwk"
+        write_newick_file(path, trees)
+        raw = path.read_bytes()
+        assert raw.startswith(b"(")  # not gzip magic
+
+    def test_open_mode_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_tree_file(tmp_path / "x", "a")
+
+    def test_gz_smaller_than_plain(self, tmp_path):
+        trees = make_collection(24, 60, seed=3)
+        plain = tmp_path / "c.nwk"
+        packed = tmp_path / "c.nwk.gz"
+        write_newick_file(plain, trees)
+        write_newick_file(packed, trees)
+        assert packed.stat().st_size < plain.stat().st_size / 2
+
+
+class TestNexusWriter:
+    def test_roundtrip_topology_and_lengths(self, tmp_path):
+        trees = make_collection(10, 5, seed=4)
+        path = tmp_path / "out.nex"
+        assert write_nexus_file(path, trees) == 5
+        ns = TaxonNamespace(trees[0].taxon_namespace.labels)
+        loaded = read_nexus_trees(path, ns)
+        assert len(loaded) == 5
+        for a, b in zip(trees, loaded):
+            assert bipartition_masks(a) == bipartition_masks(b)
+            wa = bipartitions_with_lengths(a)
+            wb = bipartitions_with_lengths(b)
+            assert set(wa) == set(wb)
+            for mask in wa:
+                assert wa[mask] == pytest.approx(wb[mask], rel=1e-9)
+
+    def test_untranslated_form(self, tmp_path):
+        trees = make_collection(8, 3, seed=5)
+        path = tmp_path / "plain.nex"
+        write_nexus_file(path, trees, translate=False)
+        text = path.read_text()
+        assert "TRANSLATE" not in text
+        loaded = read_nexus_trees(path)
+        assert len(loaded) == 3
+
+    def test_gzipped_nexus(self, tmp_path):
+        import io as _io
+
+        trees = make_collection(8, 4, seed=6)
+        path = tmp_path / "c.nex.gz"
+        write_nexus_file(path, trees)
+        with gzip.open(path, "rt") as fh:
+            loaded = read_nexus_trees(_io.StringIO(fh.read()))
+        assert len(loaded) == 4
+
+    def test_string_form_structure(self):
+        trees = make_collection(6, 2, seed=7)
+        text = nexus_string(trees)
+        assert text.startswith("#NEXUS")
+        assert "BEGIN TAXA;" in text and "BEGIN TREES;" in text
+        assert text.count("TREE tree_") == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(CollectionError):
+            nexus_string([])
+
+    def test_mixed_namespace_rejected(self):
+        a = make_collection(6, 1, seed=8)
+        b = make_collection(6, 1, seed=9)
+        with pytest.raises(CollectionError):
+            nexus_string(a + b)
+
+    @settings(max_examples=15, deadline=None)
+    @given(collection_shapes)
+    def test_roundtrip_property(self, shape):
+        import tempfile, os
+        n, r, seed = shape
+        trees = make_collection(n, r, seed=seed)
+        path = os.path.join(tempfile.mkdtemp(prefix="nx"), "t.nex")
+        write_nexus_file(path, trees, include_lengths=False)
+        loaded = read_nexus_trees(
+            path, TaxonNamespace(trees[0].taxon_namespace.labels))
+        assert len(loaded) == r
+        for a, b in zip(trees, loaded):
+            assert bipartition_masks(a) == bipartition_masks(b)

@@ -1,0 +1,90 @@
+"""Unit tests for repro.newick.lexer."""
+
+import pytest
+
+from repro.newick.lexer import Token, TokenType, tokenize
+from repro.util.errors import NewickParseError
+
+
+def types(text):
+    return [t.type.name for t in tokenize(text)]
+
+
+def labels(text):
+    return [t.value for t in tokenize(text) if t.type is TokenType.LABEL]
+
+
+class TestStructural:
+    def test_basic_sequence(self):
+        assert types("(A,B);") == ["LPAREN", "LABEL", "COMMA", "LABEL",
+                                   "RPAREN", "SEMICOLON", "EOF"]
+
+    def test_colon_and_length(self):
+        assert labels("(A:0.5,B:1e-3);") == ["A", "0.5", "B", "1e-3"]
+
+    def test_whitespace_skipped(self):
+        assert types(" ( A ,\tB ) ;\n") == types("(A,B);")
+
+    def test_empty_input_only_eof(self):
+        assert types("") == ["EOF"]
+
+    def test_positions_recorded(self):
+        tokens = list(tokenize("(AB,C);"))
+        assert tokens[0].position == 0
+        assert tokens[1].position == 1
+        assert tokens[3].position == 4
+
+
+class TestQuotedLabels:
+    def test_simple_quote(self):
+        assert labels("('Homo sapiens',B);") == ["Homo sapiens", "B"]
+
+    def test_structural_chars_inside_quotes(self):
+        assert labels("('a(b,c);:d',B);") == ["a(b,c);:d", "B"]
+
+    def test_doubled_quote_escape(self):
+        assert labels("('it''s',B);") == ["it's", "B"]
+
+    def test_unterminated_quote(self):
+        with pytest.raises(NewickParseError):
+            list(tokenize("('abc,B);"))
+
+    def test_empty_quoted_label(self):
+        assert labels("('',B);") == ["", "B"]
+
+
+class TestComments:
+    def test_comment_skipped(self):
+        assert labels("(A[this is a comment],B);") == ["A", "B"]
+
+    def test_comment_with_structural_chars(self):
+        assert labels("(A[,;()],B);") == ["A", "B"]
+
+    def test_unterminated_comment(self):
+        with pytest.raises(NewickParseError):
+            list(tokenize("(A[oops,B);"))
+
+
+class TestErrors:
+    def test_stray_close_bracket(self):
+        with pytest.raises(NewickParseError):
+            list(tokenize("(A]B);"))
+
+    def test_error_carries_position(self):
+        try:
+            list(tokenize("(A']"))
+        except NewickParseError as exc:
+            assert exc.position == 2
+        else:  # pragma: no cover
+            pytest.fail("expected NewickParseError")
+
+
+class TestUnquotedLabels:
+    def test_underscores_kept_verbatim(self):
+        assert labels("(Homo_sapiens,B);") == ["Homo_sapiens", "B"]
+
+    def test_numeric_labels(self):
+        assert labels("(1,2);") == ["1", "2"]
+
+    def test_special_free_chars(self):
+        assert labels("(a-b.c|d,B);") == ["a-b.c|d", "B"]

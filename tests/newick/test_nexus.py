@@ -1,0 +1,121 @@
+"""Unit tests for the minimal NEXUS TREES reader."""
+
+import io
+
+import pytest
+
+from repro.bipartitions import bipartition_masks
+from repro.newick import parse_newick
+from repro.newick.nexus import iter_nexus_trees, parse_translate_block, read_nexus_trees
+from repro.trees import TaxonNamespace
+from repro.util.errors import NewickParseError
+
+BASIC = """#NEXUS
+BEGIN TREES;
+  TRANSLATE
+    1 A,
+    2 B,
+    3 C,
+    4 D;
+  TREE t1 = [&U] ((1,2),(3,4));
+  TREE t2 = [&R] ((1,3),(2,4));
+END;
+"""
+
+NO_TRANSLATE = """#NEXUS
+BEGIN TREES;
+  TREE one = ((A,B),(C,D));
+END;
+"""
+
+WITH_OTHER_BLOCKS = """#NEXUS
+BEGIN TAXA;
+  DIMENSIONS NTAX=4;
+  TAXLABELS A B C D;
+END;
+BEGIN TREES;
+  TREE a = ((A,B),(C,D));
+END;
+BEGIN NOTES;
+  TEXT whatever;
+END;
+"""
+
+
+class TestTranslate:
+    def test_basic_table(self):
+        assert parse_translate_block("TRANSLATE 1 Homo_sapiens, 2 Pan") == {
+            "1": "Homo_sapiens", "2": "Pan"}
+
+    def test_quoted_labels(self):
+        table = parse_translate_block("TRANSLATE 1 'Homo sapiens'")
+        assert table == {"1": "Homo sapiens"}
+
+    def test_malformed_entry(self):
+        with pytest.raises(NewickParseError):
+            parse_translate_block("TRANSLATE justonetoken,")
+
+
+class TestReader:
+    def test_basic_file(self):
+        trees = read_nexus_trees(io.StringIO(BASIC))
+        assert len(trees) == 2
+        assert sorted(trees[0].leaf_labels()) == ["A", "B", "C", "D"]
+        assert bipartition_masks(trees[0]) == {0b0011}
+
+    def test_shared_namespace_across_trees(self):
+        trees = read_nexus_trees(io.StringIO(BASIC))
+        assert trees[0].taxon_namespace is trees[1].taxon_namespace
+
+    def test_no_translate(self):
+        trees = read_nexus_trees(io.StringIO(NO_TRANSLATE))
+        assert sorted(trees[0].leaf_labels()) == ["A", "B", "C", "D"]
+
+    def test_other_blocks_skipped(self):
+        trees = read_nexus_trees(io.StringIO(WITH_OTHER_BLOCKS))
+        assert len(trees) == 1
+
+    def test_missing_header_rejected(self):
+        with pytest.raises(NewickParseError):
+            read_nexus_trees(io.StringIO("BEGIN TREES; TREE a = (A,B); END;"))
+
+    def test_string_input(self):
+        trees = read_nexus_trees(BASIC)
+        assert len(trees) == 2
+
+    def test_path_input(self, tmp_path):
+        path = tmp_path / "trees.nex"
+        path.write_text(BASIC)
+        trees = read_nexus_trees(path)
+        assert len(trees) == 2
+
+    def test_streaming(self):
+        it = iter_nexus_trees(io.StringIO(BASIC))
+        first = next(it)
+        assert first.n_leaves == 4
+
+    def test_external_namespace(self):
+        ns = TaxonNamespace(["A", "B", "C", "D"])
+        trees = read_nexus_trees(io.StringIO(BASIC), ns)
+        assert trees[0].taxon_namespace is ns
+        assert len(ns) == 4
+
+    def test_comparable_with_newick_parsed_trees(self):
+        """NEXUS trees must interoperate with Newick-parsed ones."""
+        from repro.core.rf import robinson_foulds
+
+        ns = TaxonNamespace()
+        nexus_trees = read_nexus_trees(io.StringIO(BASIC), ns)
+        newick_tree = parse_newick("((A,B),(C,D));", ns)
+        assert robinson_foulds(nexus_trees[0], newick_tree) == 0
+        assert robinson_foulds(nexus_trees[1], newick_tree) == 2
+
+    def test_multiline_tree_statement(self):
+        text = "#NEXUS\nBEGIN TREES;\nTREE x =\n ((A,B),\n (C,D));\nEND;\n"
+        trees = read_nexus_trees(io.StringIO(text))
+        assert trees[0].n_leaves == 4
+
+    def test_star_tree_annotations_stripped(self):
+        text = "#NEXUS\nBEGIN TREES;\nTREE * best = [&U][&lnL=-5] ((A,B),(C,D));\nEND;\n"
+        trees = read_nexus_trees(io.StringIO(text))
+        assert trees[0].n_leaves == 4

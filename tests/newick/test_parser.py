@@ -1,0 +1,128 @@
+"""Unit tests for repro.newick.parser."""
+
+import pytest
+
+from repro.newick import parse_newick
+from repro.trees import TaxonNamespace
+from repro.util.errors import NewickParseError, TaxonError
+
+
+class TestBasicParsing:
+    def test_quartet(self):
+        t = parse_newick("((A,B),(C,D));")
+        assert t.n_leaves == 4
+        assert t.leaf_labels() == ["A", "B", "C", "D"]
+
+    def test_polytomy(self):
+        t = parse_newick("(A,B,C,D,E);")
+        assert len(t.root.children) == 5
+
+    def test_nested_depth(self):
+        t = parse_newick("(((((A,B),C),D),E),F);")
+        assert t.n_leaves == 6
+
+    def test_branch_lengths(self):
+        t = parse_newick("((A:1.5,B:2):0.25,(C:1e-2,D:3E1):0);")
+        lengths = {l.taxon.label: l.length for l in t.leaves()}
+        assert lengths == {"A": 1.5, "B": 2.0, "C": 0.01, "D": 30.0}
+
+    def test_internal_labels(self):
+        t = parse_newick("((A,B)clade1:0.5,(C,D)clade2);")
+        internal = [n for n in t.internal_nodes() if n.label]
+        assert sorted(n.label for n in internal) == ["clade1", "clade2"]
+
+    def test_negative_branch_length(self):
+        t = parse_newick("(A:-0.5,B:1);")
+        assert next(t.leaves()).length == -0.5
+
+    def test_bare_leaf_tree(self):
+        t = parse_newick("A;")
+        assert t.n_leaves == 1
+        assert t.root.taxon.label == "A"
+
+    def test_bare_leaf_with_length(self):
+        t = parse_newick("A:3.5;")
+        assert t.root.length == 3.5
+
+    def test_quoted_labels(self):
+        t = parse_newick("(('Homo sapiens','Pan (chimp)'),(C,D));")
+        assert "Homo sapiens" in t.taxon_namespace
+        assert "Pan (chimp)" in t.taxon_namespace
+
+    def test_underscores_to_spaces_option(self):
+        t = parse_newick("(Homo_sapiens,B);", underscores_to_spaces=True)
+        assert "Homo sapiens" in t.taxon_namespace
+
+    def test_comments_ignored(self):
+        t = parse_newick("((A[&support=1],B),(C,D))[whole tree];")
+        assert t.n_leaves == 4
+
+    def test_whitespace_and_newlines(self):
+        t = parse_newick("(\n (A , B) ,\n (C, D)\n) ;")
+        assert t.n_leaves == 4
+
+
+class TestNamespaceBinding:
+    def test_shared_namespace(self):
+        ns = TaxonNamespace()
+        t1 = parse_newick("((A,B),(C,D));", ns)
+        t2 = parse_newick("((D,C),(B,A));", ns)
+        assert t1.taxon_namespace is t2.taxon_namespace
+        assert len(ns) == 4
+
+    def test_fresh_namespace_when_none(self):
+        t1 = parse_newick("(A,B,C);")
+        t2 = parse_newick("(A,B,C);")
+        assert t1.taxon_namespace is not t2.taxon_namespace
+
+    def test_duplicate_taxon_in_one_tree(self):
+        with pytest.raises(TaxonError):
+            parse_newick("((A,B),(A,C));")
+
+    def test_duplicate_across_trees_is_fine(self):
+        ns = TaxonNamespace()
+        parse_newick("((A,B),(C,D));", ns)
+        parse_newick("((A,B),(C,D));", ns)
+        assert len(ns) == 4
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "   ",
+        "((A,B),(C,D))",       # missing semicolon
+        "((A,B),(C,D)",        # unbalanced
+        "(A,B));",             # extra close
+        "(A,,B);",             # empty subtree
+        "();",                 # empty group
+        "(A:;B);",             # missing length after colon
+        "(A:x,B);",            # bad length
+        ",A;",                 # leading comma
+        "(A B);",              # two labels with no separator: B is internal label misplace
+    ])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(NewickParseError):
+            parse_newick(bad)
+
+    def test_error_position_reported(self):
+        try:
+            parse_newick("((A,B),(C,D)");
+        except NewickParseError as exc:
+            assert "position" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected NewickParseError")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(NewickParseError):
+            parse_newick("(A,(B,C);")
+
+
+class TestLargeInput:
+    def test_deep_ladder_parses_iteratively(self):
+        n = 2000
+        text = "(" * (n - 1) + "t0"
+        for i in range(1, n):
+            text += f",t{i})"
+        text += ";"
+        t = parse_newick(text)
+        assert t.n_leaves == n

@@ -1,0 +1,68 @@
+"""Property-based round-trip tests: parse(write(tree)) preserves everything."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartitions import bipartition_masks, bipartitions_with_lengths
+from repro.newick import parse_newick, write_newick
+from repro.trees import TaxonNamespace
+
+from tests.conftest import make_random_tree, tree_shapes
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree_shapes)
+def test_topology_roundtrip(shape):
+    n, seed = shape
+    tree = make_random_tree(n, seed=seed, with_lengths=False)
+    text = write_newick(tree)
+    ns = TaxonNamespace(tree.taxon_namespace.labels)
+    again = parse_newick(text, ns)
+    assert bipartition_masks(again) == bipartition_masks(tree)
+    assert again.leaf_labels() == tree.leaf_labels()
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree_shapes)
+def test_lengths_roundtrip_exact(shape):
+    n, seed = shape
+    tree = make_random_tree(n, seed=seed, with_lengths=True)
+    text = write_newick(tree)  # repr precision: exact float round trip
+    ns = TaxonNamespace(tree.taxon_namespace.labels)
+    again = parse_newick(text, ns)
+    assert bipartitions_with_lengths(again) == bipartitions_with_lengths(tree)
+
+
+@settings(max_examples=50, deadline=None)
+@given(tree_shapes)
+def test_double_roundtrip_fixed_point(shape):
+    n, seed = shape
+    tree = make_random_tree(n, seed=seed)
+    once = write_newick(tree)
+    ns = TaxonNamespace(tree.taxon_namespace.labels)
+    twice = write_newick(parse_newick(once, ns))
+    assert once == twice
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        min_size=1, max_size=12,
+    ),
+    min_size=4, max_size=12, unique=True,
+))
+def test_arbitrary_labels_survive_quoting(labels):
+    # Build a star tree over arbitrary printable labels; quoting must make
+    # the output parseable and label-preserving.
+    ns = TaxonNamespace(labels)
+    from repro.trees.node import Node
+    from repro.trees.tree import Tree
+
+    root = Node()
+    for label in labels:
+        root.add_child(Node(ns[label]))
+    tree = Tree(root, ns)
+    text = write_newick(tree)
+    again = parse_newick(text)
+    assert again.leaf_labels() == labels

@@ -1,0 +1,105 @@
+"""Unit tests for repro.simulation.coalescent (MSC gene trees)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.day import day_rf
+from repro.newick import parse_newick
+from repro.simulation.coalescent import gene_tree_msc, node_ages
+from repro.simulation.yule import yule_tree
+from repro.trees.validate import validate_tree
+from repro.util.errors import SimulationError, TreeStructureError
+
+
+class TestNodeAges:
+    def test_ultrametric_leaves_zero(self):
+        t = yule_tree(10, rng=1)
+        ages = node_ages(t)
+        for leaf in t.leaves():
+            assert ages[id(leaf)] == pytest.approx(0.0, abs=1e-12)
+
+    def test_root_is_oldest(self):
+        t = yule_tree(10, rng=2)
+        ages = node_ages(t)
+        assert ages[id(t.root)] == max(ages.values())
+
+    def test_manual_tree(self):
+        t = parse_newick("((A:1,B:1):1,C:2);")
+        ages = node_ages(t)
+        assert ages[id(t.root)] == pytest.approx(2.0)
+
+    def test_requires_lengths(self):
+        t = parse_newick("((A,B),(C,D));")
+        with pytest.raises(TreeStructureError):
+            node_ages(t)
+
+
+class TestGeneTree:
+    def test_same_taxa_and_namespace(self):
+        sp = yule_tree(12, rng=3)
+        g = gene_tree_msc(sp, rng=4)
+        assert g.taxon_namespace is sp.taxon_namespace
+        assert sorted(g.leaf_labels()) == sorted(sp.leaf_labels())
+
+    def test_binary_and_valid(self):
+        sp = yule_tree(15, rng=5)
+        g = gene_tree_msc(sp, rng=6)
+        validate_tree(g, require_binary=True)
+        assert g.is_binary()
+
+    def test_deterministic(self):
+        from repro.newick import write_newick
+
+        sp = yule_tree(10, rng=7)
+        a = gene_tree_msc(sp, rng=8)
+        b = gene_tree_msc(sp, rng=8)
+        assert write_newick(a) == write_newick(b)
+
+    def test_branch_lengths_nonnegative(self):
+        sp = yule_tree(20, rng=9)
+        g = gene_tree_msc(sp, rng=10)
+        for node in g.preorder():
+            if node.parent is not None:
+                assert node.length is not None and node.length >= -1e-12
+
+    def test_gene_tree_root_at_least_species_root_age(self):
+        sp = yule_tree(10, rng=11)
+        g = gene_tree_msc(sp, rng=12)
+        assert max(node_ages(g).values()) >= max(node_ages(sp).values()) - 1e-9
+
+    def test_pop_scale_controls_discordance(self):
+        """Small populations (fast coalescence) -> gene trees track the
+        species tree; large -> heavy incomplete lineage sorting."""
+        sp = yule_tree(24, rng=13)
+        rng_tight = np.random.default_rng(14)
+        rng_loose = np.random.default_rng(14)
+        tight = np.mean([day_rf(sp, gene_tree_msc(sp, pop_scale=0.01, rng=rng_tight))
+                         for _ in range(10)])
+        loose = np.mean([day_rf(sp, gene_tree_msc(sp, pop_scale=20.0, rng=rng_loose))
+                         for _ in range(10)])
+        assert tight < loose
+
+    def test_tiny_pop_scale_recovers_species_tree(self):
+        sp = yule_tree(16, rng=15)
+        g = gene_tree_msc(sp, pop_scale=1e-6, rng=16)
+        assert day_rf(sp, g) == 0
+
+    def test_rejects_bad_pop_scale(self):
+        sp = yule_tree(6, rng=17)
+        with pytest.raises(SimulationError):
+            gene_tree_msc(sp, pop_scale=0.0)
+
+    def test_species_tree_without_lengths_rejected(self):
+        sp = parse_newick("((A,B),(C,D));")
+        with pytest.raises(TreeStructureError):
+            gene_tree_msc(sp)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(4, 32), st.integers(0, 2000))
+    def test_property_always_valid(self, n, seed):
+        sp = yule_tree(n, rng=seed)
+        g = gene_tree_msc(sp, rng=seed + 1)
+        assert g.n_leaves == n
+        assert g.is_binary()

@@ -1,0 +1,108 @@
+"""Unit tests for repro.simulation.datasets (the Table II factory)."""
+
+import pytest
+
+from repro.simulation.datasets import (
+    avian_like,
+    clear_dataset_cache,
+    insect_like,
+    table2_datasets,
+    variable_taxa,
+    variable_trees,
+)
+from repro.trees.validate import validate_collection
+from repro.util.errors import SimulationError
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_dataset_cache()
+    yield
+    clear_dataset_cache()
+
+
+class TestFamilies:
+    def test_avian_shape(self):
+        ds = avian_like(r=20)
+        assert ds.n_taxa == 48
+        assert ds.n_trees == 20
+        assert ds.kind == "real-like"
+        validate_collection(ds.trees, require_binary=True)
+
+    def test_avian_is_weighted(self):
+        ds = avian_like(r=5)
+        lengths = [n.length for t in ds.trees for n in t.preorder()
+                   if n.parent is not None]
+        assert all(l is not None for l in lengths)
+
+    def test_insect_shape_and_unweighted(self):
+        ds = insect_like(r=5)
+        assert ds.n_taxa == 144
+        lengths = [n.length for t in ds.trees for n in t.preorder()]
+        assert all(l is None for l in lengths)
+
+    def test_variable_trees(self):
+        ds = variable_trees(15)
+        assert ds.n_taxa == 100
+        assert ds.n_trees == 15
+
+    def test_variable_taxa(self):
+        ds = variable_taxa(30, r=10)
+        assert ds.n_taxa == 30
+        assert ds.n_trees == 10
+
+    def test_shared_namespace_within_dataset(self):
+        ds = variable_trees(8)
+        assert all(t.taxon_namespace is ds.namespace for t in ds.trees)
+
+    def test_species_tree_attached(self):
+        ds = variable_trees(5)
+        assert ds.species_tree is not None
+        assert ds.species_tree.n_leaves == 100
+
+
+class TestDeterminismAndCache:
+    def test_same_seed_same_trees(self):
+        from repro.newick import write_newick
+
+        a = variable_trees(6, seed=5)
+        clear_dataset_cache()
+        b = variable_trees(6, seed=5)
+        assert [write_newick(t, include_lengths=False) for t in a.trees] == \
+            [write_newick(t, include_lengths=False) for t in b.trees]
+
+    def test_different_seeds_differ(self):
+        from repro.newick import write_newick
+
+        a = variable_trees(6, seed=5)
+        b = variable_trees(6, seed=6)
+        assert [write_newick(t) for t in a.trees] != [write_newick(t) for t in b.trees]
+
+    def test_cache_returns_same_object(self):
+        a = variable_trees(6, seed=5)
+        b = variable_trees(6, seed=5)
+        assert a is b
+
+
+class TestPrefix:
+    def test_prefix_protocol(self):
+        ds = variable_trees(10)
+        head = ds.prefix(4)
+        assert head.n_trees == 4
+        assert head.trees == ds.trees[:4]
+        assert head.n_taxa == ds.n_taxa
+
+    def test_prefix_too_long(self):
+        ds = variable_trees(5)
+        with pytest.raises(SimulationError):
+            ds.prefix(6)
+
+
+class TestTable2:
+    def test_all_four_families(self):
+        datasets = table2_datasets(avian_r=5, insect_r=4, vt_r=6, vs_n=20, vs_r=3)
+        names = [d.name for d in datasets]
+        assert names == ["Avian-like", "Insect-like", "Variable Trees",
+                         "Variable Species"]
+        assert [d.n_taxa for d in datasets] == [48, 144, 100, 20]
+        assert [d.n_trees for d in datasets] == [5, 4, 6, 3]

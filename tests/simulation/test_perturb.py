@@ -1,0 +1,126 @@
+"""Unit tests for repro.simulation.perturb (NNI / SPR moves)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rf import robinson_foulds
+from repro.newick import parse_newick
+from repro.simulation.perturb import perturbed_collection, random_nni, random_spr
+from repro.simulation.yule import yule_tree
+from repro.trees.validate import validate_tree
+from repro.util.errors import SimulationError
+
+
+class TestNNI:
+    def test_preserves_leaves_and_binaryness(self):
+        t = yule_tree(14, rng=1)
+        labels = sorted(t.leaf_labels())
+        random_nni(t, rng=2)
+        assert sorted(t.leaf_labels()) == labels
+        assert t.is_binary()
+        validate_tree(t)
+
+    def test_changes_at_most_one_split(self):
+        base = yule_tree(14, rng=3)
+        moved = base.copy()
+        random_nni(moved, rng=4)
+        assert robinson_foulds(base, moved) <= 2
+
+    def test_too_small_tree(self):
+        t = parse_newick("(A,B,C);")
+        with pytest.raises(SimulationError):
+            random_nni(t, rng=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(5, 24), st.integers(0, 3000))
+    def test_property_valid_after_many_moves(self, n, seed):
+        t = yule_tree(n, rng=seed)
+        for i in range(5):
+            random_nni(t, rng=seed + i)
+        assert t.n_leaves == n
+        assert t.is_binary()
+        validate_tree(t)
+
+
+class TestSPR:
+    def test_preserves_leaves(self):
+        t = yule_tree(14, rng=5)
+        labels = sorted(t.leaf_labels())
+        random_spr(t, rng=6)
+        assert sorted(t.leaf_labels()) == labels
+        validate_tree(t)
+
+    def test_changes_topology_usually(self):
+        base = yule_tree(20, rng=7)
+        distances = []
+        for seed in range(8):
+            moved = base.copy()
+            random_spr(moved, rng=seed)
+            distances.append(robinson_foulds(base, moved))
+        assert any(d > 0 for d in distances)
+
+    def test_too_small_tree(self):
+        t = parse_newick("(A,B);")
+        with pytest.raises(SimulationError):
+            random_spr(t, rng=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(5, 20), st.integers(0, 3000))
+    def test_property_valid_after_moves(self, n, seed):
+        t = yule_tree(n, rng=seed)
+        for i in range(3):
+            random_spr(t, rng=seed * 7 + i)
+        assert t.n_leaves == n
+        validate_tree(t)
+
+
+class TestPerturbedCollection:
+    def test_sizes(self):
+        base = yule_tree(12, rng=8)
+        col = perturbed_collection(base, 7, moves=2, rng=9)
+        assert len(col) == 7
+        assert all(t.n_leaves == 12 for t in col)
+        assert all(t.taxon_namespace is base.taxon_namespace for t in col)
+
+    def test_zero_moves_identical(self):
+        base = yule_tree(10, rng=10)
+        col = perturbed_collection(base, 3, moves=0, rng=11)
+        assert all(robinson_foulds(base, t) == 0 for t in col)
+
+    def test_rf_grows_with_moves(self):
+        base = yule_tree(30, rng=12)
+        near = perturbed_collection(base, 10, moves=1, rng=13)
+        far = perturbed_collection(base, 10, moves=15, rng=13)
+        mean = lambda col: sum(robinson_foulds(base, t) for t in col) / len(col)
+        assert mean(near) < mean(far)
+
+    def test_deterministic(self):
+        from repro.newick import write_newick
+
+        base = yule_tree(10, rng=14)
+        a = perturbed_collection(base, 4, moves=3, rng=15)
+        b = perturbed_collection(base, 4, moves=3, rng=15)
+        assert [write_newick(t) for t in a] == [write_newick(t) for t in b]
+
+    def test_spr_kind(self):
+        base = yule_tree(12, rng=16)
+        col = perturbed_collection(base, 3, moves=1, move_kind="spr", rng=17)
+        assert len(col) == 3
+
+    def test_validation(self):
+        base = yule_tree(8, rng=18)
+        with pytest.raises(SimulationError):
+            perturbed_collection(base, -1, rng=19)
+        with pytest.raises(SimulationError):
+            perturbed_collection(base, 1, moves=-1, rng=19)
+        with pytest.raises(SimulationError):
+            perturbed_collection(base, 1, move_kind="teleport", rng=19)
+
+    def test_base_untouched(self):
+        from repro.newick import write_newick
+
+        base = yule_tree(12, rng=20)
+        before = write_newick(base)
+        perturbed_collection(base, 5, moves=4, rng=21)
+        assert write_newick(base) == before

@@ -1,0 +1,130 @@
+"""Unit tests for repro.simulation.yule and .birthdeath."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.birthdeath import birth_death_tree
+from repro.simulation.coalescent import node_ages
+from repro.simulation.yule import default_labels, yule_tree
+from repro.trees import TaxonNamespace
+from repro.trees.validate import validate_tree
+from repro.util.errors import SimulationError
+
+
+class TestDefaultLabels:
+    def test_padding(self):
+        assert default_labels(3) == ["T000", "T001", "T002"]
+
+    def test_wide_padding(self):
+        labels = default_labels(1500)
+        assert labels[0] == "T0000"
+        assert labels[-1] == "T1499"
+        assert sorted(labels) == labels
+
+    def test_prefix(self):
+        assert default_labels(2, prefix="sp")[0] == "sp000"
+
+
+class TestYule:
+    def test_leaf_count_and_binary(self):
+        t = yule_tree(20, rng=1)
+        assert t.n_leaves == 20
+        assert t.is_binary()
+        validate_tree(t, require_binary=True)
+
+    def test_deterministic(self):
+        from repro.newick import write_newick
+
+        assert write_newick(yule_tree(10, rng=9)) == write_newick(yule_tree(10, rng=9))
+
+    def test_ultrametric(self):
+        t = yule_tree(15, rng=2)
+        ages = node_ages(t)
+        leaf_ages = [ages[id(leaf)] for leaf in t.leaves()]
+        assert max(leaf_ages) == pytest.approx(0.0, abs=1e-12)
+        assert all(abs(a) < 1e-9 for a in leaf_ages)
+
+    def test_explicit_labels(self):
+        t = yule_tree(["x", "y", "z"], rng=3)
+        assert sorted(t.leaf_labels()) == ["x", "y", "z"]
+
+    def test_shared_namespace(self):
+        ns = TaxonNamespace()
+        t = yule_tree(8, namespace=ns, rng=4)
+        assert t.taxon_namespace is ns
+        assert len(ns) == 8
+
+    def test_birth_rate_scales_depth(self):
+        slow = yule_tree(30, birth_rate=0.5, rng=5)
+        fast = yule_tree(30, birth_rate=50.0, rng=5)
+        depth = lambda t: max(node_ages(t).values())
+        assert depth(slow) > depth(fast)
+
+    @pytest.mark.parametrize("bad", [0, -1.0])
+    def test_rejects_bad_rate(self, bad):
+        with pytest.raises(SimulationError):
+            yule_tree(5, birth_rate=bad)
+
+    def test_rejects_one_taxon(self):
+        with pytest.raises(SimulationError):
+            yule_tree(1)
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(SimulationError):
+            yule_tree(["a", "a"])
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 64), st.integers(0, 10_000))
+    def test_property_valid_binary(self, n, seed):
+        t = yule_tree(n, rng=seed)
+        assert t.n_leaves == n
+        assert t.is_binary()
+
+    def test_branch_lengths_positive(self):
+        t = yule_tree(25, rng=6)
+        for node in t.preorder():
+            if node.parent is not None:
+                assert node.length is not None and node.length >= 0
+
+
+class TestBirthDeath:
+    def test_exact_leaf_count(self):
+        t = birth_death_tree(12, death_rate=0.3, rng=7)
+        assert t.n_leaves == 12
+        validate_tree(t, require_binary=False)
+
+    def test_all_leaves_have_taxa(self):
+        t = birth_death_tree(10, death_rate=0.4, rng=8)
+        assert all(l.taxon is not None for l in t.leaves())
+        assert len(set(t.leaf_labels())) == 10
+
+    def test_zero_death_is_yule_like(self):
+        t = birth_death_tree(10, death_rate=0.0, rng=9)
+        assert t.n_leaves == 10
+        assert t.is_binary()
+
+    def test_deterministic(self):
+        from repro.newick import write_newick
+
+        a = birth_death_tree(8, death_rate=0.2, rng=10)
+        b = birth_death_tree(8, death_rate=0.2, rng=10)
+        assert write_newick(a) == write_newick(b)
+
+    @pytest.mark.parametrize("mu,lam", [(-0.1, 1.0), (1.0, 1.0), (2.0, 1.0)])
+    def test_rejects_bad_death_rate(self, mu, lam):
+        with pytest.raises(SimulationError):
+            birth_death_tree(5, birth_rate=lam, death_rate=mu)
+
+    def test_rejects_bad_birth_rate(self):
+        with pytest.raises(SimulationError):
+            birth_death_tree(5, birth_rate=0.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(3, 24), st.integers(0, 5000))
+    def test_property_survivors_form_binary_tree(self, n, seed):
+        t = birth_death_tree(n, death_rate=0.4, rng=seed)
+        assert t.n_leaves == n
+        # After pruning extinct lineages the tree must stay binary.
+        assert t.is_binary()

@@ -1,0 +1,74 @@
+"""Tests for the analysis CLI subcommands (annotate / stats / complete)."""
+
+import pytest
+
+from repro.cli import main
+from repro.newick import trees_from_string
+
+
+@pytest.fixture
+def collection_file(tmp_path):
+    path = tmp_path / "collection.nwk"
+    path.write_text(
+        "((A,B),(C,D));\n((A,B),(C,D));\n((A,B),(C,D));\n((A,C),(B,D));\n")
+    return str(path)
+
+
+class TestAnnotate:
+    def test_labels_written(self, collection_file, tmp_path, capsys):
+        tree = tmp_path / "summary.nwk"
+        tree.write_text("((A,B),(C,D));\n")
+        assert main(["annotate", str(tree), "-r", collection_file]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out == "((A,B)75,(C,D)75);"
+
+    def test_multiple_trees_annotated(self, collection_file, tmp_path, capsys):
+        tree = tmp_path / "summary.nwk"
+        tree.write_text("((A,B),(C,D));\n((A,C),(B,D));\n")
+        assert main(["annotate", str(tree), "-r", collection_file]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert "25" in lines[1]
+
+
+class TestStats:
+    def test_report_fields(self, collection_file, capsys):
+        assert main(["stats", collection_file]) == 0
+        out = capsys.readouterr().out
+        assert "trees:" in out and "4" in out
+        assert "unique bipartitions:" in out
+        assert "mean pairwise RF:" in out
+        assert "support spectrum" in out
+
+    def test_mean_pairwise_value(self, collection_file, capsys):
+        main(["stats", collection_file])
+        out = capsys.readouterr().out
+        # 3 identical + 1 conflicting: pairs (3 zero) + 3 pairs at RF 2
+        # -> sum 6 over 6 pairs -> mean 1.0
+        assert "mean pairwise RF:            1.0000" in out
+
+    def test_bins_flag(self, collection_file, capsys):
+        assert main(["stats", collection_file, "--bins", "4"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("#") >= 1
+
+
+class TestComplete:
+    def test_completes_and_scores(self, collection_file, tmp_path, capsys):
+        partial = tmp_path / "partial.nwk"
+        partial.write_text("((A,B),C);\n")
+        assert main(["complete", str(partial), "-r", collection_file]) == 0
+        captured = capsys.readouterr()
+        trees = trees_from_string(captured.out.strip())
+        assert sorted(trees[0].leaf_labels()) == ["A", "B", "C", "D"]
+        assert "average RF of completed tree" in captured.err
+
+    def test_recovers_majority_topology(self, collection_file, tmp_path, capsys):
+        partial = tmp_path / "partial.nwk"
+        partial.write_text("((A,B),C);\n")
+        main(["complete", str(partial), "-r", collection_file])
+        newick = capsys.readouterr().out.strip()
+        from repro.bipartitions import bipartition_masks
+
+        tree = trees_from_string(newick)[0]
+        assert bipartition_masks(tree) == {0b0011}

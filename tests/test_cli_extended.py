@@ -1,0 +1,116 @@
+"""Tests for the extended CLI subcommands (asdsf / supertree / topologies / dist)."""
+
+import pytest
+
+from repro.cli import main
+from repro.newick import trees_from_string
+
+
+@pytest.fixture
+def run_files(tmp_path):
+    a = tmp_path / "run1.nwk"
+    b = tmp_path / "run2.nwk"
+    a.write_text("((A,B),(C,D));\n((A,B),(C,D));\n")
+    b.write_text("((A,B),(C,D));\n((A,C),(B,D));\n")
+    return str(a), str(b)
+
+
+class TestAsdsf:
+    def test_identical_runs(self, run_files, capsys):
+        a, _ = run_files
+        assert main(["asdsf", a, a]) == 0
+        assert float(capsys.readouterr().out.strip()) == 0.0
+
+    def test_differing_runs(self, run_files, capsys):
+        a, b = run_files
+        assert main(["asdsf", a, b]) == 0
+        value = float(capsys.readouterr().out.strip())
+        assert value > 0.0
+
+    def test_min_support_flag(self, run_files, capsys):
+        a, b = run_files
+        assert main(["asdsf", a, b, "--min-support", "0.4"]) == 0
+
+
+class TestSupertree:
+    def test_assembles_fragments(self, tmp_path, capsys):
+        f1 = tmp_path / "s1.nwk"
+        f2 = tmp_path / "s2.nwk"
+        f1.write_text("((A,B),(C,D));\n")
+        f2.write_text("((A,B),(D,E));\n")
+        assert main(["supertree", str(f1), str(f2)]) == 0
+        captured = capsys.readouterr()
+        trees = trees_from_string(captured.out.strip())
+        assert sorted(trees[0].leaf_labels()) == ["A", "B", "C", "D", "E"]
+        assert "total restricted RF" in captured.err
+
+    def test_ascii_output(self, tmp_path, capsys):
+        f1 = tmp_path / "s1.nwk"
+        f1.write_text("((A,B),(C,D));\n")
+        assert main(["supertree", str(f1), "--ascii"]) == 0
+        assert "─" in capsys.readouterr().out
+
+
+class TestTopologies:
+    def test_frequency_listing(self, tmp_path, capsys):
+        f = tmp_path / "t.nwk"
+        f.write_text("((A,B),(C,D));\n((B,A),(D,C));\n((A,C),(B,D));\n")
+        assert main(["topologies", str(f)]) == 0
+        captured = capsys.readouterr()
+        assert "[2/3]" in captured.out
+        assert "[1/3]" in captured.out
+        assert "2 distinct topologies" in captured.err
+
+    def test_credible_set(self, tmp_path, capsys):
+        f = tmp_path / "t.nwk"
+        f.write_text("((A,B),(C,D));\n" * 9 + "((A,C),(B,D));\n")
+        assert main(["topologies", str(f), "--credible", "0.8"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.count("[") == 1
+        assert "[0.9000]" in captured.out
+
+
+class TestDist:
+    @pytest.mark.parametrize("metric,expected", [
+        ("rf", "2"), ("matching", "2"), ("quartet", "1"),
+    ])
+    def test_metrics(self, tmp_path, capsys, metric, expected):
+        f = tmp_path / "pair.nwk"
+        f.write_text("((A,B),(C,D));\n((A,C),(B,D));\n")
+        assert main(["dist", str(f), "--metric", metric]) == 0
+        assert capsys.readouterr().out.strip() == expected
+
+    def test_needs_two_trees(self, tmp_path, capsys):
+        f = tmp_path / "one.nwk"
+        f.write_text("((A,B),(C,D));\n")
+        assert main(["dist", str(f)]) == 2
+
+
+class TestSimulateFormats:
+    def test_nexus_output(self, tmp_path, capsys):
+        out = tmp_path / "sim.nex"
+        assert main(["simulate", "--family", "variable-taxa", "--taxa", "8",
+                     "--trees", "3", "-o", str(out), "--seed", "1",
+                     "--format", "nexus"]) == 0
+        text = out.read_text()
+        assert text.startswith("#NEXUS")
+        from repro.newick.nexus import read_nexus_trees
+
+        assert len(read_nexus_trees(str(out))) == 3
+
+    def test_gzipped_newick_output(self, tmp_path):
+        out = tmp_path / "sim.nwk.gz"
+        assert main(["simulate", "--family", "variable-taxa", "--taxa", "8",
+                     "--trees", "3", "-o", str(out), "--seed", "1"]) == 0
+        import gzip
+
+        with gzip.open(out, "rt") as fh:
+            assert fh.read().count(";") == 3
+
+    def test_gzipped_input_through_avg_rf(self, tmp_path, capsys):
+        out = tmp_path / "sim.nwk.gz"
+        main(["simulate", "--family", "variable-taxa", "--taxa", "8",
+              "--trees", "4", "-o", str(out), "--seed", "2"])
+        assert main(["avg-rf", str(out)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4

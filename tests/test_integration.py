@@ -1,0 +1,97 @@
+"""End-to-end integration tests spanning the whole pipeline:
+
+simulate -> write Newick -> stream from disk -> all four algorithms ->
+consensus/best-tree applications, with exact cross-method agreement.
+"""
+
+import pytest
+
+from repro.bipartitions import bipartition_masks
+from repro.core import (
+    average_rf,
+    best_query_tree,
+    bfhrf_average_rf,
+    build_bfh,
+    consensus,
+    day_rf,
+    dsmp_average_rf,
+    hashrf_average_rf,
+    sequential_average_rf,
+)
+from repro.core.bfhrf import bfhrf_average_rf_stream
+from repro.newick import iter_newick_file, read_newick_file, write_newick_file
+from repro.simulation import insect_like, variable_trees
+from repro.trees import TaxonNamespace
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    ds = variable_trees(40, n_taxa=30, seed=77)
+    path = tmp_path_factory.mktemp("data") / "collection.nwk"
+    write_newick_file(path, ds.trees)
+    return path
+
+
+class TestFullPipeline:
+    def test_disk_roundtrip_preserves_distances(self, dataset_file):
+        trees = read_newick_file(dataset_file)
+        original = variable_trees(40, n_taxa=30, seed=77).trees
+        # Loaded trees have a different namespace but identical topology;
+        # averages must match.
+        assert bfhrf_average_rf(trees) == pytest.approx(bfhrf_average_rf(original))
+
+    def test_streaming_matches_batch(self, dataset_file):
+        ns = TaxonNamespace()
+        bfh = build_bfh(iter_newick_file(dataset_file, ns))
+        streamed = list(bfhrf_average_rf_stream(iter_newick_file(dataset_file, ns), bfh))
+        batch = bfhrf_average_rf(read_newick_file(dataset_file))
+        assert streamed == pytest.approx(batch)
+
+    def test_all_methods_on_file(self, dataset_file):
+        trees = read_newick_file(dataset_file)
+        ds = sequential_average_rf(trees, trees)
+        assert bfhrf_average_rf(trees) == pytest.approx(ds)
+        assert hashrf_average_rf(trees) == pytest.approx(ds)
+        assert dsmp_average_rf(trees, trees, n_workers=2) == pytest.approx(ds)
+        assert bfhrf_average_rf(trees, n_workers=2) == pytest.approx(ds)
+
+    def test_unweighted_insect_like_pipeline(self, tmp_path):
+        """The scenario that broke HashRF: unweighted (topology-only) data.
+        BFHRF must handle it end to end."""
+        ds = insect_like(r=6)
+        path = tmp_path / "insect.nwk"
+        write_newick_file(path, ds.trees, include_lengths=False)
+        trees = read_newick_file(path)
+        values = bfhrf_average_rf(trees)
+        assert len(values) == 6
+        assert all(v >= 0 for v in values)
+
+    def test_best_tree_consistent_with_averages(self, dataset_file):
+        trees = read_newick_file(dataset_file)
+        index, tree, value = best_query_tree(trees)
+        values = average_rf(trees)
+        assert value == min(values)
+        assert day_rf(tree, trees[index]) == 0
+
+    def test_consensus_is_central(self, dataset_file):
+        """The majority consensus should be at least as close to the
+        collection (on average) as a typical member is."""
+        trees = read_newick_file(dataset_file)
+        ctree = consensus(trees, method="greedy")
+        ns = trees[0].taxon_namespace
+        assert ctree.taxon_namespace is ns
+        bfh = build_bfh(trees)
+        consensus_avg = bfh.average_rf(bipartition_masks(ctree))
+        member_avgs = bfhrf_average_rf(trees)
+        assert consensus_avg <= sorted(member_avgs)[len(member_avgs) // 2] + 1e-9
+
+    def test_query_against_disjoint_reference_file(self, dataset_file, tmp_path):
+        ns = TaxonNamespace()
+        reference = read_newick_file(dataset_file, ns)
+        query_ds = variable_trees(5, n_taxa=30, seed=78)
+        qpath = tmp_path / "query.nwk"
+        write_newick_file(qpath, query_ds.trees)
+        query = read_newick_file(qpath, ns)
+        values = bfhrf_average_rf(query, reference)
+        expected = sequential_average_rf(query, reference)
+        assert values == pytest.approx(expected)

@@ -1,0 +1,56 @@
+"""Unit tests for the ASCII tree renderer."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.trees.drawing import ascii_tree
+from repro.newick import parse_newick
+
+from tests.conftest import make_random_tree, tree_shapes
+
+
+class TestAsciiTree:
+    def test_three_leaves(self):
+        out = ascii_tree(parse_newick("((A,B),C);"))
+        assert out.splitlines() == [" ╭─┬─ A", "─┤ ╰─ B", " ╰─ C"]
+
+    def test_one_row_per_leaf(self):
+        tree = parse_newick("((A,B),(C,(D,E)));")
+        lines = ascii_tree(tree).splitlines()
+        assert len(lines) == 5
+        for label in "ABCDE":
+            assert sum(label in line for line in lines) == 1
+
+    def test_star_tree(self):
+        lines = ascii_tree(parse_newick("(A,B,C,D);")).splitlines()
+        assert len(lines) == 4
+        assert lines[0].lstrip().startswith("╭─")
+        assert lines[-1].lstrip().startswith("╰─")
+
+    def test_internal_labels_shown(self):
+        out = ascii_tree(parse_newick("((A,B)95,C);"))
+        assert "95" in out
+
+    def test_internal_labels_hidden(self):
+        out = ascii_tree(parse_newick("((A,B)95,C);"),
+                         show_internal_labels=False)
+        assert "95" not in out
+
+    def test_leaf_order_preserved(self):
+        tree = parse_newick("((D,C),(B,A));")
+        lines = ascii_tree(tree).splitlines()
+        order = [line.split()[-1] for line in lines]
+        assert order == ["D", "C", "B", "A"]
+
+    def test_single_leaf(self):
+        assert ascii_tree(parse_newick("A;")) == "─ A"
+
+    @settings(max_examples=25, deadline=None)
+    @given(tree_shapes)
+    def test_renders_any_tree(self, shape):
+        n, seed = shape
+        tree = make_random_tree(n, seed=seed)
+        lines = ascii_tree(tree).splitlines()
+        assert len(lines) == n
+        rendered_labels = {line.split()[-1] for line in lines}
+        assert rendered_labels == set(tree.leaf_labels())

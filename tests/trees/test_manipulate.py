@@ -1,0 +1,185 @@
+"""Unit tests for repro.trees.manipulate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bipartitions import bipartition_masks
+from repro.newick import parse_newick
+from repro.trees import TaxonNamespace
+from repro.trees.manipulate import (
+    collapse_edge,
+    prune_to_taxa,
+    reroot_at_leaf,
+    reroot_at_node,
+    resolve_polytomies,
+    suppress_unifurcations,
+)
+from repro.util.errors import TaxonError, TreeStructureError
+
+from tests.conftest import make_random_tree, tree_shapes
+
+
+class TestReroot:
+    def test_reroot_at_leaf_puts_leaf_under_root(self):
+        t = parse_newick("((A,B),(C,D));")
+        reroot_at_leaf(t, "C")
+        assert any(c.is_leaf and c.taxon.label == "C" for c in t.root.children)
+
+    def test_reroot_preserves_leaf_set(self):
+        t = make_random_tree(10, seed=1)
+        mask = t.leaf_mask()
+        reroot_at_leaf(t, t.taxon_namespace[3].label)
+        assert t.leaf_mask() == mask
+
+    def test_reroot_preserves_unrooted_bipartitions(self):
+        t = make_random_tree(12, seed=2)
+        before = bipartition_masks(t)
+        reroot_at_leaf(t, t.taxon_namespace[7].label)
+        suppress_unifurcations(t)
+        assert bipartition_masks(t) == before
+
+    @settings(max_examples=25, deadline=None)
+    @given(tree_shapes, st.integers(0, 1000))
+    def test_reroot_anywhere_preserves_splits(self, shape, pick):
+        n, seed = shape
+        t = make_random_tree(n, seed=seed)
+        before = bipartition_masks(t)
+        label = t.taxon_namespace[pick % n].label
+        reroot_at_leaf(t, label)
+        suppress_unifurcations(t)
+        assert bipartition_masks(t) == before
+
+    def test_reroot_missing_leaf(self):
+        with pytest.raises(TaxonError):
+            reroot_at_leaf(parse_newick("((A,B),(C,D));"), "Z")
+
+    def test_reroot_at_current_root_noop(self):
+        t = parse_newick("((A,B),(C,D));")
+        reroot_at_node(t, t.root)
+        assert t.n_leaves == 4
+
+    def test_reroot_root_has_no_length(self):
+        t = parse_newick("((A:1,B:1):1,(C:1,D:1):1);")
+        reroot_at_leaf(t, "D")
+        assert t.root.length is None
+
+    def test_reroot_conserves_total_length(self):
+        t = parse_newick("((A:1,B:2):3,(C:4,D:5):6);")
+        total_before = sum(n.length or 0.0 for n in t.preorder())
+        reroot_at_leaf(t, "C")
+        total_after = sum(n.length or 0.0 for n in t.preorder())
+        assert total_after == pytest.approx(total_before)
+
+
+class TestPrune:
+    def test_prune_keeps_requested(self):
+        t = parse_newick("((A,B),(C,(D,E)));")
+        prune_to_taxa(t, ["A", "C", "D"])
+        assert sorted(t.leaf_labels()) == ["A", "C", "D"]
+
+    def test_prune_suppresses_unifurcations(self):
+        t = parse_newick("((A,B),(C,(D,E)));")
+        prune_to_taxa(t, ["A", "C", "D"])
+        for node in t.preorder():
+            assert node.is_leaf or len(node.children) >= 2
+
+    def test_prune_sums_lengths(self):
+        t = parse_newick("((A:1,B:1):1,(C:1,(D:2,E:2):3):4);")
+        prune_to_taxa(t, ["A", "B", "C", "D"])
+        # E removed: the (D,E) node contracts; D's path keeps 2+3.
+        d_leaf = next(l for l in t.leaves() if l.taxon.label == "D")
+        assert d_leaf.length == pytest.approx(5.0)
+
+    def test_prune_unknown_label_raises(self):
+        with pytest.raises(TaxonError):
+            prune_to_taxa(parse_newick("((A,B),(C,D));"), ["A", "Z"])
+
+    def test_prune_everything_raises(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "Z"])
+        t = parse_newick("((A,B),(C,D));", ns)
+        with pytest.raises(TreeStructureError):
+            prune_to_taxa(t, ["Z"])
+
+    def test_prune_restriction_matches_projection(self):
+        # Pruning then extracting equals extracting then projecting.
+        from repro.bipartitions import project_mask
+
+        t = make_random_tree(10, seed=9)
+        ns = t.taxon_namespace
+        keep = [ns[i].label for i in (0, 2, 3, 5, 7, 8)]
+        keep_mask = ns.mask_of(keep)
+        full = t.leaf_mask()
+        projected = set()
+        for mask in bipartition_masks(t):
+            p = project_mask(mask, full, keep_mask)
+            if p is not None:
+                projected.add(p)
+        pruned = t.copy()
+        prune_to_taxa(pruned, keep)
+        assert bipartition_masks(pruned) == projected
+
+
+class TestSuppressUnifurcations:
+    def test_contracts_chain(self):
+        ns = TaxonNamespace(["A", "B"])
+        t = parse_newick("((A,B));", ns)  # root -> unary -> (A,B)
+        suppress_unifurcations(t)
+        assert len(t.root.children) == 2
+
+    def test_noop_on_clean_tree(self):
+        t = parse_newick("((A,B),(C,D));")
+        before = [id(n) for n in t.preorder()]
+        suppress_unifurcations(t)
+        assert [id(n) for n in t.preorder()] == before
+
+
+class TestResolvePolytomies:
+    def test_resolves_star(self):
+        t = parse_newick("(A,B,C,D,E,F);")
+        resolve_polytomies(t, rng=1)
+        assert t.is_binary()
+        assert sorted(t.leaf_labels()) == ["A", "B", "C", "D", "E", "F"]
+
+    def test_binary_tree_untouched(self):
+        t = parse_newick("((A,B),(C,D));")
+        resolve_polytomies(t, rng=1)
+        assert t.n_nodes == 7
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 20), st.integers(0, 999))
+    def test_always_binary(self, n, seed):
+        labels = [f"t{i}" for i in range(n)]
+        t = parse_newick("(" + ",".join(labels) + ");")
+        resolve_polytomies(t, rng=seed)
+        assert t.is_binary()
+        assert t.n_leaves == n
+
+
+class TestCollapseEdge:
+    def test_creates_polytomy(self):
+        t = parse_newick("((A,B),(C,D));")
+        internal_child = next(c for c in t.root.children if not c.is_leaf)
+        collapse_edge(t, internal_child)
+        assert not t.is_rooted_shape()
+        assert t.n_leaves == 4
+
+    def test_collapse_removes_one_split(self):
+        t = parse_newick("(((A,B),(C,D)),(E,F));")
+        before = bipartition_masks(t)
+        victim = t.root.children[0].children[0]  # the (A,B) clade node
+        collapse_edge(t, victim)
+        after = bipartition_masks(t)
+        assert len(after) == len(before) - 1
+        assert after < before
+
+    def test_cannot_collapse_root(self):
+        t = parse_newick("((A,B),(C,D));")
+        with pytest.raises(TreeStructureError):
+            collapse_edge(t, t.root)
+
+    def test_cannot_collapse_leaf_edge(self):
+        t = parse_newick("((A,B),(C,D));")
+        leaf = next(t.leaves())
+        with pytest.raises(TreeStructureError):
+            collapse_edge(t, leaf)

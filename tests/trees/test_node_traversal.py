@@ -1,0 +1,121 @@
+"""Unit tests for repro.trees.node and repro.trees.traversal."""
+
+import pytest
+
+from repro.newick import parse_newick
+from repro.trees.node import Node
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.traversal import edges, internal_nodes, leaves, levelorder, postorder, preorder
+
+
+@pytest.fixture
+def caterpillar():
+    """((((A,B),C),D),E) — a ladder tree exercising deep nesting."""
+    return parse_newick("((((A,B),C),D),E);")
+
+
+class TestNode:
+    def test_add_child_sets_parent(self):
+        p, c = Node(), Node()
+        p.add_child(c)
+        assert c.parent is p
+        assert p.children == [c]
+
+    def test_add_child_moves_between_parents(self):
+        p1, p2, c = Node(), Node(), Node()
+        p1.add_child(c)
+        p2.add_child(c)
+        assert c.parent is p2
+        assert p1.children == []
+
+    def test_remove_child(self):
+        p, c = Node(), Node()
+        p.add_child(c)
+        p.remove_child(c)
+        assert c.parent is None
+        assert p.children == []
+
+    def test_remove_non_child_raises(self):
+        with pytest.raises(ValueError):
+            Node().remove_child(Node())
+
+    def test_detach(self):
+        p, c = Node(), Node()
+        p.add_child(c)
+        assert c.detach() is c
+        assert c.parent is None
+
+    def test_detach_root_noop(self):
+        n = Node()
+        assert n.detach() is n
+
+    def test_degree(self):
+        ns = TaxonNamespace(["A", "B"])
+        root = Node()
+        a = root.add_child(Node(ns["A"]))
+        root.add_child(Node(ns["B"]))
+        assert root.degree == 2
+        assert a.degree == 1
+
+    def test_siblings(self):
+        p = Node()
+        a, b, c = Node(), Node(), Node()
+        for x in (a, b, c):
+            p.add_child(x)
+        assert list(b.siblings()) == [a, c]
+        assert list(Node().siblings()) == []
+
+    def test_ancestors(self, caterpillar):
+        deepest = next(leaves(caterpillar.root))
+        chain = list(deepest.ancestors())
+        assert chain[-1] is caterpillar.root
+        assert len(chain) == 4
+
+
+class TestTraversals:
+    def _labels(self, nodes):
+        return [n.taxon.label if n.taxon else "*" for n in nodes]
+
+    def test_preorder_root_first(self, caterpillar):
+        out = self._labels(preorder(caterpillar.root))
+        assert out[0] == "*"
+        assert out == ["*", "*", "*", "*", "A", "B", "C", "D", "E"]
+
+    def test_postorder_children_first(self, caterpillar):
+        out = self._labels(postorder(caterpillar.root))
+        assert out[-1] == "*"
+        assert out == ["A", "B", "*", "C", "*", "D", "*", "E", "*"]
+
+    def test_levelorder(self, caterpillar):
+        out = self._labels(levelorder(caterpillar.root))
+        assert out == ["*", "*", "E", "*", "D", "*", "C", "A", "B"]
+
+    def test_leaves_in_input_order(self, caterpillar):
+        assert self._labels(leaves(caterpillar.root)) == ["A", "B", "C", "D", "E"]
+
+    def test_internal_nodes_count(self, caterpillar):
+        assert sum(1 for _ in internal_nodes(caterpillar.root)) == 4
+
+    def test_edges_count(self, caterpillar):
+        # n_nodes - 1 edges in a tree.
+        n_nodes = sum(1 for _ in preorder(caterpillar.root))
+        assert sum(1 for _ in edges(caterpillar.root)) == n_nodes - 1
+
+    def test_edges_are_parent_child(self, caterpillar):
+        for parent, child in edges(caterpillar.root):
+            assert child.parent is parent
+
+    def test_single_node(self):
+        lone = Node()
+        assert list(preorder(lone)) == [lone]
+        assert list(postorder(lone)) == [lone]
+        assert list(levelorder(lone)) == [lone]
+
+    def test_deep_tree_no_recursion_error(self):
+        # 3000-deep ladder: iterative traversals must not blow the stack.
+        root = Node()
+        node = root
+        for _ in range(3000):
+            node = node.add_child(Node())
+        assert sum(1 for _ in postorder(root)) == 3001
+        assert sum(1 for _ in preorder(root)) == 3001

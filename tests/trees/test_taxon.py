@@ -1,0 +1,118 @@
+"""Unit tests for repro.trees.taxon."""
+
+import pytest
+
+from repro.trees.taxon import Taxon, TaxonNamespace
+from repro.util.errors import TaxonError
+
+
+class TestRequire:
+    def test_assigns_sequential_indices(self):
+        ns = TaxonNamespace()
+        a = ns.require("A")
+        b = ns.require("B")
+        assert (a.index, b.index) == (0, 1)
+
+    def test_idempotent(self):
+        ns = TaxonNamespace()
+        assert ns.require("A") is ns.require("A")
+        assert len(ns) == 1
+
+    def test_init_labels(self):
+        ns = TaxonNamespace(["X", "Y", "Z"])
+        assert ns.labels == ["X", "Y", "Z"]
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(TaxonError):
+            TaxonNamespace().require("")
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TaxonError):
+            TaxonNamespace().require(7)  # type: ignore[arg-type]
+
+
+class TestLookup:
+    def test_getitem_by_label_and_index(self):
+        ns = TaxonNamespace(["A", "B"])
+        assert ns["B"].index == 1
+        assert ns[0].label == "A"
+
+    def test_missing_label(self):
+        with pytest.raises(TaxonError):
+            TaxonNamespace(["A"])["Z"]
+
+    def test_index_out_of_range(self):
+        with pytest.raises(TaxonError):
+            TaxonNamespace(["A"])[5]
+
+    def test_bad_key_type(self):
+        with pytest.raises(TypeError):
+            TaxonNamespace(["A"])[1.5]  # type: ignore[index]
+
+    def test_contains(self):
+        ns = TaxonNamespace(["A"])
+        assert "A" in ns
+        assert "B" not in ns
+        assert 0 not in ns  # only string membership
+
+    def test_get_returns_none(self):
+        assert TaxonNamespace(["A"]).get("B") is None
+
+    def test_iteration_order(self):
+        ns = TaxonNamespace(["C", "A", "B"])
+        assert [t.label for t in ns] == ["C", "A", "B"]
+
+
+class TestMasks:
+    def test_taxon_bit(self):
+        ns = TaxonNamespace(["A", "B", "C"])
+        assert ns["C"].bit == 0b100
+
+    def test_full_mask(self):
+        assert TaxonNamespace(["A", "B", "C"]).full_mask() == 0b111
+        assert TaxonNamespace().full_mask() == 0
+
+    def test_mask_of(self):
+        ns = TaxonNamespace(["A", "B", "C", "D"])
+        assert ns.mask_of(["A", "C"]) == 0b0101
+
+    def test_mask_of_unknown_label(self):
+        with pytest.raises(TaxonError):
+            TaxonNamespace(["A"]).mask_of(["B"])
+
+    def test_labels_of(self):
+        ns = TaxonNamespace(["A", "B", "C", "D"])
+        assert ns.labels_of(0b1010) == ["B", "D"]
+        assert ns.labels_of(0) == []
+
+    def test_labels_of_out_of_range(self):
+        with pytest.raises(TaxonError):
+            TaxonNamespace(["A"]).labels_of(0b10)
+
+    def test_mask_roundtrip(self):
+        ns = TaxonNamespace([f"t{i}" for i in range(12)])
+        mask = ns.mask_of(["t1", "t5", "t11"])
+        assert ns.mask_of(ns.labels_of(mask)) == mask
+
+
+class TestCompatibility:
+    def test_superset_same(self):
+        ns = TaxonNamespace(["A", "B"])
+        assert ns.is_superset_of(ns)
+
+    def test_superset_extension(self):
+        small = TaxonNamespace(["A", "B"])
+        big = TaxonNamespace(["A", "B", "C"])
+        assert big.is_superset_of(small)
+        assert not small.is_superset_of(big)
+
+    def test_index_mismatch_not_superset(self):
+        a = TaxonNamespace(["A", "B"])
+        b = TaxonNamespace(["B", "A"])
+        assert not a.is_superset_of(b)
+
+    def test_union(self):
+        a = TaxonNamespace(["A", "B"])
+        b = TaxonNamespace(["B", "C"])
+        merged = TaxonNamespace.union([a, b])
+        assert merged.labels == ["A", "B", "C"]

@@ -1,0 +1,111 @@
+"""Unit tests for repro.trees.tree."""
+
+import pytest
+
+from repro.bipartitions import bipartition_masks
+from repro.newick import parse_newick, write_newick
+from repro.trees import TaxonNamespace
+from repro.util.errors import TreeStructureError
+
+from tests.conftest import make_random_tree
+
+
+class TestShape:
+    def test_n_leaves(self):
+        assert parse_newick("((A,B),(C,D));").n_leaves == 4
+
+    def test_n_nodes(self):
+        assert parse_newick("((A,B),(C,D));").n_nodes == 7
+
+    def test_leaf_labels_in_order(self):
+        assert parse_newick("((A,B),(C,D));").leaf_labels() == ["A", "B", "C", "D"]
+
+    def test_leaf_mask_full(self):
+        t = parse_newick("((A,B),(C,D));")
+        assert t.leaf_mask() == t.taxon_namespace.full_mask()
+
+    def test_leaf_mask_partial(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        t = parse_newick("((A,B),C);", ns)
+        assert t.leaf_mask() == 0b00111
+
+    def test_is_binary_true(self):
+        assert parse_newick("((A,B),(C,D));").is_binary()
+        assert parse_newick("((A,B),C,D);").is_binary()  # trifurcating root ok
+
+    def test_is_binary_false_polytomy(self):
+        assert not parse_newick("(A,B,C,D);").is_binary()
+        assert not parse_newick("((A,B,C),(D,E));").is_binary()
+
+    def test_is_rooted_shape(self):
+        assert parse_newick("((A,B),(C,D));").is_rooted_shape()
+        assert not parse_newick("((A,B),C,D);").is_rooted_shape()
+
+
+class TestCopy:
+    def test_copy_is_deep(self):
+        t = make_random_tree(10, seed=3)
+        c = t.copy()
+        original_ids = {id(n) for n in t.preorder()}
+        assert all(id(n) not in original_ids for n in c.preorder())
+
+    def test_copy_preserves_topology_and_lengths(self):
+        t = make_random_tree(12, seed=4)
+        c = t.copy()
+        assert write_newick(t) == write_newick(c)
+        assert bipartition_masks(t) == bipartition_masks(c)
+
+    def test_copy_shares_namespace(self):
+        t = make_random_tree(6, seed=5)
+        assert t.copy().taxon_namespace is t.taxon_namespace
+
+    def test_mutating_copy_leaves_original(self):
+        t = parse_newick("((A,B),(C,D));")
+        c = t.copy()
+        c.root.children[0].children[0].taxon = None
+        assert t.leaf_labels() == ["A", "B", "C", "D"]
+
+
+class TestDeroot:
+    def test_deroot_bifurcating_root(self):
+        t = parse_newick("((A,B),(C,D));")
+        t.deroot()
+        assert len(t.root.children) == 3
+        assert not t.is_rooted_shape()
+
+    def test_deroot_preserves_bipartitions(self):
+        t = parse_newick("(((A,B),(C,D)),(E,F));")
+        before = bipartition_masks(t)
+        t.deroot()
+        assert bipartition_masks(t) == before
+
+    def test_deroot_sums_lengths(self):
+        t = parse_newick("((A:1,B:1):2,(C:1,D:1):3);")
+        t.deroot()
+        # The two root-edge lengths merge onto the surviving edge.
+        internal = [c for c in t.root.children if not c.is_leaf]
+        assert len(internal) == 1
+        assert internal[0].length == pytest.approx(5.0)
+
+    def test_deroot_noop_on_trifurcation(self):
+        t = parse_newick("((A,B),C,D);")
+        before = write_newick(t)
+        t.deroot()
+        assert write_newick(t) == before
+
+    def test_deroot_two_leaf_tree_noop(self):
+        t = parse_newick("(A,B);")
+        t.deroot()
+        assert t.n_leaves == 2
+
+
+class TestLeafErrors:
+    def test_leaf_without_taxon_raises_in_labels(self):
+        t = parse_newick("((A,B),(C,D));")
+        for leaf in t.leaves():
+            leaf.taxon = None
+            break
+        with pytest.raises(TreeStructureError):
+            t.leaf_labels()
+        with pytest.raises(TreeStructureError):
+            t.leaf_mask()

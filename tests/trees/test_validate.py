@@ -1,0 +1,86 @@
+"""Unit tests for repro.trees.validate."""
+
+import pytest
+
+from repro.newick import parse_newick, trees_from_string
+from repro.trees import TaxonNamespace
+from repro.trees.validate import check_shared_namespace, validate_collection, validate_tree
+from repro.util.errors import CollectionError, TaxonError, TreeStructureError
+
+
+class TestValidateTree:
+    def test_accepts_good_tree(self):
+        t = parse_newick("((A,B),(C,D));")
+        assert validate_tree(t, require_binary=True) is t
+
+    def test_detects_broken_parent_pointer(self):
+        t = parse_newick("((A,B),(C,D));")
+        t.root.children[0].parent = None
+        with pytest.raises(TreeStructureError):
+            validate_tree(t)
+
+    def test_detects_missing_taxon(self):
+        t = parse_newick("((A,B),(C,D));")
+        next(t.leaves()).taxon = None
+        with pytest.raises(TreeStructureError):
+            validate_tree(t)
+
+    def test_detects_duplicate_taxon(self):
+        t = parse_newick("((A,B),(C,D));")
+        leaves = list(t.leaves())
+        leaves[1].taxon = leaves[0].taxon
+        with pytest.raises(TaxonError):
+            validate_tree(t)
+
+    def test_min_leaves(self):
+        t = parse_newick("(A,B);")
+        with pytest.raises(TreeStructureError):
+            validate_tree(t, min_leaves=3)
+
+    def test_require_binary_rejects_polytomy(self):
+        t = parse_newick("(A,B,C,D,E);")
+        with pytest.raises(TreeStructureError):
+            validate_tree(t, require_binary=True)
+
+
+class TestSharedNamespace:
+    def test_accepts_shared(self):
+        trees = trees_from_string("((A,B),(C,D));\n((A,C),(B,D));")
+        check_shared_namespace(trees)
+
+    def test_rejects_disjoint_namespaces(self):
+        t1 = parse_newick("((A,B),(C,D));")
+        t2 = parse_newick("((A,B),(C,D));")  # fresh namespace
+        with pytest.raises(TaxonError):
+            check_shared_namespace([t1, t2])
+
+    def test_empty_ok(self):
+        check_shared_namespace([])
+
+
+class TestValidateCollection:
+    def test_accepts_uniform_collection(self, medium_collection):
+        validate_collection(medium_collection)
+
+    def test_rejects_empty(self):
+        with pytest.raises(CollectionError):
+            validate_collection([])
+
+    def test_rejects_mixed_taxa_by_default(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        t1 = parse_newick("((A,B),(C,D));", ns)
+        t2 = parse_newick("((A,B),(C,E));", ns)
+        with pytest.raises(CollectionError):
+            validate_collection([t1, t2])
+
+    def test_allows_mixed_taxa_when_disabled(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        t1 = parse_newick("((A,B),(C,D));", ns)
+        t2 = parse_newick("((A,B),(C,E));", ns)
+        validate_collection([t1, t2], require_same_taxa=False)
+
+    def test_require_binary_propagates(self):
+        ns = TaxonNamespace(["A", "B", "C", "D", "E"])
+        t = parse_newick("(A,B,C,D,E);", ns)
+        with pytest.raises(TreeStructureError):
+            validate_collection([t], require_binary=True)

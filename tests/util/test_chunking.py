@@ -1,0 +1,112 @@
+"""Unit tests for repro.util.chunking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.chunking import (
+    balanced_chunk_count,
+    chunk_indices,
+    chunked,
+    default_chunk_size,
+    split_evenly,
+)
+
+
+class TestDefaultChunkSize:
+    def test_basic(self):
+        assert default_chunk_size(1000, 4) == 62 or default_chunk_size(1000, 4) > 0
+
+    def test_small_items(self):
+        assert default_chunk_size(3, 8) == 1
+
+    def test_zero_items(self):
+        assert default_chunk_size(0, 4) == 1
+
+    def test_respects_max(self):
+        assert default_chunk_size(10_000_000, 1, max_size=2048) == 2048
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            default_chunk_size(10, 0)
+
+    @given(st.integers(0, 100_000), st.integers(1, 64))
+    def test_always_positive(self, n, w):
+        assert default_chunk_size(n, w) >= 1
+
+
+class TestChunkIndices:
+    def test_exact_division(self):
+        assert list(chunk_indices(6, 3)) == [(0, 3), (3, 6)]
+
+    def test_remainder(self):
+        assert list(chunk_indices(7, 3)) == [(0, 3), (3, 6), (6, 7)]
+
+    def test_empty(self):
+        assert list(chunk_indices(0, 3)) == []
+
+    def test_rejects_zero_chunk(self):
+        with pytest.raises(ValueError):
+            list(chunk_indices(5, 0))
+
+    @given(st.integers(0, 500), st.integers(1, 50))
+    def test_cover_exactly(self, n, size):
+        ranges = list(chunk_indices(n, size))
+        covered = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert covered == list(range(n))
+
+
+class TestChunked:
+    def test_basic(self):
+        assert list(chunked(range(5), 2)) == [[0, 1], [2, 3], [4]]
+
+    def test_streaming_iterator(self):
+        it = iter(range(10))
+        first = next(chunked(it, 3))
+        assert first == [0, 1, 2]
+        # The source iterator advanced only by one chunk.
+        assert next(it) == 3
+
+    def test_empty(self):
+        assert list(chunked([], 4)) == []
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            list(chunked([1], 0))
+
+    @given(st.lists(st.integers(), max_size=100), st.integers(1, 17))
+    def test_concatenation_identity(self, items, size):
+        blocks = list(chunked(items, size))
+        assert [x for b in blocks for x in b] == items
+        assert all(1 <= len(b) <= size for b in blocks)
+
+
+class TestBalancedChunkCount:
+    def test_values(self):
+        assert balanced_chunk_count(10, 3) == 4
+        assert balanced_chunk_count(9, 3) == 3
+        assert balanced_chunk_count(0, 3) == 0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            balanced_chunk_count(5, 0)
+
+
+class TestSplitEvenly:
+    def test_basic(self):
+        assert split_evenly([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+    def test_more_parts_than_items(self):
+        assert split_evenly([1], 3) == [[1], [], []]
+
+    def test_rejects_zero_parts(self):
+        with pytest.raises(ValueError):
+            split_evenly([1], 0)
+
+    @given(st.lists(st.integers(), max_size=60), st.integers(1, 10))
+    def test_partition_properties(self, items, parts):
+        out = split_evenly(items, parts)
+        assert len(out) == parts
+        assert [x for part in out for x in part] == items
+        sizes = [len(p) for p in out]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,69 @@
+"""Unit tests for repro.util.records."""
+
+import math
+
+from repro.util.records import ExperimentTable, RunRecord
+
+
+def _record(**overrides):
+    base = dict(algorithm="BFHRF8", n_taxa=48, n_trees=1000,
+                seconds=1.5, memory_mb=42.0)
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestRunRecord:
+    def test_time_label_plain(self):
+        assert _record().time_label == "1.5000"
+
+    def test_time_label_estimated(self):
+        assert _record(estimated=True).time_label == "~1.5000"
+
+    def test_time_label_killed(self):
+        assert _record(killed=True).time_label == "1.5000*"
+
+    def test_time_label_missing(self):
+        assert _record(seconds=float("nan")).time_label == "-"
+
+    def test_memory_label(self):
+        assert _record().memory_label == "42.00"
+        assert _record(memory_mb=float("nan")).memory_label == "-"
+        assert _record(killed=True).memory_label == "42.00*"
+
+    def test_to_dict_roundtrip(self):
+        d = _record(extra={"workers": 8}).to_dict()
+        assert d["algorithm"] == "BFHRF8"
+        assert d["extra"] == {"workers": 8}
+
+
+class TestExperimentTable:
+    def test_render_contains_rows_and_notes(self):
+        table = ExperimentTable("Table III (scaled)")
+        table.add(_record())
+        table.add(_record(algorithm="DS", seconds=200.0, memory_mb=900.0))
+        table.note("scaled to r=1000")
+        text = table.render()
+        assert "Table III (scaled)" in text
+        assert "BFHRF8" in text
+        assert "DS" in text
+        assert "note: scaled to r=1000" in text
+        assert "Algorithm" in text.splitlines()[2]
+
+    def test_by_algorithm(self):
+        table = ExperimentTable("t")
+        table.add(_record())
+        table.add(_record(algorithm="DS"))
+        table.add(_record(n_trees=2000))
+        assert len(table.by_algorithm("BFHRF8")) == 2
+        assert len(table.by_algorithm("DS")) == 1
+        assert table.by_algorithm("nope") == []
+
+    def test_render_alignment(self):
+        table = ExperimentTable("t")
+        table.add(_record(algorithm="A"))
+        table.add(_record(algorithm="LONGNAME16"))
+        lines = table.render().splitlines()
+        data_lines = lines[2:]
+        # Header and all rows share the same width.
+        widths = {len(line) for line in data_lines if line and not line.startswith("note")}
+        assert len(widths) <= 2  # header separator may differ by trailing spaces

@@ -1,0 +1,69 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import derive_seed, resolve_rng, spawn_children
+
+
+class TestResolveRng:
+    def test_none_gives_generator(self):
+        assert isinstance(resolve_rng(None), np.random.Generator)
+
+    def test_int_seed_deterministic(self):
+        a = resolve_rng(42).integers(1 << 40)
+        b = resolve_rng(42).integers(1 << 40)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = resolve_rng(1).integers(1 << 40)
+        b = resolve_rng(2).integers(1 << 40)
+        assert a != b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(7)
+        assert resolve_rng(gen) is gen
+
+    def test_numpy_integer_seed(self):
+        assert isinstance(resolve_rng(np.int64(5)), np.random.Generator)
+
+    def test_rejects_bad_type(self):
+        with pytest.raises(TypeError):
+            resolve_rng("seed")  # type: ignore[arg-type]
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        assert len(spawn_children(3, 5)) == 5
+
+    def test_deterministic(self):
+        a = [g.integers(1 << 30) for g in spawn_children(9, 3)]
+        b = [g.integers(1 << 30) for g in spawn_children(9, 3)]
+        assert a == b
+
+    def test_children_independent(self):
+        kids = spawn_children(11, 4)
+        draws = [int(g.integers(1 << 60)) for g in kids]
+        assert len(set(draws)) == 4
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(5, [1, 2]) == derive_seed(5, [1, 2])
+
+    def test_word_sensitivity(self):
+        assert derive_seed(5, [1, 2]) != derive_seed(5, [2, 1])
+
+    def test_range(self):
+        s = derive_seed(123, [99])
+        assert 0 <= s < 1 << 63
+
+    def test_usable_as_numpy_seed(self):
+        np.random.default_rng(derive_seed(1, [7]))
