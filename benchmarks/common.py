@@ -39,6 +39,7 @@ from repro.core.parallel import dsmp_average_rf
 from repro.core.sequential import reference_mask_sets, average_rf_against_sets
 from repro.bipartitions.extract import bipartition_masks
 from repro.trees.tree import Tree
+from repro.observability.export import RunReport
 from repro.util.memory import trace_peak
 from repro.util.records import ExperimentTable, RunRecord
 from repro.util.timing import Stopwatch, estimate_total_seconds
@@ -61,15 +62,39 @@ def scaled(values: Sequence[int]) -> list[int]:
     return [max(4, int(round(v * factor))) for v in values]
 
 
+#: Measurement log accumulated by the run_* runners since the last emit().
+#: ``emit()`` drains it into a ``BENCH_<id>.json`` artifact.
+_BENCH_RECORDS: list[RunRecord] = []
+
+
+def record_run(run: "AlgoRun", n_taxa: int, n_trees: int, **extra) -> None:
+    """Log one measured run for inclusion in the next ``BENCH_*.json``."""
+    _BENCH_RECORDS.append(run.to_record(n_taxa, n_trees, **extra))
+
+
 def emit(text: str, experiment_id: str | None = None) -> None:
     """Print a results block to the *real* stdout (bypassing pytest capture)
-    and persist it under ``benchmarks/results/``."""
+    and persist it under ``benchmarks/results/``.
+
+    With an ``experiment_id``, also serializes every measurement the
+    runners logged since the last emit into a machine-readable
+    ``benchmarks/results/BENCH_<id>.json`` artifact (a
+    :class:`~repro.observability.export.RunReport` carrying the rendered
+    table, the per-run records, and host/environment info).
+    """
     stream = getattr(sys, "__stdout__", sys.stdout) or sys.stdout
     stream.write("\n" + text + "\n")
     stream.flush()
     if experiment_id is not None:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+        report = RunReport.collect(
+            f"bench.{experiment_id}",
+            records=[record.to_dict() for record in _BENCH_RECORDS],
+            extra={"table": text, "scale": bench_scale()},
+        )
+        report.write(RESULTS_DIR / f"BENCH_{experiment_id}.json")
+    _BENCH_RECORDS.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -102,6 +127,13 @@ class AlgoRun:
 _MEMORY_PASS_QUERIES = 3
 
 
+def _log(run: AlgoRun, trees: Sequence[Tree], **extra) -> AlgoRun:
+    """Record a finished run in the bench log and pass it through."""
+    n_taxa = len(trees[0].taxon_namespace) if trees else 0
+    record_run(run, n_taxa, len(trees), **extra)
+    return run
+
+
 def run_ds(trees: Sequence[Tree], *, query_limit: int | None = None) -> AlgoRun:
     """DS (Algorithm 1), optionally timing only the first ``query_limit``
     queries and extrapolating — the paper's protocol for large inputs."""
@@ -123,8 +155,9 @@ def run_ds(trees: Sequence[Tree], *, query_limit: int | None = None) -> AlgoRun:
     estimated = q_run < q_total
     query_seconds = (estimate_total_seconds(query_sw.elapsed, q_run, q_total)
                      if estimated else query_sw.elapsed)
-    return AlgoRun("DS", build_sw.elapsed + query_seconds, mem.peak_mb,
-                   None if estimated else values, estimated=estimated)
+    return _log(AlgoRun("DS", build_sw.elapsed + query_seconds, mem.peak_mb,
+                        None if estimated else values, estimated=estimated),
+                trees)
 
 
 def run_dsmp(trees: Sequence[Tree], workers: int, *,
@@ -159,8 +192,9 @@ def run_dsmp(trees: Sequence[Tree], workers: int, *,
         values = None
     with trace_peak() as mem:
         reference_mask_sets(trees)
-    return AlgoRun(name, seconds, mem.peak_mb,
-                   values, estimated=estimated)
+    return _log(AlgoRun(name, seconds, mem.peak_mb,
+                        values, estimated=estimated),
+                trees, workers=workers)
 
 
 def run_hashrf(trees: Sequence[Tree], *, matrix_budget_mb: float | None = None) -> AlgoRun:
@@ -173,13 +207,14 @@ def run_hashrf(trees: Sequence[Tree], *, matrix_budget_mb: float | None = None) 
     r = len(trees)
     matrix_mb = r * r * 8 / (1024 * 1024)
     if matrix_budget_mb is not None and matrix_mb > matrix_budget_mb:
-        return AlgoRun("HashRF", float("nan"), matrix_mb, None, killed=True)
+        return _log(AlgoRun("HashRF", float("nan"), matrix_mb, None, killed=True),
+                    trees)
     with Stopwatch() as sw:
         matrix = hashrf_matrix(trees)
         values = (matrix.sum(axis=1) / r).tolist()
     with trace_peak() as mem:
         hashrf_matrix(trees)
-    return AlgoRun("HashRF", sw.elapsed, mem.peak_mb, values)
+    return _log(AlgoRun("HashRF", sw.elapsed, mem.peak_mb, values), trees)
 
 
 def run_bfhrf(trees: Sequence[Tree], workers: int = 1) -> AlgoRun:
@@ -190,7 +225,8 @@ def run_bfhrf(trees: Sequence[Tree], workers: int = 1) -> AlgoRun:
         bfh = build_bfh(trees)
         for tree in trees[:_MEMORY_PASS_QUERIES]:
             bfh.average_rf_of_tree(tree)
-    return AlgoRun(name, sw.elapsed, mem.peak_mb, values)
+    return _log(AlgoRun(name, sw.elapsed, mem.peak_mb, values), trees,
+                workers=workers)
 
 
 RUNNERS: dict[str, Callable[..., AlgoRun]] = {

@@ -21,9 +21,22 @@ Subcommands::
     bfhrf topologies TREES.nwk [--credible F]
     bfhrf dist       PAIR.nwk [--metric rf|matching|triplet|quartet|branch-score]
 
-All inputs accept Newick or NEXUS, plain or .gz.  Every run prints wall
-time and peak RSS delta on stderr, mirroring the measurements of the
-paper's evaluation harness.
+Global flags (accepted before or after the subcommand):
+
+``--trace``
+    Record hierarchical spans (wall time + heap peak per pipeline
+    phase) and print the span tree to stderr when the command finishes.
+``--metrics-out PATH.json``
+    Record spans *and* counters/histograms and write the whole run as a
+    single :class:`~repro.observability.export.RunReport` JSON document
+    — the machine-readable form of the paper's per-phase measurements.
+``--quiet``
+    Suppress all informational stderr output (results on stdout are
+    unaffected).
+
+All inputs accept Newick or NEXUS, plain or .gz.  Unless ``--quiet`` is
+given, every run prints wall time and peak RSS delta on stderr,
+mirroring the measurements of the paper's evaluation harness.
 """
 
 from __future__ import annotations
@@ -32,10 +45,13 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from repro import observability as obs
 from repro.core.api import as_trees, average_rf, best_query_tree, consensus, distance_matrix
 from repro.core.variants import size_filter_transform
 from repro.newick.io import read_newick_file, write_newick_file
 from repro.newick.writer import write_newick
+from repro.observability.export import Reporter, RunReport, render_span_tree
+from repro.observability.spans import trace
 from repro.trees.taxon import TaxonNamespace
 from repro.util.errors import ReproError
 from repro.util.memory import rss_peak_mb
@@ -43,15 +59,48 @@ from repro.util.timing import Stopwatch, format_seconds
 
 __all__ = ["main", "build_parser"]
 
+# The single stderr channel all commands report through; installed by
+# main() so --quiet silences every informational line at once.
+_REPORTER = Reporter()
+
+
+def _info(message: str) -> None:
+    _REPORTER.info(message)
+
+
+def _add_global_flags(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
+    """Define --trace / --metrics-out / --quiet on a parser.
+
+    The flags live on the root parser (usable before the subcommand) and,
+    with ``default=SUPPRESS``, on every subparser (usable after it) —
+    SUPPRESS keeps a flagless subcommand parse from clobbering the value
+    the root parser already set.
+    """
+    kwargs = {"default": argparse.SUPPRESS} if suppress else {}
+    parser.add_argument("--trace", action="store_true",
+                        help="record spans and print the span tree to stderr",
+                        **kwargs)
+    parser.add_argument("--metrics-out", metavar="PATH.json",
+                        **({"default": argparse.SUPPRESS} if suppress else {"default": None}),
+                        help="write a JSON run report (spans + metrics + env) here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress informational stderr output", **kwargs)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="bfhrf",
         description="Scalable and extensible Robinson-Foulds for tree collections (BFHRF).",
     )
+    _add_global_flags(parser, suppress=False)
+    global_flags = argparse.ArgumentParser(add_help=False)
+    _add_global_flags(global_flags, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    avg = sub.add_parser("avg-rf", help="average RF of query trees vs a reference collection")
+    def add_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        return sub.add_parser(name, parents=[global_flags], **kwargs)
+
+    avg = add_parser("avg-rf", help="average RF of query trees vs a reference collection")
     avg.add_argument("query", help="Newick file of query trees Q")
     avg.add_argument("-r", "--reference", help="Newick file of reference trees R (default: Q is R)")
     avg.add_argument("--method", default="bfhrf",
@@ -65,12 +114,12 @@ def build_parser() -> argparse.ArgumentParser:
     avg.add_argument("--max-split-size", type=int, default=None,
                      help="bipartition size filter: smaller side must have <= K taxa")
 
-    mat = sub.add_parser("matrix", help="all-vs-all RF matrix of one collection")
+    mat = add_parser("matrix", help="all-vs-all RF matrix of one collection")
     mat.add_argument("trees", help="Newick file")
     mat.add_argument("--method", default="hashrf", choices=["hashrf", "naive", "day"])
     mat.add_argument("-o", "--output", help="write CSV here instead of stdout")
 
-    con = sub.add_parser("consensus", help="consensus tree of a collection")
+    con = add_parser("consensus", help="consensus tree of a collection")
     con.add_argument("trees", help="Newick file")
     con.add_argument("--consensus-method", default="majority",
                      choices=["majority", "strict", "greedy"])
@@ -78,7 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
     con.add_argument("--ascii", action="store_true",
                      help="render the consensus as ASCII art instead of Newick")
 
-    sim = sub.add_parser("simulate", help="generate a Table-II style dataset")
+    sim = add_parser("simulate", help="generate a Table-II style dataset")
     sim.add_argument("--family", required=True,
                      choices=["avian", "insect", "variable-trees", "variable-taxa"])
     sim.add_argument("-o", "--output", required=True, help="Newick file to write")
@@ -88,40 +137,40 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--format", default="newick", choices=["newick", "nexus"],
                      help="output format (either may be .gz-compressed via the path)")
 
-    best = sub.add_parser("best", help="query tree minimizing average RF (most parsimonious pick)")
+    best = add_parser("best", help="query tree minimizing average RF (most parsimonious pick)")
     best.add_argument("query", help="Newick file of candidate trees")
     best.add_argument("-r", "--reference", required=True, help="Newick file of reference trees")
     best.add_argument("--workers", type=int, default=1)
 
-    ann = sub.add_parser("annotate", help="label a tree's internal nodes with split support")
+    ann = add_parser("annotate", help="label a tree's internal nodes with split support")
     ann.add_argument("tree", help="Newick file with the tree(s) to annotate")
     ann.add_argument("-r", "--reference", required=True,
                      help="Newick file of the collection providing support")
 
-    stats = sub.add_parser("stats", help="collection diversity report from one BFH scan")
+    stats = add_parser("stats", help="collection diversity report from one BFH scan")
     stats.add_argument("trees", help="Newick file")
     stats.add_argument("--bins", type=int, default=10, help="support-spectrum bins")
 
-    comp = sub.add_parser("complete", help="greedily complete a partial tree to minimize average RF")
+    comp = add_parser("complete", help="greedily complete a partial tree to minimize average RF")
     comp.add_argument("tree", help="Newick file with the partial tree (first record used)")
     comp.add_argument("-r", "--reference", required=True,
                       help="Newick file of full-taxa reference trees")
 
-    conv = sub.add_parser("asdsf", help="MCMC convergence: ASDSF between runs")
+    conv = add_parser("asdsf", help="MCMC convergence: ASDSF between runs")
     conv.add_argument("runs", nargs="+", help="two or more Newick/NEXUS files, one per run")
     conv.add_argument("--min-support", type=float, default=0.1,
                       help="only compare splits reaching this support in some run")
 
-    sup = sub.add_parser("supertree", help="greedy RF supertree from overlapping-taxa sources")
+    sup = add_parser("supertree", help="greedy RF supertree from overlapping-taxa sources")
     sup.add_argument("sources", nargs="+", help="Newick/NEXUS files of source trees")
     sup.add_argument("--ascii", action="store_true")
 
-    topo = sub.add_parser("topologies", help="distinct topologies / credible set of a collection")
+    topo = add_parser("topologies", help="distinct topologies / credible set of a collection")
     topo.add_argument("trees", help="Newick/NEXUS file")
     topo.add_argument("--credible", type=float, default=None,
                       help="report the smallest set reaching this probability mass")
 
-    dist = sub.add_parser("dist", help="two-tree distance under any metric")
+    dist = add_parser("dist", help="two-tree distance under any metric")
     dist.add_argument("trees", help="file whose first two trees are compared")
     dist.add_argument("--metric", default="rf",
                       choices=["rf", "matching", "triplet", "quartet", "branch-score"])
@@ -159,8 +208,7 @@ def _cmd_matrix(args: argparse.Namespace) -> int:
         with open(args.output, "w", encoding="utf-8") as fh:
             for line in lines:
                 fh.write(line + "\n")
-        print(f"wrote {matrix.shape[0]}x{matrix.shape[1]} matrix to {args.output}",
-              file=sys.stderr)
+        _info(f"wrote {matrix.shape[0]}x{matrix.shape[1]} matrix to {args.output}")
     else:
         for line in lines:
             print(line)
@@ -197,8 +245,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         count = write_nexus_file(args.output, dataset.trees)
     else:
         count = write_newick_file(args.output, dataset.trees)
-    print(f"wrote {count} trees ({dataset.name}, n={dataset.n_taxa}) to {args.output}",
-          file=sys.stderr)
+    _info(f"wrote {count} trees ({dataset.name}, n={dataset.n_taxa}) to {args.output}")
     return 0
 
 
@@ -259,7 +306,7 @@ def _cmd_complete(args: argparse.Namespace) -> int:
     partial = read_newick_file(args.tree, ns)[0]
     completed, score = complete_tree_greedy(partial, bfh)
     print(write_newick(completed, include_lengths=False))
-    print(f"average RF of completed tree: {score:.6f}", file=sys.stderr)
+    _info(f"average RF of completed tree: {score:.6f}")
     return 0
 
 
@@ -270,10 +317,10 @@ def _cmd_asdsf(args: argparse.Namespace) -> int:
     runs = [as_trees(path, ns) for path in args.runs]
     value = asdsf(runs, min_support=args.min_support)
     for path, run in zip(args.runs, runs):
-        print(f"run {path}: {len(run)} trees", file=sys.stderr)
+        _info(f"run {path}: {len(run)} trees")
     print(f"{value:.6f}")
     if value < 0.01:
-        print("runs appear converged (ASDSF < 0.01)", file=sys.stderr)
+        _info("runs appear converged (ASDSF < 0.01)")
     return 0
 
 
@@ -291,8 +338,8 @@ def _cmd_supertree(args: argparse.Namespace) -> int:
         print(ascii_tree(tree))
     else:
         print(write_newick(tree, include_lengths=False))
-    print(f"total restricted RF to {len(sources)} sources: "
-          f"{total_restricted_rf(tree, sources)}", file=sys.stderr)
+    _info(f"total restricted RF to {len(sources)} sources: "
+          f"{total_restricted_rf(tree, sources)}")
     return 0
 
 
@@ -303,13 +350,12 @@ def _cmd_topologies(args: argparse.Namespace) -> int:
     r = len(trees)
     if args.credible is not None:
         chosen = credible_set(trees, args.credible)
-        print(f"# {args.credible:.0%} credible set: {len(chosen)} topologies",
-              file=sys.stderr)
+        _info(f"# {args.credible:.0%} credible set: {len(chosen)} topologies")
         for tree, share in chosen:
             print(f"[{share:.4f}] {write_newick(tree, include_lengths=False)}")
     else:
         freqs = topology_frequencies(trees)
-        print(f"# {len(freqs)} distinct topologies in {r} trees", file=sys.stderr)
+        _info(f"# {len(freqs)} distinct topologies in {r} trees")
         for _key, count, exemplar in freqs:
             print(f"[{count}/{r}] {write_newick(exemplar, include_lengths=False)}")
     return 0
@@ -344,11 +390,20 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    global _REPORTER
     args = build_parser().parse_args(argv)
+    _REPORTER = Reporter(quiet=args.quiet)
+    observing = args.trace or args.metrics_out is not None
+    if observing:
+        # Fresh collector + registry per invocation: main() is reentrant
+        # (tests and embedding callers invoke it repeatedly in-process).
+        obs.reset()
+        obs.enable(memory=True)
     rss_before = rss_peak_mb()
     try:
         with Stopwatch() as sw:
-            status = _COMMANDS[args.command](args)
+            with trace(f"cli.{args.command}"):
+                status = _COMMANDS[args.command](args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -356,10 +411,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         # Downstream consumer (e.g. `| head`) closed the pipe; not an error.
         sys.stderr.close()
         return 0
-    print(
+    finally:
+        if observing:
+            obs.disable()
+    if observing:
+        report = RunReport.collect(
+            f"bfhrf {args.command}",
+            extra={"argv": list(argv) if argv is not None else sys.argv[1:]},
+        )
+        if args.metrics_out:
+            try:
+                report.write(args.metrics_out)
+            except OSError as exc:
+                # The analysis already succeeded; don't lose its stdout —
+                # print the trace (if asked), report the write failure.
+                if args.trace:
+                    _REPORTER.always(render_span_tree(report.spans))
+                print(f"error: cannot write run report: {exc}", file=sys.stderr)
+                obs.reset()
+                return 2
+            _info(f"wrote run report to {args.metrics_out}")
+        if args.trace:
+            _REPORTER.always(render_span_tree(report.spans))
+        obs.reset()
+    _info(
         f"[{args.command}] wall time {format_seconds(sw.elapsed)}, "
-        f"peak RSS +{max(0.0, rss_peak_mb() - rss_before):.1f}MB",
-        file=sys.stderr,
+        f"peak RSS +{max(0.0, rss_peak_mb() - rss_before):.1f}MB"
     )
     return status
 

@@ -23,6 +23,7 @@ from repro.core.rf import max_rf, robinson_foulds
 from repro.core.sequential import sequential_average_rf
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
 from repro.newick.io import read_newick_file, trees_from_string
+from repro.observability.spans import trace
 from repro.trees.taxon import TaxonNamespace
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
@@ -61,13 +62,25 @@ def as_trees(source: TreesLike, namespace: TaxonNamespace | None = None) -> list
     if isinstance(source, (list, tuple)):
         return list(source)
     if isinstance(source, str) and source.lstrip().upper().startswith("#NEXUS"):
-        return read_nexus_trees(source, namespace)
+        with trace("parse", format="nexus-text") as span:
+            trees = read_nexus_trees(source, namespace)
+            span.set(trees=len(trees))
+        return trees
     if isinstance(source, os.PathLike) or (isinstance(source, str) and ";" not in source):
         if _is_nexus_path(source):
-            return read_nexus_trees(source, namespace)
-        return read_newick_file(source, namespace)
+            with trace("parse", source=os.fspath(source), format="nexus") as span:
+                trees = read_nexus_trees(source, namespace)
+                span.set(trees=len(trees))
+            return trees
+        with trace("parse", source=os.fspath(source), format="newick") as span:
+            trees = read_newick_file(source, namespace)
+            span.set(trees=len(trees))
+        return trees
     if isinstance(source, str):
-        return trees_from_string(source, namespace)
+        with trace("parse", format="newick-text") as span:
+            trees = trees_from_string(source, namespace)
+            span.set(trees=len(trees))
+        return trees
     raise TypeError(f"cannot interpret {type(source).__name__} as a tree collection")
 
 

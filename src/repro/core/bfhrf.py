@@ -19,16 +19,23 @@ explicitly parallel build for completeness.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
 
 from repro.bipartitions.extract import bipartition_masks
 from repro.core.parallel import (
     fork_available,
     fork_payload_pool,
+    merge_worker_snapshots,
     payload,
+    record_fanout,
     resolve_workers,
+    worker_task_snapshot,
 )
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.observability.metrics import counter as _metric
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
 from repro.trees.tree import Tree
 from repro.util.chunking import chunk_indices, default_chunk_size
 from repro.util.errors import CollectionError
@@ -40,8 +47,14 @@ __all__ = ["build_bfh", "bfhrf_average_rf", "bfhrf_average_rf_stream"]
 # Worker task functions (data arrives via fork inheritance).
 # ---------------------------------------------------------------------------
 
-def _build_range(bounds: tuple[int, int]) -> tuple[dict[int, int], int, int]:
-    """Parallel-build task: partial (counts, n_trees, total) for a slice."""
+def _build_range(bounds: tuple[int, int]):
+    """Parallel-build task: partial (counts, n_trees, total) for a slice.
+
+    A trailing metrics snapshot rides back with every task result (None
+    when observability is disabled) so the parent can merge per-worker
+    counts into its own registry.
+    """
+    t0 = time.perf_counter()
     trees, include_trivial, transform = payload()
     counts: dict[int, int] = {}
     total = 0
@@ -54,25 +67,41 @@ def _build_range(bounds: tuple[int, int]) -> tuple[dict[int, int], int, int]:
             counts[mask] = counts.get(mask, 0) + 1
             total += 1
         n += 1
-    return counts, n, total
+    return counts, n, total, worker_task_snapshot(t0)
 
 
-def _query_range(bounds: tuple[int, int]) -> list[float]:
+def _query_range(bounds: tuple[int, int]):
     """Comparison task: Algorithm 2's tree-vs-hash loop for a slice of Q."""
+    t0 = time.perf_counter()
     query, counts, r, total, include_trivial, transform = payload()
     out: list[float] = []
+    observing = _obs_enabled()
+    hits = misses = 0
     for tree in query[bounds[0]:bounds[1]]:
         masks = bipartition_masks(tree, include_trivial=include_trivial)
         if transform is not None:
             masks = transform(masks, tree.leaf_mask())
         rf_left = total
         rf_right = 0
-        for mask in masks:
-            freq = counts.get(mask, 0)
-            rf_left -= freq
-            rf_right += r - freq
+        if observing:  # instrumented twin keeps the disabled loop branch-free
+            for mask in masks:
+                freq = counts.get(mask, 0)
+                if freq:
+                    hits += 1
+                else:
+                    misses += 1
+                rf_left -= freq
+                rf_right += r - freq
+        else:
+            for mask in masks:
+                freq = counts.get(mask, 0)
+                rf_left -= freq
+                rf_right += r - freq
         out.append((rf_left + rf_right) / r)
-    return out
+    if observing:
+        _metric("bfh.hash_hits").inc(hits)
+        _metric("bfh.hash_misses").inc(misses)
+    return out, worker_task_snapshot(t0)
 
 
 # ---------------------------------------------------------------------------
@@ -93,23 +122,30 @@ def build_bfh(reference: Iterable[Tree], *, include_trivial: bool = False,
     trees at once, increasing the memory footprint".
     """
     if n_workers <= 1 or not fork_available():
-        return BipartitionFrequencyHash.from_trees(
-            reference, include_trivial=include_trivial, transform=transform
-        )
+        with trace("bfh.build", workers=1) as span:
+            bfh = BipartitionFrequencyHash.from_trees(
+                reference, include_trivial=include_trivial, transform=transform
+            )
+            span.set(r=bfh.n_trees, unique=len(bfh))
+        return bfh
     trees = list(reference) if not isinstance(reference, Sequence) else reference
     if not trees:
         raise CollectionError("reference collection is empty; average RF is undefined")
     workers = resolve_workers(n_workers)
     size = chunk_size or default_chunk_size(len(trees), workers)
+    record_fanout(workers, size)
     bfh = BipartitionFrequencyHash(include_trivial=include_trivial, transform=transform)
-    with fork_payload_pool(workers, (trees, include_trivial, transform)) as pool:
-        for counts, n_trees, total in pool.map(
-                _build_range, list(chunk_indices(len(trees), size))):
+    with trace("bfh.build", r=len(trees), workers=workers) as span:
+        with fork_payload_pool(workers, (trees, include_trivial, transform)) as pool:
+            results = pool.map(_build_range, list(chunk_indices(len(trees), size)))
+        for counts, n_trees, total, _snap in results:
             partial = BipartitionFrequencyHash(include_trivial=include_trivial)
             partial.counts = counts
             partial.n_trees = n_trees
             partial.total = total
             bfh.merge(partial)
+        merge_worker_snapshots(snap for *_parts, snap in results)
+        span.set(unique=len(bfh))
     return bfh
 
 
@@ -175,15 +211,21 @@ def bfhrf_average_rf(query: Sequence[Tree] | Iterable[Tree],
         bfh = build_bfh(reference, include_trivial=include_trivial,
                         transform=transform)
     if n_workers <= 1 or not fork_available():
-        return list(bfhrf_average_rf_stream(query, bfh))
+        with trace("bfhrf.query", r=bfh.n_trees, workers=1) as span:
+            values = list(bfhrf_average_rf_stream(query, bfh))
+            span.set(q=len(values))
+        return values
 
     trees = list(query) if not isinstance(query, Sequence) else query
     if not trees:
         return []
     workers = resolve_workers(n_workers)
     size = chunk_size or default_chunk_size(len(trees), workers)
+    record_fanout(workers, size)
     shared = (trees, bfh.counts, bfh.n_trees, bfh.total,
               bfh.include_trivial, bfh.transform)
-    with fork_payload_pool(workers, shared) as pool:
-        blocks = pool.map(_query_range, list(chunk_indices(len(trees), size)))
-    return [v for block in blocks for v in block]
+    with trace("bfhrf.query", q=len(trees), r=bfh.n_trees, workers=workers):
+        with fork_payload_pool(workers, shared) as pool:
+            results = pool.map(_query_range, list(chunk_indices(len(trees), size)))
+        merge_worker_snapshots(snap for _block, snap in results)
+    return [v for block, _snap in results for v in block]

@@ -24,6 +24,9 @@ import numpy as np
 
 from repro.bipartitions.extract import bipartition_masks
 from repro.hashing.multihash import UniversalSplitHasher
+from repro.observability.metrics import counter as _metric
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
 from repro.util.rng import RngLike
@@ -70,10 +73,17 @@ def _tree_keysets(trees: Sequence[Tree], *, include_trivial: bool,
     m1 = next_prime(max(11, len(trees) * max(n_taxa, 1)))
     hasher = UniversalSplitHasher(n_taxa, m1=m1, m2=m2, rng=rng)
     keysets: list[set] = []
+    collision_checks = 0
     for tree in trees:
-        keys = {hasher.key(mask)
-                for mask in bipartition_masks(tree, include_trivial=include_trivial)}
+        masks = bipartition_masks(tree, include_trivial=include_trivial)
+        keys = {hasher.key(mask) for mask in masks}
+        collision_checks += len(masks)
         keysets.append(keys)
+    if _obs_enabled():
+        _metric("hashrf.collision_checks").inc(collision_checks)
+        # Within-tree key conflations: the lossy scheme's silent split loss.
+        _metric("hashrf.collisions").inc(
+            collision_checks - sum(len(ks) for ks in keysets))
     return keysets
 
 
@@ -107,28 +117,32 @@ def hashrf_matrix(trees: Sequence[Tree], *, include_trivial: bool = False,
     r = len(trees)
     if r == 0:
         raise CollectionError("collection is empty")
-    keysets = _tree_keysets(trees, include_trivial=include_trivial,
-                            exact_keys=exact_keys, m2=m2, rng=rng)
-    sizes = np.array([len(ks) for ks in keysets], dtype=np.int64)
+    with trace("hashrf.matrix", r=r, exact_keys=exact_keys) as span:
+        keysets = _tree_keysets(trees, include_trivial=include_trivial,
+                                exact_keys=exact_keys, m2=m2, rng=rng)
+        sizes = np.array([len(ks) for ks in keysets], dtype=np.int64)
 
-    # Invert: bucket key -> ids of trees containing it.
-    table: dict = {}
-    for tree_id, keys in enumerate(keysets):
-        for key in keys:
-            table.setdefault(key, []).append(tree_id)
+        # Invert: bucket key -> ids of trees containing it.
+        table: dict = {}
+        for tree_id, keys in enumerate(keysets):
+            for key in keys:
+                table.setdefault(key, []).append(tree_id)
 
-    # Pairwise shared counts — the O(r²)-flavored accumulation (and the
-    # r×r matrix) that make HashRF non-scalable in r.
-    shared = np.zeros((r, r), dtype=np.int64)
-    for ids in table.values():
-        if len(ids) == 1:
-            i = ids[0]
-            shared[i, i] += 1
-        else:
-            idx = np.asarray(ids, dtype=np.intp)
-            shared[np.ix_(idx, idx)] += 1
+        # Pairwise shared counts — the O(r²)-flavored accumulation (and the
+        # r×r matrix) that make HashRF non-scalable in r.
+        shared = np.zeros((r, r), dtype=np.int64)
+        for ids in table.values():
+            if len(ids) == 1:
+                i = ids[0]
+                shared[i, i] += 1
+            else:
+                idx = np.asarray(ids, dtype=np.intp)
+                shared[np.ix_(idx, idx)] += 1
 
-    rf = sizes[:, None] + sizes[None, :] - 2 * shared
+        if _obs_enabled():
+            _metric("hashrf.bucket_entries").inc(int(sizes.sum()))
+        span.set(buckets=len(table))
+        rf = sizes[:, None] + sizes[None, :] - 2 * shared
     return rf.astype(np.int32)
 
 

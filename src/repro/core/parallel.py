@@ -27,20 +27,27 @@ Worker-communication design (shared with parallel BFHRF):
 from __future__ import annotations
 
 import multiprocessing as mp
+import time
 from collections.abc import Iterable, Sequence
 from typing import Any
 
+from repro import observability as _obs
 from repro.bipartitions.extract import bipartition_masks
 from repro.core.sequential import average_rf_against_sets, reference_mask_sets, \
     sequential_average_rf
 from repro.hashing.bfh import MaskTransform
 from repro.newick.writer import write_newick
+from repro.observability.metrics import counter as _metric, gauge as _gauge, \
+    histogram as _histogram
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
 from repro.trees.tree import Tree
 from repro.util.chunking import chunk_indices, default_chunk_size
 from repro.util.errors import CollectionError
 
 __all__ = ["dsmp_average_rf", "fork_payload_pool", "fork_available",
-           "resolve_workers", "trees_as_newick"]
+           "resolve_workers", "trees_as_newick", "worker_task_snapshot",
+           "merge_worker_snapshots", "record_fanout"]
 
 
 def resolve_workers(n_workers: int | None) -> int:
@@ -72,10 +79,45 @@ def fork_payload_pool(n_workers: int, payload: Any):
     ctx = mp.get_context("fork")
     _FORK_PAYLOAD = payload
     try:
-        pool = ctx.Pool(processes=n_workers)
+        # Workers drop the observability state they inherited from the
+        # parent, so the snapshots they return carry only their own work.
+        pool = ctx.Pool(processes=n_workers, initializer=_obs.worker_init)
     finally:
         _FORK_PAYLOAD = None
     return pool
+
+
+# ---------------------------------------------------------------------------
+# Worker-side metrics hand-off.
+#
+# Tasks cannot write into the parent's registry (separate processes), so
+# each task accumulates into its worker-local registry, stamps its own
+# latency, and returns a drained snapshot next to its result; drivers
+# merge the snapshots after ``pool.map``.  ``None`` stands for "nothing
+# recorded" so the disabled path ships no extra bytes.
+# ---------------------------------------------------------------------------
+
+def worker_task_snapshot(task_t0: float) -> dict[str, Any] | None:
+    """Finish one worker task: record its latency, drain local metrics."""
+    if not _obs_enabled():
+        return None
+    _histogram("parallel.task_seconds").observe(time.perf_counter() - task_t0)
+    _metric("parallel.tasks").inc()
+    return _obs.snapshot_and_reset()
+
+
+def merge_worker_snapshots(snapshots: Iterable[dict[str, Any] | None]) -> None:
+    """Parent-side reduction of per-task worker snapshots."""
+    for snapshot in snapshots:
+        if snapshot:
+            _obs.merge_metrics(snapshot)
+
+
+def record_fanout(workers: int, chunk_size: int) -> None:
+    """Gauge the shape of a fan-out (pool size and chunk size)."""
+    if _obs_enabled():
+        _gauge("parallel.workers").set(workers)
+        _gauge("parallel.chunk_size").set(chunk_size)
 
 
 def payload() -> Any:
@@ -94,8 +136,13 @@ def trees_as_newick(trees: Iterable[Tree]) -> list[str]:
 # the data arrives via fork inheritance).
 # ---------------------------------------------------------------------------
 
-def _ds_extract_range(bounds: tuple[int, int]) -> list[frozenset[int]]:
-    """Phase-1 task: bipartition sets for a slice of the reference trees."""
+def _ds_extract_range(bounds: tuple[int, int]):
+    """Phase-1 task: bipartition sets for a slice of the reference trees.
+
+    Returns ``(sets, metrics_snapshot)`` — every worker task ships its
+    local metrics back with its result (None when observability is off).
+    """
+    t0 = time.perf_counter()
     trees, include_trivial, transform = payload()
     out: list[frozenset[int]] = []
     for tree in trees[bounds[0]:bounds[1]]:
@@ -103,11 +150,12 @@ def _ds_extract_range(bounds: tuple[int, int]) -> list[frozenset[int]]:
         if transform is not None:
             masks = transform(masks, tree.leaf_mask())
         out.append(frozenset(masks))
-    return out
+    return out, worker_task_snapshot(t0)
 
 
-def _ds_compare_range(bounds: tuple[int, int]) -> list[float]:
+def _ds_compare_range(bounds: tuple[int, int]):
     """Phase-2 task: the 1-vs-r inner loop for a slice of the query trees."""
+    t0 = time.perf_counter()
     query, reference_sets, include_trivial, transform = payload()
     out: list[float] = []
     for tree in query[bounds[0]:bounds[1]]:
@@ -115,7 +163,7 @@ def _ds_compare_range(bounds: tuple[int, int]) -> list[float]:
         if transform is not None:
             masks = transform(masks, tree.leaf_mask())
         out.append(average_rf_against_sets(masks, reference_sets))
-    return out
+    return out, worker_task_snapshot(t0)
 
 
 # ---------------------------------------------------------------------------
@@ -165,18 +213,24 @@ def dsmp_average_rf(query: Sequence[Tree], reference: Sequence[Tree], *,
 
     # Phase 1: parallel bipartition extraction over the reference trees.
     ref_chunk = chunk_size or default_chunk_size(len(reference), workers)
-    with fork_payload_pool(workers, (reference, include_trivial, transform)) as pool:
-        blocks = pool.map(_ds_extract_range,
-                          list(chunk_indices(len(reference), ref_chunk)))
-    reference_sets: list[frozenset[int]] = [s for block in blocks for s in block]
+    record_fanout(workers, ref_chunk)
+    with trace("dsmp.extract", r=len(reference), workers=workers):
+        with fork_payload_pool(workers, (reference, include_trivial, transform)) as pool:
+            results = pool.map(_ds_extract_range,
+                               list(chunk_indices(len(reference), ref_chunk)))
+        merge_worker_snapshots(snap for _block, snap in results)
+    reference_sets: list[frozenset[int]] = [s for block, _snap in results for s in block]
 
     if not query:
         return []
     # Phase 2: parallel query comparisons; every worker inherits the full
     # reference table (the DSMP memory cost the paper documents).
     query_chunk = chunk_size or default_chunk_size(len(query), workers)
-    with fork_payload_pool(
-            workers, (query, reference_sets, include_trivial, transform)) as pool:
-        compared = pool.map(_ds_compare_range,
-                            list(chunk_indices(len(query), query_chunk)))
-    return [v for block in compared for v in block]
+    record_fanout(workers, query_chunk)
+    with trace("dsmp.query", q=len(query), r=len(reference), workers=workers):
+        with fork_payload_pool(
+                workers, (query, reference_sets, include_trivial, transform)) as pool:
+            compared = pool.map(_ds_compare_range,
+                                list(chunk_indices(len(query), query_chunk)))
+        merge_worker_snapshots(snap for _block, snap in compared)
+    return [v for block, _snap in compared for v in block]

@@ -18,6 +18,9 @@ from collections.abc import Iterable, Iterator, Sequence
 from repro.bipartitions.extract import bipartition_masks
 from repro.bipartitions.setops import symmetric_difference_size
 from repro.hashing.bfh import MaskTransform
+from repro.observability.metrics import counter as _metric
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
 
@@ -30,12 +33,14 @@ def reference_mask_sets(reference: Iterable[Tree], *, include_trivial: bool = Fa
 
     This *is* the DS memory footprint: r sets of up to 2n-3 masks each.
     """
-    sets: list[frozenset[int]] = []
-    for tree in reference:
-        masks = bipartition_masks(tree, include_trivial=include_trivial)
-        if transform is not None:
-            masks = transform(masks, tree.leaf_mask())
-        sets.append(frozenset(masks))
+    with trace("ds.extract") as span:
+        sets: list[frozenset[int]] = []
+        for tree in reference:
+            masks = bipartition_masks(tree, include_trivial=include_trivial)
+            if transform is not None:
+                masks = transform(masks, tree.leaf_mask())
+            sets.append(frozenset(masks))
+        span.set(r=len(sets))
     if not sets:
         raise CollectionError("reference collection is empty; average RF is undefined")
     return sets
@@ -50,6 +55,8 @@ def average_rf_against_sets(query_masks: set[int] | frozenset[int],
     total = 0
     for ref in reference_sets:
         total += symmetric_difference_size(query_masks, ref)
+    if _obs_enabled():
+        _metric("ds.set_comparisons").inc(r)
     return total / r
 
 
@@ -82,10 +89,12 @@ def sequential_average_rf(query: Iterable[Tree], reference: Iterable[Tree], *,
     reference_sets = reference_mask_sets(
         reference, include_trivial=include_trivial, transform=transform
     )
-    results: list[float] = []
-    for tree in query:
-        masks = bipartition_masks(tree, include_trivial=include_trivial)
-        if transform is not None:
-            masks = transform(masks, tree.leaf_mask())
-        results.append(average_rf_against_sets(masks, reference_sets))
+    with trace("ds.query", r=len(reference_sets)) as span:
+        results: list[float] = []
+        for tree in query:
+            masks = bipartition_masks(tree, include_trivial=include_trivial)
+            if transform is not None:
+                masks = transform(masks, tree.leaf_mask())
+            results.append(average_rf_against_sets(masks, reference_sets))
+        span.set(q=len(results))
     return results

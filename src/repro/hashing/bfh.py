@@ -19,6 +19,8 @@ from __future__ import annotations
 from collections.abc import Callable, Iterable, Iterator
 
 from repro.bipartitions.extract import bipartition_masks
+from repro.observability.metrics import counter as _metric
+from repro.observability.state import enabled as _obs_enabled
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
 
@@ -101,6 +103,8 @@ class BipartitionFrequencyHash:
             added += 1
         self.total += added
         self.n_trees += 1
+        if _obs_enabled():
+            _metric("bfh.bipartitions_hashed").inc(added)
 
     def remove_tree(self, tree: Tree) -> None:
         """Un-count one previously added reference tree.
@@ -184,6 +188,22 @@ class BipartitionFrequencyHash:
         counts = self.counts
         rf_left = self.total
         rf_right = 0
+        if _obs_enabled():
+            # Instrumented twin of the loop below; the disabled path stays
+            # branch-free inside the loop.
+            hits = 0
+            misses = 0
+            for mask in query_masks:
+                freq = counts.get(mask, 0)
+                if freq:
+                    hits += 1
+                else:
+                    misses += 1
+                rf_left -= freq
+                rf_right += r - freq
+            _metric("bfh.hash_hits").inc(hits)
+            _metric("bfh.hash_misses").inc(misses)
+            return rf_left, rf_right
         for mask in query_masks:
             freq = counts.get(mask, 0)
             rf_left -= freq

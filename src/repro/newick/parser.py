@@ -17,6 +17,8 @@ comparable (the property the bipartition bitmasks rely on).
 from __future__ import annotations
 
 from repro.newick.lexer import Token, TokenType, tokenize
+from repro.observability.metrics import counter as _metric
+from repro.observability.state import enabled as _obs_enabled
 from repro.trees.node import Node
 from repro.trees.taxon import TaxonNamespace
 from repro.trees.tree import Tree
@@ -109,6 +111,8 @@ def parse_newick(
             root.length = _parse_length(advance())
         if token.type is not TokenType.SEMICOLON:
             raise fail("expected ';' at end of tree")
+        if _obs_enabled():
+            _metric("newick.trees_parsed").inc()
         return Tree(root, ns)
 
     advance()  # consume '('
@@ -174,4 +178,6 @@ def parse_newick(
             raise fail("unexpected end of input inside tree")
         raise fail(f"unexpected token {token.value!r}")
 
+    if _obs_enabled():
+        _metric("newick.trees_parsed").inc()
     return Tree(root, ns)

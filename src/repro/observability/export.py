@@ -1,0 +1,233 @@
+"""Exporters: run reports, JSON-lines, and human-readable span tables.
+
+:class:`RunReport` is the single-document form of one run — the spans
+tree, a metrics snapshot, and enough host/environment context to make
+``BENCH_*.json`` artifacts comparable across machines and commits.  The
+ROADMAP's perf-trajectory story depends on these being stable,
+machine-readable, and round-trippable (``from_dict(to_dict(x)) == x``).
+
+Three output shapes:
+
+* :meth:`RunReport.to_json` — one JSON document per run (the CLI's
+  ``--metrics-out`` and the benchmarks' ``BENCH_*.json``).
+* :func:`iter_jsonl` / :func:`write_jsonl` — one JSON object per line,
+  spans flattened with a ``path`` field, for log shippers and ``jq``.
+* :func:`render_span_tree` / :meth:`RunReport.render` — indented text
+  for terminals (the CLI's ``--trace`` output).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import socket
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, TextIO
+
+from repro.observability import metrics as _metrics
+from repro.observability import spans as _spans
+from repro.util.timing import format_seconds
+
+__all__ = ["RunReport", "Reporter", "host_env", "render_span_tree",
+           "iter_jsonl", "write_jsonl"]
+
+
+def host_env() -> dict[str, Any]:
+    """Host/interpreter context stamped into every report."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "hostname": socket.gethostname(),
+        "cpu_count": os.cpu_count(),
+        "pid": os.getpid(),
+    }
+
+
+@dataclass
+class RunReport:
+    """One run, serialized: spans tree + metrics snapshot + environment.
+
+    ``records`` carries benchmark :class:`~repro.util.records.RunRecord`
+    rows (as dicts) when the report documents a measurement sweep;
+    ``extra`` is free-form (CLI argv, scale factors, rendered tables).
+    """
+
+    command: str
+    created_unix: float = field(default_factory=time.time)
+    env: dict[str, Any] = field(default_factory=host_env)
+    spans: list[dict[str, Any]] = field(default_factory=list)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    records: list[dict[str, Any]] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    SCHEMA_VERSION = 1
+
+    @classmethod
+    def collect(cls, command: str, *, records: Iterable[dict[str, Any]] | None = None,
+                extra: dict[str, Any] | None = None) -> "RunReport":
+        """Snapshot the global collector and registry into a report."""
+        return cls(
+            command=command,
+            spans=[span.to_dict() for span in _spans.finished_spans()],
+            metrics=_metrics.metrics_snapshot(),
+            records=list(records) if records is not None else [],
+            extra=dict(extra) if extra else {},
+        )
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": self.SCHEMA_VERSION,
+            "command": self.command,
+            "created_unix": self.created_unix,
+            "env": self.env,
+            "spans": self.spans,
+            "metrics": self.metrics,
+            "records": self.records,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "RunReport":
+        return cls(
+            command=data["command"],
+            created_unix=data.get("created_unix", 0.0),
+            env=data.get("env", {}),
+            spans=data.get("spans", []),
+            metrics=data.get("metrics", {}),
+            records=data.get("records", []),
+            extra=data.get("extra", {}),
+        )
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path: str | os.PathLike) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    # -- queries ---------------------------------------------------------------
+
+    def find_spans(self, name: str) -> list[dict[str, Any]]:
+        """All spans named ``name``, searched depth-first through the tree."""
+        found: list[dict[str, Any]] = []
+
+        def walk(nodes: Iterable[dict[str, Any]]) -> None:
+            for node in nodes:
+                if node.get("name") == name:
+                    found.append(node)
+                walk(node.get("children", ()))
+
+        walk(self.spans)
+        return found
+
+    def counter(self, name: str) -> int:
+        return int(self.metrics.get("counters", {}).get(name, 0))
+
+    # -- human rendering -------------------------------------------------------
+
+    def render(self) -> str:
+        """Terminal-friendly summary: span tree, then non-zero metrics."""
+        lines = [f"run report: {self.command}", render_span_tree(self.spans)]
+        counters = self.metrics.get("counters", {})
+        if counters:
+            lines.append("counters:")
+            width = max(len(n) for n in counters)
+            lines.extend(f"  {name.ljust(width)}  {value}"
+                         for name, value in sorted(counters.items()))
+        histograms = self.metrics.get("histograms", {})
+        if histograms:
+            lines.append("histograms:")
+            for name, s in sorted(histograms.items()):
+                lines.append(f"  {name}  count={s['count']} mean={s['mean']:.6g} "
+                             f"min={s['min']:.6g} max={s['max']:.6g}")
+        return "\n".join(line for line in lines if line)
+
+
+def render_span_tree(spans: Iterable[dict[str, Any]]) -> str:
+    """Indented text rendering of serialized spans (wall, peak, attrs)."""
+    lines: list[str] = []
+
+    def walk(nodes: Iterable[dict[str, Any]], depth: int) -> None:
+        for node in nodes:
+            wall = node.get("wall_s")
+            peak = node.get("peak_mb")
+            cells = [("  " * depth) + node.get("name", "?")]
+            cells.append(format_seconds(wall) if wall is not None else "-")
+            if peak is not None:
+                cells.append(f"peak {peak:.2f}MB")
+            attrs = node.get("attrs") or {}
+            if attrs:
+                cells.append(" ".join(f"{k}={v}" for k, v in attrs.items()))
+            lines.append("  ".join(cells))
+            walk(node.get("children", ()), depth + 1)
+
+    walk(spans, 0)
+    return "\n".join(lines)
+
+
+def iter_jsonl(report: RunReport) -> Iterator[str]:
+    """Yield the report as JSON-lines: spans flattened, then one metrics line.
+
+    Each span line carries its slash-joined ``path`` from the root so
+    downstream tools need no tree reconstruction.
+    """
+
+    def walk(nodes: Iterable[dict[str, Any]], prefix: str) -> Iterator[str]:
+        for node in nodes:
+            path = f"{prefix}/{node.get('name', '?')}" if prefix else node.get("name", "?")
+            flat = {"type": "span", "path": path, "wall_s": node.get("wall_s"),
+                    "peak_mb": node.get("peak_mb"), "attrs": node.get("attrs", {})}
+            yield json.dumps(flat, sort_keys=False)
+            yield from walk(node.get("children", ()), path)
+
+    yield from walk(report.spans, "")
+    yield json.dumps({"type": "metrics", "command": report.command,
+                      **report.metrics}, sort_keys=False)
+
+
+def write_jsonl(path: str | os.PathLike, report: RunReport) -> int:
+    """Write the JSON-lines form; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as fh:
+        for line in iter_jsonl(report):
+            fh.write(line)
+            fh.write("\n")
+            count += 1
+    return count
+
+
+class Reporter:
+    """The CLI's single structured stderr channel.
+
+    Replaces the scattered ``print(..., file=sys.stderr)`` calls: every
+    informational message goes through :meth:`info`, which ``--quiet``
+    silences wholesale, keeping stdout (the actual results) untouched.
+    """
+
+    def __init__(self, *, quiet: bool = False, stream: TextIO | None = None):
+        self.quiet = quiet
+        self._stream = stream
+
+    @property
+    def stream(self) -> TextIO:
+        return self._stream if self._stream is not None else sys.stderr
+
+    def info(self, message: str) -> None:
+        """Informational line (suppressed by ``--quiet``)."""
+        if not self.quiet:
+            print(message, file=self.stream)
+
+    def always(self, message: str) -> None:
+        """Explicitly requested output (e.g. ``--trace``) — never suppressed."""
+        print(message, file=self.stream)

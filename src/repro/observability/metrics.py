@@ -1,0 +1,203 @@
+"""Named counters, gauges, and histograms.
+
+The registry gives every quantity the paper's evaluation cares about a
+stable, queryable name:
+
+==============================  ==========  =======================================
+name                            kind        meaning
+==============================  ==========  =======================================
+``newick.trees_parsed``         counter     trees materialized by the parser
+``bfh.bipartitions_hashed``     counter     masks counted into a frequency hash
+``bfh.hash_hits``               counter     query splits found in ``BFH_R``
+``bfh.hash_misses``             counter     query splits absent from ``BFH_R``
+``ds.set_comparisons``          counter     1-vs-1 symmetric differences (Alg. 1)
+``hashrf.bucket_entries``       counter     (key, tree-id) postings in the table
+``hashrf.collision_checks``     counter     splits pushed through the lossy hasher
+``parallel.tasks``              counter     chunk tasks executed by fork workers
+``parallel.workers``            gauge       pool size of the most recent fan-out
+``parallel.chunk_size``         gauge       chunk size of the most recent fan-out
+``parallel.task_seconds``       histogram   per-worker task latencies
+==============================  ==========  =======================================
+
+All mutators are lock-protected (one registry-wide lock; instrumented
+code batches increments per tree or per task, so contention is nil), and
+every kind supports **merge** so forked workers can accumulate locally
+and ship a :func:`snapshot` back to the parent with their results.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.observability.state import enabled
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "enabled",
+           "counter", "gauge", "histogram", "metrics_snapshot",
+           "merge_metrics", "snapshot_and_reset", "clear_metrics"]
+
+
+class Counter:
+    """Monotonic event count."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, n: int = 1) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-written value (worker counts, chunk sizes, table sizes)."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self.value: float = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = value
+
+
+class Histogram:
+    """Streaming summary (count / sum / min / max) of observations.
+
+    Deliberately bucket-free: the quantities recorded here (task
+    latencies, per-tree split counts) are reported as means and ranges
+    in the run report; full distributions would bloat worker snapshots.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_lock")
+
+    def __init__(self, lock: threading.Lock):
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {"count": self.count, "sum": self.total, "min": self.min,
+                "max": self.max, "mean": self.mean}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named metrics with snapshot/merge."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(self._lock))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(self._lock))
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            with self._lock:
+                h = self._histograms.setdefault(name, Histogram(self._lock))
+        return h
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready view: ``{"counters": ..., "gauges": ..., "histograms": ...}``."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in self._counters.items()},
+                "gauges": {n: g.value for n, g in self._gauges.items()},
+                "histograms": {n: h.summary() for n, h in self._histograms.items()},
+            }
+
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold a snapshot (typically from a forked worker) into this registry.
+
+        Counters add; histograms combine count/sum/min/max; gauges keep
+        the incoming value (last writer wins, matching ``Gauge.set``).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            h = self.histogram(name)
+            if summary.get("count", 0) <= 0:
+                continue
+            with self._lock:
+                h.count += summary["count"]
+                h.total += summary["sum"]
+                h.min = min(h.min, summary["min"])
+                h.max = max(h.max, summary["max"])
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def counter(name: str) -> Counter:
+    """Process-global counter (see module table for naming conventions)."""
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    return _REGISTRY.histogram(name)
+
+
+def metrics_snapshot() -> dict[str, Any]:
+    return _REGISTRY.snapshot()
+
+
+def merge_metrics(snapshot: dict[str, Any]) -> None:
+    _REGISTRY.merge(snapshot)
+
+
+def snapshot_and_reset() -> dict[str, Any]:
+    """Atomically drain the registry — the per-task worker hand-off."""
+    snap = _REGISTRY.snapshot()
+    _REGISTRY.reset()
+    return snap
+
+
+def clear_metrics() -> None:
+    _REGISTRY.reset()

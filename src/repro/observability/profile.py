@@ -1,0 +1,71 @@
+"""Opt-in cProfile hook for any span.
+
+:func:`profiled` behaves like :func:`~repro.observability.spans.trace`
+but additionally runs :mod:`cProfile` over the block and attaches a
+``pstats`` summary (top functions by cumulative time) to the span's
+attributes, so a ``--metrics-out`` report can carry hotspot evidence for
+exactly the region under suspicion.
+
+Profiling is never implied by ``enable()`` — the interpreter hooks cost
+far more than the spans do — which is why this lives in its own module:
+you wrap the one span you care about, look at the report, and remove it.
+
+Example::
+
+    from repro.observability.profile import profiled
+
+    with profiled("bfhrf.query.profiled", top=10):
+        bfhrf_average_rf(query, reference)
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from typing import Any, Iterator, TextIO
+
+from repro.observability.spans import Span, trace
+
+__all__ = ["profiled", "stats_summary"]
+
+
+def stats_summary(profiler: cProfile.Profile, *, top: int = 12,
+                  sort: str = "cumulative") -> str:
+    """The ``pstats`` top-N table of a finished profiler, as text."""
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.strip_dirs().sort_stats(sort).print_stats(top)
+    return buffer.getvalue().strip()
+
+
+@contextmanager
+def profiled(name: str, *, top: int = 12, sort: str = "cumulative",
+             stream: TextIO | None = None, **attrs: Any) -> Iterator[Any]:
+    """A traced span whose body also runs under cProfile.
+
+    Parameters
+    ----------
+    name, attrs:
+        Forwarded to :func:`trace`.
+    top, sort:
+        How many functions to keep and the ``pstats`` sort key.
+    stream:
+        Also write the summary here (e.g. ``sys.stderr``) — useful when
+        observability is disabled, in which case the profile still runs
+        but there is no span to attach it to.
+    """
+    profiler = cProfile.Profile()
+    span = trace(name, **attrs)
+    with span:
+        profiler.enable()
+        try:
+            yield span
+        finally:
+            profiler.disable()
+    summary = stats_summary(profiler, top=top, sort=sort)
+    if isinstance(span, Span):
+        span.attrs["profile"] = summary.splitlines()
+    if stream is not None:
+        stream.write(summary + "\n")

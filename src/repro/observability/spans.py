@@ -1,0 +1,169 @@
+"""Hierarchical tracing spans.
+
+A span is one timed region of the pipeline — ``parse``, ``bfh.build``,
+``bfhrf.query`` — carrying wall time (``perf_counter``), an optional
+tracemalloc heap peak, and arbitrary key/value attributes.  Spans nest:
+entering a span while another is active on the same thread records it as
+a child, so one run produces a tree mirroring the call structure.
+
+Design constraints (from the paper's measurement story):
+
+* **Zero overhead when disabled.**  :func:`trace` checks the global
+  flag and returns a shared no-op singleton — no allocation, no clock
+  read, nothing to collect.
+* **Thread-safe collection.**  Each thread keeps its own active-span
+  stack (``threading.local``); finished root spans are appended to one
+  lock-protected list, so concurrent threads interleave safely.
+* **Honest nested memory peaks.**  tracemalloc has a single global peak
+  watermark; each span resets it on entry and *bubbles its absolute
+  peak up to its parent* on exit, so a parent's peak is never smaller
+  than any child's.
+
+Naming convention: dotted lowercase, ``<layer>.<operation>`` —
+``bfh.build``, ``bfhrf.query``, ``hashrf.matrix``, ``cli.avg-rf``; the
+single name ``parse`` covers collection loading of either side.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import tracemalloc
+from typing import Any
+
+from repro.observability import state
+
+__all__ = ["Span", "trace", "active_span", "finished_spans", "clear_spans"]
+
+
+class Span:
+    """One timed region.  Use via :func:`trace` as a context manager."""
+
+    __slots__ = ("name", "attrs", "wall_s", "peak_mb", "children",
+                 "_t0", "_mem_base", "_abs_peak")
+
+    def __init__(self, name: str, attrs: dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.wall_s: float | None = None
+        self.peak_mb: float | None = None
+        self.children: list[Span] = []
+        self._t0 = 0.0
+        self._mem_base: int | None = None
+        self._abs_peak = 0
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered mid-span (e.g. trees counted)."""
+        self.attrs.update(attrs)
+        return self
+
+    # -- context manager -------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        _STACKS.stack.append(self)
+        if state.memory_enabled():
+            current, _peak = tracemalloc.get_traced_memory()
+            self._mem_base = current
+            self._abs_peak = current
+            tracemalloc.reset_peak()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.wall_s = time.perf_counter() - self._t0
+        abs_peak = None
+        if self._mem_base is not None and tracemalloc.is_tracing():
+            _current, peak = tracemalloc.get_traced_memory()
+            abs_peak = max(self._abs_peak, peak)
+            self.peak_mb = max(0.0, (abs_peak - self._mem_base) / (1024 * 1024))
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        stack = _STACKS.stack
+        if stack and stack[-1] is self:
+            stack.pop()
+        if stack:
+            parent = stack[-1]
+            parent.children.append(self)
+            if abs_peak is not None and parent._mem_base is not None:
+                parent._abs_peak = max(parent._abs_peak, abs_peak)
+        else:
+            with _ROOTS_LOCK:
+                _ROOTS.append(self)
+        return False
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (recursively) for :class:`~repro.observability.export.RunReport`."""
+        out: dict[str, Any] = {"name": self.name, "wall_s": self.wall_s,
+                               "peak_mb": self.peak_mb}
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        wall = f"{self.wall_s:.4f}s" if self.wall_s is not None else "running"
+        return f"Span({self.name!r}, {wall}, children={len(self.children)})"
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while observability is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Stacks(threading.local):
+    def __init__(self):
+        self.stack: list[Span] = []
+
+
+_STACKS = _Stacks()
+_ROOTS: list[Span] = []
+_ROOTS_LOCK = threading.Lock()
+
+
+def trace(name: str, **attrs: Any):
+    """Open a span named ``name`` (the library's single tracing entry point).
+
+    Returns a context manager; a no-op singleton when recording is off::
+
+        with trace("bfh.build", r=len(reference)) as span:
+            ...
+            span.set(unique=len(bfh))
+    """
+    if not state.enabled():
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def active_span() -> Span | None:
+    """The innermost span open on the current thread, if any."""
+    stack = _STACKS.stack
+    return stack[-1] if stack else None
+
+
+def finished_spans() -> list[Span]:
+    """Snapshot of completed root spans (children hang off their parents)."""
+    with _ROOTS_LOCK:
+        return list(_ROOTS)
+
+
+def clear_spans() -> None:
+    """Drop all recorded spans (start of a fresh run / forked worker init)."""
+    with _ROOTS_LOCK:
+        _ROOTS.clear()
+    _STACKS.stack.clear()

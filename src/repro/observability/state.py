@@ -1,0 +1,61 @@
+"""Global on/off switch for the observability subsystem.
+
+Every instrumentation point in the library funnels through
+:func:`enabled` before doing *any* work, so a disabled run pays exactly
+one module-global read per instrumented call site — the "zero overhead
+when disabled" contract the hot-path code relies on (§VI of the paper
+measures BFHRF throughput; instrumentation must not move those numbers).
+
+This module is deliberately import-light (stdlib ``tracemalloc`` only)
+so :mod:`repro.newick`, :mod:`repro.hashing`, and :mod:`repro.core` can
+depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+__all__ = ["enable", "disable", "enabled", "memory_enabled"]
+
+_ENABLED = False
+_MEMORY = False
+_STARTED_TRACEMALLOC = False
+
+
+def enabled() -> bool:
+    """True when spans and metrics are being recorded."""
+    return _ENABLED
+
+
+def memory_enabled() -> bool:
+    """True when spans also capture tracemalloc peaks (costs ~5-7x)."""
+    return _MEMORY and tracemalloc.is_tracing()
+
+
+def enable(*, memory: bool = False) -> None:
+    """Turn recording on.
+
+    Parameters
+    ----------
+    memory:
+        Also start :mod:`tracemalloc` so every span reports its heap
+        peak.  Off by default because tracing allocations slows
+        pure-Python code severely; wall-clock spans alone are nearly
+        free.
+    """
+    global _ENABLED, _MEMORY, _STARTED_TRACEMALLOC
+    _ENABLED = True
+    _MEMORY = memory
+    if memory and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _STARTED_TRACEMALLOC = True
+
+
+def disable() -> None:
+    """Turn recording off (recorded spans/metrics are kept until cleared)."""
+    global _ENABLED, _MEMORY, _STARTED_TRACEMALLOC
+    _ENABLED = False
+    _MEMORY = False
+    if _STARTED_TRACEMALLOC and tracemalloc.is_tracing():
+        tracemalloc.stop()
+    _STARTED_TRACEMALLOC = False

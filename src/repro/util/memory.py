@@ -25,14 +25,54 @@ import tracemalloc
 from contextlib import contextmanager
 from dataclasses import dataclass
 
-__all__ = ["trace_peak", "rss_peak_mb", "MemoryProbe", "MemorySample"]
+__all__ = ["trace_peak", "rss_peak_mb", "reset_rss_peak", "MemoryProbe",
+           "MemorySample"]
+
+
+def _read_vm_hwm_mb() -> float | None:
+    """``VmHWM`` (peak RSS) from ``/proc/self/status`` in MiB, or None.
+
+    Unlike ``ru_maxrss``, this kernel counter can be *reset* (see
+    :func:`reset_rss_peak`), which makes per-block RSS attribution
+    possible inside a long-lived process.
+    """
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024  # kB -> MiB
+    except (OSError, ValueError, IndexError):
+        pass
+    return None
+
+
+def reset_rss_peak() -> bool:
+    """Reset the kernel's peak-RSS watermark for this process.
+
+    Writes ``5`` (``CLEAR_REFS_MM_HIWATER_RSS``) to
+    ``/proc/self/clear_refs`` so ``VmHWM`` restarts from the *current*
+    RSS.  Returns True on success; False where unsupported (non-Linux,
+    restricted containers) — callers fall back to the monotone
+    ``ru_maxrss`` watermark.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+        return True
+    except OSError:
+        return False
 
 
 def rss_peak_mb() -> float:
     """Return the process high-water RSS in MiB.
 
-    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalize.
+    Prefers ``VmHWM`` from ``/proc/self/status`` (resettable via
+    :func:`reset_rss_peak`); falls back to ``getrusage``'s ``ru_maxrss``
+    elsewhere (kilobytes on Linux, bytes on macOS; normalized).
     """
+    hwm = _read_vm_hwm_mb()
+    if hwm is not None:
+        return hwm
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     if sys.platform == "darwin":
         return peak / (1024 * 1024)
@@ -118,6 +158,13 @@ class MemoryProbe:
                 current_mb = 0.0
 
             box = _Box()
+            # The naive delta-of-watermarks under-reports: ``ru_maxrss``
+            # (and VmHWM) are monotone, so any *earlier* peak in the
+            # process hides everything this block allocates below it.
+            # Resetting the kernel watermark makes the delta exact; where
+            # clear_refs is unavailable the monotone fallback applies
+            # (documented: it can only under-report, never over-report).
+            reset_rss_peak()
             before = rss_peak_mb()
             try:
                 yield box

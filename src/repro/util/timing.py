@@ -31,6 +31,16 @@ class Stopwatch:
     elapsed: float = 0.0
     _start: float | None = field(default=None, repr=False)
 
+    @property
+    def running(self) -> bool:
+        """True while the stopwatch is started and not yet stopped."""
+        return self._start is not None
+
+    def reset(self) -> None:
+        """Zero the accumulated time and discard any running interval."""
+        self.elapsed = 0.0
+        self._start = None
+
     def start(self) -> None:
         if self._start is not None:
             raise RuntimeError("Stopwatch already running")
@@ -82,7 +92,7 @@ def estimate_total_seconds(measured_seconds: float, items_done: int, items_total
 
 
 def format_seconds(seconds: float) -> str:
-    """Render seconds compactly for tables (``ms``, ``s``, or ``m``).
+    """Render seconds compactly for tables (``ms``, ``s``, ``m``, or ``h``).
 
     >>> format_seconds(0.0042)
     '4.2ms'
@@ -90,9 +100,13 @@ def format_seconds(seconds: float) -> str:
     '3.25s'
     >>> format_seconds(312)
     '5.20m'
+    >>> format_seconds(7200)
+    '2.00h'
     """
     if seconds < 1.0:
         return f"{seconds * 1e3:.1f}ms"
     if seconds < 120.0:
         return f"{seconds:.2f}s"
-    return f"{seconds / 60.0:.2f}m"
+    if seconds < 3600.0:
+        return f"{seconds / 60.0:.2f}m"
+    return f"{seconds / 3600.0:.2f}h"

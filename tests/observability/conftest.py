@@ -1,0 +1,30 @@
+"""Shared fixture: observability is process-global state — every test
+that flips it on must restore a clean, disabled world afterwards."""
+
+import pytest
+
+import repro.observability as obs
+
+
+@pytest.fixture
+def observed():
+    """Enable span/metric collection (with memory tracking) for one test."""
+    obs.reset()
+    obs.enable(memory=True)
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()
+
+
+@pytest.fixture
+def observed_no_memory():
+    """Enable collection without tracemalloc (timing-only spans)."""
+    obs.reset()
+    obs.enable(memory=False)
+    try:
+        yield obs
+    finally:
+        obs.disable()
+        obs.reset()

@@ -1,0 +1,112 @@
+"""RunReport round-trips, JSON-lines, rendering, and the Reporter."""
+
+import io
+import json
+
+import repro.observability as obs
+from repro.observability.export import (
+    Reporter,
+    RunReport,
+    host_env,
+    iter_jsonl,
+    render_span_tree,
+    write_jsonl,
+)
+from repro.observability.spans import trace
+
+
+def _sample_report(command="bfhrf test"):
+    with trace("outer", q=2) as span:
+        with trace("inner"):
+            pass
+        span.set(done=True)
+    obs.counter("newick.trees_parsed").inc(3)
+    obs.histogram("parallel.task_seconds").observe(0.25)
+    return RunReport.collect(command, records=[{"algorithm": "BFHRF"}],
+                             extra={"argv": ["test"]})
+
+
+class TestRunReport:
+    def test_collect_snapshots_spans_and_metrics(self, observed):
+        report = _sample_report()
+        assert [s["name"] for s in report.spans] == ["outer"]
+        assert report.spans[0]["children"][0]["name"] == "inner"
+        assert report.counter("newick.trees_parsed") == 3
+        assert report.records == [{"algorithm": "BFHRF"}]
+        assert report.extra["argv"] == ["test"]
+
+    def test_json_round_trip(self, observed):
+        report = _sample_report()
+        clone = RunReport.from_json(report.to_json())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_write_is_valid_json(self, observed, tmp_path):
+        report = _sample_report()
+        path = tmp_path / "run.json"
+        report.write(path)
+        doc = json.loads(path.read_text())
+        assert doc["schema_version"] == RunReport.SCHEMA_VERSION
+        assert doc["command"] == "bfhrf test"
+        assert doc["env"]["python"]
+
+    def test_find_spans_searches_depth_first(self, observed):
+        report = _sample_report()
+        assert len(report.find_spans("inner")) == 1
+        assert report.find_spans("absent") == []
+
+    def test_span_fields_present(self, observed):
+        report = _sample_report()
+        outer = report.spans[0]
+        assert outer["wall_s"] >= 0
+        assert outer["peak_mb"] is not None  # memory=True fixture
+        assert outer["attrs"] == {"q": 2, "done": True}
+
+    def test_render_mentions_spans_and_counters(self, observed):
+        text = _sample_report().render()
+        assert "outer" in text and "inner" in text
+        assert "newick.trees_parsed" in text
+
+    def test_host_env_keys(self):
+        env = host_env()
+        for key in ("platform", "python", "hostname", "cpu_count", "pid"):
+            assert key in env
+
+
+class TestJsonl:
+    def test_lines_are_json_with_paths(self, observed, tmp_path):
+        report = _sample_report()
+        lines = [json.loads(line) for line in iter_jsonl(report)]
+        span_paths = [l["path"] for l in lines if l["type"] == "span"]
+        assert span_paths == ["outer", "outer/inner"]
+        assert lines[-1]["type"] == "metrics"
+        path = tmp_path / "run.jsonl"
+        assert write_jsonl(path, report) == len(lines)
+        assert len(path.read_text().splitlines()) == len(lines)
+
+
+class TestRenderSpanTree:
+    def test_indentation_reflects_depth(self, observed):
+        report = _sample_report()
+        lines = render_span_tree(report.spans).splitlines()
+        assert lines[0].startswith("outer")
+        assert lines[1].startswith("  inner")
+
+    def test_empty_tree(self):
+        assert render_span_tree([]) == ""
+
+
+class TestReporter:
+    def test_info_suppressed_by_quiet(self):
+        buf = io.StringIO()
+        Reporter(quiet=True, stream=buf).info("hidden")
+        assert buf.getvalue() == ""
+
+    def test_info_emitted_by_default(self):
+        buf = io.StringIO()
+        Reporter(stream=buf).info("visible")
+        assert buf.getvalue() == "visible\n"
+
+    def test_always_ignores_quiet(self):
+        buf = io.StringIO()
+        Reporter(quiet=True, stream=buf).always("trace output")
+        assert buf.getvalue() == "trace output\n"

@@ -1,0 +1,166 @@
+"""Spans: nesting, attributes, memory peaks, and the disabled fast path."""
+
+import threading
+
+import pytest
+
+import repro.observability as obs
+from repro.observability.spans import _NULL_SPAN, trace
+
+
+class TestNesting:
+    def test_child_recorded_under_parent(self, observed):
+        with trace("outer") as outer:
+            with trace("inner"):
+                pass
+        roots = obs.finished_spans()
+        assert [s.name for s in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner"]
+        assert outer.wall_s is not None and outer.wall_s >= 0
+
+    def test_three_levels(self, observed):
+        with trace("a"):
+            with trace("b"):
+                with trace("c"):
+                    pass
+        (a,) = obs.finished_spans()
+        assert a.children[0].name == "b"
+        assert a.children[0].children[0].name == "c"
+
+    def test_siblings_in_order(self, observed):
+        with trace("parent"):
+            with trace("first"):
+                pass
+            with trace("second"):
+                pass
+        (parent,) = obs.finished_spans()
+        assert [c.name for c in parent.children] == ["first", "second"]
+
+    def test_sequential_roots(self, observed):
+        with trace("one"):
+            pass
+        with trace("two"):
+            pass
+        assert [s.name for s in obs.finished_spans()] == ["one", "two"]
+
+    def test_parent_wall_covers_children(self, observed):
+        with trace("outer"):
+            with trace("inner"):
+                sum(range(10_000))
+        (outer,) = obs.finished_spans()
+        assert outer.wall_s >= outer.children[0].wall_s
+
+
+class TestAttributes:
+    def test_kwargs_at_open(self, observed):
+        with trace("parse", source="x.nwk", format="newick"):
+            pass
+        (span,) = obs.finished_spans()
+        assert span.attrs == {"source": "x.nwk", "format": "newick"}
+
+    def test_set_mid_span(self, observed):
+        with trace("bfh.build", workers=1) as span:
+            span.set(r=42, unique=7)
+        (done,) = obs.finished_spans()
+        assert done.attrs == {"workers": 1, "r": 42, "unique": 7}
+
+    def test_exception_recorded_and_propagated(self, observed):
+        with pytest.raises(ValueError):
+            with trace("doomed"):
+                raise ValueError("boom")
+        (span,) = obs.finished_spans()
+        assert span.attrs["error"] == "ValueError"
+        assert span.wall_s is not None
+
+    def test_to_dict_shape(self, observed):
+        with trace("outer", k="v"):
+            with trace("inner"):
+                pass
+        doc = obs.finished_spans()[0].to_dict()
+        assert doc["name"] == "outer"
+        assert doc["attrs"] == {"k": "v"}
+        assert doc["children"][0]["name"] == "inner"
+        assert "wall_s" in doc and "peak_mb" in doc
+
+
+class TestMemoryPeaks:
+    def test_peak_recorded(self, observed):
+        with trace("alloc"):
+            blob = bytearray(8 * 1024 * 1024)
+        del blob
+        (span,) = obs.finished_spans()
+        assert span.peak_mb == pytest.approx(8.0, abs=1.5)
+
+    def test_parent_peak_at_least_child_peak(self, observed):
+        with trace("outer"):
+            with trace("child"):
+                blob = bytearray(8 * 1024 * 1024)
+            del blob
+        (outer,) = obs.finished_spans()
+        child = outer.children[0]
+        assert outer.peak_mb >= child.peak_mb > 0
+
+    def test_no_memory_mode_leaves_peak_none(self, observed_no_memory):
+        with trace("timed"):
+            pass
+        (span,) = obs.finished_spans()
+        assert span.peak_mb is None
+        assert span.wall_s is not None
+
+
+class TestDisabledFastPath:
+    def test_trace_returns_shared_singleton(self):
+        assert not obs.enabled()
+        assert trace("anything") is _NULL_SPAN
+        assert trace("other", with_attrs=1) is _NULL_SPAN
+
+    def test_nothing_collected(self):
+        with trace("invisible") as span:
+            span.set(ignored=True)
+        assert obs.finished_spans() == []
+
+    def test_null_span_set_chains(self):
+        span = trace("x")
+        assert span.set(a=1) is span
+
+    def test_no_span_objects_allocated(self):
+        spans_before = len(obs.finished_spans())
+        for _ in range(1000):
+            with trace("hot"):
+                pass
+        assert len(obs.finished_spans()) == spans_before
+
+
+class TestThreadSafety:
+    def test_threads_keep_separate_stacks(self, observed_no_memory):
+        errors = []
+
+        def work(tag):
+            try:
+                for _ in range(50):
+                    with trace(f"root-{tag}"):
+                        with trace(f"leaf-{tag}"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        roots = obs.finished_spans()
+        assert len(roots) == 200
+        for root in roots:
+            tag = root.name.split("-")[1]
+            assert [c.name for c in root.children] == [f"leaf-{tag}"]
+
+    def test_active_span(self, observed_no_memory):
+        assert obs.active_span() is None
+        with trace("outer") as outer:
+            assert obs.active_span() is outer
+            with trace("inner") as inner:
+                assert obs.active_span() is inner
+            assert obs.active_span() is outer
+        assert obs.active_span() is None

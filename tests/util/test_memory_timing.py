@@ -5,7 +5,13 @@ import time
 
 import pytest
 
-from repro.util.memory import MemoryProbe, rss_peak_mb, trace_peak
+from repro.util.memory import (
+    MemoryProbe,
+    _read_vm_hwm_mb,
+    reset_rss_peak,
+    rss_peak_mb,
+    trace_peak,
+)
 from repro.util.timing import Stopwatch, estimate_total_seconds, format_seconds, stopwatch
 
 
@@ -65,6 +71,37 @@ class TestMemoryProbe:
         with pytest.raises(ValueError):
             MemoryProbe("vibes")
 
+    def test_rss_mode_attributes_block_after_larger_prior_peak(self):
+        """The VmHWM-reset fix: a block allocating less than an *earlier*
+        process peak must still report its own allocation, not zero."""
+        if not reset_rss_peak():
+            pytest.skip("/proc/self/clear_refs unavailable")
+        big = bytearray(96 * 1024 * 1024)
+        del big
+        probe = MemoryProbe("rss")
+        with probe.measure() as sample:
+            small = bytearray(32 * 1024 * 1024)
+        del small
+        assert sample.peak_mb == pytest.approx(32.0, abs=8.0)
+
+
+class TestVmHwm:
+    def test_read_matches_rss_peak(self):
+        hwm = _read_vm_hwm_mb()
+        if hwm is None:
+            pytest.skip("/proc/self/status unavailable")
+        assert hwm > 1.0
+        assert rss_peak_mb() == pytest.approx(hwm, rel=0.5)
+
+    def test_reset_lowers_watermark(self):
+        if not reset_rss_peak():
+            pytest.skip("/proc/self/clear_refs unavailable")
+        blob = bytearray(64 * 1024 * 1024)
+        del blob
+        high = rss_peak_mb()
+        assert reset_rss_peak()
+        assert rss_peak_mb() <= high
+
 
 class TestStopwatch:
     def test_accumulates(self):
@@ -91,6 +128,25 @@ class TestStopwatch:
             time.sleep(0.005)
         assert sw.elapsed >= 0.005
 
+    def test_running_property(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_reset_zeroes_and_stops(self):
+        sw = Stopwatch()
+        with sw:
+            time.sleep(0.002)
+        sw.start()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+        sw.start()  # usable again after reset mid-run
+        sw.stop()
+
 
 class TestEstimate:
     def test_linear_extrapolation(self):
@@ -114,6 +170,10 @@ class TestFormatSeconds:
         (3.25, "3.25s"),
         (312, "5.20m"),
         (0.999, "999.0ms"),
+        (3599, "59.98m"),
+        (3600, "1.00h"),
+        (7200, "2.00h"),
+        (5400, "1.50h"),
     ])
     def test_rendering(self, value, expected):
         assert format_seconds(value) == expected
