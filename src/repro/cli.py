@@ -20,6 +20,9 @@ Subcommands::
     bfhrf supertree  SRC1.nwk SRC2.nwk [...] [--ascii]
     bfhrf topologies TREES.nwk [--credible F]
     bfhrf dist       PAIR.nwk [--metric rf|matching|triplet|quartet|branch-score]
+    bfhrf selfcheck  [--seed S] [--rounds K] [--profile quick|deep]
+                     [--artifacts DIR] [--inject-fault bfh-count|weighted-total]
+                     [--replay ARTIFACT_DIR]
 
 Global flags (accepted before or after the subcommand):
 
@@ -174,6 +177,24 @@ def build_parser() -> argparse.ArgumentParser:
     dist.add_argument("trees", help="file whose first two trees are compared")
     dist.add_argument("--metric", default="rf",
                       choices=["rf", "matching", "triplet", "quartet", "branch-score"])
+
+    check = add_parser(
+        "selfcheck",
+        help="differential fuzz of every RF implementation against oracles")
+    check.add_argument("--seed", type=int, default=42,
+                       help="master seed; each round derives its own (default 42)")
+    check.add_argument("--rounds", type=int, default=None,
+                       help="fuzz rounds (default: profile's, 50 quick / 300 deep)")
+    check.add_argument("--profile", default="quick", choices=["quick", "deep"],
+                       help="case-size profile (deep = larger trees, more rounds)")
+    check.add_argument("--artifacts", default="selfcheck-artifacts", metavar="DIR",
+                       help="directory for minimized reproducers on failure")
+    check.add_argument("--inject-fault", default=None, metavar="KIND",
+                       choices=["bfh-count", "weighted-total"],
+                       help="deliberately corrupt one implementation "
+                            "(proves the harness detects divergence)")
+    check.add_argument("--replay", default=None, metavar="ARTIFACT_DIR",
+                       help="re-run a saved reproducer instead of fuzzing")
 
     return parser
 
@@ -373,6 +394,27 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_selfcheck(args: argparse.Namespace) -> int:
+    from repro.testing import SelfCheck, replay_artifact
+
+    if args.replay is not None:
+        failures = replay_artifact(args.replay)
+        if failures:
+            print(f"replay {args.replay}: still failing", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            return 1
+        print(f"replay {args.replay}: check passes (bug fixed)")
+        return 0
+
+    harness = SelfCheck(args.seed, rounds=args.rounds, profile=args.profile,
+                        artifact_dir=args.artifacts, fault=args.inject_fault,
+                        log=_info)
+    result = harness.run()
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
 _COMMANDS = {
     "avg-rf": _cmd_avg_rf,
     "matrix": _cmd_matrix,
@@ -386,6 +428,7 @@ _COMMANDS = {
     "supertree": _cmd_supertree,
     "topologies": _cmd_topologies,
     "dist": _cmd_dist,
+    "selfcheck": _cmd_selfcheck,
 }
 
 

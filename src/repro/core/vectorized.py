@@ -144,6 +144,10 @@ class VectorizedBFH:
         """
         if words.size == 0:
             return np.zeros(0, dtype=np.int64)
+        if len(self._void_keys) == 0:
+            # A splitless reference (e.g. all star trees) stores no keys;
+            # every probe misses.  The clamp below would index at -1.
+            return np.zeros(len(words), dtype=np.int64)
         query_void = np.ascontiguousarray(words, dtype=np.uint64).view(
             np.dtype((np.void, words.dtype.itemsize * self.n_words))).ravel()
         positions = np.searchsorted(self._void_keys, query_void)
@@ -171,13 +175,12 @@ class VectorizedBFH:
 
         offsets = np.zeros(len(trees), dtype=np.int64)
         np.cumsum(counts[:-1], out=offsets[1:])
-        # Guard reduceat against zero-length segments (trees with no
-        # non-trivial splits contribute zero).
-        if len(flat):
-            seg_freq = np.add.reduceat(freqs, np.minimum(offsets, len(flat) - 1))
-            seg_freq[counts == 0] = 0
-        else:
-            seg_freq = np.zeros(len(trees), dtype=np.int64)
+        # Segment sums via prefix sums rather than reduceat: a tree with
+        # no non-trivial splits (a star from multifurcation collapse)
+        # yields a zero-length segment, and reduceat's index clamping at
+        # the array end silently steals the previous tree's last term.
+        prefix = np.concatenate(([0], np.cumsum(freqs)))
+        seg_freq = prefix[offsets + counts] - prefix[offsets]
         rf_left = self.total - seg_freq
         rf_right = counts * self.n_trees - seg_freq
         return (rf_left + rf_right) / self.n_trees

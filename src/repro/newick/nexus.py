@@ -16,9 +16,11 @@ bare Newick.  This reader covers the subset those collections use:
 Everything else (DATA blocks, CHARACTERS, commands we don't model) is
 skipped without error, which is how tolerant NEXUS consumers behave.
 
-Known limitations (acceptable for the benchmark-style files this library
-targets): statement splitting does not protect ``;`` inside quoted
-labels or bracket comments.
+Statement splitting and the TRANSLATE parser are quote-aware: ``;``,
+``,``, and bracket-comment characters inside single-quoted labels (with
+``''`` escapes) are treated as literal text, matching what the NEXUS
+writer emits for such labels.  (This used to be a known limitation; the
+selfcheck harness's round-trip property surfaced it as a real bug.)
 """
 
 from __future__ import annotations
@@ -39,45 +41,114 @@ __all__ = ["read_nexus_trees", "iter_nexus_trees", "parse_translate_block"]
 
 _TREE_STMT = re.compile(r"^\s*U?TREE\s*(\*)?\s*([^=\s]+)\s*=\s*(.*)$",
                         re.IGNORECASE | re.DOTALL)
-_COMMENT = re.compile(r"\[[^\]]*\]")
-
-
-def _strip_comments(text: str) -> str:
-    return _COMMENT.sub("", text)
 
 
 def _statements(stream) -> Iterator[str]:
-    """Yield ``;``-terminated NEXUS statements, comments removed."""
-    buffer: list[str] = []
-    for line in stream:
-        buffer.append(line)
-        while ";" in "".join(buffer):
-            joined = "".join(buffer)
-            statement, _, rest = joined.partition(";")
-            yield _strip_comments(statement).strip()
-            buffer = [rest]
-    tail = _strip_comments("".join(buffer)).strip()
+    """Yield ``;``-terminated NEXUS statements, comments removed.
+
+    The scan is quote-aware: inside a single-quoted label, ``;`` and
+    ``[``/``]`` are literal characters and ``''`` is an escaped quote, so
+    labels like ``'semi;colon'`` or ``'q[z]'`` survive intact.  Bracket
+    comments outside quotes (``[&U]`` and friends) are dropped.
+    """
+
+    def chars() -> Iterator[str]:
+        for line in stream:
+            yield from line
+
+    out: list[str] = []
+    pushback: list[str] = []
+    in_quote = False
+    in_comment = False
+    it = chars()
+    while True:
+        ch = pushback.pop() if pushback else next(it, None)
+        if ch is None:
+            break
+        if in_comment:
+            if ch == "]":
+                in_comment = False
+            continue
+        if in_quote:
+            out.append(ch)
+            if ch == "'":
+                nxt = next(it, None)
+                if nxt == "'":
+                    out.append("'")  # '' escape: still inside the label
+                else:
+                    in_quote = False
+                    if nxt is not None:
+                        pushback.append(nxt)
+            continue
+        if ch == "'":
+            in_quote = True
+            out.append(ch)
+        elif ch == "[":
+            in_comment = True
+        elif ch == ";":
+            statement = "".join(out).strip()
+            out = []
+            if statement:
+                yield statement
+        else:
+            out.append(ch)
+    tail = "".join(out).strip()
     if tail:
         yield tail
+
+
+def _split_outside_quotes(text: str, sep: str) -> list[str]:
+    parts: list[str] = []
+    out: list[str] = []
+    in_quote = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            out.append(ch)
+            if in_quote and i + 1 < len(text) and text[i + 1] == "'":
+                out.append("'")
+                i += 2
+                continue
+            in_quote = not in_quote
+        elif ch == sep and not in_quote:
+            parts.append("".join(out))
+            out = []
+        else:
+            out.append(ch)
+        i += 1
+    parts.append("".join(out))
+    return parts
+
+
+def _unquote(label: str) -> str:
+    label = label.strip()
+    if len(label) >= 2 and label[0] == "'" and label[-1] == "'":
+        return label[1:-1].replace("''", "'")
+    return label
 
 
 def parse_translate_block(statement: str) -> dict[str, str]:
     """Parse the body of a ``TRANSLATE`` statement into token -> label.
 
+    Labels may be single-quoted and contain commas, whitespace, or
+    escaped quotes (``''``), exactly as the NEXUS writer produces them.
+
     >>> parse_translate_block("TRANSLATE 1 Homo_sapiens, 2 Pan_troglodytes")
     {'1': 'Homo_sapiens', '2': 'Pan_troglodytes'}
+    >>> parse_translate_block("TRANSLATE 1 'c,d', 2 'it''s'")
+    {'1': 'c,d', '2': "it's"}
     """
     body = re.sub(r"^\s*TRANSLATE\s*", "", statement, flags=re.IGNORECASE)
     table: dict[str, str] = {}
-    for entry in body.split(","):
+    for entry in _split_outside_quotes(body, ","):
         entry = entry.strip()
         if not entry:
             continue
-        parts = entry.split(None, 1)
-        if len(parts) != 2:
+        match = re.match(r"(\S+)\s+(.+)$", entry, re.DOTALL)
+        if match is None:
             raise NewickParseError(f"malformed TRANSLATE entry {entry!r}")
-        token, label = parts
-        table[token] = label.strip().strip("'")
+        table[match.group(1)] = _unquote(match.group(2))
     return table
 
 

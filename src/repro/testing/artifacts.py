@@ -1,0 +1,100 @@
+"""Reproducer artifacts: persist a minimized failing case to disk.
+
+A failure artifact is one directory holding everything needed to replay
+the bug without re-running the fuzz loop:
+
+* ``manifest.json`` — seed, profile, check name, failure messages, flags;
+* ``query.newick`` / ``reference.newick`` — the minimized collections
+  (reference omitted when Q is R).
+
+:func:`load_artifact` reconstructs the :class:`TreeCase` and
+:func:`replay_artifact` re-runs the named check against it, so a saved
+artifact doubles as a standing regression test input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from repro.newick.io import trees_from_string
+from repro.testing.generators import TreeCase
+from repro.testing.oracles import Failure
+from repro.trees.taxon import TaxonNamespace
+
+__all__ = ["write_artifact", "load_artifact", "replay_artifact"]
+
+MANIFEST_VERSION = 1
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_-]+", "-", text).strip("-") or "case"
+
+
+def write_artifact(directory: str | os.PathLike, case: TreeCase, check: str,
+                   failures: list[Failure]) -> Path:
+    """Write one reproducer directory; returns its path."""
+    root = Path(directory) / f"{_slug(check)}-seed{case.seed}"
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "query.newick").write_text(case.query_newick() + "\n", encoding="utf-8")
+    if not case.same_collection:
+        (root / "reference.newick").write_text(case.reference_newick() + "\n",
+                                               encoding="utf-8")
+    manifest = {
+        "manifest_version": MANIFEST_VERSION,
+        "check": check,
+        "seed": case.seed,
+        "strategy": case.name,
+        "shrunk": case.shrunk,
+        "same_collection": case.same_collection,
+        "weighted": case.weighted,
+        "include_trivial": case.include_trivial,
+        "n_query": len(case.query),
+        "n_reference": len(case.reference),
+        "n_taxa": case.n_taxa,
+        "failures": [str(f) for f in failures],
+        "replay": ("python -m repro selfcheck --replay " + str(root)),
+    }
+    (root / "manifest.json").write_text(json.dumps(manifest, indent=2) + "\n",
+                                        encoding="utf-8")
+    return root
+
+
+def load_artifact(directory: str | os.PathLike) -> tuple[TreeCase, str]:
+    """Reconstruct ``(case, check_name)`` from an artifact directory."""
+    root = Path(directory)
+    manifest = json.loads((root / "manifest.json").read_text(encoding="utf-8"))
+    ns = TaxonNamespace()
+    query = trees_from_string((root / "query.newick").read_text(encoding="utf-8"), ns)
+    reference_path = root / "reference.newick"
+    if manifest.get("same_collection") or not reference_path.exists():
+        reference = query
+        same = True
+    else:
+        reference = trees_from_string(reference_path.read_text(encoding="utf-8"), ns)
+        same = False
+    case = TreeCase(
+        name=manifest.get("strategy", "artifact"),
+        seed=int(manifest.get("seed", 0)),
+        query=query,
+        reference=reference,
+        namespace=ns,
+        same_collection=same,
+        weighted=bool(manifest.get("weighted", False)),
+        include_trivial=bool(manifest.get("include_trivial", False)),
+        shrunk=bool(manifest.get("shrunk", False)),
+    )
+    return case, manifest["check"]
+
+
+def replay_artifact(directory: str | os.PathLike) -> list[Failure]:
+    """Re-run the artifact's check on its saved case; [] means fixed."""
+    from repro.testing.harness import CASE_CHECKS
+
+    case, check = load_artifact(directory)
+    runner = CASE_CHECKS.get(check)
+    if runner is None:
+        raise KeyError(f"artifact names unknown check {check!r}")
+    return runner(case)

@@ -1,0 +1,310 @@
+"""Cross-implementation and analytic oracles for the correctness harness.
+
+The differential runner pushes one (Q, R) workload through every
+applicable RF implementation — naive set-ops, Day's algorithm, HashRF,
+BFHRF serial, BFHRF fork-parallel, and the vectorized batch backend —
+and demands bitwise-equal averages.  All unweighted paths reduce to the
+same integer arithmetic before one final division by ``r``, so equality
+is exact, not approximate; any drift is a bug, not noise.
+
+Analytic oracles check closed-form anchors that need no second
+implementation: RF(T, T) = 0, the caterpillar max-RF pair, symmetry and
+the triangle inequality of the metric, and linearity of the weighted
+(branch-score) variant under global branch scaling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
+from repro.core.bfhrf import bfhrf_average_rf
+from repro.core.day import day_rf
+from repro.core.hashrf import hashrf_average_rf
+from repro.core.parallel import fork_available
+from repro.core.rf import max_rf, rf_from_mask_sets
+from repro.core.vectorized import vectorized_average_rf
+from repro.hashing.weighted import WeightedBipartitionHash
+from repro.testing.generators import TreeCase, caterpillar_tree, max_rf_caterpillar_orders
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+
+__all__ = [
+    "Failure",
+    "DifferentialReport",
+    "IMPLEMENTATIONS",
+    "naive_average_rf",
+    "day_average_rf",
+    "run_differential",
+    "check_differential_rf",
+    "check_differential_weighted",
+    "check_self_rf_zero",
+    "check_symmetry",
+    "check_triangle",
+    "check_weighted_linearity",
+    "check_caterpillar_max_rf",
+]
+
+_REL_TOL = 1e-9
+
+
+@dataclass
+class Failure:
+    """One oracle/property violation, precise enough to reproduce."""
+
+    check: str
+    detail: str
+    implementation: str | None = None
+    index: int | None = None
+
+    def __str__(self) -> str:
+        where = f"[{self.implementation}]" if self.implementation else ""
+        at = f" tree {self.index}" if self.index is not None else ""
+        return f"{self.check}{where}{at}: {self.detail}"
+
+
+@dataclass
+class DifferentialReport:
+    """Aggregated result of one differential run."""
+
+    baseline: str
+    values: dict[str, list[float]] = field(default_factory=dict)
+    failures: list[Failure] = field(default_factory=list)
+
+    @property
+    def implementations(self) -> set[str]:
+        return set(self.values)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+# ---------------------------------------------------------------------------
+# Reference implementations of "average RF of each query tree vs R".
+# ---------------------------------------------------------------------------
+
+def _case_masks(trees: list[Tree], include_trivial: bool) -> list[set[int]]:
+    return [bipartition_masks(t, include_trivial=include_trivial) for t in trees]
+
+
+def naive_average_rf(query: list[Tree], reference: list[Tree], *,
+                     include_trivial: bool = False) -> list[float]:
+    """The ground-truth double loop over per-tree symmetric differences."""
+    ref_masks = _case_masks(reference, include_trivial)
+    out = []
+    for tree in query:
+        masks = bipartition_masks(tree, include_trivial=include_trivial)
+        out.append(sum(rf_from_mask_sets(masks, rm) for rm in ref_masks)
+                   / len(ref_masks))
+    return out
+
+
+def day_average_rf(query: list[Tree], reference: list[Tree], *,
+                   include_trivial: bool = False) -> list[float]:
+    """Average RF via Day's O(n) two-tree algorithm (identical coverage only).
+
+    ``include_trivial`` is accepted for registry uniformity; pendant
+    splits cancel over fixed taxa so the value is unchanged.
+    """
+    del include_trivial
+    return [sum(day_rf(q, r) for r in reference) / len(reference) for q in query]
+
+
+def _bfhrf_serial(query, reference, *, include_trivial=False):
+    return bfhrf_average_rf(query, reference, n_workers=1,
+                            include_trivial=include_trivial)
+
+
+def _bfhrf_fork(query, reference, *, include_trivial=False):
+    return bfhrf_average_rf(query, reference, n_workers=2,
+                            include_trivial=include_trivial)
+
+
+def _hashrf(query, reference, *, include_trivial=False):
+    # HashRF is single-collection by construction (Q is R).
+    return hashrf_average_rf(query, include_trivial=include_trivial)
+
+
+IMPLEMENTATIONS = {
+    "naive": naive_average_rf,
+    "day": day_average_rf,
+    "hashrf": _hashrf,
+    "bfhrf": _bfhrf_serial,
+    "bfhrf-fork": _bfhrf_fork,
+    "vectorized": vectorized_average_rf,
+}
+
+
+def _applicable(case: TreeCase) -> list[str]:
+    names = ["naive", "bfhrf", "vectorized"]
+    if fork_available():
+        names.append("bfhrf-fork")
+    coverages = {t.leaf_mask() for t in case.query} | {t.leaf_mask() for t in case.reference}
+    if len(coverages) == 1:
+        names.append("day")
+    if case.same_collection:
+        names.append("hashrf")
+    return names
+
+
+def run_differential(case: TreeCase) -> DifferentialReport:
+    """Execute the case through every applicable implementation and compare."""
+    report = DifferentialReport(baseline="naive")
+    expected = naive_average_rf(case.query, case.reference,
+                                include_trivial=case.include_trivial)
+    report.values["naive"] = expected
+    for name in _applicable(case):
+        if name == "naive":
+            continue
+        impl = IMPLEMENTATIONS[name]
+        got = list(impl(case.query, case.reference,
+                        include_trivial=case.include_trivial))
+        report.values[name] = got
+        if len(got) != len(expected):
+            report.failures.append(Failure(
+                "differential-rf", f"returned {len(got)} values, expected {len(expected)}",
+                implementation=name))
+            continue
+        for i, (g, e) in enumerate(zip(got, expected)):
+            if g != e:
+                report.failures.append(Failure(
+                    "differential-rf", f"got {g!r}, naive says {e!r}",
+                    implementation=name, index=i))
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Case-level checks (signature: case -> list[Failure]).
+# ---------------------------------------------------------------------------
+
+def check_differential_rf(case: TreeCase) -> list[Failure]:
+    return run_differential(case).failures
+
+
+def naive_average_branch_score(query: Tree, reference: list[Tree], *,
+                               include_trivial: bool = False) -> float:
+    """Ground-truth mean Kuhner–Felsenstein distance of one query tree."""
+    wq = bipartitions_with_lengths(query, include_trivial=include_trivial)
+    total = 0.0
+    for ref in reference:
+        wr = bipartitions_with_lengths(ref, include_trivial=include_trivial)
+        total += sum(abs(wq.get(m, 0.0) - wr.get(m, 0.0)) for m in set(wq) | set(wr))
+    return total / len(reference)
+
+
+def check_differential_weighted(case: TreeCase) -> list[Failure]:
+    """WeightedBipartitionHash vs the naive pairwise branch-score loop."""
+    if not case.weighted:
+        return []
+    wh = WeightedBipartitionHash.from_trees(
+        case.reference, include_trivial=case.include_trivial)
+    failures = []
+    for i, tree in enumerate(case.query):
+        got = wh.average_branch_score(tree)
+        want = naive_average_branch_score(tree, case.reference,
+                                          include_trivial=case.include_trivial)
+        if not math.isclose(got, want, rel_tol=_REL_TOL, abs_tol=1e-12):
+            failures.append(Failure(
+                "differential-weighted", f"hash says {got!r}, naive says {want!r}",
+                implementation="weighted-hash", index=i))
+    return failures
+
+
+def check_self_rf_zero(case: TreeCase) -> list[Failure]:
+    """RF(T, T) = 0 through every two-tree path and through the hash."""
+    failures = []
+    for i, tree in enumerate(case.query):
+        if rf_from_mask_sets(bipartition_masks(tree), bipartition_masks(tree)) != 0:
+            failures.append(Failure("self-rf-zero", "set model nonzero", index=i))
+        if day_rf(tree, tree) != 0:
+            failures.append(Failure("self-rf-zero", "day_rf nonzero",
+                                    implementation="day", index=i))
+        value = bfhrf_average_rf([tree], [tree])[0]
+        if value != 0.0:
+            failures.append(Failure("self-rf-zero", f"bfhrf says {value!r}",
+                                    implementation="bfhrf", index=i))
+    return failures
+
+
+def check_symmetry(case: TreeCase) -> list[Failure]:
+    """RF(a, b) = RF(b, a) for the set model and Day's algorithm."""
+    failures = []
+    pairs = list(zip(case.query, case.reference))
+    for i, (a, b) in enumerate(pairs):
+        ma, mb = bipartition_masks(a), bipartition_masks(b)
+        if rf_from_mask_sets(ma, mb) != rf_from_mask_sets(mb, ma):
+            failures.append(Failure("symmetry", "set model asymmetric", index=i))
+        if a.leaf_mask() == b.leaf_mask() and day_rf(a, b) != day_rf(b, a):
+            failures.append(Failure("symmetry", "day_rf asymmetric",
+                                    implementation="day", index=i))
+    return failures
+
+
+def check_triangle(case: TreeCase) -> list[Failure]:
+    """Triangle inequality of the RF metric over consecutive tree triples."""
+    trees = case.query + ([] if case.same_collection else case.reference)
+    failures = []
+    for i in range(len(trees) - 2):
+        a, b, c = trees[i], trees[i + 1], trees[i + 2]
+        ma, mb, mc = (bipartition_masks(t) for t in (a, b, c))
+        ab = rf_from_mask_sets(ma, mb)
+        bc = rf_from_mask_sets(mb, mc)
+        ac = rf_from_mask_sets(ma, mc)
+        if ac > ab + bc:
+            failures.append(Failure(
+                "triangle", f"RF(a,c)={ac} > RF(a,b)+RF(b,c)={ab + bc}", index=i))
+    return failures
+
+
+def check_weighted_linearity(case: TreeCase, *, scale: float = 2.5) -> list[Failure]:
+    """Branch-score linearity: scaling all branch lengths by c scales BS by c."""
+    if not case.weighted:
+        return []
+
+    def scaled(tree: Tree) -> Tree:
+        out = tree.copy()
+        for node in out.preorder():
+            if node.length is not None:
+                node.length *= scale
+        return out
+
+    scaled_ref = [scaled(t) for t in case.reference]
+    wh = WeightedBipartitionHash.from_trees(case.reference,
+                                            include_trivial=case.include_trivial)
+    wh_scaled = WeightedBipartitionHash.from_trees(scaled_ref,
+                                                   include_trivial=case.include_trivial)
+    failures = []
+    for i, tree in enumerate(case.query):
+        base = wh.average_branch_score(tree)
+        scaled_value = wh_scaled.average_branch_score(scaled(tree))
+        if not math.isclose(scaled_value, scale * base, rel_tol=1e-9, abs_tol=1e-9):
+            failures.append(Failure(
+                "weighted-linearity",
+                f"BS(cT)={scaled_value!r} != c*BS(T)={scale * base!r}", index=i))
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Standalone analytic oracle (not tied to a generated case).
+# ---------------------------------------------------------------------------
+
+def check_caterpillar_max_rf(n_taxa: int) -> list[Failure]:
+    """The constructed caterpillar pair must sit at max RF = 2(n-3)."""
+    order_a, order_b = max_rf_caterpillar_orders(n_taxa)
+    ns = TaxonNamespace()
+    labels = [f"T{i:03d}" for i in range(n_taxa)]
+    tree_a = caterpillar_tree([labels[i] for i in order_a], ns)
+    tree_b = caterpillar_tree([labels[i] for i in order_b], ns)
+    expected = max_rf(n_taxa)
+    failures = []
+    for name, value in (
+        ("sets", rf_from_mask_sets(bipartition_masks(tree_a), bipartition_masks(tree_b))),
+        ("day", day_rf(tree_a, tree_b)),
+    ):
+        if value != expected:
+            failures.append(Failure(
+                "caterpillar-max-rf", f"n={n_taxa}: got {value}, expected {expected}",
+                implementation=name))
+    return failures

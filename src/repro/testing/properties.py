@@ -1,0 +1,236 @@
+"""Metamorphic properties: transformations that must not change the answer.
+
+Each property applies a semantics-preserving transformation to a
+:class:`~repro.testing.generators.TreeCase` and asserts the RF results
+(or the hash state) are unchanged:
+
+* **leaf relabeling** — RF depends only on tree shape relative to the
+  taxon partition, so permuting which label sits on which bit index,
+  consistently across Q and R, is invisible;
+* **reroot/rotation** — RF is an unrooted-topology metric, so rerooting
+  a tree anywhere and shuffling child order changes nothing;
+* **prefix monotonicity** — ``sum(BFH_R)`` (the hash's ``total``) is a
+  sum over trees, so it is non-decreasing as R grows, and the streamed
+  prefix hash equals the batch-built one;
+* **merge associativity** — parallel hash construction reduces partial
+  hashes with :meth:`~repro.hashing.bfh.BipartitionFrequencyHash.merge`,
+  which must be associative and agree with the serial build;
+* **newick/NEXUS round-trip** — parse→write→parse must preserve
+  topology, labels, and branch lengths (including quoted labels).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
+from repro.core.bfhrf import bfhrf_average_rf
+from repro.core.day import day_rf
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.newick.nexus import read_nexus_trees
+from repro.newick.nexus_writer import nexus_string
+from repro.newick.parser import parse_newick
+from repro.newick.writer import write_newick
+from repro.testing.generators import TreeCase
+from repro.testing.oracles import Failure, naive_average_rf
+from repro.trees.manipulate import reroot_at_node
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.rng import derive_seed, resolve_rng
+
+__all__ = [
+    "prop_relabel_invariance",
+    "prop_reroot_invariance",
+    "prop_prefix_monotonicity",
+    "prop_merge_associativity",
+    "prop_newick_roundtrip",
+    "prop_nexus_roundtrip",
+]
+
+
+def _case_rng(case: TreeCase, salt: int) -> np.random.Generator:
+    """A deterministic per-(case, property) stream, stable under shrinking."""
+    return resolve_rng(derive_seed(case.seed, [salt]))
+
+
+def _relabel(trees: list[Tree], mapping: dict[str, str],
+             ns: TaxonNamespace) -> list[Tree]:
+    out = []
+    for tree in trees:
+        clone = tree.copy()
+        for leaf in clone.leaves():
+            leaf.taxon = ns.require(mapping[leaf.taxon.label])
+        out.append(Tree(clone.root, ns))
+    return out
+
+
+def prop_relabel_invariance(case: TreeCase) -> list[Failure]:
+    """Permuting taxon labels consistently across Q and R preserves RF."""
+    rng = _case_rng(case, 1)
+    labels = case.namespace.labels
+    perm = rng.permutation(len(labels))
+    mapping = {labels[i]: labels[int(perm[i])] for i in range(len(labels))}
+    ns2 = TaxonNamespace()
+    query2 = _relabel(case.query, mapping, ns2)
+    reference2 = query2 if case.same_collection else _relabel(case.reference, mapping, ns2)
+
+    base = bfhrf_average_rf(case.query, case.reference,
+                            include_trivial=case.include_trivial)
+    relabeled = bfhrf_average_rf(query2, reference2,
+                                 include_trivial=case.include_trivial)
+    failures = []
+    for i, (a, b) in enumerate(zip(base, relabeled)):
+        if a != b:
+            failures.append(Failure(
+                "relabel-invariance", f"avg RF changed {a!r} -> {b!r} under relabeling",
+                implementation="bfhrf", index=i))
+    return failures
+
+
+def _transformed_copy(tree: Tree, rng: np.random.Generator) -> Tree:
+    """Reroot at a random non-root node and shuffle every child list."""
+    clone = tree.copy()
+    nodes = [n for n in clone.preorder() if n.parent is not None and not n.is_leaf]
+    if nodes:
+        reroot_at_node(clone, nodes[int(rng.integers(len(nodes)))])
+    for node in clone.preorder():
+        if len(node.children) > 1:
+            order = rng.permutation(len(node.children))
+            node.children = [node.children[int(i)] for i in order]
+    return clone
+
+
+def prop_reroot_invariance(case: TreeCase) -> list[Failure]:
+    """RF ignores root placement and child order."""
+    rng = _case_rng(case, 2)
+    failures = []
+    base = naive_average_rf(case.query, case.reference,
+                            include_trivial=case.include_trivial)
+    transformed = [_transformed_copy(t, rng) for t in case.query]
+    moved = bfhrf_average_rf(transformed,
+                             case.query if case.same_collection else case.reference,
+                             include_trivial=case.include_trivial)
+    for i, (t, t2) in enumerate(zip(case.query, transformed)):
+        if bipartition_masks(t) != bipartition_masks(t2):
+            failures.append(Failure(
+                "reroot-invariance", "bipartition set changed under reroot/rotation",
+                index=i))
+        elif day_rf(t, t2) != 0:
+            failures.append(Failure(
+                "reroot-invariance", "day_rf(T, rerooted T) != 0",
+                implementation="day", index=i))
+    for i, (a, b) in enumerate(zip(base, moved)):
+        if a != b:
+            failures.append(Failure(
+                "reroot-invariance", f"avg RF changed {a!r} -> {b!r} under reroot",
+                implementation="bfhrf", index=i))
+    return failures
+
+
+def prop_prefix_monotonicity(case: TreeCase) -> list[Failure]:
+    """``sum(BFH_R)`` grows monotonically and streaming == batch build."""
+    failures = []
+    bfh = BipartitionFrequencyHash(include_trivial=case.include_trivial)
+    last_total = 0
+    for k, tree in enumerate(case.reference):
+        bfh.add_tree(tree)
+        if bfh.total < last_total:
+            failures.append(Failure(
+                "prefix-monotonicity",
+                f"total decreased {last_total} -> {bfh.total} at prefix {k + 1}"))
+        if bfh.n_trees != k + 1:
+            failures.append(Failure(
+                "prefix-monotonicity", f"n_trees {bfh.n_trees} != prefix {k + 1}"))
+        last_total = bfh.total
+    batch = BipartitionFrequencyHash.from_trees(
+        case.reference, include_trivial=case.include_trivial)
+    if bfh.counts != batch.counts or bfh.total != batch.total:
+        failures.append(Failure(
+            "prefix-monotonicity", "streamed prefix hash != batch-built hash"))
+    return failures
+
+
+def prop_merge_associativity(case: TreeCase) -> list[Failure]:
+    """merge((A+B)+C) == merge(A+(B+C)) == serial build over R."""
+    trees = case.reference
+    thirds = max(1, len(trees) // 3)
+    chunks = [trees[:thirds], trees[thirds:2 * thirds], trees[2 * thirds:]]
+
+    def partial(chunk):
+        bfh = BipartitionFrequencyHash(include_trivial=case.include_trivial)
+        for tree in chunk:
+            bfh.add_tree(tree)
+        return bfh
+
+    left = partial(chunks[0]).merge(partial(chunks[1])).merge(partial(chunks[2]))
+    bc = partial(chunks[1]).merge(partial(chunks[2]))
+    right = partial(chunks[0]).merge(bc)
+    serial = BipartitionFrequencyHash.from_trees(
+        trees, include_trivial=case.include_trivial)
+    failures = []
+    for name, bfh in (("(A+B)+C", left), ("A+(B+C)", right)):
+        if (bfh.counts, bfh.n_trees, bfh.total) != (serial.counts, serial.n_trees, serial.total):
+            failures.append(Failure(
+                "merge-associativity", f"{name} differs from the serial build"))
+    return failures
+
+
+def _same_lengths(a: dict[int, float], b: dict[int, float], rel: float) -> bool:
+    return set(a) == set(b) and all(
+        math.isclose(a[m], b[m], rel_tol=rel, abs_tol=1e-9) for m in a)
+
+
+def _roundtrip_failures(check: str, trees: list[Tree], parsed: list[Tree], *,
+                        weighted: bool, length_rel: float = 0.0) -> list[Failure]:
+    failures = []
+    for i, (tree, tree2) in enumerate(zip(trees, parsed)):
+        if (bipartition_masks(tree, include_trivial=True)
+                != bipartition_masks(tree2, include_trivial=True)):
+            failures.append(Failure(check, "topology changed across round-trip", index=i))
+            continue
+        if sorted(tree.leaf_labels()) != sorted(tree2.leaf_labels()):
+            failures.append(Failure(check, "leaf labels changed across round-trip", index=i))
+            continue
+        if weighted and not _same_lengths(
+                bipartitions_with_lengths(tree, include_trivial=True),
+                bipartitions_with_lengths(tree2, include_trivial=True),
+                length_rel or 1e-12):
+            failures.append(Failure(check, "branch lengths changed across round-trip",
+                                    index=i))
+    if len(parsed) != len(trees):
+        failures.append(Failure(
+            check, f"parsed {len(parsed)} trees, wrote {len(trees)}"))
+    return failures
+
+
+def prop_newick_roundtrip(case: TreeCase) -> list[Failure]:
+    """parse(write(T)) == T, and write(parse(write(T))) is a fixpoint."""
+    trees = case.query + ([] if case.same_collection else case.reference)
+    texts = [write_newick(t, include_lengths=case.weighted) for t in trees]
+    parsed = [parse_newick(s, case.namespace) for s in texts]
+    failures = _roundtrip_failures("newick-roundtrip", trees, parsed,
+                                   weighted=case.weighted)
+    for i, (s, tree2) in enumerate(zip(texts, parsed)):
+        s2 = write_newick(tree2, include_lengths=case.weighted)
+        if s2 != s:
+            failures.append(Failure(
+                "newick-roundtrip", f"write is not a fixpoint: {s!r} -> {s2!r}",
+                index=i))
+    return failures
+
+
+def prop_nexus_roundtrip(case: TreeCase) -> list[Failure]:
+    """NEXUS write→read preserves topology, labels, and lengths.
+
+    The NEXUS path re-reads into a fresh namespace whose bit order may
+    differ, so topology is compared via relabeled mask sets rather than
+    raw integers; lengths tolerate the writer's 12-significant-digit
+    precision.
+    """
+    trees = case.query + ([] if case.same_collection else case.reference)
+    text = nexus_string(trees, include_lengths=case.weighted)
+    parsed = read_nexus_trees(text, case.namespace)
+    return _roundtrip_failures("nexus-roundtrip", trees, parsed,
+                               weighted=case.weighted, length_rel=1e-9)

@@ -1,0 +1,143 @@
+"""Shrinking: reduce a failing TreeCase to a minimal reproducer.
+
+Given a case and a predicate ``still_fails(case) -> bool``, the shrinker
+greedily bisects along two axes until a fixpoint:
+
+1. **trees** — drop halves, then single trees, from the query and (when
+   the collections are distinct) the reference;
+2. **taxa** — prune individual taxa from every tree (down to 4 leaves),
+   keeping the shared-namespace comparability intact.
+
+Every candidate is re-validated against the predicate, so the result is
+guaranteed to still fail; determinism comes from the fixed scan order.
+The shrunken case plus its seed is what the artifact writer saves — the
+two-integer replay story of the harness.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.testing.generators import TreeCase
+from repro.trees.manipulate import prune_to_taxa
+from repro.trees.tree import Tree
+from repro.util.errors import ReproError
+
+__all__ = ["shrink_case"]
+
+MIN_TAXA = 4
+
+
+def _safe_fails(predicate: Callable[[TreeCase], bool], case: TreeCase) -> bool:
+    """A candidate that crashes the checks still reproduces the problem."""
+    try:
+        return predicate(case)
+    except Exception:
+        # Any crash — domain error or raw IndexError/ValueError from an
+        # implementation — counts as still-failing, so crashes shrink too.
+        return True
+
+
+def _candidate(case: TreeCase, query: list[Tree], reference: list[Tree]) -> TreeCase:
+    shrunk = case.replaced(query, reference)
+    if case.same_collection:
+        # Keep Q-is-R identity so hashrf stays applicable to the reproducer.
+        shrunk.reference = shrunk.query
+        shrunk.same_collection = True
+    return shrunk
+
+
+def _shrink_axis(case: TreeCase, predicate, *, axis: str) -> TreeCase:
+    """Remove trees from one collection: halves first, then one-by-one."""
+
+    def trees_of(c: TreeCase) -> list[Tree]:
+        return c.query if axis == "query" else c.reference
+
+    def rebuilt(c: TreeCase, trees: list[Tree]) -> TreeCase:
+        if axis == "query" or c.same_collection:
+            return _candidate(c, trees, trees if c.same_collection else c.reference)
+        return _candidate(c, c.query, trees)
+
+    changed = True
+    while changed:
+        changed = False
+        trees = trees_of(case)
+        if len(trees) > 2:
+            half = len(trees) // 2
+            for chunk in (trees[:half], trees[half:]):
+                candidate = rebuilt(case, list(chunk))
+                if _safe_fails(predicate, candidate):
+                    case = candidate
+                    changed = True
+                    break
+            if changed:
+                continue
+        for i in range(len(trees)):
+            if len(trees_of(case)) <= 1:
+                break
+            kept = [t for j, t in enumerate(trees_of(case)) if j != i]
+            if not kept:
+                continue
+            candidate = rebuilt(case, kept)
+            if _safe_fails(predicate, candidate):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def _covered_labels(case: TreeCase) -> list[str]:
+    mask = 0
+    for tree in case.query:
+        mask |= tree.leaf_mask()
+    for tree in case.reference:
+        mask |= tree.leaf_mask()
+    return [case.namespace[i].label for i in range(len(case.namespace))
+            if mask >> i & 1]
+
+
+def _shrink_taxa(case: TreeCase, predicate) -> TreeCase:
+    """Drop taxa one at a time while the failure persists (floor: 4)."""
+    changed = True
+    while changed:
+        changed = False
+        labels = _covered_labels(case)
+        if len(labels) <= MIN_TAXA:
+            break
+        for victim in labels:
+            keep = [l for l in labels if l != victim]
+            try:
+                query = [prune_to_taxa(t.copy(), keep) for t in case.query]
+                reference = query if case.same_collection else [
+                    prune_to_taxa(t.copy(), keep) for t in case.reference]
+            except ReproError:
+                continue
+            if any(t.n_leaves < MIN_TAXA for t in query + reference):
+                continue
+            candidate = _candidate(case, query, reference)
+            if _safe_fails(predicate, candidate):
+                case = candidate
+                changed = True
+                break
+    return case
+
+
+def shrink_case(case: TreeCase, predicate: Callable[[TreeCase], bool], *,
+                max_passes: int = 8) -> TreeCase:
+    """Minimize ``case`` under ``predicate`` (which must hold initially).
+
+    Alternates tree-level and taxon-level shrinking until neither makes
+    progress (or ``max_passes`` alternations, a safety bound).
+    """
+    if not _safe_fails(predicate, case):
+        raise ValueError("shrink_case requires a case that initially fails")
+    for _ in range(max_passes):
+        before = (len(case.query), len(case.reference), case.n_taxa)
+        case = _shrink_axis(case, predicate, axis="query")
+        if not case.same_collection:
+            case = _shrink_axis(case, predicate, axis="reference")
+        case = _shrink_taxa(case, predicate)
+        after = (len(case.query), len(case.reference), case.n_taxa)
+        if after == before:
+            break
+    return case

@@ -121,3 +121,23 @@ class TestProbeEdgeCases:
     def test_empty_reference(self):
         with pytest.raises(CollectionError):
             VectorizedBFH.from_trees([])
+
+    def test_splitless_reference(self):
+        """Regression (selfcheck-found): a reference of star trees stores
+        zero keys, and the probe's index clamp hit -1 on the empty array."""
+        reference = trees_from_string("(A,B,C,D);")
+        ns = reference[0].taxon_namespace
+        query = trees_from_string("((A,B),(C,D));\n(A,B,C,D);", ns)
+        got = VectorizedBFH.from_trees(reference).average_rf_batch(query)
+        assert got.tolist() == bfhrf_average_rf(query, reference)
+        assert got.tolist() == [1.0, 0.0]
+
+    def test_star_last_in_batch(self):
+        """Regression (selfcheck-found): a splitless tree as the *last*
+        batch entry used to corrupt the previous tree's average — the
+        clamped ``reduceat`` index stole that segment's final term."""
+        trees = trees_from_string(
+            "((A,B),(C,D),(E,F));\n((A,C),(B,D),(E,F));\n(A,B,C,D,E,F);")
+        got = VectorizedBFH.from_trees(trees).average_rf_batch(trees)
+        assert got.tolist() == bfhrf_average_rf(trees)
+        assert got.tolist() == [7 / 3, 7 / 3, 2.0]

@@ -55,6 +55,51 @@ class TestTranslate:
         with pytest.raises(NewickParseError):
             parse_translate_block("TRANSLATE justonetoken,")
 
+    def test_quoted_label_with_comma(self):
+        """Regression (selfcheck-found): the entry splitter used to cut
+        quoted labels at their internal commas."""
+        table = parse_translate_block("TRANSLATE 1 'c,d', 2 X")
+        assert table == {"1": "c,d", "2": "X"}
+
+    def test_quoted_label_with_escaped_quote(self):
+        table = parse_translate_block("TRANSLATE 1 'it''s'")
+        assert table == {"1": "it's"}
+
+    def test_quoted_label_with_spaces_and_structure(self):
+        table = parse_translate_block(
+            "TRANSLATE 1 'taxon one', 2 'a(b)', 3 'x:y'")
+        assert table == {"1": "taxon one", "2": "a(b)", "3": "x:y"}
+
+
+class TestQuoteAwareStatements:
+    def test_quoted_semicolon_label(self):
+        """Regression (selfcheck-found): ``;`` inside a quoted label used
+        to terminate the statement early."""
+        text = ("#NEXUS\nBEGIN TREES;\n"
+                "TREE t = (('semi;colon',B),(C,D));\nEND;\n")
+        trees = read_nexus_trees(io.StringIO(text))
+        assert sorted(trees[0].leaf_labels()) == ["B", "C", "D", "semi;colon"]
+
+    def test_quoted_bracket_label_not_a_comment(self):
+        text = ("#NEXUS\nBEGIN TREES;\n"
+                "TREE t = (('q[z]',B),(C,D));\nEND;\n")
+        trees = read_nexus_trees(io.StringIO(text))
+        assert sorted(trees[0].leaf_labels()) == ["B", "C", "D", "q[z]"]
+
+    def test_translate_with_quoted_semicolon(self):
+        text = ("#NEXUS\nBEGIN TREES;\n"
+                "TRANSLATE 1 'semi;colon', 2 B, 3 C, 4 D;\n"
+                "TREE t = ((1,2),(3,4));\nEND;\n")
+        trees = read_nexus_trees(io.StringIO(text))
+        assert sorted(trees[0].leaf_labels()) == ["B", "C", "D", "semi;colon"]
+
+    def test_comment_between_statements_still_stripped(self):
+        text = ("#NEXUS\nBEGIN TREES;\n"
+                "[a block comment; with a semicolon]\n"
+                "TREE t = [&U] ((A,B),(C,D));\nEND;\n")
+        trees = read_nexus_trees(io.StringIO(text))
+        assert trees[0].n_leaves == 4
+
 
 class TestReader:
     def test_basic_file(self):

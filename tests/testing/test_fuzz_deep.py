@@ -1,0 +1,27 @@
+"""Deep fuzzing — excluded from the default run (``-m fuzz`` to enable).
+
+CI's scheduled job runs this nightly with artifact upload; locally::
+
+    PYTHONPATH=src python -m pytest tests/testing/test_fuzz_deep.py -m fuzz
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import SelfCheck
+
+pytestmark = pytest.mark.fuzz
+
+
+def test_deep_profile_fuzz(tmp_path):
+    result = SelfCheck(2026, rounds=150, profile="deep",
+                       artifact_dir=str(tmp_path)).run()
+    assert result.ok, result.summary()
+
+
+def test_quick_profile_many_seeds(tmp_path):
+    for master in (0, 1, 17):
+        result = SelfCheck(master, rounds=60, profile="quick",
+                           artifact_dir=str(tmp_path)).run()
+        assert result.ok, result.summary()

@@ -1,0 +1,85 @@
+"""Generator determinism and the analytic extreme-case constructions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rf import robinson_foulds
+from repro.testing.generators import (
+    HOSTILE_LABELS,
+    PROFILES,
+    STRATEGY_NAMES,
+    caterpillar_tree,
+    generate_case,
+    max_rf_caterpillar_orders,
+)
+from repro.trees.taxon import TaxonNamespace
+
+QUICK = PROFILES["quick"]
+DEEP = PROFILES["deep"]
+
+
+class TestDeterminism:
+    def test_same_seed_same_case(self):
+        """The replay contract: a seed fully determines the case."""
+        for seed in (0, 1, 42, 2**40 + 17):
+            a = generate_case(seed, QUICK)
+            b = generate_case(seed, QUICK)
+            assert a.name == b.name
+            assert a.query_newick() == b.query_newick()
+            assert a.reference_newick() == b.reference_newick()
+            assert (a.same_collection, a.weighted, a.include_trivial) == \
+                   (b.same_collection, b.weighted, b.include_trivial)
+
+    def test_different_seeds_differ(self):
+        newicks = {generate_case(seed, QUICK).query_newick()
+                   for seed in range(20)}
+        assert len(newicks) > 15  # collisions possible but rare
+
+    def test_deep_profile_reaches_larger_sizes(self):
+        sizes = [generate_case(seed, DEEP).n_taxa for seed in range(30)]
+        assert max(sizes) > QUICK.max_taxa
+
+
+class TestCaseShape:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_invariants(self, seed):
+        case = generate_case(seed, QUICK)
+        assert case.name in STRATEGY_NAMES
+        assert QUICK.min_taxa <= case.n_taxa
+        assert len(case.query) >= 1
+        assert len(case.reference) >= 1
+        if case.same_collection:
+            assert case.reference is case.query
+        for tree in case.query + case.reference:
+            assert tree.taxon_namespace is case.namespace
+            assert tree.n_leaves >= 4
+
+    def test_strategy_coverage(self):
+        seen = {generate_case(seed, QUICK).name for seed in range(60)}
+        assert seen == set(STRATEGY_NAMES)
+
+    def test_hostile_labels_appear(self):
+        hostile = set(HOSTILE_LABELS)
+        for seed in range(60):
+            case = generate_case(seed, QUICK)
+            labels = {label for tree in case.query for label in tree.leaf_labels()}
+            if labels & hostile:
+                return
+        pytest.fail("no hostile label in 60 generated cases")
+
+
+class TestCaterpillarExtremes:
+    def test_orders_share_no_nontrivial_split(self):
+        for n in (5, 6, 9, 12):
+            first, second = max_rf_caterpillar_orders(n)
+            ns = TaxonNamespace([f"L{i}" for i in range(n)])
+            t1 = caterpillar_tree([ns[i].label for i in first], ns)
+            t2 = caterpillar_tree([ns[i].label for i in second], ns)
+            assert robinson_foulds(t1, t2) == 2 * (n - 3)
+
+    def test_caterpillar_is_binary(self):
+        ns = TaxonNamespace(["a", "b", "c", "d", "e"])
+        tree = caterpillar_tree(["a", "b", "c", "d", "e"], ns)
+        assert tree.n_leaves == 5
+        assert robinson_foulds(tree, tree) == 0

@@ -1,0 +1,51 @@
+"""Standing serialization properties over the generator corpus.
+
+The harness runs these per fuzz round; this module pins a fixed slice of
+the corpus as an always-on regression net, including the hostile-label
+cases that exposed the quote-unaware NEXUS reader.
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.rf import robinson_foulds
+from repro.newick.nexus import read_nexus_trees
+from repro.newick.nexus_writer import nexus_string
+from repro.testing import generate_case
+from repro.testing.generators import HOSTILE_LABELS, caterpillar_tree
+from repro.testing.properties import prop_newick_roundtrip, prop_nexus_roundtrip
+from repro.trees.taxon import TaxonNamespace
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_newick_roundtrip(seed):
+    case = generate_case(seed, "quick")
+    assert prop_newick_roundtrip(case) == []
+
+
+@pytest.mark.parametrize("seed", range(15))
+def test_nexus_roundtrip(seed):
+    case = generate_case(seed, "quick")
+    assert prop_nexus_roundtrip(case) == []
+
+
+def test_hostile_labels_survive_nexus():
+    """Regression: quoted labels with , ; [ ] ' used to break the reader."""
+    ns = TaxonNamespace()
+    tree = caterpillar_tree(list(HOSTILE_LABELS), ns)
+    text = nexus_string([tree], include_lengths=False)
+    ns2 = TaxonNamespace()
+    parsed = read_nexus_trees(io.StringIO(text), ns2)
+    assert len(parsed) == 1
+    assert sorted(parsed[0].leaf_labels()) == sorted(HOSTILE_LABELS)
+
+
+def test_hostile_labels_topology_preserved():
+    ns = TaxonNamespace()
+    tree = caterpillar_tree(list(HOSTILE_LABELS), ns)
+    text = nexus_string([tree], include_lengths=False)
+    parsed = read_nexus_trees(io.StringIO(text), ns)
+    assert robinson_foulds(tree, parsed[0]) == 0

@@ -1,0 +1,64 @@
+"""Shrinker convergence on planted bugs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.newick.io import trees_from_string
+from repro.testing import generate_case, inject_fault, shrink_case
+from repro.testing.generators import TreeCase
+from repro.testing.oracles import check_differential_rf
+from repro.trees.taxon import TaxonNamespace
+
+PLANTED = (
+    "((A,B),(C,D),(E,F));\n"
+    "((A,C),(B,D),(E,F));\n"
+    "((A,E),(B,F),(C,D));"
+)
+
+
+def _planted_case() -> TreeCase:
+    ns = TaxonNamespace()
+    trees = trees_from_string(PLANTED, ns)
+    return TreeCase(name="planted", seed=99, query=trees, reference=trees,
+                    namespace=ns, same_collection=True)
+
+
+def _fails(case: TreeCase) -> bool:
+    """The planted 'bug': any tree containing both taxa A and B."""
+    return any({"A", "B"} <= set(t.leaf_labels()) for t in case.query)
+
+
+class TestShrinkCase:
+    def test_converges_to_minimum(self):
+        shrunk = shrink_case(_planted_case(), _fails)
+        assert len(shrunk.query) == 1
+        assert shrunk.n_taxa == 4  # the floor, since only A and B matter
+        assert {"A", "B"} <= set(shrunk.query[0].leaf_labels())
+        assert shrunk.shrunk
+        assert shrunk.same_collection  # Q-is-R identity preserved
+
+    def test_deterministic(self):
+        a = shrink_case(_planted_case(), _fails)
+        b = shrink_case(_planted_case(), _fails)
+        assert a.query_newick() == b.query_newick()
+
+    def test_rejects_passing_case(self):
+        with pytest.raises(ValueError):
+            shrink_case(_planted_case(), lambda _c: False)
+
+    def test_shrinks_real_fault(self):
+        """End to end: minimize a genuine differential failure."""
+        with inject_fault("bfh-count"):
+            for seed in range(10):
+                case = generate_case(seed, "quick")
+                if check_differential_rf(case):
+                    break
+            else:
+                pytest.fail("no failing case found")
+            shrunk = shrink_case(case, lambda c: bool(check_differential_rf(c)))
+            assert check_differential_rf(shrunk)
+        assert len(shrunk.query) <= len(case.query)
+        assert shrunk.n_taxa <= case.n_taxa
+        # Fault removed: the minimized reproducer passes again.
+        assert check_differential_rf(shrunk) == []
