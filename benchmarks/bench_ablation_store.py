@@ -1,0 +1,131 @@
+"""Ablation A7 — the persistent store: warm query vs cold rebuild.
+
+The store's pitch is amortization: once a reference collection has been
+compacted into shard snapshots, answering a query batch no longer pays
+the Newick parse or the BFH count over the reference.  This bench
+measures, on Table-II style datasets, the *cold* path (parse the
+reference file, build the hash, score a small query batch) against the
+*warm* path (open the store, parse only the query file, score) — and
+asserts the two return **bitwise-identical** averages, the store's
+exactness contract.  Incremental maintenance is measured too: absorbing
+a small delta through the journal vs rebuilding the hash from scratch.
+"""
+
+from __future__ import annotations
+
+from common import emit, scaled
+
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.newick.io import read_newick_file, write_newick_file
+from repro.simulation.datasets import avian_like, insect_like
+from repro.store import BFHStore, build_store
+from repro.trees.taxon import TaxonNamespace
+from repro.util.timing import Stopwatch
+
+AVIAN_R = scaled([400])[0]
+INSECT_R = scaled([200])[0]
+N_QUERY = 25  # small batch: the reference parse+build is the cold cost
+DELTA = 10  # trees absorbed incrementally in the maintenance panel
+N_SHARDS = 4
+
+
+def _datasets():
+    return {
+        "Avian-like": avian_like(r=AVIAN_R).trees,
+        "Insect-like": insect_like(r=INSECT_R).trees,
+    }
+
+
+def _measure(tmp_path):
+    rows = {}
+    for name, trees in _datasets().items():
+        reference_file = tmp_path / f"{name}.nwk"
+        query_file = tmp_path / f"{name}.query.nwk"
+        write_newick_file(reference_file, trees)
+        write_newick_file(query_file, trees[:N_QUERY])
+        store_dir = tmp_path / f"{name}.store"
+
+        with Stopwatch() as build_sw:
+            build_store(store_dir, trees, n_shards=N_SHARDS)
+
+        # Cold: parse the reference file, build the hash, score the batch.
+        with Stopwatch() as cold_sw:
+            ns = TaxonNamespace()
+            cold_trees = read_newick_file(reference_file, ns)
+            cold_query = read_newick_file(query_file, ns)
+            cold_values = bfhrf_average_rf(cold_query, cold_trees)
+
+        # Warm: open the store, parse only the query file, score.
+        with Stopwatch() as warm_sw:
+            store = BFHStore.open(store_dir)
+            query = read_newick_file(query_file, store.namespace())
+            warm_values = store.average_rf(query)
+
+        # Maintenance: journal DELTA new trees vs a full cold rebuild of
+        # the grown collection.
+        grown = trees + trees[:DELTA]
+        with Stopwatch() as incr_sw:
+            store.add_trees(trees[:DELTA])
+            incr_bfh = store.bfh()
+        with Stopwatch() as rebuild_sw:
+            rebuilt = build_bfh(grown)
+
+        rows[name] = {
+            "r": len(trees),
+            "build": build_sw.elapsed,
+            "cold": cold_sw.elapsed,
+            "warm": warm_sw.elapsed,
+            "incr": incr_sw.elapsed,
+            "rebuild": rebuild_sw.elapsed,
+            "cold_values": cold_values,
+            "warm_values": warm_values,
+            "incr_counts": incr_bfh.counts,
+            "rebuilt_counts": rebuilt.counts,
+        }
+    return rows
+
+
+def test_ablation_store_warm_vs_cold(benchmark, tmp_path):
+    rows = benchmark.pedantic(_measure, args=(tmp_path,), rounds=1,
+                              iterations=1)
+
+    for name, row in rows.items():
+        # Exactness: the warm path must be bitwise-identical to the cold
+        # rebuild, and the journaled delta identical to a fresh count.
+        assert row["warm_values"] == row["cold_values"], \
+            f"{name}: warm store diverged from cold rebuild"
+        assert row["incr_counts"] == row["rebuilt_counts"], \
+            f"{name}: incremental add diverged from rebuild"
+        # The point of persisting: skipping parse+build must win.
+        assert row["warm"] < row["cold"], \
+            f"{name}: warm query ({row['warm']:.3f}s) not faster than " \
+            f"cold rebuild ({row['cold']:.3f}s)"
+
+    lines = [
+        f"Ablation A7: persistent store, warm query vs cold rebuild "
+        f"(shards={N_SHARDS}, query batch={N_QUERY})",
+        "=" * 74,
+        f"{'dataset':<14}{'r':>6}{'build(s)':>10}{'cold(s)':>9}"
+        f"{'warm(s)':>9}{'speedup':>9}  {'identical':<9}",
+        "-" * 74,
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<14}{row['r']:>6}{row['build']:>10.3f}{row['cold']:>9.3f}"
+            f"{row['warm']:>9.3f}{row['cold'] / row['warm']:>9.2f}  "
+            f"{'yes' if row['warm_values'] == row['cold_values'] else 'NO'}")
+    lines.append("-" * 74)
+    lines.append(f"incremental maintenance (+{DELTA} trees via journal "
+                 "vs full BFH rebuild):")
+    lines.append(f"{'dataset':<14}{'journal(s)':>11}{'rebuild(s)':>11}"
+                 f"{'speedup':>9}  {'identical':<9}")
+    for name, row in rows.items():
+        speedup = row["rebuild"] / row["incr"] if row["incr"] > 0 else float("inf")
+        lines.append(
+            f"{name:<14}{row['incr']:>11.4f}{row['rebuild']:>11.4f}"
+            f"{speedup:>9.2f}  "
+            f"{'yes' if row['incr_counts'] == row['rebuilt_counts'] else 'NO'}")
+    lines.append("-" * 74)
+    lines.append("cold = parse reference + build BFH + score batch;  "
+                 "warm = open store + parse batch + score")
+    emit("\n".join(lines), "ablation_store")

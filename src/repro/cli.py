@@ -20,8 +20,13 @@ Subcommands::
     bfhrf supertree  SRC1.nwk SRC2.nwk [...] [--ascii]
     bfhrf topologies TREES.nwk [--credible F]
     bfhrf dist       PAIR.nwk [--metric rf|matching|triplet|quartet|branch-score]
+    bfhrf store      build DIR -r REF.nwk [--shards N] [--workers N] |
+                     add DIR TREES.nwk | remove DIR TREES.nwk |
+                     query DIR QUERY.nwk [--workers N] |
+                     compact DIR [--shards N] | info DIR
     bfhrf selfcheck  [--seed S] [--rounds K] [--profile quick|deep]
-                     [--artifacts DIR] [--inject-fault bfh-count|weighted-total]
+                     [--artifacts DIR]
+                     [--inject-fault bfh-count|weighted-total|store-count]
                      [--replay ARTIFACT_DIR]
 
 Global flags (accepted before or after the subcommand):
@@ -178,6 +183,43 @@ def build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--metric", default="rf",
                       choices=["rf", "matching", "triplet", "quartet", "branch-score"])
 
+    store = add_parser(
+        "store", help="persistent incremental BFH store (see docs/store.md)")
+    store_sub = store.add_subparsers(dest="store_verb", required=True)
+
+    def add_store_parser(name: str, **kwargs) -> argparse.ArgumentParser:
+        p = store_sub.add_parser(name, parents=[global_flags], **kwargs)
+        p.add_argument("store_dir", metavar="STORE_DIR",
+                       help="store directory (contains manifest.json)")
+        return p
+
+    sb = add_store_parser("build", help="bulk-build a store from a reference collection")
+    sb.add_argument("-r", "--reference", required=True,
+                    help="Newick/NEXUS file of reference trees")
+    sb.add_argument("--shards", type=int, default=1, help="key-range shard count")
+    sb.add_argument("--workers", type=int, default=1, help="fork workers for the count")
+    sb.add_argument("--include-trivial", action="store_true",
+                    help="count pendant splits too")
+    sb.add_argument("--weighted", action="store_true",
+                    help="also persist per-split branch-length multisets")
+
+    sa = add_store_parser("add", help="absorb reference trees into the journal")
+    sa.add_argument("trees", help="Newick/NEXUS file of trees to add")
+
+    sr = add_store_parser("remove", help="un-count previously added trees")
+    sr.add_argument("trees", help="Newick/NEXUS file of trees to remove")
+
+    sq = add_store_parser("query", help="average RF of query trees vs the stored collection")
+    sq.add_argument("query", help="Newick/NEXUS file of query trees")
+    sq.add_argument("--workers", type=int, default=1,
+                    help="fork workers for the comparisons")
+
+    sc = add_store_parser("compact", help="fold the journal into fresh shard snapshots")
+    sc.add_argument("--shards", type=int, default=None,
+                    help="rebalance into this many shards (default: keep)")
+
+    add_store_parser("info", help="print store status as JSON")
+
     check = add_parser(
         "selfcheck",
         help="differential fuzz of every RF implementation against oracles")
@@ -190,7 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--artifacts", default="selfcheck-artifacts", metavar="DIR",
                        help="directory for minimized reproducers on failure")
     check.add_argument("--inject-fault", default=None, metavar="KIND",
-                       choices=["bfh-count", "weighted-total"],
+                       choices=["bfh-count", "weighted-total", "store-count"],
                        help="deliberately corrupt one implementation "
                             "(proves the harness detects divergence)")
     check.add_argument("--replay", default=None, metavar="ARTIFACT_DIR",
@@ -394,6 +436,50 @@ def _cmd_dist(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_store(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.store import BFHStore, build_store
+
+    verb = args.store_verb
+    if verb == "build":
+        ns = TaxonNamespace()
+        reference = as_trees(args.reference, ns)
+        store = build_store(args.store_dir, reference,
+                            n_workers=args.workers, n_shards=args.shards,
+                            include_trivial=args.include_trivial,
+                            weighted=args.weighted)
+        _info(f"built store {args.store_dir}: {store.n_trees} trees, "
+              f"{len(store)} unique bipartitions, "
+              f"{len(store.info()['shards'])} shard(s)")
+        return 0
+
+    store = BFHStore.open(args.store_dir)
+    if store.recovered:
+        _info(f"store {args.store_dir}: dropped a torn journal tail "
+              "(recovered to the last consistent state)")
+    if verb == "add":
+        added = store.add_trees(as_trees(args.trees, store.namespace()))
+        _info(f"added {added} tree(s); store now holds {store.n_trees} "
+              f"({store.journal_records} journal record(s) pending)")
+    elif verb == "remove":
+        removed = store.remove_trees(as_trees(args.trees, store.namespace()))
+        _info(f"removed {removed} tree(s); store now holds {store.n_trees} "
+              f"({store.journal_records} journal record(s) pending)")
+    elif verb == "query":
+        values = store.average_rf(as_trees(args.query, store.namespace()),
+                                  n_workers=args.workers)
+        for i, value in enumerate(values):
+            print(f"{i}\t{value:.6f}")
+    elif verb == "compact":
+        store.compact(n_shards=args.shards)
+        _info(f"compacted to generation {store.generation}: "
+              f"{len(store.info()['shards'])} shard(s), journal emptied")
+    else:  # info
+        print(json.dumps(store.info(), indent=2))
+    return 0
+
+
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.testing import SelfCheck, replay_artifact
 
@@ -428,6 +514,7 @@ _COMMANDS = {
     "supertree": _cmd_supertree,
     "topologies": _cmd_topologies,
     "dist": _cmd_dist,
+    "store": _cmd_store,
     "selfcheck": _cmd_selfcheck,
 }
 

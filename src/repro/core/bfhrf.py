@@ -25,10 +25,8 @@ from collections.abc import Iterable, Sequence
 from repro.bipartitions.extract import bipartition_masks
 from repro.core.parallel import (
     fork_available,
-    fork_payload_pool,
-    merge_worker_snapshots,
+    fork_map,
     payload,
-    record_fanout,
     resolve_workers,
     worker_task_snapshot,
 )
@@ -37,7 +35,6 @@ from repro.observability.metrics import counter as _metric
 from repro.observability.spans import trace
 from repro.observability.state import enabled as _obs_enabled
 from repro.trees.tree import Tree
-from repro.util.chunking import chunk_indices, default_chunk_size
 from repro.util.errors import CollectionError
 
 __all__ = ["build_bfh", "bfhrf_average_rf", "bfhrf_average_rf_stream"]
@@ -67,7 +64,7 @@ def _build_range(bounds: tuple[int, int]):
             counts[mask] = counts.get(mask, 0) + 1
             total += 1
         n += 1
-    return counts, n, total, worker_task_snapshot(t0)
+    return (counts, n, total), worker_task_snapshot(t0)
 
 
 def _query_range(bounds: tuple[int, int]):
@@ -132,19 +129,14 @@ def build_bfh(reference: Iterable[Tree], *, include_trivial: bool = False,
     if not trees:
         raise CollectionError("reference collection is empty; average RF is undefined")
     workers = resolve_workers(n_workers)
-    size = chunk_size or default_chunk_size(len(trees), workers)
-    record_fanout(workers, size)
     bfh = BipartitionFrequencyHash(include_trivial=include_trivial, transform=transform)
     with trace("bfh.build", r=len(trees), workers=workers) as span:
-        with fork_payload_pool(workers, (trees, include_trivial, transform)) as pool:
-            results = pool.map(_build_range, list(chunk_indices(len(trees), size)))
-        for counts, n_trees, total, _snap in results:
-            partial = BipartitionFrequencyHash(include_trivial=include_trivial)
-            partial.counts = counts
-            partial.n_trees = n_trees
-            partial.total = total
-            bfh.merge(partial)
-        merge_worker_snapshots(snap for *_parts, snap in results)
+        partials = fork_map(_build_range, len(trees),
+                            (trees, include_trivial, transform),
+                            n_workers=workers, chunk_size=chunk_size)
+        for counts, n_trees, total in partials:
+            bfh.merge(BipartitionFrequencyHash.from_counts(
+                counts, n_trees, total=total, include_trivial=include_trivial))
         span.set(unique=len(bfh))
     return bfh
 
@@ -220,12 +212,9 @@ def bfhrf_average_rf(query: Sequence[Tree] | Iterable[Tree],
     if not trees:
         return []
     workers = resolve_workers(n_workers)
-    size = chunk_size or default_chunk_size(len(trees), workers)
-    record_fanout(workers, size)
     shared = (trees, bfh.counts, bfh.n_trees, bfh.total,
               bfh.include_trivial, bfh.transform)
     with trace("bfhrf.query", q=len(trees), r=bfh.n_trees, workers=workers):
-        with fork_payload_pool(workers, shared) as pool:
-            results = pool.map(_query_range, list(chunk_indices(len(trees), size)))
-        merge_worker_snapshots(snap for _block, snap in results)
-    return [v for block, _snap in results for v in block]
+        blocks = fork_map(_query_range, len(trees), shared,
+                          n_workers=workers, chunk_size=chunk_size)
+    return [v for block in blocks for v in block]

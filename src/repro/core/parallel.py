@@ -47,7 +47,7 @@ from repro.util.errors import CollectionError
 
 __all__ = ["dsmp_average_rf", "fork_payload_pool", "fork_available",
            "resolve_workers", "trees_as_newick", "worker_task_snapshot",
-           "merge_worker_snapshots", "record_fanout"]
+           "merge_worker_snapshots", "record_fanout", "fork_map"]
 
 
 def resolve_workers(n_workers: int | None) -> int:
@@ -123,6 +123,27 @@ def record_fanout(workers: int, chunk_size: int) -> None:
 def payload() -> Any:
     """Worker-side accessor for the fork-inherited payload."""
     return _FORK_PAYLOAD
+
+
+def fork_map(task, n_items: int, payload: Any, *, n_workers: int,
+             chunk_size: int | None = None) -> list[Any]:
+    """Run ``task`` over index ranges of ``n_items`` with fork-inherited data.
+
+    The shared fan-out skeleton of every tree-level parallel path (DSMP,
+    parallel BFHRF, the store's sharded build): resolve the worker count,
+    chunk the index space, publish ``payload`` to a fork pool, map the
+    range task, and fold the per-task metric snapshots back into the
+    parent registry.  ``task`` receives ``(start, stop)`` bounds and must
+    return ``(value, snapshot)`` where the snapshot comes from
+    :func:`worker_task_snapshot`; the values are returned in range order.
+    """
+    workers = resolve_workers(n_workers)
+    size = chunk_size or default_chunk_size(n_items, workers)
+    record_fanout(workers, size)
+    with fork_payload_pool(workers, payload) as pool:
+        results = pool.map(task, list(chunk_indices(n_items, size)))
+    merge_worker_snapshots(snap for _value, snap in results)
+    return [value for value, _snap in results]
 
 
 def trees_as_newick(trees: Iterable[Tree]) -> list[str]:

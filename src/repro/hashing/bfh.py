@@ -83,6 +83,22 @@ class BipartitionFrequencyHash:
             raise CollectionError("reference collection is empty; average RF is undefined")
         return bfh
 
+    @classmethod
+    def from_counts(cls, counts: dict[int, int], n_trees: int, *,
+                    total: int | None = None,
+                    include_trivial: bool = False,
+                    transform: MaskTransform | None = None) -> "BipartitionFrequencyHash":
+        """Wrap an existing frequency table (parallel partials, store shards).
+
+        The dict is adopted, not copied; ``total`` defaults to the sum of
+        the frequencies (the only value consistent with a pure count).
+        """
+        bfh = cls(include_trivial=include_trivial, transform=transform)
+        bfh.counts = counts
+        bfh.n_trees = n_trees
+        bfh.total = sum(counts.values()) if total is None else total
+        return bfh
+
     def tree_masks(self, tree: Tree) -> set[int]:
         """Masks of one tree under this hash's settings (trivial + transform)."""
         masks = bipartition_masks(tree, include_trivial=self.include_trivial)

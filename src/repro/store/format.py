@@ -1,0 +1,322 @@
+"""On-disk encoding of the persistent BFH store.
+
+Two file kinds, both little-endian and CRC-checked:
+
+**Snapshot** (one per shard) — the compacted frequency table of one key
+range, laid out for sequential scans::
+
+    magic   8s   b"BFHSNAP\\x01"
+    version u16  SNAPSHOT_VERSION
+    flags   u16  bit0 = include_trivial, bit1 = weighted
+    n_taxa  u32  namespace size the keys were packed under
+    n_words u32  key width in 64-bit words (= ceil(n_taxa / 64), min 1)
+    entries u64  number of unique bipartition keys
+    fprint  16s  taxon-namespace fingerprint (binds shard to manifest)
+    keys    entries * n_words u64   packed masks, sorted ascending
+    freqs   entries * u64           frequency per key, same order
+    [weights]                       weighted stores only: per key,
+                                    freq f64 branch lengths, ascending
+    crc     u32  CRC-32 of everything above
+
+Keys are packed at 64-bit *word* granularity, not byte granularity, so
+the width changes exactly at the taxon counts the generators stress
+(64 → 65, 128 → 129) and a reader can mmap/iterate fixed-size rows.
+
+**Journal** — an append-only sequence of self-describing records after
+an 8-byte magic + fingerprint header.  Each record::
+
+    op      u8   OP_ADD / OP_REMOVE / OP_EXTEND_NS
+    length  u32  payload byte count
+    payload length bytes
+    crc     u32  CRC-32 of op + payload
+
+Add/remove payloads carry one tree's normalized masks (`n_taxa u32,
+n_masks u32, packed masks, [n_masks f64 lengths]`); extend-ns payloads
+carry new labels, NUL-separated UTF-8.  The framing makes torn tails
+(interrupted appends) distinguishable from corruption: a record whose
+declared bytes run past EOF is *torn* and recoverable by truncation; a
+complete record with a bad CRC is corruption and fails loudly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.util.errors import StoreCorruptError
+
+__all__ = [
+    "SNAPSHOT_MAGIC", "JOURNAL_MAGIC", "SNAPSHOT_VERSION", "JOURNAL_VERSION",
+    "OP_ADD", "OP_REMOVE", "OP_EXTEND_NS",
+    "FLAG_INCLUDE_TRIVIAL", "FLAG_WEIGHTED",
+    "words_for_taxa", "pack_key", "unpack_key", "namespace_fingerprint",
+    "SnapshotData", "write_snapshot", "read_snapshot",
+    "JournalRecord", "journal_header", "check_journal_header",
+    "encode_record", "decode_tree_payload", "encode_tree_payload",
+    "encode_labels_payload", "decode_labels_payload", "read_journal",
+    "JOURNAL_HEADER_SIZE",
+]
+
+SNAPSHOT_MAGIC = b"BFHSNAP\x01"
+JOURNAL_MAGIC = b"BFHJRNL\x01"
+SNAPSHOT_VERSION = 1
+JOURNAL_VERSION = 1
+
+FLAG_INCLUDE_TRIVIAL = 1
+FLAG_WEIGHTED = 2
+
+OP_ADD = 1
+OP_REMOVE = 2
+OP_EXTEND_NS = 3
+
+_SNAP_HEADER = struct.Struct("<8sHHIIQ16s")
+_RECORD_HEADER = struct.Struct("<BI")
+_CRC = struct.Struct("<I")
+
+JOURNAL_HEADER_SIZE = 8 + 2 + 16  # magic + version + fingerprint
+
+
+def words_for_taxa(n_taxa: int) -> int:
+    """Key width in 64-bit words for an ``n_taxa`` namespace (min 1)."""
+    return max(1, (n_taxa + 63) // 64)
+
+
+def pack_key(mask: int, n_words: int) -> bytes:
+    """Pack a bipartition mask into ``n_words`` little-endian 64-bit words."""
+    return mask.to_bytes(n_words * 8, "little")
+
+
+def unpack_key(data: bytes) -> int:
+    return int.from_bytes(data, "little")
+
+
+def namespace_fingerprint(labels: list[str]) -> bytes:
+    """16-byte digest of the ordered label list.
+
+    Order matters: bitmask comparability requires index stability, so two
+    namespaces with the same labels in different slots must not match.
+    """
+    h = hashlib.sha256()
+    for label in labels:
+        h.update(label.encode("utf-8"))
+        h.update(b"\x00")
+    return h.digest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Snapshots.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SnapshotData:
+    """One decoded shard snapshot."""
+
+    counts: dict[int, int]
+    weights: dict[int, list[float]] | None
+    n_taxa: int
+    fingerprint: bytes
+    include_trivial: bool
+    weighted: bool
+
+
+def write_snapshot(path: str | Path, counts: dict[int, int], *, n_taxa: int,
+                   fingerprint: bytes, include_trivial: bool = False,
+                   weights: dict[int, list[float]] | None = None) -> int:
+    """Write one shard snapshot; returns the number of entries written."""
+    flags = (FLAG_INCLUDE_TRIVIAL if include_trivial else 0) | \
+            (FLAG_WEIGHTED if weights is not None else 0)
+    n_words = words_for_taxa(n_taxa)
+    keys = sorted(counts)
+    parts = [_SNAP_HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, flags,
+                               n_taxa, n_words, len(keys), fingerprint)]
+    parts.append(b"".join(pack_key(key, n_words) for key in keys))
+    parts.append(struct.pack(f"<{len(keys)}Q", *(counts[key] for key in keys)))
+    if weights is not None:
+        for key in keys:
+            entry = sorted(weights.get(key, ()))
+            if len(entry) != counts[key]:
+                raise StoreCorruptError(
+                    f"split {key:#x}: {len(entry)} weights for frequency "
+                    f"{counts[key]}")
+            parts.append(struct.pack(f"<{len(entry)}d", *entry))
+    body = b"".join(parts)
+    blob = body + _CRC.pack(zlib.crc32(body))
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(blob)
+    tmp.replace(path)
+    return len(keys)
+
+
+def read_snapshot(path: str | Path) -> SnapshotData:
+    """Decode one shard snapshot, verifying magic, version, and CRC."""
+    blob = Path(path).read_bytes()
+    if len(blob) < _SNAP_HEADER.size + _CRC.size:
+        raise StoreCorruptError(f"snapshot {path} is truncated "
+                                f"({len(blob)} bytes)")
+    body, (crc,) = blob[:-_CRC.size], _CRC.unpack(blob[-_CRC.size:])
+    if zlib.crc32(body) != crc:
+        raise StoreCorruptError(f"snapshot {path} failed its CRC check")
+    magic, version, flags, n_taxa, n_words, entries, fingerprint = \
+        _SNAP_HEADER.unpack_from(body)
+    if magic != SNAPSHOT_MAGIC:
+        raise StoreCorruptError(f"{path} is not a BFH snapshot "
+                                f"(magic {magic!r})")
+    if version != SNAPSHOT_VERSION:
+        raise StoreCorruptError(f"snapshot {path} has unsupported version "
+                                f"{version}")
+    if n_words != words_for_taxa(n_taxa):
+        raise StoreCorruptError(
+            f"snapshot {path}: key width {n_words} words does not match "
+            f"{n_taxa} taxa")
+    weighted = bool(flags & FLAG_WEIGHTED)
+    offset = _SNAP_HEADER.size
+    key_bytes = n_words * 8
+    need = offset + entries * (key_bytes + 8)
+    if len(body) < need:
+        raise StoreCorruptError(f"snapshot {path} is shorter than its "
+                                f"declared {entries} entries")
+    keys = [unpack_key(body[offset + i * key_bytes:
+                            offset + (i + 1) * key_bytes])
+            for i in range(entries)]
+    offset += entries * key_bytes
+    freqs = struct.unpack_from(f"<{entries}Q", body, offset)
+    offset += entries * 8
+    if any(b > a for a, b in zip(keys[1:], keys)):
+        raise StoreCorruptError(f"snapshot {path} keys are not sorted")
+    counts = dict(zip(keys, freqs))
+    if len(counts) != entries:
+        raise StoreCorruptError(f"snapshot {path} contains duplicate keys")
+    weights: dict[int, list[float]] | None = None
+    if weighted:
+        weights = {}
+        for key, freq in zip(keys, freqs):
+            if offset + freq * 8 > len(body):
+                raise StoreCorruptError(
+                    f"snapshot {path} weight block is truncated")
+            weights[key] = list(struct.unpack_from(f"<{freq}d", body, offset))
+            offset += freq * 8
+    if offset != len(body):
+        raise StoreCorruptError(f"snapshot {path} has {len(body) - offset} "
+                                "trailing bytes")
+    return SnapshotData(counts=counts, weights=weights, n_taxa=n_taxa,
+                        fingerprint=fingerprint,
+                        include_trivial=bool(flags & FLAG_INCLUDE_TRIVIAL),
+                        weighted=weighted)
+
+
+# ---------------------------------------------------------------------------
+# Journal.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class JournalRecord:
+    """One decoded journal record."""
+
+    op: int
+    payload: bytes
+
+
+def journal_header(fingerprint: bytes) -> bytes:
+    return JOURNAL_MAGIC + struct.pack("<H", JOURNAL_VERSION) + fingerprint
+
+
+def check_journal_header(blob: bytes, path: str | Path) -> bytes:
+    """Validate a journal's header; returns its namespace fingerprint."""
+    if len(blob) < JOURNAL_HEADER_SIZE:
+        raise StoreCorruptError(f"journal {path} is shorter than its header")
+    if blob[:8] != JOURNAL_MAGIC:
+        raise StoreCorruptError(f"{path} is not a BFH journal "
+                                f"(magic {blob[:8]!r})")
+    (version,) = struct.unpack_from("<H", blob, 8)
+    if version != JOURNAL_VERSION:
+        raise StoreCorruptError(f"journal {path} has unsupported version "
+                                f"{version}")
+    return blob[10:JOURNAL_HEADER_SIZE]
+
+
+def encode_record(op: int, payload: bytes) -> bytes:
+    crc = zlib.crc32(bytes([op]) + payload)
+    return _RECORD_HEADER.pack(op, len(payload)) + payload + _CRC.pack(crc)
+
+
+def encode_tree_payload(masks: list[int], n_taxa: int,
+                        lengths: list[float] | None = None) -> bytes:
+    """One tree's (sorted) masks — and, for weighted stores, lengths."""
+    n_words = words_for_taxa(n_taxa)
+    order = sorted(range(len(masks)), key=masks.__getitem__)
+    parts = [struct.pack("<II", n_taxa, len(masks))]
+    parts.extend(pack_key(masks[i], n_words) for i in order)
+    if lengths is not None:
+        parts.append(struct.pack(f"<{len(masks)}d",
+                                 *(lengths[i] for i in order)))
+    return b"".join(parts)
+
+
+def decode_tree_payload(payload: bytes, *, weighted: bool
+                        ) -> tuple[list[int], list[float] | None, int]:
+    """Inverse of :func:`encode_tree_payload`: (masks, lengths, n_taxa)."""
+    if len(payload) < 8:
+        raise StoreCorruptError("tree record payload is shorter than its header")
+    n_taxa, n_masks = struct.unpack_from("<II", payload)
+    n_words = words_for_taxa(n_taxa)
+    key_bytes = n_words * 8
+    expected = 8 + n_masks * key_bytes + (n_masks * 8 if weighted else 0)
+    if len(payload) != expected:
+        raise StoreCorruptError(
+            f"tree record payload is {len(payload)} bytes, expected {expected}")
+    masks = [unpack_key(payload[8 + i * key_bytes: 8 + (i + 1) * key_bytes])
+             for i in range(n_masks)]
+    lengths = None
+    if weighted:
+        lengths = list(struct.unpack_from(f"<{n_masks}d", payload,
+                                          8 + n_masks * key_bytes))
+    return masks, lengths, n_taxa
+
+
+def encode_labels_payload(labels: list[str]) -> bytes:
+    return "\x00".join(labels).encode("utf-8")
+
+
+def decode_labels_payload(payload: bytes) -> list[str]:
+    text = payload.decode("utf-8")
+    return text.split("\x00") if text else []
+
+
+def read_journal(path: str | Path) -> tuple[list[JournalRecord], int, bool]:
+    """Read every complete record; returns ``(records, good_offset, torn)``.
+
+    ``good_offset`` is the byte offset just past the last complete record
+    — the consistent prefix.  ``torn`` is True when trailing bytes after
+    it form an incomplete record (an interrupted append): the caller
+    recovers by ignoring (and, on the next write, truncating) the tail.
+    A *complete* record that fails its CRC raises
+    :class:`~repro.util.errors.StoreCorruptError` — that is damage, not
+    a torn write, and silently dropping it would corrupt frequencies.
+    """
+    blob = Path(path).read_bytes()
+    check_journal_header(blob, path)
+    records: list[JournalRecord] = []
+    offset = JOURNAL_HEADER_SIZE
+    while offset < len(blob):
+        if offset + _RECORD_HEADER.size > len(blob):
+            return records, offset, True
+        op, length = _RECORD_HEADER.unpack_from(blob, offset)
+        end = offset + _RECORD_HEADER.size + length + _CRC.size
+        if end > len(blob):
+            return records, offset, True
+        payload = blob[offset + _RECORD_HEADER.size:end - _CRC.size]
+        (crc,) = _CRC.unpack_from(blob, end - _CRC.size)
+        if zlib.crc32(bytes([op]) + payload) != crc:
+            raise StoreCorruptError(
+                f"journal {path}: record at offset {offset} failed its CRC "
+                "check (journal is corrupt, not merely torn)")
+        if op not in (OP_ADD, OP_REMOVE, OP_EXTEND_NS):
+            raise StoreCorruptError(
+                f"journal {path}: unknown record op {op} at offset {offset}")
+        records.append(JournalRecord(op=op, payload=payload))
+        offset = end
+    return records, offset, False

@@ -1,0 +1,131 @@
+"""Key-range sharding of the BFH store.
+
+A store's compacted state is split into ``n_shards`` snapshot files,
+each covering one contiguous range of the sorted packed-key space.
+Boundaries are chosen at compaction time so shards are equal-sized
+*by entry count* (balanced ranges, not balanced hash buckets — keys
+stay sorted on disk, so a shard can be scanned or bisected without
+touching its siblings).  Routing a key to its shard is a bisect over
+the boundary list; keys that arrive after compaction live in the
+journal overlay until the next compaction rebalances.
+
+Builds fan out over the fork pool exactly like parallel
+:func:`~repro.core.bfhrf.build_bfh`: workers count tree ranges, the
+parent folds the partial tables together with the associative BFH
+merge, then partitions the merged table into shard ranges.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
+from repro.core.parallel import fork_available, fork_map, payload, \
+    resolve_workers, worker_task_snapshot
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.trees.tree import Tree
+
+__all__ = ["shard_boundaries", "shard_of", "partition_counts",
+           "parallel_build_tables"]
+
+
+def shard_boundaries(sorted_keys: Sequence[int], n_shards: int) -> list[int]:
+    """``n_shards - 1`` split keys carving the sorted key list into
+    near-equal contiguous ranges.  Shard ``i`` owns keys in
+    ``[boundary[i-1], boundary[i])`` with open outer ends, so every
+    possible future key routes somewhere."""
+    if n_shards < 1:
+        raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+    if n_shards == 1 or not sorted_keys:
+        return []
+    bounds: list[int] = []
+    for i in range(1, n_shards):
+        cut = (i * len(sorted_keys)) // n_shards
+        key = sorted_keys[min(cut, len(sorted_keys) - 1)]
+        if not bounds or key > bounds[-1]:
+            bounds.append(key)
+    return bounds
+
+
+def shard_of(key: int, boundaries: Sequence[int]) -> int:
+    """Index of the shard whose key range contains ``key``."""
+    return bisect_right(boundaries, key)
+
+
+def partition_counts(counts: dict[int, int],
+                     boundaries: Sequence[int]) -> list[dict[int, int]]:
+    """Split a frequency table into per-shard tables by key range."""
+    shards: list[dict[int, int]] = [{} for _ in range(len(boundaries) + 1)]
+    if len(shards) == 1:
+        shards[0].update(counts)
+        return shards
+    for key, freq in counts.items():
+        shards[shard_of(key, boundaries)][key] = freq
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# Parallel build (fork fan-out over tree ranges, associative merge).
+# ---------------------------------------------------------------------------
+
+def _count_slice(trees: Sequence[Tree], lo: int, hi: int, *,
+                 include_trivial: bool, weighted: bool
+                 ) -> tuple[dict[int, int], dict[int, list[float]] | None,
+                            int, int]:
+    """Count one tree slice: partial ``(counts, weights, n_trees, total)``."""
+    counts: dict[int, int] = {}
+    weights: dict[int, list[float]] | None = {} if weighted else None
+    total = 0
+    n = 0
+    for tree in trees[lo:hi]:
+        if weighted:
+            for mask, length in bipartitions_with_lengths(
+                    tree, include_trivial=include_trivial).items():
+                counts[mask] = counts.get(mask, 0) + 1
+                weights.setdefault(mask, []).append(length)
+                total += 1
+        else:
+            for mask in bipartition_masks(tree, include_trivial=include_trivial):
+                counts[mask] = counts.get(mask, 0) + 1
+                total += 1
+        n += 1
+    return counts, weights, n, total
+
+
+def _count_range(bounds: tuple[int, int]):
+    """Worker task wrapper around :func:`_count_slice` (fork payload in)."""
+    t0 = time.perf_counter()
+    trees, include_trivial, weighted = payload()
+    tables = _count_slice(trees, bounds[0], bounds[1],
+                          include_trivial=include_trivial, weighted=weighted)
+    return tables, worker_task_snapshot(t0)
+
+
+def parallel_build_tables(trees: Sequence[Tree], *, include_trivial: bool,
+                          weighted: bool, n_workers: int
+                          ) -> tuple[dict[int, int],
+                                     dict[int, list[float]] | None, int, int]:
+    """Count a whole collection: ``(counts, weights, n_trees, total)``.
+
+    With one worker (or no ``fork``) the count streams serially;
+    otherwise tree ranges fan out over the fork pool and the partial
+    tables reduce through :meth:`BipartitionFrequencyHash.merge` (the
+    weighted multisets concatenate — multiset union is associative too).
+    """
+    workers = resolve_workers(n_workers)
+    if workers <= 1 or not fork_available() or len(trees) < 2:
+        return _count_slice(trees, 0, len(trees),
+                            include_trivial=include_trivial, weighted=weighted)
+    partials = fork_map(_count_range, len(trees),
+                        (trees, include_trivial, weighted), n_workers=workers)
+    merged = BipartitionFrequencyHash(include_trivial=include_trivial)
+    weights: dict[int, list[float]] | None = {} if weighted else None
+    for counts, part_weights, n, total in partials:
+        merged.merge(BipartitionFrequencyHash.from_counts(
+            counts, n, total=total, include_trivial=include_trivial))
+        if weighted:
+            for mask, lengths in part_weights.items():
+                weights.setdefault(mask, []).extend(lengths)
+    return merged.counts, weights, merged.n_trees, merged.total

@@ -1,0 +1,613 @@
+"""The persistent, incremental, key-sharded BFH store.
+
+A store is one directory::
+
+    store/
+      manifest.json              commit point (atomically replaced)
+      shard-000002-000.snap      compacted key-range snapshots
+      shard-000002-001.snap
+      journal-000002.log         append-only deltas since compaction
+
+State at any moment = (shard snapshots at the manifest's generation)
+⊕ (journal records in order).  ``add_trees`` / ``remove_trees`` append
+fsync'd journal records and apply the same delta in memory; ``compact``
+folds the journal into a fresh generation of snapshots and an empty
+journal, with the manifest replace as the single atomic commit — a crash
+anywhere leaves either the old generation (journal intact) or the new
+one (journal empty) fully consistent.
+
+Incremental exactness: the BFH is a pure sum over trees, so the store's
+materialized hash after any add/remove/compact history is *equal as a
+mapping* to a fresh :func:`~repro.core.bfhrf.build_bfh` over the current
+reference multiset, and ``bfhrf_average_rf`` answers through it are
+bitwise-identical (all-integer arithmetic until one final division).
+The weighted view stores each split's branch-length multiset, so
+removal is exact there too; its ``total_weight`` is recomputed with
+``math.fsum`` at query time, making weighted answers independent of the
+add/remove history.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from bisect import bisect_left, insort
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from repro.core.bfhrf import bfhrf_average_rf
+from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.hashing.weighted import WeightedBipartitionHash
+from repro.observability.metrics import counter as _metric
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
+from repro.store.format import (
+    JOURNAL_HEADER_SIZE,
+    OP_ADD,
+    OP_EXTEND_NS,
+    OP_REMOVE,
+    SnapshotData,
+    check_journal_header,
+    decode_labels_payload,
+    decode_tree_payload,
+    encode_labels_payload,
+    encode_record,
+    encode_tree_payload,
+    journal_header,
+    namespace_fingerprint,
+    read_journal,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.store.shards import parallel_build_tables, partition_counts, \
+    shard_boundaries
+from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
+from repro.trees.taxon import TaxonNamespace
+from repro.trees.tree import Tree
+from repro.util.errors import StoreCorruptError, StoreError
+
+__all__ = ["BFHStore", "build_store", "MANIFEST_VERSION"]
+
+MANIFEST_VERSION = 1
+MANIFEST_NAME = "manifest.json"
+
+
+def _shard_name(generation: int, index: int) -> str:
+    return f"shard-{generation:06d}-{index:03d}.snap"
+
+
+def _journal_name(generation: int) -> str:
+    return f"journal-{generation:06d}.log"
+
+
+class BFHStore:
+    """A BFH that survives across runs and absorbs reference-set deltas.
+
+    Construct with :meth:`create` (new, empty), :meth:`open` (existing),
+    or :func:`build_store` (bulk, parallel).  All tree arguments must be
+    parsed in a namespace that extends the store's label order —
+    use :meth:`namespace` when loading query or delta files.
+    """
+
+    def __init__(self, path: Path, *, include_trivial: bool, weighted: bool):
+        self.path = Path(path)
+        self.include_trivial = include_trivial
+        self.weighted = weighted
+        self.generation = 0
+        self._labels: list[str] = []
+        self._base_labels = 0          # labels baked into the manifest
+        self._counts: dict[int, int] = {}
+        self._weights: dict[int, list[float]] = {}  # sorted multisets
+        self.n_trees = 0
+        self.total = 0
+        self.snapshot_trees = 0        # n_trees as of the last compaction
+        self.journal_records = 0
+        self.recovered = False         # open() dropped a torn journal tail
+        self._journal_good_offset = JOURNAL_HEADER_SIZE
+        self._shards: list[dict] = []  # manifest shard entries
+        self._boundaries: list[int] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: str | os.PathLike, *, include_trivial: bool = False,
+               weighted: bool = False) -> "BFHStore":
+        """Initialize an empty store directory (refuses to overwrite one)."""
+        root = Path(path)
+        if (root / MANIFEST_NAME).exists():
+            raise StoreError(f"{root} already contains a BFH store")
+        root.mkdir(parents=True, exist_ok=True)
+        store = cls(root, include_trivial=include_trivial, weighted=weighted)
+        store._write_journal_file()
+        store._write_manifest()
+        return store
+
+    @classmethod
+    def open(cls, path: str | os.PathLike) -> "BFHStore":
+        """Load a store: shard snapshots merged, journal replayed.
+
+        A torn journal tail (interrupted append) is dropped and flagged
+        via :attr:`recovered`; any other integrity failure raises
+        :class:`~repro.util.errors.StoreCorruptError`.
+        """
+        root = Path(path)
+        manifest_path = root / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"{root} is not a BFH store (no {MANIFEST_NAME})")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            raise StoreCorruptError(f"cannot read {manifest_path}: {exc}") from exc
+        if manifest.get("format_version") != MANIFEST_VERSION:
+            raise StoreError(
+                f"{root}: unsupported store format version "
+                f"{manifest.get('format_version')!r}")
+        store = cls(root, include_trivial=bool(manifest["include_trivial"]),
+                    weighted=bool(manifest["weighted"]))
+        store.generation = int(manifest["generation"])
+        store._labels = list(manifest["labels"])
+        store._base_labels = len(store._labels)
+        fingerprint = bytes.fromhex(manifest["fingerprint"])
+        if fingerprint != namespace_fingerprint(store._labels):
+            raise StoreCorruptError(
+                f"{root}: manifest fingerprint does not match its labels")
+        store._boundaries = [int(b, 16) for b in manifest.get("boundaries", [])]
+        store._shards = list(manifest.get("shards", []))
+        store.snapshot_trees = int(manifest["n_trees"])
+        store.n_trees = store.snapshot_trees
+        with trace("store.open", shards=len(store._shards)) as span:
+            for entry in store._shards:
+                store._load_shard(root / entry["file"], fingerprint)
+            store.total = sum(store._counts.values())
+            store._replay_journal(root / manifest["journal"], fingerprint)
+            span.set(trees=store.n_trees, unique=len(store._counts),
+                     journal_records=store.journal_records)
+        return store
+
+    def _load_shard(self, path: Path, fingerprint: bytes) -> None:
+        data: SnapshotData = read_snapshot(path)
+        if data.fingerprint != fingerprint:
+            raise StoreCorruptError(
+                f"shard {path} belongs to a different namespace generation")
+        if data.include_trivial != self.include_trivial or \
+                data.weighted != self.weighted:
+            raise StoreCorruptError(
+                f"shard {path} flags disagree with the manifest")
+        overlap = self._counts.keys() & data.counts.keys()
+        if overlap:
+            raise StoreCorruptError(
+                f"shard {path} overlaps a sibling shard's key range")
+        self._counts.update(data.counts)
+        if self.weighted:
+            for mask, lengths in (data.weights or {}).items():
+                self._weights[mask] = list(lengths)
+
+    def _replay_journal(self, path: Path, fingerprint: bytes) -> None:
+        if not path.exists():
+            raise StoreCorruptError(f"journal {path} is missing")
+        journal_fp = check_journal_header(path.read_bytes(), path)
+        if journal_fp != fingerprint:
+            raise StoreCorruptError(
+                f"journal {path} belongs to a different namespace generation")
+        records, good_offset, torn = read_journal(path)
+        self._journal_path = path
+        self._journal_good_offset = good_offset
+        self.recovered = torn
+        for record in records:
+            if record.op == OP_EXTEND_NS:
+                self._labels.extend(decode_labels_payload(record.payload))
+                continue
+            masks, lengths, n_taxa = decode_tree_payload(
+                record.payload, weighted=self.weighted)
+            if n_taxa > len(self._labels):
+                raise StoreCorruptError(
+                    f"journal {path}: record packed for {n_taxa} taxa but "
+                    f"only {len(self._labels)} labels are known")
+            limit = 1 << n_taxa if n_taxa else 1
+            if any(mask >= limit for mask in masks):
+                raise StoreCorruptError(
+                    f"journal {path}: record mask exceeds its {n_taxa}-taxon "
+                    "namespace")
+            if record.op == OP_ADD:
+                self._apply_add(masks, lengths)
+            else:
+                try:
+                    self._apply_remove(masks, lengths)
+                except StoreError as exc:
+                    raise StoreCorruptError(
+                        f"journal {path}: replay failed ({exc}) — "
+                        "frequencies would be silently wrong") from exc
+        self.journal_records = len(records)
+
+    @property
+    def _journal_file(self) -> Path:
+        return getattr(self, "_journal_path",
+                       self.path / _journal_name(self.generation))
+
+    # -- namespace -----------------------------------------------------------
+
+    def namespace(self) -> TaxonNamespace:
+        """A fresh namespace with the store's labels in index order.
+
+        Parse query/delta files through this so their bitmasks share the
+        store's taxon→bit assignment.
+        """
+        return TaxonNamespace(self._labels)
+
+    @property
+    def labels(self) -> list[str]:
+        return list(self._labels)
+
+    def fingerprint(self) -> bytes:
+        """Fingerprint of the *current* namespace (base + journal extends)."""
+        return namespace_fingerprint(self._labels)
+
+    def _sync_namespace(self, ns: TaxonNamespace) -> list[str]:
+        """Validate index-stability against ``ns``; return new labels."""
+        labels = ns.labels
+        n_shared = min(len(labels), len(self._labels))
+        for i in range(n_shared):
+            if labels[i] != self._labels[i]:
+                raise StoreError(
+                    f"taxon namespace conflict at index {i}: store has "
+                    f"{self._labels[i]!r}, trees have {labels[i]!r} — parse "
+                    "the trees with store.namespace() to keep bit indices "
+                    "aligned")
+        return labels[len(self._labels):]
+
+    # -- deltas --------------------------------------------------------------
+
+    def _tree_tables(self, tree: Tree) -> tuple[list[int], list[float] | None]:
+        if self.weighted:
+            table = bipartitions_with_lengths(
+                tree, include_trivial=self.include_trivial)
+            masks = list(table)
+            return masks, [table[m] for m in masks]
+        return list(bipartition_masks(
+            tree, include_trivial=self.include_trivial)), None
+
+    def _apply_add(self, masks: Sequence[int],
+                   lengths: Sequence[float] | None) -> None:
+        counts = self._counts
+        for mask in masks:
+            counts[mask] = counts.get(mask, 0) + 1
+        if self.weighted and lengths is not None:
+            for mask, length in zip(masks, lengths):
+                insort(self._weights.setdefault(mask, []), length)
+        self.total += len(masks)
+        self.n_trees += 1
+
+    def _apply_remove(self, masks: Sequence[int],
+                      lengths: Sequence[float] | None) -> None:
+        if self.n_trees <= 0:
+            raise StoreError("store is empty; nothing to remove")
+        counts = self._counts
+        for mask in masks:
+            freq = counts.get(mask, 0)
+            if freq <= 0:
+                raise StoreError(
+                    f"split {mask:#x} has frequency 0; removing a tree that "
+                    "was never added")
+            if freq == 1:
+                del counts[mask]
+            else:
+                counts[mask] = freq - 1
+        if self.weighted and lengths is not None:
+            for mask, length in zip(masks, lengths):
+                entry = self._weights.get(mask)
+                idx = bisect_left(entry, length) if entry else 0
+                if not entry or idx >= len(entry) or entry[idx] != length:
+                    raise StoreError(
+                        f"split {mask:#x} has no stored branch length "
+                        f"{length!r}; removing a tree that was never added")
+                entry.pop(idx)
+                if not entry:
+                    del self._weights[mask]
+        self.total -= len(masks)
+        self.n_trees -= 1
+
+    def _append_records(self, blobs: Iterable[bytes]) -> None:
+        """Durably append encoded records, truncating any torn tail first."""
+        data = b"".join(blobs)
+        if not data:
+            return
+        path = self._journal_file
+        with open(path, "r+b") as fh:
+            fh.seek(0, os.SEEK_END)
+            if fh.tell() > self._journal_good_offset:
+                # Recovered-from tail from a previous interrupted append.
+                fh.truncate(self._journal_good_offset)
+            fh.seek(self._journal_good_offset)
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._journal_good_offset += len(data)
+        self.recovered = False
+
+    def add_trees(self, trees: Iterable[Tree]) -> int:
+        """Absorb reference trees; returns how many were added.
+
+        Each tree becomes one journal record; new taxa extend the
+        namespace (an ``extend-ns`` record) without touching existing
+        bit assignments.
+        """
+        trees = list(trees)
+        if not trees:
+            return 0
+        with trace("store.add", trees=len(trees)) as span:
+            blobs: list[bytes] = []
+            staged: list[tuple[list[int], list[float] | None]] = []
+            for tree in trees:
+                new_labels = self._sync_namespace(tree.taxon_namespace)
+                if new_labels:
+                    blobs.append(encode_record(
+                        OP_EXTEND_NS, encode_labels_payload(new_labels)))
+                    self._labels.extend(new_labels)
+                masks, lengths = self._tree_tables(tree)
+                blobs.append(encode_record(OP_ADD, encode_tree_payload(
+                    masks, len(self._labels), lengths)))
+                staged.append((masks, lengths))
+            self._append_records(blobs)
+            for masks, lengths in staged:
+                self._apply_add(masks, lengths)
+            self.journal_records += len(blobs)
+            span.set(r=self.n_trees, unique=len(self._counts))
+        if _obs_enabled():
+            _metric("store.journal_records").inc(len(blobs))
+            _metric("store.trees_added").inc(len(trees))
+        return len(trees)
+
+    def remove_trees(self, trees: Iterable[Tree]) -> int:
+        """Un-count previously added trees; returns how many were removed.
+
+        The whole batch is validated against the current frequencies
+        before anything is journaled, so a bad batch (a tree that was
+        never added) raises :class:`StoreError` and changes nothing.
+        """
+        trees = list(trees)
+        if not trees:
+            return 0
+        with trace("store.remove", trees=len(trees)) as span:
+            staged: list[tuple[list[int], list[float] | None]] = []
+            sim_counts: dict[int, int] = {}
+            sim_weights: dict[int, list[float]] = {}
+            sim_trees = self.n_trees
+            for tree in trees:
+                self._sync_namespace(tree.taxon_namespace)
+                if sim_trees <= 0:
+                    raise StoreError("store is empty; nothing to remove")
+                sim_trees -= 1
+                masks, lengths = self._tree_tables(tree)
+                for mask in masks:
+                    avail = sim_counts.get(mask, self._counts.get(mask, 0))
+                    if avail <= 0:
+                        raise StoreError(
+                            f"split {mask:#x} has frequency 0; removing a "
+                            "tree that was never added")
+                    sim_counts[mask] = avail - 1
+                if self.weighted:
+                    for mask, length in zip(masks, lengths):
+                        entry = sim_weights.setdefault(
+                            mask, list(self._weights.get(mask, [])))
+                        idx = bisect_left(entry, length)
+                        if idx >= len(entry) or entry[idx] != length:
+                            raise StoreError(
+                                f"split {mask:#x} has no stored branch "
+                                f"length {length!r}; removing a tree that "
+                                "was never added")
+                        entry.pop(idx)
+                staged.append((masks, lengths))
+            blobs = [encode_record(OP_REMOVE, encode_tree_payload(
+                masks, len(self._labels), lengths))
+                for masks, lengths in staged]
+            self._append_records(blobs)
+            for masks, lengths in staged:
+                self._apply_remove(masks, lengths)
+            self.journal_records += len(blobs)
+            span.set(r=self.n_trees, unique=len(self._counts))
+        if _obs_enabled():
+            _metric("store.journal_records").inc(len(blobs))
+            _metric("store.trees_removed").inc(len(trees))
+        return len(trees)
+
+    # -- queries -------------------------------------------------------------
+
+    def bfh(self) -> BipartitionFrequencyHash:
+        """Materialize the current state as a standalone frequency hash."""
+        return BipartitionFrequencyHash.from_counts(
+            dict(self._counts), self.n_trees, total=self.total,
+            include_trivial=self.include_trivial)
+
+    def weighted_hash(self) -> WeightedBipartitionHash:
+        """Materialize the weighted (branch-score) view.
+
+        ``total_weight`` is recomputed with ``math.fsum`` over the
+        sorted multisets, so the value depends only on the current state
+        — never on the order trees were added and removed.
+        """
+        if not self.weighted:
+            raise StoreError("store was created without weighted=True")
+        wh = WeightedBipartitionHash(include_trivial=self.include_trivial)
+        wh._weights = {mask: list(lengths)
+                       for mask, lengths in self._weights.items()}
+        wh.n_trees = self.n_trees
+        wh.total_weight = math.fsum(
+            length for lengths in self._weights.values() for length in lengths)
+        wh.finalize()
+        return wh
+
+    def average_rf(self, query: Sequence[Tree], *,
+                   n_workers: int = 1) -> list[float]:
+        """Average RF of each query tree against the stored collection.
+
+        Bitwise-identical to ``bfhrf_average_rf(query, reference)`` over
+        a fresh build of the current reference set.
+        """
+        with trace("store.query", q=len(query), r=self.n_trees):
+            return bfhrf_average_rf(query, bfh=self.bfh(),
+                                    n_workers=n_workers)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    # -- compaction ----------------------------------------------------------
+
+    def compact(self, n_shards: int | None = None) -> None:
+        """Fold the journal into a new generation of key-range snapshots.
+
+        Shard boundaries are rebalanced over the current sorted key set;
+        the atomic manifest replace is the commit point, after which the
+        journal is empty.
+        """
+        if n_shards is None:
+            n_shards = max(1, len(self._shards))
+        if n_shards < 1:
+            raise StoreError(f"n_shards must be >= 1, got {n_shards}")
+        old_generation = self.generation
+        old_files = [entry["file"] for entry in self._shards]
+        old_files.append(_journal_name(old_generation))
+        generation = old_generation + 1
+        keys = sorted(self._counts)
+        boundaries = shard_boundaries(keys, n_shards)
+        parts = partition_counts(self._counts, boundaries)
+        fingerprint = namespace_fingerprint(self._labels)
+        n_taxa = len(self._labels)
+        with trace("store.compact", generation=generation,
+                   shards=len(parts)) as span:
+            shard_entries = []
+            for index, part in enumerate(parts):
+                name = _shard_name(generation, index)
+                with trace("store.shard", shard=index) as shard_span:
+                    weights = None
+                    if self.weighted:
+                        weights = {mask: self._weights.get(mask, [])
+                                   for mask in part}
+                    entries = write_snapshot(
+                        self.path / name, part, n_taxa=n_taxa,
+                        fingerprint=fingerprint,
+                        include_trivial=self.include_trivial,
+                        weights=weights)
+                    shard_span.set(entries=entries)
+                shard_entries.append({"file": name, "entries": entries})
+                if _obs_enabled():
+                    _metric("store.shard_entries").inc(entries)
+            self.generation = generation
+            self._base_labels = len(self._labels)
+            self._shards = shard_entries
+            self._boundaries = boundaries
+            self.snapshot_trees = self.n_trees
+            self._write_journal_file()
+            self._write_manifest()
+            self.journal_records = 0
+            span.set(unique=len(self._counts), trees=self.n_trees)
+        if _obs_enabled():
+            _metric("store.compactions").inc()
+        for name in old_files:
+            try:
+                (self.path / name).unlink()
+            except OSError:
+                pass  # unreferenced leftovers; harmless
+
+    def _write_journal_file(self) -> None:
+        path = self.path / _journal_name(self.generation)
+        with open(path, "wb") as fh:
+            fh.write(journal_header(namespace_fingerprint(self._labels)))
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._journal_path = path
+        self._journal_good_offset = JOURNAL_HEADER_SIZE
+        self.recovered = False
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "format_version": MANIFEST_VERSION,
+            "generation": self.generation,
+            "include_trivial": self.include_trivial,
+            "weighted": self.weighted,
+            "labels": self._labels,
+            "fingerprint": namespace_fingerprint(self._labels).hex(),
+            "n_trees": self.snapshot_trees,
+            "journal": _journal_name(self.generation),
+            "shards": self._shards,
+            "boundaries": [f"{b:x}" for b in self._boundaries],
+        }
+        target = self.path / MANIFEST_NAME
+        tmp = self.path / (MANIFEST_NAME + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        tmp.replace(target)
+
+    # -- introspection -------------------------------------------------------
+
+    def iter_shard_snapshots(self) -> Iterator[tuple[int, SnapshotData]]:
+        """Decode each compacted shard straight from disk (no journal)."""
+        for index, entry in enumerate(self._shards):
+            yield index, read_snapshot(self.path / entry["file"])
+
+    def info(self) -> dict:
+        """A JSON-able status summary (the ``store info`` CLI verb)."""
+        journal_bytes = 0
+        journal = self._journal_file
+        if journal.exists():
+            journal_bytes = journal.stat().st_size
+        return {
+            "path": str(self.path),
+            "generation": self.generation,
+            "trees": self.n_trees,
+            "unique_bipartitions": len(self._counts),
+            "total_bipartitions": self.total,
+            "taxa": len(self._labels),
+            "include_trivial": self.include_trivial,
+            "weighted": self.weighted,
+            "shards": [dict(entry) for entry in self._shards],
+            "snapshot_trees": self.snapshot_trees,
+            "journal_records": self.journal_records,
+            "journal_bytes": journal_bytes,
+            "recovered": self.recovered,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"BFHStore({str(self.path)!r}, trees={self.n_trees}, "
+                f"unique={len(self._counts)}, gen={self.generation}, "
+                f"journal={self.journal_records})")
+
+
+def build_store(path: str | os.PathLike, reference: Sequence[Tree], *,
+                n_workers: int = 1, n_shards: int = 1,
+                include_trivial: bool = False,
+                weighted: bool = False) -> BFHStore:
+    """Bulk-build a store from a reference collection (``store build``).
+
+    The count fans out over the fork pool at the tree level; the partial
+    tables reduce through the associative BFH merge; the result is
+    compacted straight into ``n_shards`` key-range snapshots (the
+    journal starts empty).
+    """
+    reference = list(reference)
+    namespaces = {id(t.taxon_namespace) for t in reference}
+    if len(namespaces) > 1:
+        raise StoreError(
+            "reference trees must share one taxon namespace; parse them "
+            "together (or through store.namespace()) before building")
+    with trace("store.build", r=len(reference), workers=n_workers,
+               shards=n_shards) as span:
+        counts, weights, n_trees, total = parallel_build_tables(
+            reference, include_trivial=include_trivial, weighted=weighted,
+            n_workers=n_workers)
+        store = BFHStore.create(path, include_trivial=include_trivial,
+                                weighted=weighted)
+        if reference:
+            store._labels = reference[0].taxon_namespace.labels
+        store._counts = counts
+        if weighted:
+            store._weights = {mask: sorted(lengths)
+                              for mask, lengths in (weights or {}).items()}
+        store.n_trees = n_trees
+        store.total = total
+        store.compact(n_shards=n_shards)
+        span.set(unique=len(store))
+    return store

@@ -99,6 +99,11 @@ class CaseProfile:
     zero_length_prob: float = 0.2
     hostile_label_prob: float = 0.2
     variable_taxa_prob: float = 0.2
+    # Occasionally jump the taxon count straight to a 64-bit-word edge of
+    # the packed-bitmask representation (the store's snapshot keys change
+    # width exactly there); (0 probability or an empty tuple disables).
+    boundary_taxa: tuple[int, ...] = (63, 64, 65)
+    boundary_taxa_prob: float = 0.1
     default_rounds: int = 50
 
 
@@ -107,6 +112,8 @@ PROFILES: dict[str, CaseProfile] = {
     "deep": CaseProfile("deep", max_taxa=32, max_trees=24,
                         multifurcation_prob=0.35, zero_length_prob=0.3,
                         hostile_label_prob=0.3, variable_taxa_prob=0.3,
+                        boundary_taxa=(63, 64, 65, 127, 128, 129),
+                        boundary_taxa_prob=0.15,
                         default_rounds=300),
 }
 
@@ -278,6 +285,11 @@ def generate_case(seed: int, profile: CaseProfile | str = "quick") -> TreeCase:
     strategy_name = STRATEGY_NAMES[int(rng.integers(len(STRATEGY_NAMES)))]
     strategy = _STRATEGIES[strategy_name]
     n_taxa = int(rng.integers(profile.min_taxa, profile.max_taxa + 1))
+    boundary = bool(profile.boundary_taxa and
+                    rng.random() < profile.boundary_taxa_prob)
+    if boundary:
+        n_taxa = int(profile.boundary_taxa[
+            int(rng.integers(len(profile.boundary_taxa)))])
     n_trees = int(rng.integers(profile.min_trees, profile.max_trees + 1))
     labels = _case_labels(n_taxa, rng, profile)
     ns = TaxonNamespace()
@@ -325,5 +337,6 @@ def generate_case(seed: int, profile: CaseProfile | str = "quick") -> TreeCase:
         same_collection=same_collection,
         weighted=weighted,
         include_trivial=include_trivial,
-        notes={"multifurcated": multifurcated, "n_taxa": n_taxa},
+        notes={"multifurcated": multifurcated, "n_taxa": n_taxa,
+               "boundary_taxa": boundary},
     )

@@ -29,12 +29,14 @@ from repro.observability.metrics import counter as _metric
 from repro.observability.spans import trace
 from repro.testing.artifacts import write_artifact
 from repro.testing.generators import PROFILES, CaseProfile, TreeCase, generate_case
+from repro.store.store import BFHStore
 from repro.testing.oracles import (
     Failure,
     check_caterpillar_max_rf,
     check_differential_rf,
     check_differential_weighted,
     check_self_rf_zero,
+    check_store_roundtrip,
     check_symmetry,
     check_triangle,
     check_weighted_linearity,
@@ -69,6 +71,7 @@ CASE_CHECKS: dict[str, Callable[[TreeCase], list[Failure]]] = {
     "merge-associativity": prop_merge_associativity,
     "newick-roundtrip": prop_newick_roundtrip,
     "nexus-roundtrip": prop_nexus_roundtrip,
+    "store-roundtrip": check_store_roundtrip,
 }
 
 
@@ -102,7 +105,26 @@ def _inject_weighted_total() -> Callable[[], None]:
     return lambda: setattr(WeightedBipartitionHash, "add_tree", original)
 
 
-FAULT_KINDS = ("bfh-count", "weighted-total")
+def _inject_store_count() -> Callable[[], None]:
+    """Corrupt the store: silently over-count one split per added tree.
+
+    Mirrors ``bfh-count`` but on the persistent path — the store's
+    journaled/in-memory frequencies drift from a fresh build, which only
+    the ``store-roundtrip`` oracle can notice.
+    """
+    original = BFHStore._apply_add
+
+    def corrupted(self, masks, lengths):
+        original(self, masks, lengths)
+        if self._counts:
+            victim = min(self._counts)
+            self._counts[victim] += 1  # count drifts; total does not
+
+    BFHStore._apply_add = corrupted
+    return lambda: setattr(BFHStore, "_apply_add", original)
+
+
+FAULT_KINDS = ("bfh-count", "weighted-total", "store-count")
 
 
 @contextlib.contextmanager
@@ -115,6 +137,8 @@ def inject_fault(kind: str | None) -> Iterator[None]:
         restore = _inject_bfh_count()
     elif kind == "weighted-total":
         restore = _inject_weighted_total()
+    elif kind == "store-count":
+        restore = _inject_store_count()
     else:
         raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
     try:

@@ -16,7 +16,11 @@ the triangle inequality of the metric, and linearity of the weighted
 from __future__ import annotations
 
 import math
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
 
 from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
 from repro.core.bfhrf import bfhrf_average_rf
@@ -26,9 +30,11 @@ from repro.core.parallel import fork_available
 from repro.core.rf import max_rf, rf_from_mask_sets
 from repro.core.vectorized import vectorized_average_rf
 from repro.hashing.weighted import WeightedBipartitionHash
+from repro.store import BFHStore, build_store
 from repro.testing.generators import TreeCase, caterpillar_tree, max_rf_caterpillar_orders
 from repro.trees.taxon import TaxonNamespace
 from repro.trees.tree import Tree
+from repro.util.rng import derive_seed
 
 __all__ = [
     "Failure",
@@ -44,6 +50,7 @@ __all__ = [
     "check_triangle",
     "check_weighted_linearity",
     "check_caterpillar_max_rf",
+    "check_store_roundtrip",
 ]
 
 _REL_TOL = 1e-9
@@ -283,6 +290,95 @@ def check_weighted_linearity(case: TreeCase, *, scale: float = 2.5) -> list[Fail
             failures.append(Failure(
                 "weighted-linearity",
                 f"BS(cT)={scaled_value!r} != c*BS(T)={scale * base!r}", index=i))
+    return failures
+
+
+def check_store_roundtrip(case: TreeCase) -> list[Failure]:
+    """The persistent store vs a fresh build over the same reference set.
+
+    Replays a seed-derived interleaving of ``add_trees`` / ``remove_trees``
+    / ``compact`` against a store while mirroring the operations on a
+    plain tree list, then demands that (a) the live store, (b) the store
+    reopened from disk, and (c) a fresh :func:`bfhrf_average_rf` over the
+    mirrored list all return *bitwise-identical* averages — the store's
+    incremental-exactness contract.  Weighted cases additionally compare
+    the store's branch-length multisets against a freshly built
+    :class:`WeightedBipartitionHash`.
+
+    Deterministic in ``case`` alone (ops derive from ``case.seed``), so
+    the shrinker can replay it.
+    """
+    rng = np.random.default_rng(derive_seed(case.seed, [0x570BE]))
+    failures: list[Failure] = []
+
+    def compare(store: BFHStore, current: list[Tree], where: str) -> None:
+        if store.n_trees != len(current):
+            failures.append(Failure(
+                "store-roundtrip",
+                f"store counts {store.n_trees} trees, shadow has "
+                f"{len(current)}", implementation=where))
+            return
+        if not current:
+            if len(store) != 0:
+                failures.append(Failure(
+                    "store-roundtrip",
+                    f"empty shadow but store holds {len(store)} splits",
+                    implementation=where))
+            return
+        got = store.average_rf(case.query)
+        want = bfhrf_average_rf(case.query, current,
+                                include_trivial=case.include_trivial)
+        for i, (g, w) in enumerate(zip(got, want)):
+            if g != w:
+                failures.append(Failure(
+                    "store-roundtrip",
+                    f"store says {g!r}, fresh build says {w!r}",
+                    implementation=where, index=i))
+        if case.weighted:
+            fresh = WeightedBipartitionHash.from_trees(
+                current, include_trivial=case.include_trivial)
+            store_sets = {m: sorted(v)
+                          for m, v in store.weighted_hash()._weights.items()}
+            fresh_sets = {m: sorted(v) for m, v in fresh._weights.items()}
+            if store_sets != fresh_sets:
+                drift = set(store_sets) ^ set(fresh_sets) or {
+                    m for m in store_sets if store_sets[m] != fresh_sets[m]}
+                failures.append(Failure(
+                    "store-roundtrip",
+                    f"weight multisets drift on {len(drift)} split(s)",
+                    implementation=where))
+
+    with tempfile.TemporaryDirectory(prefix="store-oracle-") as td:
+        path = Path(td) / "store"
+        # Bulk-build all but one reference tree, then add the last one
+        # incrementally — every round exercises both ingestion paths.
+        current = list(case.reference)
+        store = build_store(path, current[:-1],
+                            n_shards=int(rng.integers(1, 4)),
+                            include_trivial=case.include_trivial,
+                            weighted=case.weighted)
+        store.add_trees(current[-1:])
+        compare(store, current, "build+add")
+        for _step in range(4):
+            op = rng.choice(["add", "remove", "compact"])
+            if op == "add":
+                picks = [case.reference[int(i)] for i in rng.integers(
+                    0, len(case.reference), size=int(rng.integers(1, 3)))]
+                store.add_trees(picks)
+                current.extend(picks)
+            elif op == "remove" and len(current) > 1:
+                idx = int(rng.integers(0, len(current)))
+                store.remove_trees([current[idx]])
+                current.pop(idx)
+            else:
+                store.compact(int(rng.integers(1, 4)))
+            if failures:
+                return failures
+            compare(store, current, f"step-{_step}")
+        if failures:
+            return failures
+        reopened = BFHStore.open(path)
+        compare(reopened, current, "reopen")
     return failures
 
 

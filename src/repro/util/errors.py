@@ -16,6 +16,8 @@ __all__ = [
     "BipartitionError",
     "CollectionError",
     "SimulationError",
+    "StoreError",
+    "StoreCorruptError",
 ]
 
 
@@ -90,4 +92,24 @@ class SimulationError(ReproError):
 
     Examples: non-positive rates, fewer than 3 taxa, or a perturbation
     count that cannot be applied to the given topology.
+    """
+
+
+class StoreError(ReproError):
+    """A persistent BFH store operation failed.
+
+    Examples: opening a directory that is not a store, removing a tree
+    that was never added, or mixing trees with a store whose settings
+    (trivial-split policy, weighted mode) do not match.
+    """
+
+
+class StoreCorruptError(StoreError):
+    """On-disk store state failed an integrity check.
+
+    Raised for bad magic bytes, checksum mismatches on complete records
+    or snapshots, and namespace-fingerprint disagreements — anything
+    where continuing would risk silently wrong frequencies.  A torn
+    journal tail (an interrupted append) is *not* corruption: it is
+    recovered by dropping the incomplete record.
     """

@@ -1,0 +1,193 @@
+"""Snapshot/journal binary format: round-trips, word edges, corruption."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.store.format import (
+    JOURNAL_HEADER_SIZE,
+    OP_ADD,
+    OP_EXTEND_NS,
+    OP_REMOVE,
+    decode_labels_payload,
+    decode_tree_payload,
+    encode_labels_payload,
+    encode_record,
+    encode_tree_payload,
+    journal_header,
+    namespace_fingerprint,
+    pack_key,
+    read_journal,
+    read_snapshot,
+    unpack_key,
+    words_for_taxa,
+    write_snapshot,
+)
+from repro.util.errors import StoreCorruptError
+
+FP = namespace_fingerprint([f"T{i}" for i in range(8)])
+
+
+class TestKeyPacking:
+    @pytest.mark.parametrize("n_taxa,words", [
+        (1, 1), (63, 1), (64, 1), (65, 2), (127, 2), (128, 2), (129, 3),
+    ])
+    def test_word_width_changes_at_64_bit_edges(self, n_taxa, words):
+        assert words_for_taxa(n_taxa) == words
+
+    @pytest.mark.parametrize("n_taxa", [63, 64, 65, 127, 128, 129])
+    def test_extreme_masks_roundtrip_at_boundaries(self, n_taxa):
+        n_words = words_for_taxa(n_taxa)
+        for mask in (1, (1 << n_taxa) - 1, 1 << (n_taxa - 1),
+                     ((1 << n_taxa) - 1) ^ (1 << (n_taxa // 2))):
+            packed = pack_key(mask, n_words)
+            assert len(packed) == n_words * 8
+            assert unpack_key(packed) == mask
+
+    def test_overflowing_mask_rejected(self):
+        with pytest.raises(OverflowError):
+            pack_key(1 << 64, words_for_taxa(64))
+
+
+class TestSnapshotRoundtrip:
+    @pytest.mark.parametrize("n_taxa", [5, 63, 64, 65, 127, 128, 129])
+    def test_counts_roundtrip_at_word_boundaries(self, tmp_path, n_taxa):
+        counts = {1: 3, (1 << (n_taxa - 1)) | 1: 1, (1 << n_taxa) - 2: 7}
+        path = tmp_path / "s.snap"
+        assert write_snapshot(path, counts, n_taxa=n_taxa, fingerprint=FP) == 3
+        data = read_snapshot(path)
+        assert data.counts == counts
+        assert data.n_taxa == n_taxa
+        assert data.fingerprint == FP
+        assert data.weights is None and not data.weighted
+
+    def test_weighted_roundtrip_sorts_multisets(self, tmp_path):
+        counts = {3: 2, 12: 1}
+        weights = {3: [2.5, 0.5], 12: [1.0]}
+        path = tmp_path / "w.snap"
+        write_snapshot(path, counts, n_taxa=4, fingerprint=FP, weights=weights)
+        data = read_snapshot(path)
+        assert data.weighted
+        assert data.weights == {3: [0.5, 2.5], 12: [1.0]}
+
+    def test_weight_count_mismatch_rejected_at_write(self, tmp_path):
+        with pytest.raises(StoreCorruptError, match="weights for frequency"):
+            write_snapshot(tmp_path / "bad.snap", {3: 2}, n_taxa=4,
+                           fingerprint=FP, weights={3: [1.0]})
+
+    def test_empty_snapshot(self, tmp_path):
+        path = tmp_path / "e.snap"
+        write_snapshot(path, {}, n_taxa=0, fingerprint=FP)
+        assert read_snapshot(path).counts == {}
+
+    def test_bitflip_fails_crc(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(path, {1: 1, 6: 2}, n_taxa=4, fingerprint=FP)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0x40
+        path.write_bytes(bytes(blob))
+        with pytest.raises(StoreCorruptError, match="CRC"):
+            read_snapshot(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "s.snap"
+        write_snapshot(path, {1: 1, 6: 2}, n_taxa=4, fingerprint=FP)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) - 5])
+        with pytest.raises(StoreCorruptError):
+            read_snapshot(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = tmp_path / "s.snap"
+        path.write_bytes(b"NOTASNAP" + b"\0" * 40)
+        with pytest.raises(StoreCorruptError):
+            read_snapshot(path)
+
+
+class TestTreePayload:
+    @pytest.mark.parametrize("n_taxa", [4, 63, 64, 65, 128, 129])
+    def test_roundtrip_sorts_masks(self, n_taxa):
+        masks = [(1 << n_taxa) - 2, 3, 1 << (n_taxa - 1)]
+        payload = encode_tree_payload(masks, n_taxa)
+        got_masks, got_lengths, got_taxa = decode_tree_payload(
+            payload, weighted=False)
+        assert got_masks == sorted(masks)
+        assert got_lengths is None
+        assert got_taxa == n_taxa
+
+    def test_lengths_follow_mask_order(self):
+        masks = [12, 3]
+        payload = encode_tree_payload(masks, 4, [0.25, 0.75])
+        got_masks, got_lengths, _ = decode_tree_payload(payload, weighted=True)
+        assert got_masks == [3, 12]
+        assert got_lengths == [0.75, 0.25]
+
+    def test_size_mismatch_rejected(self):
+        payload = encode_tree_payload([3, 12], 4)
+        with pytest.raises(StoreCorruptError):
+            decode_tree_payload(payload + b"\0", weighted=False)
+        with pytest.raises(StoreCorruptError):
+            decode_tree_payload(payload, weighted=True)  # missing lengths
+
+
+class TestLabelsPayload:
+    def test_roundtrip(self):
+        labels = ["taxon one", "it's", "a(b)", "δ"]
+        assert decode_labels_payload(encode_labels_payload(labels)) == labels
+
+    def test_empty(self):
+        assert decode_labels_payload(encode_labels_payload([])) == []
+
+
+class TestJournal:
+    def _journal(self, tmp_path, records):
+        path = tmp_path / "j.log"
+        path.write_bytes(journal_header(FP) + b"".join(records))
+        return path
+
+    def test_roundtrip(self, tmp_path):
+        path = self._journal(tmp_path, [
+            encode_record(OP_ADD, encode_tree_payload([3, 12], 4)),
+            encode_record(OP_EXTEND_NS, encode_labels_payload(["E"])),
+            encode_record(OP_REMOVE, encode_tree_payload([3], 5)),
+        ])
+        records, offset, torn = read_journal(path)
+        assert [r.op for r in records] == [OP_ADD, OP_EXTEND_NS, OP_REMOVE]
+        assert offset == path.stat().st_size
+        assert not torn
+
+    def test_header_only(self, tmp_path):
+        path = self._journal(tmp_path, [])
+        assert read_journal(path) == ([], JOURNAL_HEADER_SIZE, False)
+
+    def test_short_header_is_corrupt(self, tmp_path):
+        path = tmp_path / "j.log"
+        path.write_bytes(journal_header(FP)[:10])
+        with pytest.raises(StoreCorruptError):
+            read_journal(path)
+
+    def test_torn_tail_is_recoverable_not_corrupt(self, tmp_path):
+        whole = encode_record(OP_ADD, encode_tree_payload([3], 4))
+        path = self._journal(tmp_path, [whole, whole[:len(whole) - 3]])
+        records, offset, torn = read_journal(path)
+        assert len(records) == 1
+        assert offset == JOURNAL_HEADER_SIZE + len(whole)
+        assert torn
+
+    def test_complete_record_with_bad_crc_is_corrupt(self, tmp_path):
+        record = bytearray(encode_record(OP_ADD, encode_tree_payload([3], 4)))
+        record[6] ^= 0x01  # flip a payload bit; framing stays intact
+        path = self._journal(tmp_path, [bytes(record)])
+        with pytest.raises(StoreCorruptError, match="corrupt, not merely torn"):
+            read_journal(path)
+
+    def test_unknown_op_is_corrupt(self, tmp_path):
+        import zlib
+        payload = b"xx"
+        record = struct.pack("<BI", 9, len(payload)) + payload + \
+            struct.pack("<I", zlib.crc32(bytes([9]) + payload))
+        path = self._journal(tmp_path, [record])
+        with pytest.raises(StoreCorruptError, match="unknown record op"):
+            read_journal(path)

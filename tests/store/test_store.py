@@ -1,0 +1,208 @@
+"""BFHStore lifecycle: build, add, remove, query, compact, reopen."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.hashing.weighted import WeightedBipartitionHash
+from repro.newick import trees_from_string
+from repro.store import BFHStore, build_store
+from repro.util.errors import StoreCorruptError, StoreError
+
+from tests.conftest import make_collection
+
+NWK = ("((A,B),(C,D),E);\n((A,C),(B,D),E);\n"
+       "((A,E),(B,C),D);\n((A,B),(C,E),D);\n((B,D),(C,E),A);")
+
+
+@pytest.fixture
+def trees():
+    return trees_from_string(NWK)
+
+
+def assert_matches_fresh(store, reference, query):
+    """The store contract: answers bitwise-equal to a fresh build."""
+    assert store.average_rf(query) == bfhrf_average_rf(query, reference)
+    fresh = build_bfh(reference)
+    bfh = store.bfh()
+    assert bfh.counts == fresh.counts
+    assert (bfh.n_trees, bfh.total) == (fresh.n_trees, fresh.total)
+
+
+class TestLifecycle:
+    def test_build_then_query(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees, n_shards=2)
+        assert_matches_fresh(store, trees, trees)
+        assert len(store) == len(build_bfh(trees))
+
+    def test_create_refuses_existing_store(self, tmp_path, trees):
+        build_store(tmp_path / "s", trees)
+        with pytest.raises(StoreError, match="already contains"):
+            BFHStore.create(tmp_path / "s")
+
+    def test_open_missing_directory(self, tmp_path):
+        with pytest.raises(StoreError, match="not a BFH store"):
+            BFHStore.open(tmp_path / "nope")
+
+    def test_incremental_add_matches_bulk(self, tmp_path, trees):
+        bulk = build_store(tmp_path / "bulk", trees)
+        inc = BFHStore.create(tmp_path / "inc")
+        for tree in trees:
+            inc.add_trees([tree])
+        assert inc.bfh().counts == bulk.bfh().counts
+        assert inc.average_rf(trees) == bulk.average_rf(trees)
+
+    def test_remove_is_exact_inverse(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees)
+        store.add_trees(trees[:2])
+        store.remove_trees(trees[:2])
+        assert_matches_fresh(store, trees, trees)
+
+    def test_duplicate_trees_are_a_multiset(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees)
+        store.add_trees([trees[0], trees[0]])
+        assert_matches_fresh(store, trees + [trees[0], trees[0]], trees)
+        store.remove_trees([trees[0]])
+        assert_matches_fresh(store, trees + [trees[0]], trees)
+
+    def test_reopen_preserves_state(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees[:3], n_shards=2)
+        store.add_trees(trees[3:])
+        store.remove_trees(trees[1:2])
+        reference = trees[:1] + trees[2:]
+        reopened = BFHStore.open(tmp_path / "s")
+        assert_matches_fresh(reopened, reference, trees)
+        assert reopened.journal_records == store.journal_records
+
+    def test_compact_empties_journal_and_preserves_answers(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees[:2])
+        store.add_trees(trees[2:])
+        before = store.average_rf(trees)
+        store.compact(3)
+        assert store.journal_records == 0
+        assert store.average_rf(trees) == before
+        reopened = BFHStore.open(tmp_path / "s")
+        assert reopened.average_rf(trees) == before
+        assert reopened.generation == store.generation
+
+    def test_compact_removes_old_generation_files(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees, n_shards=3)
+        gen1 = {p.name for p in (tmp_path / "s").iterdir()}
+        store.compact(2)
+        gen2 = {p.name for p in (tmp_path / "s").iterdir()}
+        assert not {n for n in gen1 if n.startswith(("shard-", "journal-"))} & gen2
+        assert len([n for n in gen2 if n.startswith("shard-")]) == 2
+
+    def test_larger_collection_roundtrip(self, tmp_path):
+        reference = make_collection(16, 30, seed=1612)
+        store = build_store(tmp_path / "s", reference, n_shards=4)
+        store.remove_trees(reference[10:20])
+        store.compact()
+        current = reference[:10] + reference[20:]
+        reopened = BFHStore.open(tmp_path / "s")
+        assert_matches_fresh(reopened, current, reference)
+
+
+class TestValidation:
+    def test_remove_unknown_tree_rejected_atomically(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees[:2])
+        before = store.bfh().counts
+        with pytest.raises(StoreError, match="never added"):
+            store.remove_trees([trees[0], trees[4]])  # second is foreign
+        assert store.bfh().counts == before
+        assert store.n_trees == 2
+
+    def test_remove_from_empty_store(self, tmp_path, trees):
+        store = BFHStore.create(tmp_path / "s")
+        with pytest.raises(StoreError, match="empty"):
+            store.remove_trees([trees[0]])
+
+    def test_namespace_conflict_rejected(self, tmp_path):
+        a = trees_from_string("((A,B),(C,D),E);")
+        b = trees_from_string("((B,A),(C,D),E);")  # B,A swap slots 0/1
+        store = build_store(tmp_path / "s", a)
+        with pytest.raises(StoreError, match="namespace conflict"):
+            store.add_trees(b)
+
+    def test_namespace_extension_is_journaled(self, tmp_path):
+        base = trees_from_string("((A,B),(C,D),E);")
+        store = build_store(tmp_path / "s", base)
+        ns = store.namespace()
+        grown = trees_from_string("((A,F),(B,G),(C,D),E);", ns)
+        store.add_trees(grown)
+        assert store.labels == ["A", "B", "C", "D", "E", "F", "G"]
+        reopened = BFHStore.open(tmp_path / "s")
+        assert reopened.labels == store.labels
+        combined = base + grown
+        # Rebuild fresh over the *store's* namespace so masks align.
+        want = bfhrf_average_rf(combined, combined)
+        assert reopened.average_rf(combined) == want
+
+    def test_mixed_namespaces_rejected_at_build(self, tmp_path):
+        a = trees_from_string("((A,B),(C,D),E);")
+        b = trees_from_string("((A,B),(C,D),E);")  # separate namespace object
+        with pytest.raises(StoreError, match="share one taxon namespace"):
+            build_store(tmp_path / "s", a + b)
+
+    def test_flag_mismatch_between_shard_and_manifest(self, tmp_path, trees):
+        import json
+        store = build_store(tmp_path / "s", trees)
+        manifest = json.loads((tmp_path / "s" / "manifest.json").read_text())
+        manifest["include_trivial"] = True
+        (tmp_path / "s" / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreCorruptError, match="flags disagree"):
+            BFHStore.open(tmp_path / "s")
+
+
+class TestWeighted:
+    def test_multisets_match_fresh_hash(self, tmp_path):
+        reference = make_collection(10, 12, seed=7)
+        store = build_store(tmp_path / "s", reference, weighted=True,
+                            n_shards=2)
+        store.remove_trees(reference[3:6])
+        store.compact()
+        current = reference[:3] + reference[6:]
+        fresh = WeightedBipartitionHash.from_trees(current)
+        reopened = BFHStore.open(tmp_path / "s")
+        got = reopened.weighted_hash()
+        assert {m: sorted(v) for m, v in got._weights.items()} == \
+               {m: sorted(v) for m, v in fresh._weights.items()}
+        assert got.n_trees == fresh.n_trees
+        probe = reference[0]
+        assert got.average_branch_score(probe) == pytest.approx(
+            fresh.average_branch_score(probe), rel=1e-12)
+
+    def test_weighted_hash_requires_weighted_store(self, tmp_path):
+        store = build_store(tmp_path / "s",
+                            trees_from_string("((A,B),(C,D),E);"))
+        with pytest.raises(StoreError, match="weighted=True"):
+            store.weighted_hash()
+
+    def test_remove_checks_branch_lengths(self, tmp_path):
+        same_topo = trees_from_string(
+            "((A:1,B:1):1,(C:1,D:1):1,E:1);\n((A:1,B:1):2,(C:1,D:1):2,E:1);")
+        store = build_store(tmp_path / "s", same_topo[:1], weighted=True)
+        with pytest.raises(StoreError, match="branch length"):
+            store.remove_trees(same_topo[1:])  # same splits, other lengths
+
+
+class TestInfo:
+    def test_info_fields(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees, n_shards=2)
+        store.add_trees(trees[:1])
+        info = store.info()
+        assert info["trees"] == 6
+        assert info["snapshot_trees"] == 5
+        assert info["journal_records"] == 1
+        assert len(info["shards"]) == 2
+        assert info["recovered"] is False
+        assert info["journal_bytes"] > 26  # header plus the pending record
+
+    def test_shard_snapshots_are_disjoint_and_complete(self, tmp_path, trees):
+        store = build_store(tmp_path / "s", trees, n_shards=3)
+        seen: dict[int, int] = {}
+        for _index, data in store.iter_shard_snapshots():
+            assert not (seen.keys() & data.counts.keys())
+            seen.update(data.counts)
+        assert seen == store.bfh().counts

@@ -1,0 +1,114 @@
+"""The ``bfhrf store`` verb family end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.bfhrf import bfhrf_average_rf
+from repro.newick import read_newick_file
+from repro.trees.taxon import TaxonNamespace
+
+NWK = ("((A,B),(C,D),E);\n((A,C),(B,D),E);\n"
+       "((A,E),(B,C),D);\n((A,B),(C,E),D);\n")
+
+
+@pytest.fixture
+def trees_file(tmp_path):
+    path = tmp_path / "trees.nwk"
+    path.write_text(NWK)
+    return str(path)
+
+
+@pytest.fixture
+def store_dir(tmp_path, trees_file):
+    path = tmp_path / "store"
+    assert main(["store", "build", str(path), "-r", trees_file,
+                 "--shards", "2", "--quiet"]) == 0
+    return str(path)
+
+
+class TestBuildAndInfo:
+    def test_build_then_info(self, store_dir, capsys):
+        assert main(["store", "info", store_dir, "--quiet"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["trees"] == 4
+        assert len(info["shards"]) == 2
+        assert info["journal_records"] == 0
+
+    def test_build_refuses_overwrite(self, store_dir, trees_file, capsys):
+        assert main(["store", "build", store_dir, "-r", trees_file,
+                     "--quiet"]) == 2
+        assert "already contains" in capsys.readouterr().err
+
+    def test_info_on_non_store(self, tmp_path, capsys):
+        assert main(["store", "info", str(tmp_path / "no"), "--quiet"]) == 2
+        assert "not a BFH store" in capsys.readouterr().err
+
+
+class TestQueryMatchesAvgRf:
+    def test_warm_query_equals_direct_computation(self, store_dir, trees_file,
+                                                  capsys):
+        assert main(["store", "query", store_dir, trees_file, "--quiet"]) == 0
+        got = [float(line.split("\t")[1])
+               for line in capsys.readouterr().out.strip().splitlines()]
+        trees = read_newick_file(trees_file, TaxonNamespace())
+        assert got == pytest.approx(bfhrf_average_rf(trees, trees), abs=5e-7)
+
+    def test_add_remove_cycle_returns_to_start(self, store_dir, trees_file,
+                                               capsys):
+        assert main(["store", "query", store_dir, trees_file, "--quiet"]) == 0
+        before = capsys.readouterr().out
+        assert main(["store", "add", store_dir, trees_file, "--quiet"]) == 0
+        assert main(["store", "remove", store_dir, trees_file, "--quiet"]) == 0
+        assert main(["store", "query", store_dir, trees_file, "--quiet"]) == 0
+        assert capsys.readouterr().out == before
+
+    def test_compact_preserves_answers(self, store_dir, trees_file, capsys):
+        assert main(["store", "add", store_dir, trees_file, "--quiet"]) == 0
+        assert main(["store", "query", store_dir, trees_file, "--quiet"]) == 0
+        before = capsys.readouterr().out
+        assert main(["store", "compact", store_dir, "--shards", "3",
+                     "--quiet"]) == 0
+        assert main(["store", "query", store_dir, trees_file, "--quiet"]) == 0
+        assert capsys.readouterr().out == before
+        assert main(["store", "info", store_dir, "--quiet"]) == 0
+        info = json.loads(capsys.readouterr().out)
+        assert info["generation"] == 2
+        assert info["journal_records"] == 0
+        assert len(info["shards"]) == 3
+
+    def test_remove_foreign_tree_is_an_error(self, store_dir, tmp_path,
+                                             capsys):
+        foreign = tmp_path / "foreign.nwk"
+        foreign.write_text("((A,D),(B,E),C);\n")
+        assert main(["store", "remove", store_dir, str(foreign),
+                     "--quiet"]) == 2
+        assert "never added" in capsys.readouterr().err
+
+
+class TestObservability:
+    def test_metrics_report_carries_store_spans(self, store_dir, trees_file,
+                                                tmp_path, capsys):
+        out = tmp_path / "report.json"
+        assert main(["store", "compact", store_dir, "--shards", "2",
+                     "--metrics-out", str(out), "--quiet"]) == 0
+        report = json.loads(out.read_text())
+
+        def span_names(nodes):
+            for node in nodes:
+                yield node["name"]
+                yield from span_names(node.get("children", []))
+
+        names = set(span_names(report["spans"]))
+        assert {"cli.store", "store.open", "store.compact",
+                "store.shard"} <= names
+        assert "store.compactions" in report["metrics"]["counters"]
+
+    def test_trace_prints_span_tree(self, store_dir, trees_file, capsys):
+        assert main(["store", "query", store_dir, trees_file, "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "store.open" in err
+        assert "store.query" in err

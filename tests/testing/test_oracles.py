@@ -10,6 +10,7 @@ from repro.testing.oracles import (
     check_caterpillar_max_rf,
     check_differential_weighted,
     check_self_rf_zero,
+    check_store_roundtrip,
     check_symmetry,
     check_triangle,
     check_weighted_linearity,
@@ -83,3 +84,32 @@ class TestAnalyticOracles:
     @pytest.mark.parametrize("n", [4, 5, 7, 10, 16])
     def test_caterpillar_max_rf(self, n):
         assert check_caterpillar_max_rf(n) == []
+
+
+class TestStoreOracle:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_clean_cases_pass(self, seed):
+        case = generate_case(seed, "quick")
+        assert check_store_roundtrip(case) == [], \
+            [str(f) for f in check_store_roundtrip(case)]
+
+    def test_deterministic_in_the_case(self):
+        """Same case → same op interleaving → same verdict (the property
+        the shrinker relies on)."""
+        case = generate_case(11, "quick")
+        assert check_store_roundtrip(case) == check_store_roundtrip(case)
+
+    def test_store_fault_detected_and_attributed(self):
+        with inject_fault("store-count"):
+            failures = check_store_roundtrip(generate_case(0, "quick"))
+        assert failures
+        assert failures[0].check == "store-roundtrip"
+        assert "fresh build" in failures[0].detail
+
+    def test_store_fault_invisible_to_other_checks(self):
+        """store-count corrupts only the persistent path, so only the
+        store oracle can catch it — the reason it must be registered."""
+        case = generate_case(0, "quick")
+        with inject_fault("store-count"):
+            assert run_differential(case).ok
+            assert check_self_rf_zero(case) == []
