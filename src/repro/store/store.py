@@ -139,28 +139,40 @@ class BFHStore:
             manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
         except (ValueError, OSError) as exc:
             raise StoreCorruptError(f"cannot read {manifest_path}: {exc}") from exc
+        if not isinstance(manifest, dict):
+            raise StoreCorruptError(
+                f"{manifest_path}: manifest is not a JSON object")
         if manifest.get("format_version") != MANIFEST_VERSION:
             raise StoreError(
                 f"{root}: unsupported store format version "
                 f"{manifest.get('format_version')!r}")
-        store = cls(root, include_trivial=bool(manifest["include_trivial"]),
-                    weighted=bool(manifest["weighted"]))
-        store.generation = int(manifest["generation"])
-        store._labels = list(manifest["labels"])
+        try:
+            store = cls(root,
+                        include_trivial=bool(manifest["include_trivial"]),
+                        weighted=bool(manifest["weighted"]))
+            store.generation = int(manifest["generation"])
+            store._labels = [str(label) for label in manifest["labels"]]
+            fingerprint = bytes.fromhex(manifest["fingerprint"])
+            store._boundaries = [int(b, 16)
+                                 for b in manifest.get("boundaries", [])]
+            store._shards = [{"file": str(entry["file"]),
+                              "entries": int(entry["entries"])}
+                             for entry in manifest.get("shards", [])]
+            store.snapshot_trees = int(manifest["n_trees"])
+            journal_name = str(manifest["journal"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StoreCorruptError(
+                f"{manifest_path}: manifest is malformed ({exc!r})") from exc
         store._base_labels = len(store._labels)
-        fingerprint = bytes.fromhex(manifest["fingerprint"])
         if fingerprint != namespace_fingerprint(store._labels):
             raise StoreCorruptError(
                 f"{root}: manifest fingerprint does not match its labels")
-        store._boundaries = [int(b, 16) for b in manifest.get("boundaries", [])]
-        store._shards = list(manifest.get("shards", []))
-        store.snapshot_trees = int(manifest["n_trees"])
         store.n_trees = store.snapshot_trees
         with trace("store.open", shards=len(store._shards)) as span:
             for entry in store._shards:
                 store._load_shard(root / entry["file"], fingerprint)
             store.total = sum(store._counts.values())
-            store._replay_journal(root / manifest["journal"], fingerprint)
+            store._replay_journal(root / journal_name, fingerprint)
             span.set(trees=store.n_trees, unique=len(store._counts),
                      journal_records=store.journal_records)
         return store
@@ -243,18 +255,20 @@ class BFHStore:
         """Fingerprint of the *current* namespace (base + journal extends)."""
         return namespace_fingerprint(self._labels)
 
-    def _sync_namespace(self, ns: TaxonNamespace) -> list[str]:
+    def _sync_namespace(self, ns: TaxonNamespace,
+                        against: list[str] | None = None) -> list[str]:
         """Validate index-stability against ``ns``; return new labels."""
+        known = self._labels if against is None else against
         labels = ns.labels
-        n_shared = min(len(labels), len(self._labels))
+        n_shared = min(len(labels), len(known))
         for i in range(n_shared):
-            if labels[i] != self._labels[i]:
+            if labels[i] != known[i]:
                 raise StoreError(
                     f"taxon namespace conflict at index {i}: store has "
-                    f"{self._labels[i]!r}, trees have {labels[i]!r} — parse "
+                    f"{known[i]!r}, trees have {labels[i]!r} — parse "
                     "the trees with store.namespace() to keep bit indices "
                     "aligned")
-        return labels[len(self._labels):]
+        return labels[len(known):]
 
     # -- deltas --------------------------------------------------------------
 
@@ -336,19 +350,26 @@ class BFHStore:
         if not trees:
             return 0
         with trace("store.add", trees=len(trees)) as span:
+            # Validate and encode the whole batch against a *pending* copy
+            # of the namespace; nothing in self mutates until the journal
+            # append commits, so a namespace conflict on a later tree (or
+            # an append failure) leaves the store exactly as it was.
             blobs: list[bytes] = []
             staged: list[tuple[list[int], list[float] | None]] = []
+            pending_labels = list(self._labels)
             for tree in trees:
-                new_labels = self._sync_namespace(tree.taxon_namespace)
+                new_labels = self._sync_namespace(
+                    tree.taxon_namespace, pending_labels)
                 if new_labels:
                     blobs.append(encode_record(
                         OP_EXTEND_NS, encode_labels_payload(new_labels)))
-                    self._labels.extend(new_labels)
+                    pending_labels.extend(new_labels)
                 masks, lengths = self._tree_tables(tree)
                 blobs.append(encode_record(OP_ADD, encode_tree_payload(
-                    masks, len(self._labels), lengths)))
+                    masks, len(pending_labels), lengths)))
                 staged.append((masks, lengths))
             self._append_records(blobs)
+            self._labels = pending_labels
             for masks, lengths in staged:
                 self._apply_add(masks, lengths)
             self.journal_records += len(blobs)
@@ -492,13 +513,23 @@ class BFHStore:
                 shard_entries.append({"file": name, "entries": entries})
                 if _obs_enabled():
                     _metric("store.shard_entries").inc(entries)
+            # Stage the whole new generation on disk first; the manifest
+            # replace is the one commit point.  Until it succeeds, self
+            # keeps pointing at (and appending to) the old journal, which
+            # the on-disk manifest still references — a failed compact
+            # loses nothing, it just leaves unreferenced gen-N+1 files.
+            new_journal = self.path / _journal_name(generation)
+            self._write_journal_header(new_journal)
+            self._write_manifest(generation=generation, shards=shard_entries,
+                                 boundaries=boundaries, n_trees=self.n_trees)
             self.generation = generation
             self._base_labels = len(self._labels)
             self._shards = shard_entries
             self._boundaries = boundaries
             self.snapshot_trees = self.n_trees
-            self._write_journal_file()
-            self._write_manifest()
+            self._journal_path = new_journal
+            self._journal_good_offset = JOURNAL_HEADER_SIZE
+            self.recovered = False
             self.journal_records = 0
             span.set(unique=len(self._counts), trees=self.n_trees)
         if _obs_enabled():
@@ -509,28 +540,47 @@ class BFHStore:
             except OSError:
                 pass  # unreferenced leftovers; harmless
 
-    def _write_journal_file(self) -> None:
-        path = self.path / _journal_name(self.generation)
+    def _fsync_dir(self) -> None:
+        """Make file creations/renames in the store directory durable."""
+        fd = os.open(self.path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def _write_journal_header(self, path: Path) -> None:
+        """Create an empty journal file on disk (no in-memory repointing)."""
         with open(path, "wb") as fh:
             fh.write(journal_header(namespace_fingerprint(self._labels)))
             fh.flush()
             os.fsync(fh.fileno())
+        self._fsync_dir()
+
+    def _write_journal_file(self) -> None:
+        path = self.path / _journal_name(self.generation)
+        self._write_journal_header(path)
         self._journal_path = path
         self._journal_good_offset = JOURNAL_HEADER_SIZE
         self.recovered = False
 
-    def _write_manifest(self) -> None:
+    def _write_manifest(self, *, generation: int | None = None,
+                        shards: list[dict] | None = None,
+                        boundaries: list[int] | None = None,
+                        n_trees: int | None = None) -> None:
+        if generation is None:
+            generation = self.generation
         manifest = {
             "format_version": MANIFEST_VERSION,
-            "generation": self.generation,
+            "generation": generation,
             "include_trivial": self.include_trivial,
             "weighted": self.weighted,
             "labels": self._labels,
             "fingerprint": namespace_fingerprint(self._labels).hex(),
-            "n_trees": self.snapshot_trees,
-            "journal": _journal_name(self.generation),
-            "shards": self._shards,
-            "boundaries": [f"{b:x}" for b in self._boundaries],
+            "n_trees": self.snapshot_trees if n_trees is None else n_trees,
+            "journal": _journal_name(generation),
+            "shards": self._shards if shards is None else shards,
+            "boundaries": [f"{b:x}" for b in (
+                self._boundaries if boundaries is None else boundaries)],
         }
         target = self.path / MANIFEST_NAME
         tmp = self.path / (MANIFEST_NAME + ".tmp")
@@ -540,6 +590,7 @@ class BFHStore:
             fh.flush()
             os.fsync(fh.fileno())
         tmp.replace(target)
+        self._fsync_dir()
 
     # -- introspection -------------------------------------------------------
 

@@ -102,6 +102,25 @@ class TestLoudFailures:
         with pytest.raises((StoreCorruptError, FileNotFoundError)):
             BFHStore.open(store_dir)
 
+    def test_manifest_missing_field_is_corruption(self, store_dir):
+        manifest = json.loads((store_dir / "manifest.json").read_text())
+        del manifest["labels"]
+        (store_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreCorruptError, match="malformed"):
+            BFHStore.open(store_dir)
+
+    def test_manifest_wrong_typed_field_is_corruption(self, store_dir):
+        manifest = json.loads((store_dir / "manifest.json").read_text())
+        manifest["generation"] = "three"
+        (store_dir / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(StoreCorruptError, match="malformed"):
+            BFHStore.open(store_dir)
+
+    def test_manifest_non_object_is_corruption(self, store_dir):
+        (store_dir / "manifest.json").write_text("[1, 2, 3]\n")
+        with pytest.raises(StoreCorruptError, match="not a JSON object"):
+            BFHStore.open(store_dir)
+
     def test_foreign_journal_rejected(self, store_dir, tmp_path):
         other_trees = trees_from_string("((X,Y),(Z,W),V);")
         build_store(tmp_path / "other", other_trees)

@@ -94,6 +94,27 @@ class TestLifecycle:
         assert not {n for n in gen1 if n.startswith(("shard-", "journal-"))} & gen2
         assert len([n for n in gen2 if n.startswith("shard-")]) == 2
 
+    def test_failed_compact_keeps_old_journal_live(self, tmp_path, trees,
+                                                   monkeypatch):
+        """If the manifest commit fails, the in-memory store must keep
+        appending to the journal the on-disk manifest still references —
+        not the orphaned new-generation one (regression: deltas written
+        after a failed compact were silently lost on reopen)."""
+        store = build_store(tmp_path / "s", trees[:2])
+        store.add_trees(trees[2:4])
+        generation = store.generation
+        monkeypatch.setattr(
+            store, "_write_manifest",
+            lambda *a, **k: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.raises(OSError):
+            store.compact()
+        monkeypatch.undo()
+        assert store.generation == generation
+        store.add_trees(trees[4:5])  # must land in the referenced journal
+        reopened = BFHStore.open(tmp_path / "s")
+        assert reopened.n_trees == 5
+        assert_matches_fresh(reopened, trees, trees)
+
     def test_larger_collection_roundtrip(self, tmp_path):
         reference = make_collection(16, 30, seed=1612)
         store = build_store(tmp_path / "s", reference, n_shards=4)
@@ -138,6 +159,42 @@ class TestValidation:
         # Rebuild fresh over the *store's* namespace so masks align.
         want = bfhrf_average_rf(combined, combined)
         assert reopened.average_rf(combined) == want
+
+    def test_failed_add_batch_leaves_store_consistent(self, tmp_path):
+        """A conflict on a *later* tree in a batch must not leak earlier
+        trees' label extensions into memory (regression: the leaked
+        labels made the next add journal records packed for a taxon
+        count no extend-ns record announced, bricking the store)."""
+        base = trees_from_string("((A,B),(C,D),E);")
+        store = build_store(tmp_path / "s", base)
+        grown = trees_from_string("((A,F),(B,G),(C,D),E);",
+                                  store.namespace())[0]
+        bad = trees_from_string("((B,A),(C,D),E);")[0]  # slot 0/1 swap
+        with pytest.raises(StoreError, match="namespace conflict"):
+            store.add_trees([grown, bad])
+        assert store.labels == ["A", "B", "C", "D", "E"]
+        assert store.n_trees == 1
+        store.add_trees([grown])  # same batch minus the bad tree
+        assert store.labels == ["A", "B", "C", "D", "E", "F", "G"]
+        reopened = BFHStore.open(tmp_path / "s")
+        assert reopened.labels == store.labels
+        assert reopened.n_trees == 2
+
+    def test_failed_append_leaves_store_consistent(self, tmp_path, trees,
+                                                   monkeypatch):
+        store = build_store(tmp_path / "s", trees[:1])
+        grown = trees_from_string("((A,F),(B,G),(C,D),E);",
+                                  store.namespace())
+        monkeypatch.setattr(
+            BFHStore, "_append_records",
+            lambda self, blobs: (_ for _ in ()).throw(OSError("disk full")))
+        with pytest.raises(OSError):
+            store.add_trees(grown)
+        assert store.labels == ["A", "B", "C", "D", "E"]
+        assert store.n_trees == 1
+        monkeypatch.undo()
+        reopened = BFHStore.open(tmp_path / "s")
+        assert reopened.n_trees == 1
 
     def test_mixed_namespaces_rejected_at_build(self, tmp_path):
         a = trees_from_string("((A,B),(C,D),E);")
