@@ -7,25 +7,39 @@ real fixed cost (pool startup, shipping the hash, per-chunk pickling),
 so the honest expectation at laptop scale is sublinear speedup with
 diminishing or negative returns at higher worker counts — exactly the
 paper's observed 8→16 flattening, shifted left.
+
+A second sweep holds the worker count fixed and varies the executor
+backend (serial / thread / fork / spawn), quantifying what each
+payload-transport strategy costs: fork inherits the trees and hash
+copy-on-write, spawn pickles them into every worker, thread shares them
+but contends on the GIL.
 """
 
 from __future__ import annotations
 
 from common import emit, run_bfhrf, scaled
 
+from repro.runtime import BACKENDS
 from repro.simulation.datasets import insect_like
 
 R_TREES = scaled([900])[0]
 WORKER_COUNTS = [1, 2, 4]
+EXECUTOR_WORKERS = 4
+EXECUTORS = [name for name in ("serial", "thread", "fork", "spawn")
+             if BACKENDS[name].available()]
 
 
 def _sweep():
     trees = insect_like(r=R_TREES).trees
-    return {w: run_bfhrf(trees, workers=w) for w in WORKER_COUNTS}
+    by_workers = {w: run_bfhrf(trees, workers=w) for w in WORKER_COUNTS}
+    by_executor = {name: run_bfhrf(trees, workers=EXECUTOR_WORKERS,
+                                   executor=name)
+                   for name in EXECUTORS}
+    return by_workers, by_executor
 
 
 def test_ablation_worker_scaling(benchmark):
-    runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    runs, executor_runs = benchmark.pedantic(_sweep, rounds=1, iterations=1)
 
     serial = runs[1].seconds
     speedups = {w: serial / run.seconds for w, run in runs.items()}
@@ -36,6 +50,8 @@ def test_ablation_worker_scaling(benchmark):
     for w, run in runs.items():
         assert run.values == baseline, f"workers={w} changed the averages"
         assert speedups[w] > 0.2, f"workers={w} catastrophically slow"
+    for name, run in executor_runs.items():
+        assert run.values == baseline, f"executor={name} changed the averages"
 
     lines = [
         f"Ablation A1: BFHRF worker scaling (Insect-like, n=144, r={R_TREES})",
@@ -47,6 +63,15 @@ def test_ablation_worker_scaling(benchmark):
         run = runs[w]
         lines.append(f"{w:>8} {run.seconds:>10.3f} {speedups[w]:>9.2f} "
                      f"{run.memory_mb:>10.2f}")
+    lines.append("-" * 42)
+    lines.append(f"executor backends at workers={EXECUTOR_WORKERS} "
+                 "(same collection, bitwise-equal results):")
+    lines.append(f"{'executor':>8} {'seconds':>10} {'vs serial-1w':>13}")
+    lines.append("-" * 42)
+    for name in EXECUTORS:
+        run = executor_runs[name]
+        lines.append(f"{name:>8} {run.seconds:>10.3f} "
+                     f"{serial / run.seconds:>13.2f}")
     lines.append("-" * 42)
     lines.append("note: paper saw BFHRF8 -> BFHRF16 flatten (§VII-A); at this "
                  "scale the IPC fixed costs dominate earlier")

@@ -217,16 +217,19 @@ def run_hashrf(trees: Sequence[Tree], *, matrix_budget_mb: float | None = None) 
     return _log(AlgoRun("HashRF", sw.elapsed, mem.peak_mb, values), trees)
 
 
-def run_bfhrf(trees: Sequence[Tree], workers: int = 1) -> AlgoRun:
+def run_bfhrf(trees: Sequence[Tree], workers: int = 1,
+              executor: str | None = None) -> AlgoRun:
     name = f"BFHRF{workers}" if workers > 1 else "BFHRF"
+    if executor is not None:
+        name = f"{name}/{executor}"
     with Stopwatch() as sw:
-        values = bfhrf_average_rf(trees, n_workers=workers)
+        values = bfhrf_average_rf(trees, n_workers=workers, executor=executor)
     with trace_peak() as mem:
         bfh = build_bfh(trees)
         for tree in trees[:_MEMORY_PASS_QUERIES]:
             bfh.average_rf_of_tree(tree)
     return _log(AlgoRun(name, sw.elapsed, mem.peak_mb, values), trees,
-                workers=workers)
+                workers=workers, executor=executor or "auto")
 
 
 RUNNERS: dict[str, Callable[..., AlgoRun]] = {

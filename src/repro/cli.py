@@ -41,6 +41,11 @@ Global flags (accepted before or after the subcommand):
 ``--quiet``
     Suppress all informational stderr output (results on stdout are
     unaffected).
+``--executor {auto,serial,thread,fork,spawn}``
+    Parallel backend for every ``--workers`` fan-out in the run
+    (overrides the ``REPRO_EXECUTOR`` environment variable; ``auto``
+    picks ``fork`` where available, else ``spawn``).  See
+    ``docs/runtime.md``.
 
 All inputs accept Newick or NEXUS, plain or .gz.  Unless ``--quiet`` is
 given, every run prints wall time and peak RSS delta on stderr,
@@ -56,6 +61,7 @@ from collections.abc import Sequence
 from repro import observability as obs
 from repro.core.api import as_trees, average_rf, best_query_tree, consensus, distance_matrix
 from repro.core.variants import size_filter_transform
+from repro.runtime import BACKENDS, method_names, set_default_executor
 from repro.newick.io import read_newick_file, write_newick_file
 from repro.newick.writer import write_newick
 from repro.observability.export import Reporter, RunReport, render_span_tree
@@ -77,7 +83,7 @@ def _info(message: str) -> None:
 
 
 def _add_global_flags(parser: argparse.ArgumentParser, *, suppress: bool) -> None:
-    """Define --trace / --metrics-out / --quiet on a parser.
+    """Define --trace / --metrics-out / --quiet / --executor on a parser.
 
     The flags live on the root parser (usable before the subcommand) and,
     with ``default=SUPPRESS``, on every subparser (usable after it) —
@@ -93,6 +99,10 @@ def _add_global_flags(parser: argparse.ArgumentParser, *, suppress: bool) -> Non
                         help="write a JSON run report (spans + metrics + env) here")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress informational stderr output", **kwargs)
+    parser.add_argument("--executor", choices=["auto", *BACKENDS],
+                        **({"default": argparse.SUPPRESS} if suppress else {"default": None}),
+                        help="parallel backend for --workers fan-outs "
+                             "(default: auto-detect; overrides REPRO_EXECUTOR)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -111,9 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     avg = add_parser("avg-rf", help="average RF of query trees vs a reference collection")
     avg.add_argument("query", help="Newick file of query trees Q")
     avg.add_argument("-r", "--reference", help="Newick file of reference trees R (default: Q is R)")
-    avg.add_argument("--method", default="bfhrf",
-                     choices=["bfhrf", "ds", "dsmp", "hashrf", "vectorized", "mrsrf"])
-    avg.add_argument("--workers", type=int, default=1, help="worker processes (bfhrf/dsmp)")
+    avg.add_argument("--method", default="bfhrf", choices=list(method_names()))
+    avg.add_argument("--workers", type=int, default=1,
+                     help="workers for the parallel methods (serial methods ignore it)")
     avg.add_argument("--normalized", action="store_true", help="scale into [0,1] by 2(n-3)")
     avg.add_argument("--include-trivial", action="store_true",
                      help="count pendant splits too (no effect on fixed-taxa RF)")
@@ -197,7 +207,7 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("-r", "--reference", required=True,
                     help="Newick/NEXUS file of reference trees")
     sb.add_argument("--shards", type=int, default=1, help="key-range shard count")
-    sb.add_argument("--workers", type=int, default=1, help="fork workers for the count")
+    sb.add_argument("--workers", type=int, default=1, help="executor workers for the count")
     sb.add_argument("--include-trivial", action="store_true",
                     help="count pendant splits too")
     sb.add_argument("--weighted", action="store_true",
@@ -212,7 +222,7 @@ def build_parser() -> argparse.ArgumentParser:
     sq = add_store_parser("query", help="average RF of query trees vs the stored collection")
     sq.add_argument("query", help="Newick/NEXUS file of query trees")
     sq.add_argument("--workers", type=int, default=1,
-                    help="fork workers for the comparisons")
+                    help="executor workers for the comparisons")
 
     sc = add_store_parser("compact", help="fold the journal into fresh shard snapshots")
     sc.add_argument("--shards", type=int, default=None,
@@ -523,6 +533,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     global _REPORTER
     args = build_parser().parse_args(argv)
     _REPORTER = Reporter(quiet=args.quiet)
+    set_default_executor(args.executor)
     observing = args.trace or args.metrics_out is not None
     if observing:
         # Fresh collector + registry per invocation: main() is reentrant
@@ -542,6 +553,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         sys.stderr.close()
         return 0
     finally:
+        # main() is reentrant: don't leak this run's backend choice into
+        # the next in-process invocation.
+        set_default_executor(None)
         if observing:
             obs.disable()
     if observing:

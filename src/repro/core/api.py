@@ -13,17 +13,14 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.core.bfhrf import bfhrf_average_rf, build_bfh
 from repro.core.consensus import consensus_tree
 from repro.core.day import day_rf
-from repro.core.hashrf import hashrf_average_rf
 from repro.core.matrix import average_from_matrix, rf_matrix
-from repro.core.parallel import dsmp_average_rf
 from repro.core.rf import max_rf, robinson_foulds
-from repro.core.sequential import sequential_average_rf
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
 from repro.newick.io import read_newick_file, trees_from_string
 from repro.observability.spans import trace
+from repro.runtime.registry import get_method, method_names, methods_docstring
 from repro.trees.taxon import TaxonNamespace
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
@@ -34,7 +31,9 @@ __all__ = ["as_trees", "average_rf", "rf_distance", "tree_distance",
 
 TREE_METRICS = ("rf", "matching", "triplet", "quartet", "branch-score")
 
-AVERAGE_RF_METHODS = ("bfhrf", "ds", "dsmp", "hashrf", "vectorized", "mrsrf")
+#: Registered average-RF method names (kept for back-compat; the source
+#: of truth is :func:`repro.runtime.method_names`).
+AVERAGE_RF_METHODS = method_names()
 
 TreesLike = Sequence[Tree] | str | os.PathLike
 
@@ -88,7 +87,8 @@ def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
                method: str = "bfhrf", n_workers: int = 1,
                include_trivial: bool = False,
                transform: MaskTransform | None = None,
-               normalized: bool = False) -> list[float]:
+               normalized: bool = False,
+               executor: str | None = None) -> list[float]:
     """Average RF of each query tree against a reference collection.
 
     Parameters
@@ -98,20 +98,35 @@ def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
         means ``Q is R``.  When both are paths or strings they are
         parsed into one shared namespace automatically.
     method:
-        ``"bfhrf"`` (default), ``"ds"``, ``"dsmp"``, or ``"hashrf"``.
-        HashRF accepts only the single-collection setting.
+        One of the registered methods (see
+        :func:`repro.runtime.methods`):
+
+<<METHOD_LIST>>
     n_workers:
-        Worker processes for the parallel methods (ignored by ds/hashrf).
+        Worker count for the parallel methods (serial methods ignore it).
     normalized:
-        Scale into [0, 1] by ``2(n-3)``.
+        Scale each value into [0, 1] by that tree's own ``2(n-3)``.
+    executor:
+        Parallel backend name (``serial``/``thread``/``fork``/``spawn``);
+        ``None`` follows the runtime default chain (CLI ``--executor``,
+        ``REPRO_EXECUTOR``, auto-detection) — see ``docs/runtime.md``.
+
+    Raises
+    ------
+    ValueError
+        Unknown method name.
+    CollectionError
+        The method does not support the requested argument combination
+        (e.g. a disparate reference or a transform with ``hashrf``).
 
     Examples
     --------
     >>> average_rf("((A,B),(C,D));\\n((A,C),(B,D));")
     [1.0, 1.0]
     """
-    if method not in AVERAGE_RF_METHODS:
-        raise ValueError(f"method must be one of {AVERAGE_RF_METHODS}, got {method!r}")
+    spec = get_method(method)
+    spec.ensure_supported(disparate=reference is not None,
+                          transform=transform is not None)
     query_trees = as_trees(query)
     if reference is None:
         reference_trees = query_trees
@@ -119,53 +134,27 @@ def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
         ns = query_trees[0].taxon_namespace if query_trees else None
         reference_trees = as_trees(reference, ns)
 
-    if method == "bfhrf":
-        values = bfhrf_average_rf(query_trees, reference_trees, n_workers=n_workers,
-                                  include_trivial=include_trivial, transform=transform)
-    elif method == "ds":
-        values = sequential_average_rf(query_trees, reference_trees,
-                                       include_trivial=include_trivial,
-                                       transform=transform)
-    elif method == "dsmp":
-        values = dsmp_average_rf(query_trees, reference_trees, n_workers=n_workers,
-                                 include_trivial=include_trivial, transform=transform)
-    elif method == "vectorized":
-        from repro.core.vectorized import vectorized_average_rf
-
-        values = vectorized_average_rf(query_trees, reference_trees,
-                                       include_trivial=include_trivial,
-                                       transform=transform)
-    elif method == "mrsrf":
-        from repro.core.mrsrf import mrsrf_average_rf
-
-        if reference is not None:
-            raise CollectionError(
-                "MrsRF (like HashRF) accepts a single collection (Q is R)")
-        if transform is not None:
-            raise CollectionError(
-                "MrsRF's hashed keys do not support bipartition preprocessing")
-        values = mrsrf_average_rf(query_trees, n_workers=n_workers,
-                                  include_trivial=include_trivial)
-    else:  # hashrf
-        if reference is not None:
-            raise CollectionError(
-                "HashRF accepts a single collection (Q is R); merge the collections "
-                "or use method='bfhrf' for disparate query/reference sets (§VII-D)"
-            )
-        if transform is not None:
-            raise CollectionError(
-                "HashRF's compressed keys do not support bipartition preprocessing; "
-                "use method='bfhrf' (§VII-F)"
-            )
-        values = hashrf_average_rf(query_trees, include_trivial=include_trivial)
+    values = spec.run(query_trees, reference_trees, n_workers=n_workers,
+                      include_trivial=include_trivial, transform=transform,
+                      executor=executor)
 
     if normalized:
-        if not query_trees:
-            return values
-        n = query_trees[0].leaf_mask().bit_count()
-        denominator = max_rf(n)
-        values = [v / denominator for v in values] if denominator else values
+        # Each tree normalizes by its own 2(n-3): collections with
+        # variable taxon counts would be skewed by a single shared
+        # denominator taken from the first tree.
+        normed = []
+        for tree, value in zip(query_trees, values):
+            denominator = max_rf(tree.leaf_mask().bit_count())
+            normed.append(value / denominator if denominator else value)
+        values = normed
     return values
+
+
+# The per-method block is generated from the registry so the docstring
+# can never drift from the registered reality again.
+if average_rf.__doc__:  # stripped under python -OO
+    average_rf.__doc__ = average_rf.__doc__.replace(
+        "<<METHOD_LIST>>", methods_docstring(indent="        "))
 
 
 def rf_distance(tree_a: Tree, tree_b: Tree, *, method: str = "day",

@@ -11,48 +11,40 @@ loop with
 
 Parallelism follows the paper's abstract — "parallelized tree versus
 hash comparisons" — i.e. the *comparison* loop fans out at the tree
-level, with the hash (and the loaded query trees) shared to workers via
-fork inheritance.  The hash build itself streams serially by default
-(its cost is one pass over R); :func:`build_bfh` also offers an
-explicitly parallel build for completeness.
+level through the :mod:`repro.runtime` executor, with the hash (and the
+loaded query trees) shared to workers via the executor's payload channel
+(fork inheritance or a one-time pickle on ``spawn``).  The hash build
+itself streams serially by default (its cost is one pass over R);
+:func:`build_bfh` also offers an explicitly parallel build for
+completeness.
 """
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable, Sequence
 
 from repro.bipartitions.extract import bipartition_masks
-from repro.core.parallel import (
-    fork_available,
-    fork_map,
-    payload,
-    resolve_workers,
-    worker_task_snapshot,
-)
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
 from repro.observability.metrics import counter as _metric
 from repro.observability.spans import trace
 from repro.observability.state import enabled as _obs_enabled
+from repro.runtime.executor import Executor, get_executor, get_payload, \
+    resolve_workers
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
 
 __all__ = ["build_bfh", "bfhrf_average_rf", "bfhrf_average_rf_stream"]
 
+_EMPTY_REFERENCE = "reference collection is empty; average RF is undefined"
+
 
 # ---------------------------------------------------------------------------
-# Worker task functions (data arrives via fork inheritance).
+# Worker task functions (data arrives through the executor's shared payload).
 # ---------------------------------------------------------------------------
 
 def _build_range(bounds: tuple[int, int]):
-    """Parallel-build task: partial (counts, n_trees, total) for a slice.
-
-    A trailing metrics snapshot rides back with every task result (None
-    when observability is disabled) so the parent can merge per-worker
-    counts into its own registry.
-    """
-    t0 = time.perf_counter()
-    trees, include_trivial, transform = payload()
+    """Parallel-build task: partial (counts, n_trees, total) for a slice."""
+    trees, include_trivial, transform = get_payload()
     counts: dict[int, int] = {}
     total = 0
     n = 0
@@ -64,13 +56,12 @@ def _build_range(bounds: tuple[int, int]):
             counts[mask] = counts.get(mask, 0) + 1
             total += 1
         n += 1
-    return (counts, n, total), worker_task_snapshot(t0)
+    return counts, n, total
 
 
-def _query_range(bounds: tuple[int, int]):
+def _query_range(bounds: tuple[int, int]) -> list[float]:
     """Comparison task: Algorithm 2's tree-vs-hash loop for a slice of Q."""
-    t0 = time.perf_counter()
-    query, counts, r, total, include_trivial, transform = payload()
+    query, counts, r, total, include_trivial, transform = get_payload()
     out: list[float] = []
     observing = _obs_enabled()
     hits = misses = 0
@@ -98,7 +89,7 @@ def _query_range(bounds: tuple[int, int]):
     if observing:
         _metric("bfh.hash_hits").inc(hits)
         _metric("bfh.hash_misses").inc(misses)
-    return out, worker_task_snapshot(t0)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -108,17 +99,28 @@ def _query_range(bounds: tuple[int, int]):
 def build_bfh(reference: Iterable[Tree], *, include_trivial: bool = False,
               transform: MaskTransform | None = None,
               n_workers: int = 1,
-              chunk_size: int | None = None) -> BipartitionFrequencyHash:
+              chunk_size: int | None = None,
+              executor: str | Executor | None = None) -> BipartitionFrequencyHash:
     """Build ``BFH_R`` from the reference collection (Algorithm 2, loop 1).
 
     With ``n_workers == 1`` (default) the collection is *streamed* —
     only the hash is retained, the paper's ``O(n²)`` memory mode.  With
     more workers, index ranges of the (materialized) collection are
-    counted in parallel and the partial hashes merged; this mirrors the
-    paper's note that its multiprocessing implementation "loads all R
-    trees at once, increasing the memory footprint".
+    counted in parallel on the resolved executor backend and the partial
+    hashes merged; this mirrors the paper's note that its multiprocessing
+    implementation "loads all R trees at once, increasing the memory
+    footprint".
+
+    An empty reference raises :class:`CollectionError` on every path —
+    serial and parallel agree (average RF against zero trees is
+    undefined).
     """
-    if n_workers <= 1 or not fork_available():
+    if isinstance(reference, Sequence) and not reference:
+        # Explicit structural guard: the streaming path's from_trees also
+        # rejects empties, but the parallel path must agree *by construction*,
+        # not by two code paths happening to phrase the same check.
+        raise CollectionError(_EMPTY_REFERENCE)
+    if n_workers <= 1:
         with trace("bfh.build", workers=1) as span:
             bfh = BipartitionFrequencyHash.from_trees(
                 reference, include_trivial=include_trivial, transform=transform
@@ -127,13 +129,14 @@ def build_bfh(reference: Iterable[Tree], *, include_trivial: bool = False,
         return bfh
     trees = list(reference) if not isinstance(reference, Sequence) else reference
     if not trees:
-        raise CollectionError("reference collection is empty; average RF is undefined")
+        raise CollectionError(_EMPTY_REFERENCE)
     workers = resolve_workers(n_workers)
+    runner = get_executor(executor)
     bfh = BipartitionFrequencyHash(include_trivial=include_trivial, transform=transform)
     with trace("bfh.build", r=len(trees), workers=workers) as span:
-        partials = fork_map(_build_range, len(trees),
-                            (trees, include_trivial, transform),
-                            n_workers=workers, chunk_size=chunk_size)
+        partials = runner.submit_ranges(
+            _build_range, len(trees), (trees, include_trivial, transform),
+            n_workers=workers, chunk_size=chunk_size)
         for counts, n_trees, total in partials:
             bfh.merge(BipartitionFrequencyHash.from_counts(
                 counts, n_trees, total=total, include_trivial=include_trivial))
@@ -159,7 +162,8 @@ def bfhrf_average_rf(query: Sequence[Tree] | Iterable[Tree],
                      include_trivial: bool = False,
                      transform: MaskTransform | None = None,
                      chunk_size: int | None = None,
-                     bfh: BipartitionFrequencyHash | None = None) -> list[float]:
+                     bfh: BipartitionFrequencyHash | None = None,
+                     executor: str | Executor | None = None) -> list[float]:
     """Average RF of each query tree against the reference collection (BFHRF).
 
     Parameters
@@ -181,6 +185,10 @@ def bfhrf_average_rf(query: Sequence[Tree] | Iterable[Tree],
     bfh:
         A prebuilt hash; skips the reference pass entirely (useful when
         scoring many query batches against one collection).
+    executor:
+        Backend name or :class:`~repro.runtime.Executor`; ``None``
+        follows the runtime default chain (CLI flag, ``REPRO_EXECUTOR``,
+        auto-detection).
 
     Returns
     -------
@@ -202,7 +210,7 @@ def bfhrf_average_rf(query: Sequence[Tree] | Iterable[Tree],
             reference = query
         bfh = build_bfh(reference, include_trivial=include_trivial,
                         transform=transform)
-    if n_workers <= 1 or not fork_available():
+    if n_workers <= 1:
         with trace("bfhrf.query", r=bfh.n_trees, workers=1) as span:
             values = list(bfhrf_average_rf_stream(query, bfh))
             span.set(q=len(values))
@@ -212,9 +220,10 @@ def bfhrf_average_rf(query: Sequence[Tree] | Iterable[Tree],
     if not trees:
         return []
     workers = resolve_workers(n_workers)
+    runner = get_executor(executor)
     shared = (trees, bfh.counts, bfh.n_trees, bfh.total,
               bfh.include_trivial, bfh.transform)
     with trace("bfhrf.query", q=len(trees), r=bfh.n_trees, workers=workers):
-        blocks = fork_map(_query_range, len(trees), shared,
-                          n_workers=workers, chunk_size=chunk_size)
+        blocks = runner.submit_ranges(_query_range, len(trees), shared,
+                                      n_workers=workers, chunk_size=chunk_size)
     return [v for block in blocks for v in block]

@@ -31,6 +31,7 @@ from repro.bipartitions.extract import bipartition_masks
 from repro.core.hashrf import next_prime
 from repro.hashing.multihash import UniversalSplitHasher
 from repro.mapreduce.engine import JobStats, MapReduceJob, run_job
+from repro.runtime.executor import Executor
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
 from repro.util.rng import RngLike
@@ -63,7 +64,8 @@ def _shared_pairs(key, tree_ids: list[int]):
 def mrsrf_matrix(trees: Sequence[Tree], *, partitions: int = 4,
                  n_workers: int = 1, include_trivial: bool = False,
                  exact_keys: bool = True, m2: int = 1 << 32,
-                 rng: RngLike = None) -> tuple[np.ndarray, JobStats]:
+                 rng: RngLike = None,
+                 executor: str | Executor | None = None) -> tuple[np.ndarray, JobStats]:
     """All-vs-all RF matrix via MapReduce (MrsRF's computation).
 
     Parameters
@@ -75,6 +77,9 @@ def mrsrf_matrix(trees: Sequence[Tree], *, partitions: int = 4,
         Parallel map/reduce workers (MrsRF's cores-per-node analogue).
     exact_keys / m2 / rng:
         Same key semantics as :func:`repro.core.hashrf.hashrf_matrix`.
+    executor:
+        MapReduce engine backend (see :mod:`repro.runtime`); ``None``
+        follows the runtime default chain.
 
     Returns
     -------
@@ -111,7 +116,7 @@ def mrsrf_matrix(trees: Sequence[Tree], *, partitions: int = 4,
     records = list(enumerate(keysets))
 
     job = MapReduceJob(_emit_splits, _shared_pairs, partitions=partitions)
-    pairs, stats = run_job(job, records, n_workers=n_workers)
+    pairs, stats = run_job(job, records, n_workers=n_workers, executor=executor)
 
     shared = np.zeros((r, r), dtype=np.int64)
     for i, j in pairs:
@@ -126,10 +131,12 @@ def mrsrf_matrix(trees: Sequence[Tree], *, partitions: int = 4,
 
 def mrsrf_average_rf(trees: Sequence[Tree], *, partitions: int = 4,
                      n_workers: int = 1,
-                     include_trivial: bool = False) -> list[float]:
+                     include_trivial: bool = False,
+                     executor: str | Executor | None = None) -> list[float]:
     """Per-tree average RF from the MapReduce matrix (Q is R)."""
     matrix, _stats = mrsrf_matrix(trees, partitions=partitions,
                                   n_workers=n_workers,
-                                  include_trivial=include_trivial)
+                                  include_trivial=include_trivial,
+                                  executor=executor)
     r = matrix.shape[0]
     return (matrix.sum(axis=1) / r).tolist()

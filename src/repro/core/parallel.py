@@ -7,40 +7,45 @@ footprint grows with worker count (the paper's Tables III/V show DSMP
 jobs OOM-killed at large r — a behaviour this implementation reproduces
 in miniature).
 
-Worker-communication design (shared with parallel BFHRF):
+Fan-out runs through the :mod:`repro.runtime` executor: heavy read-only
+state — the parsed trees and the reference table — is published to
+workers through the executor's shared payload (fork inheritance on the
+``fork`` backend, a one-time pickle on ``spawn``), tasks are plain
+``(start, stop)`` index ranges into the shared query list, and results
+are small float lists.  This mirrors the paper's note that its
+multiprocessing implementation "loads all R trees at once, increasing
+the memory footprint" (§III-B): shared loaded state is exactly how
+Python multiprocessing wins here.
 
-* Heavy read-only state — the parsed trees and the reference table /
-  frequency hash — is published to workers through **fork inheritance**
-  (:func:`fork_payload_pool`): the parent stashes it in a module global
-  immediately before creating the pool, the fork snapshots it into every
-  child copy-on-write, and no pickling happens at all.  This mirrors the
-  paper's note that its multiprocessing implementation "loads all R
-  trees at once, increasing the memory footprint" (§III-B): shared
-  loaded state is exactly how Python multiprocessing wins here.
-* Tasks are plain ``(start, stop)`` index ranges into the inherited
-  query list; results are small float lists.
-* On platforms without ``fork`` the implementations transparently fall
-  back to the serial algorithm (documented; the paper's tooling is
-  Linux-only too).
+This module also re-exports the pre-runtime fan-out names
+(:func:`fork_payload_pool`, :func:`payload`, :func:`fork_map`, …) as
+thin shims over :mod:`repro.runtime.executor` so external callers keep
+working; new code should import from :mod:`repro.runtime` directly.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-import time
+import warnings
 from collections.abc import Iterable, Sequence
 from typing import Any
 
-from repro import observability as _obs
 from repro.bipartitions.extract import bipartition_masks
 from repro.core.sequential import average_rf_against_sets, reference_mask_sets, \
     sequential_average_rf
 from repro.hashing.bfh import MaskTransform
 from repro.newick.writer import write_newick
-from repro.observability.metrics import counter as _metric, gauge as _gauge, \
-    histogram as _histogram
 from repro.observability.spans import trace
-from repro.observability.state import enabled as _obs_enabled
+from repro.runtime.executor import (
+    Executor,
+    fork_available,
+    fork_payload_pool,
+    get_executor,
+    get_payload,
+    merge_worker_snapshots,
+    record_fanout,
+    resolve_workers,
+    worker_task_snapshot,
+)
 from repro.trees.tree import Tree
 from repro.util.chunking import chunk_indices, default_chunk_size
 from repro.util.errors import CollectionError
@@ -50,93 +55,28 @@ __all__ = ["dsmp_average_rf", "fork_payload_pool", "fork_available",
            "merge_worker_snapshots", "record_fanout", "fork_map"]
 
 
-def resolve_workers(n_workers: int | None) -> int:
-    """Normalize a worker-count argument (``None``/0 → all CPUs)."""
-    if n_workers is None or n_workers <= 0:
-        return mp.cpu_count()
-    return n_workers
-
-
-def fork_available() -> bool:
-    """True when the ``fork`` start method exists (POSIX)."""
-    return "fork" in mp.get_all_start_methods()
-
-
-# The parent publishes heavy read-only state here immediately before the
-# pool forks; children inherit the reference copy-on-write.  Reset to
-# None in the parent right after the workers exist.
-_FORK_PAYLOAD: Any = None
-
-
-def fork_payload_pool(n_workers: int, payload: Any):
-    """A ``fork`` pool whose workers inherit ``payload`` without pickling.
-
-    Workers read the inherited object via :func:`payload`.  Must be used
-    as a context manager; the parent-side global is cleared as soon as
-    the pool exists (children already hold their snapshot).
-    """
-    global _FORK_PAYLOAD
-    ctx = mp.get_context("fork")
-    _FORK_PAYLOAD = payload
-    try:
-        # Workers drop the observability state they inherited from the
-        # parent, so the snapshots they return carry only their own work.
-        pool = ctx.Pool(processes=n_workers, initializer=_obs.worker_init)
-    finally:
-        _FORK_PAYLOAD = None
-    return pool
-
-
-# ---------------------------------------------------------------------------
-# Worker-side metrics hand-off.
-#
-# Tasks cannot write into the parent's registry (separate processes), so
-# each task accumulates into its worker-local registry, stamps its own
-# latency, and returns a drained snapshot next to its result; drivers
-# merge the snapshots after ``pool.map``.  ``None`` stands for "nothing
-# recorded" so the disabled path ships no extra bytes.
-# ---------------------------------------------------------------------------
-
-def worker_task_snapshot(task_t0: float) -> dict[str, Any] | None:
-    """Finish one worker task: record its latency, drain local metrics."""
-    if not _obs_enabled():
-        return None
-    _histogram("parallel.task_seconds").observe(time.perf_counter() - task_t0)
-    _metric("parallel.tasks").inc()
-    return _obs.snapshot_and_reset()
-
-
-def merge_worker_snapshots(snapshots: Iterable[dict[str, Any] | None]) -> None:
-    """Parent-side reduction of per-task worker snapshots."""
-    for snapshot in snapshots:
-        if snapshot:
-            _obs.merge_metrics(snapshot)
-
-
-def record_fanout(workers: int, chunk_size: int) -> None:
-    """Gauge the shape of a fan-out (pool size and chunk size)."""
-    if _obs_enabled():
-        _gauge("parallel.workers").set(workers)
-        _gauge("parallel.chunk_size").set(chunk_size)
-
-
 def payload() -> Any:
-    """Worker-side accessor for the fork-inherited payload."""
-    return _FORK_PAYLOAD
+    """Worker-side accessor for the shared fan-out payload.
+
+    Deprecated alias of :func:`repro.runtime.get_payload`.
+    """
+    return get_payload()
 
 
 def fork_map(task, n_items: int, payload: Any, *, n_workers: int,
              chunk_size: int | None = None) -> list[Any]:
-    """Run ``task`` over index ranges of ``n_items`` with fork-inherited data.
+    """Deprecated fork-only fan-out; use ``runtime.get_executor(...)`` instead.
 
-    The shared fan-out skeleton of every tree-level parallel path (DSMP,
-    parallel BFHRF, the store's sharded build): resolve the worker count,
-    chunk the index space, publish ``payload`` to a fork pool, map the
-    range task, and fold the per-task metric snapshots back into the
-    parent registry.  ``task`` receives ``(start, stop)`` bounds and must
-    return ``(value, snapshot)`` where the snapshot comes from
-    :func:`worker_task_snapshot`; the values are returned in range order.
+    Kept for external callers written against the pre-runtime contract:
+    ``task`` receives ``(start, stop)`` bounds, reads shared state via
+    :func:`payload`, and must return ``(value, snapshot)`` where the
+    snapshot comes from :func:`worker_task_snapshot`; the values are
+    returned in range order.  The executor interface handles the metric
+    snapshot/merge itself, so migrated tasks return plain values.
     """
+    warnings.warn("fork_map is deprecated; use "
+                  "repro.runtime.get_executor(...).submit_ranges instead",
+                  DeprecationWarning, stacklevel=2)
     workers = resolve_workers(n_workers)
     size = chunk_size or default_chunk_size(n_items, workers)
     record_fanout(workers, size)
@@ -154,37 +94,31 @@ def trees_as_newick(trees: Iterable[Tree]) -> list[str]:
 
 # ---------------------------------------------------------------------------
 # Worker task functions (module-level for picklability of the *function*;
-# the data arrives via fork inheritance).
+# the data arrives through the executor's shared payload).
 # ---------------------------------------------------------------------------
 
-def _ds_extract_range(bounds: tuple[int, int]):
-    """Phase-1 task: bipartition sets for a slice of the reference trees.
-
-    Returns ``(sets, metrics_snapshot)`` — every worker task ships its
-    local metrics back with its result (None when observability is off).
-    """
-    t0 = time.perf_counter()
-    trees, include_trivial, transform = payload()
+def _ds_extract_range(bounds: tuple[int, int]) -> list[frozenset[int]]:
+    """Phase-1 task: bipartition sets for a slice of the reference trees."""
+    trees, include_trivial, transform = get_payload()
     out: list[frozenset[int]] = []
     for tree in trees[bounds[0]:bounds[1]]:
         masks = bipartition_masks(tree, include_trivial=include_trivial)
         if transform is not None:
             masks = transform(masks, tree.leaf_mask())
         out.append(frozenset(masks))
-    return out, worker_task_snapshot(t0)
+    return out
 
 
-def _ds_compare_range(bounds: tuple[int, int]):
+def _ds_compare_range(bounds: tuple[int, int]) -> list[float]:
     """Phase-2 task: the 1-vs-r inner loop for a slice of the query trees."""
-    t0 = time.perf_counter()
-    query, reference_sets, include_trivial, transform = payload()
+    query, reference_sets, include_trivial, transform = get_payload()
     out: list[float] = []
     for tree in query[bounds[0]:bounds[1]]:
         masks = bipartition_masks(tree, include_trivial=include_trivial)
         if transform is not None:
             masks = transform(masks, tree.leaf_mask())
         out.append(average_rf_against_sets(masks, reference_sets))
-    return out, worker_task_snapshot(t0)
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -195,7 +129,8 @@ def dsmp_average_rf(query: Sequence[Tree], reference: Sequence[Tree], *,
                     n_workers: int | None = None,
                     include_trivial: bool = False,
                     transform: MaskTransform | None = None,
-                    chunk_size: int | None = None) -> list[float]:
+                    chunk_size: int | None = None,
+                    executor: str | Executor | None = None) -> list[float]:
     """Average RF of each query tree against ``reference``, DSMP style.
 
     Both phases of Algorithm 1 are parallel at the tree level: reference
@@ -206,10 +141,14 @@ def dsmp_average_rf(query: Sequence[Tree], reference: Sequence[Tree], *,
     query, reference:
         Tree sequences over one shared namespace.
     n_workers:
-        Worker processes; ``None`` uses every CPU; 1 (or a platform
-        without ``fork``) runs the sequential algorithm.
+        Worker processes; ``None`` uses every CPU; 1 runs the sequential
+        algorithm inline.
     chunk_size:
         Trees per task; defaults to a load-balancing heuristic.
+    executor:
+        Backend name or :class:`~repro.runtime.Executor`; ``None``
+        follows the runtime default chain (CLI flag, ``REPRO_EXECUTOR``,
+        auto-detection).
 
     Returns
     -------
@@ -225,33 +164,29 @@ def dsmp_average_rf(query: Sequence[Tree], reference: Sequence[Tree], *,
     if not reference:
         raise CollectionError("reference collection is empty; average RF is undefined")
     workers = resolve_workers(n_workers)
-    if workers <= 1 or not fork_available():
+    if workers <= 1:
         return sequential_average_rf(query, reference,
                                      include_trivial=include_trivial,
                                      transform=transform)
+    runner = get_executor(executor)
     query = list(query)
     reference = list(reference)
 
     # Phase 1: parallel bipartition extraction over the reference trees.
-    ref_chunk = chunk_size or default_chunk_size(len(reference), workers)
-    record_fanout(workers, ref_chunk)
     with trace("dsmp.extract", r=len(reference), workers=workers):
-        with fork_payload_pool(workers, (reference, include_trivial, transform)) as pool:
-            results = pool.map(_ds_extract_range,
-                               list(chunk_indices(len(reference), ref_chunk)))
-        merge_worker_snapshots(snap for _block, snap in results)
-    reference_sets: list[frozenset[int]] = [s for block, _snap in results for s in block]
+        blocks = runner.submit_ranges(
+            _ds_extract_range, len(reference),
+            (reference, include_trivial, transform),
+            n_workers=workers, chunk_size=chunk_size)
+    reference_sets: list[frozenset[int]] = [s for block in blocks for s in block]
 
     if not query:
         return []
-    # Phase 2: parallel query comparisons; every worker inherits the full
+    # Phase 2: parallel query comparisons; every worker sees the full
     # reference table (the DSMP memory cost the paper documents).
-    query_chunk = chunk_size or default_chunk_size(len(query), workers)
-    record_fanout(workers, query_chunk)
     with trace("dsmp.query", q=len(query), r=len(reference), workers=workers):
-        with fork_payload_pool(
-                workers, (query, reference_sets, include_trivial, transform)) as pool:
-            compared = pool.map(_ds_compare_range,
-                                list(chunk_indices(len(query), query_chunk)))
-        merge_worker_snapshots(snap for _block, snap in compared)
-    return [v for block, _snap in compared for v in block]
+        compared = runner.submit_ranges(
+            _ds_compare_range, len(query),
+            (query, reference_sets, include_trivial, transform),
+            n_workers=workers, chunk_size=chunk_size)
+    return [v for block in compared for v in block]

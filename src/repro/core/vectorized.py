@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.bipartitions.extract import bipartition_masks
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.runtime.executor import Executor, get_executor, get_payload
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
 
@@ -186,12 +187,34 @@ class VectorizedBFH:
         return (rf_left + rf_right) / self.n_trees
 
 
+def _vec_batch_range(bounds: tuple[int, int]) -> list[float]:
+    """Fan-out task: score one slice of the query batch against the shared table."""
+    trees, vbfh = get_payload()
+    return vbfh.average_rf_batch(trees[bounds[0]:bounds[1]]).tolist()
+
+
 def vectorized_average_rf(query: Sequence[Tree],
                           reference: Sequence[Tree] | None = None, *,
                           include_trivial: bool = False,
-                          transform: MaskTransform | None = None) -> list[float]:
-    """Drop-in vectorized counterpart of :func:`repro.core.bfhrf.bfhrf_average_rf`."""
+                          transform: MaskTransform | None = None,
+                          n_workers: int = 1,
+                          chunk_size: int | None = None,
+                          executor: str | Executor | None = None) -> list[float]:
+    """Drop-in vectorized counterpart of :func:`repro.core.bfhrf.bfhrf_average_rf`.
+
+    With ``n_workers > 1`` the query batch is scored in slices on the
+    resolved executor.  Auto-detection prefers the ``thread`` backend
+    here: the probe kernels are NumPy calls that release the GIL, so
+    threads parallelize them without pickling or forking the frequency
+    table.
+    """
     reference = query if reference is None else reference
     vbfh = VectorizedBFH.from_trees(reference, include_trivial=include_trivial,
                                     transform=transform)
-    return vbfh.average_rf_batch(query).tolist()
+    if n_workers <= 1 or len(query) < 2:
+        return vbfh.average_rf_batch(query).tolist()
+    query = list(query)
+    runner = get_executor(executor, prefer="thread")
+    blocks = runner.submit_ranges(_vec_batch_range, len(query), (query, vbfh),
+                                  n_workers=n_workers, chunk_size=chunk_size)
+    return [v for block in blocks for v in block]

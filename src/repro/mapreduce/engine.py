@@ -11,10 +11,11 @@ phases
     shuffle:  group values by key (hash partitioned)
     reduce:   (key, [values]) -> [output, ...]
 
-and two executors — in-process (deterministic, debuggable) and
-multiprocessing (fork-based, mirroring how MrsRF used MPI ranks).
-Jobs are expressed as plain functions so they pickle cleanly; partition
-count plays the role of MrsRF's ``q`` parameter (number of reducers).
+running on any :mod:`repro.runtime` executor backend — serial
+(deterministic, debuggable), process pools (``fork``/``spawn``,
+mirroring how MrsRF used MPI ranks), or threads.  Jobs are expressed as
+plain functions so they pickle cleanly; partition count plays the role
+of MrsRF's ``q`` parameter (number of reducers).
 
 The engine is general: the word-count test uses it untouched, and
 :mod:`repro.core.mrsrf` builds the RF matrix on top.
@@ -27,8 +28,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any, TypeVar
 
-from repro.core.parallel import fork_available, fork_payload_pool, payload
-from repro.util.chunking import chunk_indices, default_chunk_size
+from repro.runtime.executor import Executor, get_executor, get_payload
 
 __all__ = ["MapReduceJob", "run_job", "JobStats"]
 
@@ -73,9 +73,9 @@ class MapReduceJob:
             raise ValueError("partitions must be positive")
 
 
-def _map_partition_range(bounds: tuple[int, int]) -> tuple[int, list[list[tuple[Any, Any]]]]:
+def _map_records_range(bounds: tuple[int, int]) -> tuple[int, list[list[tuple[Any, Any]]]]:
     """Worker task: map a slice of the records, pre-partitioned by key."""
-    records, map_fn, partitions = payload()
+    records, map_fn, partitions = get_payload()
     buckets: list[list[tuple[Any, Any]]] = [[] for _ in range(partitions)]
     count = 0
     for record in records[bounds[0]:bounds[1]]:
@@ -85,26 +85,27 @@ def _map_partition_range(bounds: tuple[int, int]) -> tuple[int, list[list[tuple[
     return count, buckets
 
 
-def _reduce_partition(index: int) -> list[Any]:
-    """Worker task: group one partition by key and reduce it."""
-    grouped_partitions, reduce_fn = payload()
-    grouped = grouped_partitions[index]
+def _reduce_range(bounds: tuple[int, int]) -> list[Any]:
+    """Worker task: group and reduce a slice of the shuffle partitions."""
+    grouped_partitions, reduce_fn = get_payload()
     out: list[Any] = []
-    for key in sorted(grouped, key=repr):  # deterministic order
-        out.extend(reduce_fn(key, grouped[key]))
+    for grouped in grouped_partitions[bounds[0]:bounds[1]]:
+        for key in sorted(grouped, key=repr):  # deterministic order
+            out.extend(reduce_fn(key, grouped[key]))
     return out
 
 
 def run_job(job: MapReduceJob, records: Sequence[Any], *,
-            n_workers: int = 1) -> tuple[list[Any], JobStats]:
+            n_workers: int = 1,
+            executor: str | Executor | None = None) -> tuple[list[Any], JobStats]:
     """Execute ``job`` over ``records``; returns (outputs, stats).
 
     Outputs are concatenated partition results in partition order, with
     keys reduced in a deterministic order inside each partition.  The
-    result is identical across executors (serial vs pool) within a run;
-    across runs it is fully deterministic for int/tuple keys (unsalted
-    hashes — MrsRF's case), while string keys shuffle with Python's
-    per-process hash seed.
+    result is identical across executor backends (serial, thread, fork,
+    spawn) within a run; across runs it is fully deterministic for
+    int/tuple keys (unsalted hashes — MrsRF's case), while string keys
+    shuffle with Python's per-process hash seed.
 
     Examples
     --------
@@ -119,25 +120,18 @@ def run_job(job: MapReduceJob, records: Sequence[Any], *,
     [('a', 3), ('b', 2)]
     """
     stats = JobStats(partitions=job.partitions)
-    use_pool = n_workers > 1 and fork_available() and len(records) > 1
+    fan_out = n_workers > 1 and len(records) > 1
+    runner = get_executor(executor) if fan_out else get_executor("serial")
 
     # ---- map + local partitioning -------------------------------------------
     partitioned: list[list[tuple[Any, Any]]] = [[] for _ in range(job.partitions)]
-    if use_pool:
-        size = default_chunk_size(len(records), n_workers)
-        with fork_payload_pool(n_workers,
-                               (records, job.map_fn, job.partitions)) as pool:
-            for count, buckets in pool.map(
-                    _map_partition_range,
-                    list(chunk_indices(len(records), size))):
-                stats.records_mapped += count
-                for i, bucket in enumerate(buckets):
-                    partitioned[i].extend(bucket)
-    else:
-        for record in records:
-            for key, value in job.map_fn(record):
-                partitioned[hash(key) % job.partitions].append((key, value))
-            stats.records_mapped += 1
+    for count, buckets in runner.submit_ranges(
+            _map_records_range, len(records),
+            (records, job.map_fn, job.partitions),
+            n_workers=n_workers if fan_out else 1):
+        stats.records_mapped += count
+        for i, bucket in enumerate(buckets):
+            partitioned[i].extend(bucket)
     stats.pairs_emitted = sum(len(p) for p in partitioned)
 
     # ---- shuffle: group by key within each partition ---------------------------
@@ -151,14 +145,10 @@ def run_job(job: MapReduceJob, records: Sequence[Any], *,
 
     # ---- reduce ------------------------------------------------------------------
     outputs: list[Any] = []
-    if use_pool:
-        with fork_payload_pool(n_workers,
-                               (grouped_partitions, job.reduce_fn)) as pool:
-            for block in pool.map(_reduce_partition, range(job.partitions)):
-                outputs.extend(block)
-    else:
-        for index in range(job.partitions):
-            grouped = grouped_partitions[index]
-            for key in sorted(grouped, key=repr):
-                outputs.extend(job.reduce_fn(key, grouped[key]))
+    for block in runner.submit_ranges(
+            _reduce_range, job.partitions,
+            (grouped_partitions, job.reduce_fn),
+            n_workers=n_workers if fan_out else 1,
+            chunk_size=1):
+        outputs.extend(block)
     return outputs, stats

@@ -1,0 +1,405 @@
+"""Pluggable executor backends — the one fan-out substrate every layer shares.
+
+The paper's central observation is that tree-vs-hash comparisons are
+embarrassingly parallel; everything in this repo that exploits it (the
+BFHRF comparison loop, the parallel hash build, DSMP, the MapReduce
+engine, the store's sharded count) fans out the same way: chunk an index
+space, publish heavy read-only state to workers, map a range task, fold
+small results (and worker metric snapshots) back into the parent.  This
+module owns that skeleton once, behind a four-backend interface:
+
+``serial``
+    Inline execution in the calling process.  The baseline every other
+    backend must match bitwise, and the automatic choice for one worker.
+``fork``
+    POSIX ``fork`` pool.  Workers inherit the shared payload
+    copy-on-write — no pickling of the reference structures at all.
+    The fastest start on Linux and the paper's implicit platform.
+``spawn``
+    Fresh-interpreter pool; the shared payload is pickled once per
+    worker at pool start.  Slower to launch than ``fork`` but available
+    everywhere — platforms without ``fork`` get *real* parallelism
+    instead of the silent serial fallback the pre-runtime code shipped.
+``thread``
+    ``ThreadPoolExecutor`` sharing the parent's memory.  Right for
+    GIL-light tasks (the NumPy ``vectorized`` path); useless for
+    pure-Python loops, but always correct.
+
+Tasks are module-level callables receiving one ``(start, stop)`` index
+range and reading the shared payload via :func:`get_payload`; they
+return a plain value.  Worker-side metric capture is the executor's job,
+not the task's: process backends snapshot each task's worker-local
+registry and merge it in the parent, in-process backends record straight
+into the live registry.
+
+Backend selection (first match wins):
+
+1. an explicit ``executor=`` argument (string or Executor instance);
+2. the process default installed by :func:`set_default_executor`
+   (the CLI's global ``--executor`` flag);
+3. the ``REPRO_EXECUTOR`` environment variable;
+4. auto-detection — ``fork`` where available, else ``spawn``.
+
+Requesting an unavailable backend raises
+:class:`~repro.util.errors.ExecutorError` — never a silent downgrade.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+from collections.abc import Callable, Iterable
+from typing import Any
+
+from repro import observability as _obs
+from repro.observability.metrics import counter as _metric, gauge as _gauge, \
+    histogram as _histogram
+from repro.observability.state import enabled as _obs_enabled
+from repro.util.chunking import balanced_chunk_count, chunk_indices, \
+    default_chunk_size
+from repro.util.errors import ExecutorError
+
+__all__ = [
+    "Executor", "SerialExecutor", "ThreadExecutor", "ForkExecutor",
+    "SpawnExecutor", "BACKENDS", "available_backends", "get_executor",
+    "set_default_executor", "default_executor_name", "resolve_workers",
+    "fork_available", "get_payload", "fork_payload_pool",
+    "worker_task_snapshot", "merge_worker_snapshots", "record_fanout",
+    "EXECUTOR_ENV",
+]
+
+#: Environment variable consulted when no executor is passed explicitly.
+EXECUTOR_ENV = "REPRO_EXECUTOR"
+
+RangeTask = Callable[[tuple[int, int]], Any]
+
+
+def resolve_workers(n_workers: int | None) -> int:
+    """Normalize a worker-count argument (``None``/0/negative → all CPUs)."""
+    if n_workers is None or n_workers <= 0:
+        return mp.cpu_count()
+    return n_workers
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists (POSIX)."""
+    return "fork" in mp.get_all_start_methods()
+
+
+# ---------------------------------------------------------------------------
+# The shared-payload slot.
+#
+# The parent publishes heavy read-only state here immediately before
+# fanning out; workers (forked children, spawn-initialized children, or
+# sibling threads) read it back through get_payload().  Serial and
+# thread backends save/restore the previous value so nested fan-outs
+# compose.
+# ---------------------------------------------------------------------------
+
+_PAYLOAD: Any = None
+
+
+def get_payload() -> Any:
+    """Worker-side accessor for the shared fan-out payload."""
+    return _PAYLOAD
+
+
+def _set_payload(value: Any) -> Any:
+    global _PAYLOAD
+    previous = _PAYLOAD
+    _PAYLOAD = value
+    return previous
+
+
+def fork_payload_pool(n_workers: int, payload: Any):
+    """A ``fork`` pool whose workers inherit ``payload`` without pickling.
+
+    The parent stashes the payload in the module global, the fork
+    snapshots it into every child copy-on-write, and the parent-side slot
+    is restored as soon as the pool exists (children already hold their
+    snapshot).  Must be used as a context manager.
+    """
+    if not fork_available():
+        raise ExecutorError("the 'fork' start method is unavailable on this "
+                            "platform; use the 'spawn' backend instead")
+    ctx = mp.get_context("fork")
+    previous = _set_payload(payload)
+    try:
+        # Workers drop the observability state they inherited from the
+        # parent, so the snapshots they return carry only their own work.
+        pool = ctx.Pool(processes=n_workers, initializer=_obs.worker_init)
+    finally:
+        _set_payload(previous)
+    return pool
+
+
+def _spawn_worker_init(payload: Any, observing: bool) -> None:
+    """Spawn-pool initializer: install the pickled payload, mirror obs state.
+
+    A spawned child starts from a fresh interpreter, so the parent's
+    observability enable flag does not carry over the way fork
+    inheritance carries it; re-enable recording (metrics only — span
+    memory tracing is a parent-side concern) so worker snapshots exist
+    to merge.
+    """
+    _set_payload(payload)
+    if observing:
+        from repro.observability.state import enable
+
+        enable()
+
+
+# ---------------------------------------------------------------------------
+# Worker-side metrics hand-off — owned by the executor, not the tasks.
+# ---------------------------------------------------------------------------
+
+def worker_task_snapshot(task_t0: float) -> dict[str, Any] | None:
+    """Finish one worker task: record its latency, drain local metrics.
+
+    Used by the process backends' task wrapper (and by the deprecated
+    ``fork_map`` task contract).  ``None`` stands for "nothing recorded"
+    so the disabled path ships no extra bytes.
+    """
+    if not _obs_enabled():
+        return None
+    _histogram("parallel.task_seconds").observe(time.perf_counter() - task_t0)
+    _metric("parallel.tasks").inc()
+    return _obs.snapshot_and_reset()
+
+
+def merge_worker_snapshots(snapshots: Iterable[dict[str, Any] | None]) -> None:
+    """Parent-side reduction of per-task worker snapshots."""
+    for snapshot in snapshots:
+        if snapshot:
+            _obs.merge_metrics(snapshot)
+
+
+def record_fanout(workers: int, chunk_size: int) -> None:
+    """Gauge the shape of a fan-out (pool size and chunk size)."""
+    if _obs_enabled():
+        _gauge("parallel.workers").set(workers)
+        _gauge("parallel.chunk_size").set(chunk_size)
+
+
+def _finish_task_inline(task_t0: float) -> None:
+    """In-process task epilogue: latency straight into the live registry."""
+    if _obs_enabled():
+        _histogram("parallel.task_seconds").observe(time.perf_counter() - task_t0)
+        _metric("parallel.tasks").inc()
+
+
+def _invoke_inline(task: RangeTask, bounds: tuple[int, int]) -> Any:
+    """Run one task in-process (serial/thread): shared registry, no snapshot."""
+    t0 = time.perf_counter()
+    value = task(bounds)
+    _finish_task_inline(t0)
+    return value
+
+
+def _invoke_child(item: tuple[RangeTask, tuple[int, int]]):
+    """Run one task in a worker process and ship its metrics back.
+
+    Module-level for picklability; the *data* arrives via fork
+    inheritance or the spawn initializer, only ``(task, bounds)`` rides
+    in the call.
+    """
+    task, bounds = item
+    t0 = time.perf_counter()
+    value = task(bounds)
+    return value, worker_task_snapshot(t0)
+
+
+# ---------------------------------------------------------------------------
+# Backends.
+# ---------------------------------------------------------------------------
+
+class Executor:
+    """One execution backend; stateless, shared singletons in :data:`BACKENDS`.
+
+    ``submit_ranges`` is the whole interface: run ``task`` over chunked
+    ``(start, stop)`` ranges of ``n_items`` with ``shared`` published to
+    the workers, and return the per-chunk values in range order.  Worker
+    metric snapshot/merge and the fan-out gauges are handled here so no
+    caller hand-rolls them.
+    """
+
+    name = "?"
+
+    def available(self) -> bool:
+        return True
+
+    def submit_ranges(self, task: RangeTask, n_items: int, shared: Any, *,
+                      n_workers: int | None = 1,
+                      chunk_size: int | None = None) -> list[Any]:
+        raise NotImplementedError
+
+    def _plan(self, n_items: int, n_workers: int | None,
+              chunk_size: int | None) -> tuple[int, int]:
+        """Resolve (workers, chunk_size), clamping workers to the chunk count."""
+        workers = resolve_workers(n_workers)
+        size = chunk_size or default_chunk_size(n_items, workers)
+        workers = min(workers, balanced_chunk_count(n_items, size))
+        return workers, size
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SerialExecutor(Executor):
+    """Inline execution — the bitwise baseline and the one-worker path."""
+
+    name = "serial"
+
+    def submit_ranges(self, task, n_items, shared, *, n_workers=1,
+                      chunk_size=None):
+        if n_items <= 0:
+            return []
+        size = chunk_size or n_items
+        record_fanout(1, size)
+        previous = _set_payload(shared)
+        try:
+            return [_invoke_inline(task, bounds)
+                    for bounds in chunk_indices(n_items, size)]
+        finally:
+            _set_payload(previous)
+
+
+class ThreadExecutor(Executor):
+    """Thread pool sharing the parent's memory (for GIL-light tasks)."""
+
+    name = "thread"
+
+    def submit_ranges(self, task, n_items, shared, *, n_workers=1,
+                      chunk_size=None):
+        if n_items <= 0:
+            return []
+        workers, size = self._plan(n_items, n_workers, chunk_size)
+        record_fanout(workers, size)
+        previous = _set_payload(shared)
+        try:
+            if workers <= 1:
+                return [_invoke_inline(task, bounds)
+                        for bounds in chunk_indices(n_items, size)]
+            from concurrent.futures import ThreadPoolExecutor
+
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(lambda b: _invoke_inline(task, b),
+                                     chunk_indices(n_items, size)))
+        finally:
+            _set_payload(previous)
+
+
+class _ProcessExecutor(Executor):
+    """Shared fan-out skeleton of the two process backends."""
+
+    def _pool(self, workers: int, shared: Any):
+        raise NotImplementedError
+
+    def submit_ranges(self, task, n_items, shared, *, n_workers=1,
+                      chunk_size=None):
+        if n_items <= 0:
+            return []
+        workers, size = self._plan(n_items, n_workers, chunk_size)
+        record_fanout(workers, size)
+        items = [(task, bounds) for bounds in chunk_indices(n_items, size)]
+        with self._pool(workers, shared) as pool:
+            results = pool.map(_invoke_child, items)
+        merge_worker_snapshots(snap for _value, snap in results)
+        return [value for value, _snap in results]
+
+
+class ForkExecutor(_ProcessExecutor):
+    """``fork`` pool: payload shared by copy-on-write inheritance."""
+
+    name = "fork"
+
+    def available(self) -> bool:
+        return fork_available()
+
+    def _pool(self, workers: int, shared: Any):
+        return fork_payload_pool(workers, shared)
+
+
+class SpawnExecutor(_ProcessExecutor):
+    """``spawn`` pool: payload pickled once per worker at pool start."""
+
+    name = "spawn"
+
+    def _pool(self, workers: int, shared: Any):
+        ctx = mp.get_context("spawn")
+        return ctx.Pool(processes=workers, initializer=_spawn_worker_init,
+                        initargs=(shared, _obs_enabled()))
+
+
+BACKENDS: dict[str, Executor] = {
+    executor.name: executor
+    for executor in (SerialExecutor(), ThreadExecutor(), ForkExecutor(),
+                     SpawnExecutor())
+}
+
+_DEFAULT_EXECUTOR: str | None = None
+
+
+def available_backends() -> list[str]:
+    """Names of the backends that can run on this platform."""
+    return [name for name, ex in BACKENDS.items() if ex.available()]
+
+
+def set_default_executor(name: str | None) -> None:
+    """Install (or clear, with ``None``) the process-wide default backend.
+
+    The CLI's global ``--executor`` flag lands here; it outranks the
+    ``REPRO_EXECUTOR`` environment variable and is outranked by explicit
+    ``executor=`` arguments.
+    """
+    global _DEFAULT_EXECUTOR
+    if name is not None and name != "auto" and name not in BACKENDS:
+        raise ExecutorError(
+            f"unknown executor {name!r}; choose from "
+            f"{sorted(BACKENDS)} or 'auto'")
+    _DEFAULT_EXECUTOR = None if name in (None, "auto") else name
+
+
+def default_executor_name() -> str:
+    """The name ``get_executor(None)`` would resolve, without resolving it."""
+    return _DEFAULT_EXECUTOR or os.environ.get(EXECUTOR_ENV) or "auto"
+
+
+def get_executor(spec: str | Executor | None = None, *,
+                 prefer: str | None = None) -> Executor:
+    """Resolve an executor: argument > CLI default > env > auto-detect.
+
+    Parameters
+    ----------
+    spec:
+        An :class:`Executor` instance (returned as-is), a backend name,
+        ``"auto"``, or ``None`` (fall through the default chain).
+    prefer:
+        The backend auto-detection should favor when nothing was
+        requested — the vectorized path passes ``"thread"`` here because
+        its NumPy kernels release the GIL.
+
+    Raises
+    ------
+    ExecutorError
+        Unknown name, or a backend that cannot run on this platform.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    name = (spec or default_executor_name()).lower()
+    if name == "auto":
+        if prefer is not None and BACKENDS[prefer].available():
+            name = prefer
+        else:
+            name = "fork" if fork_available() else "spawn"
+    executor = BACKENDS.get(name)
+    if executor is None:
+        raise ExecutorError(
+            f"unknown executor {name!r}; choose from "
+            f"{sorted(BACKENDS)} or 'auto'")
+    if not executor.available():
+        raise ExecutorError(
+            f"executor {name!r} is unavailable on this platform; available: "
+            f"{available_backends()}")
+    return executor

@@ -9,22 +9,22 @@ touching its siblings).  Routing a key to its shard is a bisect over
 the boundary list; keys that arrive after compaction live in the
 journal overlay until the next compaction rebalances.
 
-Builds fan out over the fork pool exactly like parallel
-:func:`~repro.core.bfhrf.build_bfh`: workers count tree ranges, the
-parent folds the partial tables together with the associative BFH
-merge, then partitions the merged table into shard ranges.
+Builds fan out over the :mod:`repro.runtime` executor exactly like
+parallel :func:`~repro.core.bfhrf.build_bfh`: workers count tree
+ranges, the parent folds the partial tables together with the
+associative BFH merge, then partitions the merged table into shard
+ranges.
 """
 
 from __future__ import annotations
 
-import time
 from bisect import bisect_right
 from collections.abc import Sequence
 
 from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
-from repro.core.parallel import fork_available, fork_map, payload, \
-    resolve_workers, worker_task_snapshot
 from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.runtime.executor import Executor, get_executor, get_payload, \
+    resolve_workers
 from repro.trees.tree import Tree
 
 __all__ = ["shard_boundaries", "shard_of", "partition_counts",
@@ -67,7 +67,7 @@ def partition_counts(counts: dict[int, int],
 
 
 # ---------------------------------------------------------------------------
-# Parallel build (fork fan-out over tree ranges, associative merge).
+# Parallel build (executor fan-out over tree ranges, associative merge).
 # ---------------------------------------------------------------------------
 
 def _count_slice(trees: Sequence[Tree], lo: int, hi: int, *,
@@ -95,31 +95,31 @@ def _count_slice(trees: Sequence[Tree], lo: int, hi: int, *,
 
 
 def _count_range(bounds: tuple[int, int]):
-    """Worker task wrapper around :func:`_count_slice` (fork payload in)."""
-    t0 = time.perf_counter()
-    trees, include_trivial, weighted = payload()
-    tables = _count_slice(trees, bounds[0], bounds[1],
-                          include_trivial=include_trivial, weighted=weighted)
-    return tables, worker_task_snapshot(t0)
+    """Worker task wrapper around :func:`_count_slice` (shared payload in)."""
+    trees, include_trivial, weighted = get_payload()
+    return _count_slice(trees, bounds[0], bounds[1],
+                        include_trivial=include_trivial, weighted=weighted)
 
 
 def parallel_build_tables(trees: Sequence[Tree], *, include_trivial: bool,
-                          weighted: bool, n_workers: int
+                          weighted: bool, n_workers: int,
+                          executor: str | Executor | None = None
                           ) -> tuple[dict[int, int],
                                      dict[int, list[float]] | None, int, int]:
     """Count a whole collection: ``(counts, weights, n_trees, total)``.
 
-    With one worker (or no ``fork``) the count streams serially;
-    otherwise tree ranges fan out over the fork pool and the partial
-    tables reduce through :meth:`BipartitionFrequencyHash.merge` (the
-    weighted multisets concatenate — multiset union is associative too).
+    With one worker the count streams serially; otherwise tree ranges
+    fan out over the resolved executor backend and the partial tables
+    reduce through :meth:`BipartitionFrequencyHash.merge` (the weighted
+    multisets concatenate — multiset union is associative too).
     """
     workers = resolve_workers(n_workers)
-    if workers <= 1 or not fork_available() or len(trees) < 2:
+    if workers <= 1 or len(trees) < 2:
         return _count_slice(trees, 0, len(trees),
                             include_trivial=include_trivial, weighted=weighted)
-    partials = fork_map(_count_range, len(trees),
-                        (trees, include_trivial, weighted), n_workers=workers)
+    partials = get_executor(executor).submit_ranges(
+        _count_range, len(trees), (trees, include_trivial, weighted),
+        n_workers=workers)
     merged = BipartitionFrequencyHash(include_trivial=include_trivial)
     weights: dict[int, list[float]] | None = {} if weighted else None
     for counts, part_weights, n, total in partials:

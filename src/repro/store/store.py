@@ -459,7 +459,8 @@ class BFHStore:
         return wh
 
     def average_rf(self, query: Sequence[Tree], *,
-                   n_workers: int = 1) -> list[float]:
+                   n_workers: int = 1,
+                   executor: str | None = None) -> list[float]:
         """Average RF of each query tree against the stored collection.
 
         Bitwise-identical to ``bfhrf_average_rf(query, reference)`` over
@@ -467,7 +468,7 @@ class BFHStore:
         """
         with trace("store.query", q=len(query), r=self.n_trees):
             return bfhrf_average_rf(query, bfh=self.bfh(),
-                                    n_workers=n_workers)
+                                    n_workers=n_workers, executor=executor)
 
     def __len__(self) -> int:
         return len(self._counts)
@@ -630,12 +631,13 @@ class BFHStore:
 def build_store(path: str | os.PathLike, reference: Sequence[Tree], *,
                 n_workers: int = 1, n_shards: int = 1,
                 include_trivial: bool = False,
-                weighted: bool = False) -> BFHStore:
+                weighted: bool = False,
+                executor: str | None = None) -> BFHStore:
     """Bulk-build a store from a reference collection (``store build``).
 
-    The count fans out over the fork pool at the tree level; the partial
-    tables reduce through the associative BFH merge; the result is
-    compacted straight into ``n_shards`` key-range snapshots (the
+    The count fans out over the runtime executor at the tree level; the
+    partial tables reduce through the associative BFH merge; the result
+    is compacted straight into ``n_shards`` key-range snapshots (the
     journal starts empty).
     """
     reference = list(reference)
@@ -648,7 +650,7 @@ def build_store(path: str | os.PathLike, reference: Sequence[Tree], *,
                shards=n_shards) as span:
         counts, weights, n_trees, total = parallel_build_tables(
             reference, include_trivial=include_trivial, weighted=weighted,
-            n_workers=n_workers)
+            n_workers=n_workers, executor=executor)
         store = BFHStore.create(path, include_trivial=include_trivial,
                                 weighted=weighted)
         if reference:

@@ -32,6 +32,7 @@ from repro.testing.generators import PROFILES, CaseProfile, TreeCase, generate_c
 from repro.store.store import BFHStore
 from repro.testing.oracles import (
     Failure,
+    check_backend_parity,
     check_caterpillar_max_rf,
     check_differential_rf,
     check_differential_weighted,
@@ -60,6 +61,7 @@ __all__ = ["CASE_CHECKS", "FAULT_KINDS", "inject_fault", "RoundResult",
 # ``differential-rf`` runs first: it is the paper's exactness claim.
 CASE_CHECKS: dict[str, Callable[[TreeCase], list[Failure]]] = {
     "differential-rf": check_differential_rf,
+    "backend-parity": check_backend_parity,
     "differential-weighted": check_differential_weighted,
     "self-rf-zero": check_self_rf_zero,
     "symmetry": check_symmetry,

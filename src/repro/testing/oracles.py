@@ -1,11 +1,15 @@
 """Cross-implementation and analytic oracles for the correctness harness.
 
 The differential runner pushes one (Q, R) workload through every
-applicable RF implementation — naive set-ops, Day's algorithm, HashRF,
-BFHRF serial, BFHRF fork-parallel, and the vectorized batch backend —
-and demands bitwise-equal averages.  All unweighted paths reduce to the
-same integer arithmetic before one final division by ``r``, so equality
-is exact, not approximate; any drift is a bug, not noise.
+applicable RF implementation — naive set-ops, Day's algorithm, BFHRF
+fork-parallel, and *every method in the runtime registry* (bfhrf, ds,
+dsmp, hashrf, vectorized, mrsrf — a newly registered method joins the
+differential automatically) — and demands bitwise-equal averages.  All
+unweighted paths reduce to the same integer arithmetic before one final
+division by ``r``, so equality is exact, not approximate; any drift is
+a bug, not noise.  A separate backend-parity oracle runs the executor
+fan-out paths across serial/thread/fork(/spawn) backends and demands
+the same exactness across *backends* too.
 
 Analytic oracles check closed-form anchors that need no second
 implementation: RF(T, T) = 0, the caterpillar max-RF pair, symmetry and
@@ -25,12 +29,12 @@ import numpy as np
 from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
 from repro.core.bfhrf import bfhrf_average_rf
 from repro.core.day import day_rf
-from repro.core.hashrf import hashrf_average_rf
-from repro.core.parallel import fork_available
+from repro.core.parallel import dsmp_average_rf
 from repro.core.rf import max_rf, rf_from_mask_sets
-from repro.core.vectorized import vectorized_average_rf
 from repro.hashing.weighted import WeightedBipartitionHash
+from repro.runtime import fork_available, get_method, methods
 from repro.store import BFHStore, build_store
+from repro.store.shards import parallel_build_tables
 from repro.testing.generators import TreeCase, caterpillar_tree, max_rf_caterpillar_orders
 from repro.trees.taxon import TaxonNamespace
 from repro.trees.tree import Tree
@@ -45,6 +49,7 @@ __all__ = [
     "run_differential",
     "check_differential_rf",
     "check_differential_weighted",
+    "check_backend_parity",
     "check_self_rf_zero",
     "check_symmetry",
     "check_triangle",
@@ -119,40 +124,45 @@ def day_average_rf(query: list[Tree], reference: list[Tree], *,
     return [sum(day_rf(q, r) for r in reference) / len(reference) for q in query]
 
 
-def _bfhrf_serial(query, reference, *, include_trivial=False):
-    return bfhrf_average_rf(query, reference, n_workers=1,
-                            include_trivial=include_trivial)
-
-
 def _bfhrf_fork(query, reference, *, include_trivial=False):
     return bfhrf_average_rf(query, reference, n_workers=2,
-                            include_trivial=include_trivial)
+                            include_trivial=include_trivial, executor="fork")
 
 
-def _hashrf(query, reference, *, include_trivial=False):
-    # HashRF is single-collection by construction (Q is R).
-    return hashrf_average_rf(query, include_trivial=include_trivial)
+def _registry_impl(name: str):
+    """Adapt one registered method to the differential call signature."""
+    spec = get_method(name)
+
+    def run(query, reference, *, include_trivial=False):
+        return list(spec.run(query, reference, n_workers=1,
+                             include_trivial=include_trivial,
+                             transform=None, executor=None))
+
+    return run
 
 
+# The special entries are implementations that exist only inside this
+# harness (the naive ground truth, Day's two-tree algorithm, the forced
+# fork fan-out); everything else enumerates the runtime registry, so a
+# newly registered method is differential-tested without edits here.
 IMPLEMENTATIONS = {
     "naive": naive_average_rf,
     "day": day_average_rf,
-    "hashrf": _hashrf,
-    "bfhrf": _bfhrf_serial,
     "bfhrf-fork": _bfhrf_fork,
-    "vectorized": vectorized_average_rf,
+    **{spec.name: _registry_impl(spec.name) for spec in methods()},
 }
 
 
 def _applicable(case: TreeCase) -> list[str]:
-    names = ["naive", "bfhrf", "vectorized"]
+    names = ["naive"]
     if fork_available():
         names.append("bfhrf-fork")
     coverages = {t.leaf_mask() for t in case.query} | {t.leaf_mask() for t in case.reference}
     if len(coverages) == 1:
         names.append("day")
-    if case.same_collection:
-        names.append("hashrf")
+    for spec in methods():
+        if case.same_collection or spec.supports_disparate:
+            names.append(spec.name)
     return names
 
 
@@ -188,6 +198,65 @@ def run_differential(case: TreeCase) -> DifferentialReport:
 
 def check_differential_rf(case: TreeCase) -> list[Failure]:
     return run_differential(case).failures
+
+
+def check_backend_parity(case: TreeCase) -> list[Failure]:
+    """Executor backends must be invisible in the numbers.
+
+    Runs the BFHRF comparison fan-out, the DSMP pipeline, and the
+    store-shard count on every locally available backend with two
+    workers and demands results bitwise-identical to the serial path —
+    the executor abstraction's core contract.  The ``spawn`` backend
+    costs a fresh-interpreter pool per fan-out, so it runs on a
+    deterministic slice of cases and only for the BFHRF path; the cases
+    it runs on derive from ``case.seed``, so the shrinker can replay the
+    check.
+    """
+    failures: list[Failure] = []
+    backends = ["serial", "thread"]
+    if fork_available():
+        backends.append("fork")
+    if case.seed % 8 == 0:
+        backends.append("spawn")
+
+    want_rf = bfhrf_average_rf(case.query, case.reference, n_workers=1,
+                               include_trivial=case.include_trivial)
+    want_dsmp = dsmp_average_rf(case.query, case.reference, n_workers=1,
+                                include_trivial=case.include_trivial)
+    want_tables = parallel_build_tables(case.reference,
+                                        include_trivial=case.include_trivial,
+                                        weighted=False, n_workers=1)
+
+    def compare(name: str, backend: str, got, want) -> None:
+        for i, (g, w) in enumerate(zip(got, want)):
+            if g != w:
+                failures.append(Failure(
+                    "backend-parity",
+                    f"{name}: got {g!r}, serial says {w!r}",
+                    implementation=backend, index=i))
+
+    for backend in backends:
+        compare("bfhrf", backend,
+                bfhrf_average_rf(case.query, case.reference, n_workers=2,
+                                 include_trivial=case.include_trivial,
+                                 executor=backend),
+                want_rf)
+        if backend == "spawn":
+            continue  # bound the per-round cost to one spawn pool
+        compare("dsmp", backend,
+                dsmp_average_rf(case.query, case.reference, n_workers=2,
+                                include_trivial=case.include_trivial,
+                                executor=backend),
+                want_dsmp)
+        counts, _weights, n_trees, total = parallel_build_tables(
+            case.reference, include_trivial=case.include_trivial,
+            weighted=False, n_workers=2, executor=backend)
+        if (counts, n_trees, total) != (want_tables[0], want_tables[2],
+                                        want_tables[3]):
+            failures.append(Failure(
+                "backend-parity", "shard-build count tables diverge",
+                implementation=backend))
+    return failures
 
 
 def naive_average_branch_score(query: Tree, reference: list[Tree], *,

@@ -18,6 +18,7 @@ __all__ = [
     "SimulationError",
     "StoreError",
     "StoreCorruptError",
+    "ExecutorError",
 ]
 
 
@@ -92,6 +93,16 @@ class SimulationError(ReproError):
 
     Examples: non-positive rates, fewer than 3 taxa, or a perturbation
     count that cannot be applied to the given topology.
+    """
+
+
+class ExecutorError(ReproError):
+    """An execution backend was requested that cannot run here.
+
+    Examples: an unknown ``REPRO_EXECUTOR`` name, or asking for the
+    ``fork`` backend on a platform without the ``fork`` start method.
+    Loud by design — the alternative (silently degrading to serial) hides
+    the loss of parallelism from the caller.
     """
 
 

@@ -56,6 +56,24 @@ class TestAverageRF:
     def test_normalized(self):
         assert average_rf(NEWICK_TEXT, normalized=True) == [0.5, 0.5]
 
+    def test_normalized_uses_each_trees_own_denominator(self):
+        # Regression: the denominator used to come from query_trees[0]
+        # only, skewing collections with variable taxon counts.
+        from repro.core.rf import max_rf
+
+        query = ("((A,B),(C,D));\n"               # 4 taxa -> 2(n-3) = 2
+                 "(((A,B),(C,D)),(E,(F,G)));")    # 7 taxa -> 2(n-3) = 8
+        reference = "((A,B),(C,D));\n((A,C),(B,D));"
+        raw = average_rf(query, reference, method="ds")
+        normed = average_rf(query, reference, method="ds", normalized=True)
+        query_trees = as_trees(query)
+        for tree, value, scaled in zip(query_trees, raw, normed):
+            denominator = max_rf(tree.leaf_mask().bit_count())
+            assert scaled == pytest.approx(value / denominator)
+        # The two denominators genuinely differ, so the old bug would fail.
+        masks = [t.leaf_mask().bit_count() for t in query_trees]
+        assert max_rf(masks[0]) != max_rf(masks[1])
+
     def test_unknown_method(self):
         with pytest.raises(ValueError):
             average_rf(NEWICK_TEXT, method="psychic")

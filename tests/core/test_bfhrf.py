@@ -35,10 +35,12 @@ class TestBuildBFH:
         assert bfh.n_trees == len(medium_collection)
 
     def test_empty_raises_serial_and_parallel(self):
-        with pytest.raises(CollectionError):
+        with pytest.raises(CollectionError) as serial:
             build_bfh([])
-        with pytest.raises(CollectionError):
+        with pytest.raises(CollectionError) as parallel:
             build_bfh([], n_workers=2)
+        # Both paths must agree on the error, not just its type.
+        assert str(serial.value) == str(parallel.value)
 
 
 class TestAverageRF:

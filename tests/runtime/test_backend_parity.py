@@ -1,0 +1,106 @@
+"""Backend-parity matrix: every executor must produce bitwise-identical
+results for the core parallel paths (bfhrf, dsmp, store shard build),
+and the merged worker metrics must account for every task.
+
+This is the test-suite twin of the ``backend-parity`` selfcheck oracle.
+"""
+
+import pytest
+
+from repro import observability as obs
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+from repro.core.parallel import dsmp_average_rf
+from repro.observability.metrics import metrics_snapshot
+from repro.runtime import BACKENDS, set_default_executor
+from repro.store.shards import parallel_build_tables
+
+ALL_BACKENDS = ["serial", "thread", "fork", "spawn"]
+
+
+def _skip_unless_available(backend: str) -> None:
+    if not BACKENDS[backend].available():
+        pytest.skip(f"{backend} unavailable here")
+
+
+@pytest.fixture(autouse=True)
+def _clean_default():
+    set_default_executor(None)
+    yield
+    set_default_executor(None)
+
+
+@pytest.fixture(scope="module")
+def trees():
+    from tests.conftest import make_collection
+
+    return make_collection(n_taxa=16, n_trees=12, seed=7)
+
+
+class TestBfhrfParity:
+    @pytest.fixture(scope="class")
+    def serial_values(self, trees):
+        return bfhrf_average_rf(trees, trees, n_workers=1)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_bitwise_identical(self, backend, trees, serial_values):
+        _skip_unless_available(backend)
+        values = bfhrf_average_rf(trees, trees, n_workers=2,
+                                  executor=backend)
+        assert values == serial_values
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_build_bfh_identical(self, backend, trees):
+        _skip_unless_available(backend)
+        serial = build_bfh(trees, n_workers=1)
+        parallel = build_bfh(trees, n_workers=2, executor=backend)
+        assert parallel.counts == serial.counts
+        assert parallel.n_trees == serial.n_trees
+        assert parallel.total == serial.total
+
+
+class TestDsmpParity:
+    @pytest.fixture(scope="class")
+    def serial_values(self, trees):
+        return dsmp_average_rf(trees, trees, n_workers=1)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_bitwise_identical(self, backend, trees, serial_values):
+        _skip_unless_available(backend)
+        values = dsmp_average_rf(trees, trees, n_workers=2,
+                                 executor=backend)
+        assert values == serial_values
+
+
+class TestShardBuildParity:
+    @pytest.fixture(scope="class")
+    def serial_tables(self, trees):
+        return parallel_build_tables(trees, include_trivial=False,
+                                     weighted=False, n_workers=1)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_bitwise_identical(self, backend, trees, serial_tables):
+        _skip_unless_available(backend)
+        tables = parallel_build_tables(trees, include_trivial=False,
+                                       weighted=False, n_workers=2,
+                                       executor=backend)
+        assert tables == serial_tables
+
+
+class TestMergedWorkerMetrics:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_every_task_accounted_for(self, backend, trees):
+        _skip_unless_available(backend)
+        obs.reset()
+        obs.enable()
+        try:
+            bfhrf_average_rf(trees, trees, n_workers=2, executor=backend)
+            snapshot = metrics_snapshot()
+            tasks = snapshot["counters"]["parallel.tasks"]
+            # Serial runs everything as one chunk; the others split work.
+            assert tasks >= (1 if backend == "serial" else 2)
+            assert snapshot["histograms"]["parallel.task_seconds"]["count"] == tasks
+            expected_workers = 1 if backend == "serial" else 2
+            assert snapshot["gauges"]["parallel.workers"] == expected_workers
+        finally:
+            obs.disable()
+            obs.reset()

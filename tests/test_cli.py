@@ -61,6 +61,27 @@ class TestAvgRF:
     def test_workers(self, quartet_file, capsys):
         assert main(["avg-rf", quartet_file, "--workers", "2"]) == 0
 
+    @pytest.mark.parametrize("executor", ["serial", "thread", "spawn"])
+    def test_executor_flag(self, quartet_file, capsys, executor):
+        assert main(["avg-rf", quartet_file, "--workers", "2",
+                     "--executor", executor]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        values = [float(line.split("\t")[1]) for line in out]
+        assert values == pytest.approx([2 / 3, 4 / 3, 2 / 3])
+
+    def test_executor_flag_resets_after_run(self, quartet_file, capsys,
+                                            monkeypatch):
+        from repro.runtime import EXECUTOR_ENV, default_executor_name
+
+        monkeypatch.delenv(EXECUTOR_ENV, raising=False)
+        main(["avg-rf", quartet_file, "--executor", "thread"])
+        capsys.readouterr()
+        assert default_executor_name() == "auto"
+
+    def test_unknown_executor_rejected(self, quartet_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["avg-rf", quartet_file, "--executor", "mpi"])
+
     def test_error_reported_cleanly(self, tmp_path, capsys):
         bad = tmp_path / "bad.nwk"
         bad.write_text("((A,B),(C,;\n")
