@@ -8,12 +8,16 @@ fixed-taxa tools (HashRF, the plain sequential method) "are generally
 not applicable to RF supertree analyses" while BFHRF's
 non-transformative hash is — this module makes that concrete.
 
-Heuristic (greedy, in the family of Robinson-Foulds supertree
-heuristics of Bansal et al. 2010):
+Heuristic (greedy with restarts, in the family of Robinson-Foulds
+supertree heuristics of Bansal et al. 2010):
 
-1. **Seed**: start from the source tree covering the most taxa — a
-   correct subtree of any optimal supertree whenever the sources are
-   compatible.
+1. **Seed**: grow a candidate from a source tree used verbatim as the
+   starting topology — a correct subtree of any optimal supertree
+   whenever the sources are compatible.  Because the best-covering
+   source can still steer the greedy steps into a local optimum, up to
+   :data:`_MAX_SEED_RESTARTS` distinct sources are tried as seeds
+   (largest coverage first) and the best-scoring candidate wins, with
+   an early exit as soon as a candidate reaches total RF 0.
 2. **Insertion**: remaining taxa are inserted one at a time
    (most-constrained first — taxa appearing in more sources carry more
    signal), each at the edge minimizing the *total restricted RF* to
@@ -106,18 +110,41 @@ def greedy_rf_supertree(sources: Sequence[Tree],
     if union_mask.bit_count() < 4:
         raise TreeStructureError("supertree needs at least 4 union taxa")
 
-    # --- 1. seed from the best-covering source ----------------------------------
-    seed_source = max(sources, key=lambda s: s.leaf_mask().bit_count())
-    tree = seed_source.copy()
-
-    # --- 2. greedy insertion, most-constrained taxa first ------------------------
-    present = tree.leaf_mask()
     coverage: dict[int, int] = {}
     for source in sources:
         leafset = source.leaf_mask()
         for index in range(len(namespace)):
             if leafset >> index & 1:
                 coverage[index] = coverage.get(index, 0) + 1
+
+    # --- 1. seed restarts, best-covering sources first ---------------------------
+    # A single best-coverage seed can lock the greedy steps into a local
+    # optimum that SPR cannot escape; a handful of restarts from other
+    # sources is cheap and routinely recovers the exact optimum.
+    seed_order = sorted(range(len(sources)),
+                        key=lambda i: (-sources[i].leaf_mask().bit_count(), i))
+    best_tree: Tree | None = None
+    best_score: int | None = None
+    for seed_index in seed_order[:_MAX_SEED_RESTARTS]:
+        tree = _grow_from_seed(sources[seed_index], sources, namespace,
+                               union_mask, coverage)
+        score = total_restricted_rf(tree, sources)
+        if best_score is None or score < best_score:
+            best_tree, best_score = tree, score
+            if best_score == 0:
+                break
+    assert best_tree is not None
+    return best_tree
+
+
+def _grow_from_seed(seed_source: Tree, sources: Sequence[Tree],
+                    namespace: TaxonNamespace, union_mask: int,
+                    coverage: dict[int, int]) -> Tree:
+    """One full candidate: copy the seed, insert missing taxa, SPR-polish."""
+    tree = seed_source.copy()
+
+    # --- 2. greedy insertion, most-constrained taxa first ------------------------
+    present = tree.leaf_mask()
     missing = [index for index in range(len(namespace))
                if union_mask >> index & 1 and not present >> index & 1]
     missing.sort(key=lambda i: (-coverage.get(i, 0), i))
@@ -143,6 +170,7 @@ def greedy_rf_supertree(sources: Sequence[Tree],
     return tree
 
 
+_MAX_SEED_RESTARTS = 4
 _MAX_SPR_ROUNDS = 8
 
 

@@ -22,12 +22,15 @@ point of writing it this way.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable, Sequence
 
 import numpy as np
 
 from repro.bipartitions.extract import bipartition_masks
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
+from repro.observability.metrics import histogram as _histogram
+from repro.observability.state import enabled as _obs_enabled
 from repro.runtime.executor import Executor, get_executor, get_payload
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
@@ -143,6 +146,15 @@ class VectorizedBFH:
         One batched binary search + one vectorized row-equality check —
         the branch-free, collision-free probe.
         """
+        if not _obs_enabled():
+            return self._lookup(words)
+        t0 = time.perf_counter()
+        freqs = self._lookup(words)
+        _histogram("vectorized.probe_seconds").observe(time.perf_counter() - t0)
+        _histogram("vectorized.probe_keys").observe(float(len(words)))
+        return freqs
+
+    def _lookup(self, words: np.ndarray) -> np.ndarray:
         if words.size == 0:
             return np.zeros(0, dtype=np.int64)
         if len(self._void_keys) == 0:
@@ -168,6 +180,14 @@ class VectorizedBFH:
             raise CollectionError("empty hash; average RF is undefined")
         if not trees:
             return np.zeros(0, dtype=np.float64)
+        if not _obs_enabled():
+            return self._batch(trees)
+        t0 = time.perf_counter()
+        values = self._batch(trees)
+        _histogram("vectorized.batch_seconds").observe(time.perf_counter() - t0)
+        return values
+
+    def _batch(self, trees: Sequence[Tree]) -> np.ndarray:
         per_tree_masks = [self._tree_masks(t) for t in trees]
         counts = np.array([len(m) for m in per_tree_masks], dtype=np.int64)
         flat = [m for masks in per_tree_masks for m in masks]
@@ -190,7 +210,12 @@ class VectorizedBFH:
 def _vec_batch_range(bounds: tuple[int, int]) -> list[float]:
     """Fan-out task: score one slice of the query batch against the shared table."""
     trees, vbfh = get_payload()
-    return vbfh.average_rf_batch(trees[bounds[0]:bounds[1]]).tolist()
+    if not _obs_enabled():
+        return vbfh.average_rf_batch(trees[bounds[0]:bounds[1]]).tolist()
+    t0 = time.perf_counter()
+    values = vbfh.average_rf_batch(trees[bounds[0]:bounds[1]]).tolist()
+    _histogram("vectorized.chunk_seconds").observe(time.perf_counter() - t0)
+    return values
 
 
 def vectorized_average_rf(query: Sequence[Tree],

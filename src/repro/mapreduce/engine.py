@@ -23,11 +23,14 @@ The engine is general: the word-count test uses it untouched, and
 
 from __future__ import annotations
 
+import time
 from collections import defaultdict
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any, TypeVar
 
+from repro.observability.metrics import histogram as _histogram
+from repro.observability.state import enabled as _obs_enabled
 from repro.runtime.executor import Executor, get_executor, get_payload
 
 __all__ = ["MapReduceJob", "run_job", "JobStats"]
@@ -123,7 +126,10 @@ def run_job(job: MapReduceJob, records: Sequence[Any], *,
     fan_out = n_workers > 1 and len(records) > 1
     runner = get_executor(executor) if fan_out else get_executor("serial")
 
+    observing = _obs_enabled()
+
     # ---- map + local partitioning -------------------------------------------
+    t0 = time.perf_counter()
     partitioned: list[list[tuple[Any, Any]]] = [[] for _ in range(job.partitions)]
     for count, buckets in runner.submit_ranges(
             _map_records_range, len(records),
@@ -133,8 +139,11 @@ def run_job(job: MapReduceJob, records: Sequence[Any], *,
         for i, bucket in enumerate(buckets):
             partitioned[i].extend(bucket)
     stats.pairs_emitted = sum(len(p) for p in partitioned)
+    if observing:
+        _histogram("mapreduce.map_seconds").observe(time.perf_counter() - t0)
 
     # ---- shuffle: group by key within each partition ---------------------------
+    t0 = time.perf_counter()
     grouped_partitions: list[dict[Any, list[Any]]] = []
     for bucket in partitioned:
         grouped: dict[Any, list[Any]] = defaultdict(list)
@@ -142,8 +151,11 @@ def run_job(job: MapReduceJob, records: Sequence[Any], *,
             grouped[key].append(value)
         grouped_partitions.append(dict(grouped))
     stats.distinct_keys = sum(len(g) for g in grouped_partitions)
+    if observing:
+        _histogram("mapreduce.shuffle_seconds").observe(time.perf_counter() - t0)
 
     # ---- reduce ------------------------------------------------------------------
+    t0 = time.perf_counter()
     outputs: list[Any] = []
     for block in runner.submit_ranges(
             _reduce_range, job.partitions,
@@ -151,4 +163,6 @@ def run_job(job: MapReduceJob, records: Sequence[Any], *,
             n_workers=n_workers if fan_out else 1,
             chunk_size=1):
         outputs.extend(block)
+    if observing:
+        _histogram("mapreduce.reduce_seconds").observe(time.perf_counter() - t0)
     return outputs, stats

@@ -49,6 +49,7 @@ from repro.observability.spans import (
     active_span,
     clear_spans,
     finished_spans,
+    graft_spans,
     trace,
 )
 from repro.observability.state import disable, enable, enabled, memory_enabled
@@ -56,6 +57,7 @@ from repro.observability.state import disable, enable, enabled, memory_enabled
 __all__ = [
     "enable", "disable", "enabled", "memory_enabled", "reset",
     "trace", "Span", "active_span", "finished_spans", "clear_spans",
+    "graft_spans",
     "counter", "gauge", "histogram", "metrics_snapshot", "merge_metrics",
     "snapshot_and_reset", "clear_metrics", "MetricsRegistry",
     "RunReport", "Reporter", "host_env", "render_span_tree",

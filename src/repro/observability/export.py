@@ -29,6 +29,7 @@ from typing import Any, Iterable, Iterator, TextIO
 
 from repro.observability import metrics as _metrics
 from repro.observability import spans as _spans
+from repro.util.memory import rss_peak_mb
 from repro.util.timing import format_seconds
 
 __all__ = ["RunReport", "Reporter", "host_env", "render_span_tree",
@@ -62,6 +63,7 @@ class RunReport:
     spans: list[dict[str, Any]] = field(default_factory=list)
     metrics: dict[str, Any] = field(default_factory=dict)
     records: list[dict[str, Any]] = field(default_factory=list)
+    memory: dict[str, Any] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
 
     SCHEMA_VERSION = 1
@@ -69,12 +71,18 @@ class RunReport:
     @classmethod
     def collect(cls, command: str, *, records: Iterable[dict[str, Any]] | None = None,
                 extra: dict[str, Any] | None = None) -> "RunReport":
-        """Snapshot the global collector and registry into a report."""
+        """Snapshot the global collector and registry into a report.
+
+        Every collected report carries the process's peak-RSS watermark
+        (the paper's "maximum resident memory" column) so memory rides
+        along even when no span traced the heap.
+        """
         return cls(
             command=command,
             spans=[span.to_dict() for span in _spans.finished_spans()],
             metrics=_metrics.metrics_snapshot(),
             records=list(records) if records is not None else [],
+            memory={"rss_peak_mb": rss_peak_mb()},
             extra=dict(extra) if extra else {},
         )
 
@@ -89,6 +97,7 @@ class RunReport:
             "spans": self.spans,
             "metrics": self.metrics,
             "records": self.records,
+            "memory": self.memory,
             "extra": self.extra,
         }
 
@@ -101,6 +110,7 @@ class RunReport:
             spans=data.get("spans", []),
             metrics=data.get("metrics", {}),
             records=data.get("records", []),
+            memory=data.get("memory", {}),
             extra=data.get("extra", {}),
         )
 
@@ -149,8 +159,15 @@ class RunReport:
         if histograms:
             lines.append("histograms:")
             for name, s in sorted(histograms.items()):
-                lines.append(f"  {name}  count={s['count']} mean={s['mean']:.6g} "
-                             f"min={s['min']:.6g} max={s['max']:.6g}")
+                line = (f"  {name}  count={s['count']} mean={s['mean']:.6g} "
+                        f"min={s['min']:.6g} max={s['max']:.6g}")
+                if "p50" in s:
+                    line += (f" p50={s['p50']:.6g} p95={s['p95']:.6g} "
+                             f"p99={s['p99']:.6g}")
+                lines.append(line)
+        rss = self.memory.get("rss_peak_mb")
+        if rss is not None:
+            lines.append(f"memory: rss_peak={rss:.1f}MB")
         return "\n".join(line for line in lines if line)
 
 
@@ -166,10 +183,16 @@ def render_span_tree(spans: Iterable[dict[str, Any]]) -> str:
             cells.append(format_seconds(wall) if wall is not None else "-")
             if peak is not None:
                 cells.append(f"peak {peak:.2f}MB")
-            attrs = node.get("attrs") or {}
+            attrs = dict(node.get("attrs") or {})
+            profile = attrs.pop("profile", None)
             if attrs:
                 cells.append(" ".join(f"{k}={v}" for k, v in attrs.items()))
             lines.append("  ".join(cells))
+            if profile:
+                # A cProfile top-N table is multi-line; render it
+                # indented under its span instead of inline.
+                indent = "  " * (depth + 2)
+                lines.extend(indent + line for line in profile)
             walk(node.get("children", ()), depth + 1)
 
     walk(spans, 0)

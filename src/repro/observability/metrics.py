@@ -3,38 +3,87 @@
 The registry gives every quantity the paper's evaluation cares about a
 stable, queryable name:
 
-==============================  ==========  =======================================
-name                            kind        meaning
-==============================  ==========  =======================================
-``newick.trees_parsed``         counter     trees materialized by the parser
-``bfh.bipartitions_hashed``     counter     masks counted into a frequency hash
-``bfh.hash_hits``               counter     query splits found in ``BFH_R``
-``bfh.hash_misses``             counter     query splits absent from ``BFH_R``
-``ds.set_comparisons``          counter     1-vs-1 symmetric differences (Alg. 1)
-``hashrf.bucket_entries``       counter     (key, tree-id) postings in the table
-``hashrf.collision_checks``     counter     splits pushed through the lossy hasher
-``parallel.tasks``              counter     chunk tasks executed by fork workers
-``parallel.workers``            gauge       pool size of the most recent fan-out
-``parallel.chunk_size``         gauge       chunk size of the most recent fan-out
-``parallel.task_seconds``       histogram   per-worker task latencies
-==============================  ==========  =======================================
+================================  ==========  =======================================
+name                              kind        meaning
+================================  ==========  =======================================
+``newick.trees_parsed``           counter     trees materialized by the parser
+``bfh.bipartitions_hashed``       counter     masks counted into a frequency hash
+``bfh.hash_hits``                 counter     query splits found in ``BFH_R``
+``bfh.hash_misses``               counter     query splits absent from ``BFH_R``
+``ds.set_comparisons``            counter     1-vs-1 symmetric differences (Alg. 1)
+``hashrf.bucket_entries``         counter     (key, tree-id) postings in the table
+``hashrf.collision_checks``       counter     splits pushed through the lossy hasher
+``parallel.tasks``                counter     chunk tasks executed by executor workers
+``parallel.workers``              gauge       pool size of the most recent fan-out
+``parallel.chunk_size``           gauge       chunk size of the most recent fan-out
+``parallel.task_seconds``         histogram   per-worker task latencies
+``parallel.fanout_seconds``       histogram   whole fan-out latency per submit_ranges
+``parallel.payload_bytes``        histogram   pickled shared-payload size per process fan-out
+``vectorized.probe_seconds``      histogram   batched searchsorted probe latencies
+``vectorized.probe_keys``         histogram   keys per batched probe
+``vectorized.batch_seconds``      histogram   whole-batch scoring latencies
+``vectorized.chunk_seconds``      histogram   per-chunk fan-out task latencies
+``store.shard_load_seconds``      histogram   per-shard snapshot decode on open
+``store.journal_replay_seconds``  histogram   journal replay latency on open
+``store.shard_write_seconds``     histogram   per-shard snapshot write on compact
+``store.shard_build_seconds``     histogram   per-slice count latency in parallel builds
+``store.query_seconds``           histogram   store.average_rf latencies
+``store.journal_tail_records``    gauge       journal records pending since compaction
+``store.journal_tail_bytes``      gauge       journal bytes pending since compaction
+``mapreduce.map_seconds``         histogram   map+partition phase latency per job
+``mapreduce.shuffle_seconds``     histogram   group-by-key phase latency per job
+``mapreduce.reduce_seconds``      histogram   reduce phase latency per job
+================================  ==========  =======================================
 
 All mutators are lock-protected (one registry-wide lock; instrumented
 code batches increments per tree or per task, so contention is nil), and
 every kind supports **merge** so forked workers can accumulate locally
 and ship a :func:`snapshot` back to the parent with their results.
+
+Histograms keep exact ``count``/``sum``/``min``/``max`` plus sparse
+fixed log-scale buckets (:data:`BUCKET_BOUNDS`), from which ``summary()``
+estimates p50/p95/p99.  Exactness survives merging: bucket counts add,
+and the four exact moments combine associatively, so a fan-out's merged
+histogram has byte-identical count/sum/min/max to a serial run.
 """
 
 from __future__ import annotations
 
 import threading
+from bisect import bisect_left
 from typing import Any
 
 from repro.observability.state import enabled
 
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "enabled",
            "counter", "gauge", "histogram", "metrics_snapshot",
-           "merge_metrics", "snapshot_and_reset", "clear_metrics"]
+           "merge_metrics", "snapshot_and_reset", "clear_metrics",
+           "BUCKET_BOUNDS", "bucket_range"]
+
+
+def _log_scale_bounds() -> tuple[float, ...]:
+    """Fixed bucket boundaries: 4 per decade spanning 1e-9 .. 1e12.
+
+    Wide enough for sub-microsecond probe latencies at one end and
+    payload byte counts at the other, so every histogram in the process
+    shares one bucket layout and merges without translation.
+    """
+    return tuple(10.0 ** (k / 4.0) for k in range(-36, 49))
+
+
+BUCKET_BOUNDS: tuple[float, ...] = _log_scale_bounds()
+
+
+def bucket_range(index: int) -> tuple[float, float]:
+    """The ``(low, high]`` value range covered by bucket ``index``.
+
+    Bucket 0 is the underflow bucket (everything at or below the first
+    boundary, including zeros and negatives); the last bucket is the
+    overflow bucket.
+    """
+    low = BUCKET_BOUNDS[index - 1] if index > 0 else float("-inf")
+    high = BUCKET_BOUNDS[index] if index < len(BUCKET_BOUNDS) else float("inf")
+    return low, high
 
 
 class Counter:
@@ -66,23 +115,28 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count / sum / min / max) of observations.
+    """Distribution summary: exact moments plus fixed log-scale buckets.
 
-    Deliberately bucket-free: the quantities recorded here (task
-    latencies, per-tree split counts) are reported as means and ranges
-    in the run report; full distributions would bloat worker snapshots.
+    ``count``/``sum``/``min``/``max`` are exact (and merge exactly across
+    worker snapshots); the sparse bucket counts over
+    :data:`BUCKET_BOUNDS` support p50/p95/p99 *estimates* with bounded
+    relative error (one bucket ≈ a quarter decade), clamped to the exact
+    observed range.  Sparseness keeps worker snapshots small: a typical
+    latency histogram touches a handful of buckets out of the fixed 86.
     """
 
-    __slots__ = ("count", "total", "min", "max", "_lock")
+    __slots__ = ("count", "total", "min", "max", "buckets", "_lock")
 
     def __init__(self, lock: threading.Lock):
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.buckets: dict[int, int] = {}
         self._lock = lock
 
     def observe(self, value: float) -> None:
+        index = bisect_left(BUCKET_BOUNDS, value)
         with self._lock:
             self.count += 1
             self.total += value
@@ -90,16 +144,65 @@ class Histogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def summary(self) -> dict[str, float]:
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the covering bucket, with the bucket
+        edges clamped to the exact observed min/max so single-value and
+        narrow distributions come back exact.
+        """
         if self.count == 0:
-            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            in_bucket = self.buckets[index]
+            if cumulative + in_bucket >= rank:
+                low, high = bucket_range(index)
+                low = max(low, self.min)
+                high = min(high, self.max)
+                fraction = (rank - cumulative) / in_bucket
+                return low + fraction * (high - low)
+            cumulative += in_bucket
+        return self.max
+
+    def summary(self) -> dict[str, Any]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                    "buckets": {}}
         return {"count": self.count, "sum": self.total, "min": self.min,
-                "max": self.max, "mean": self.mean}
+                "max": self.max, "mean": self.mean,
+                "p50": self.quantile(0.50), "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+                # String keys: the summary must survive a JSON round-trip
+                # byte-identically (RunReport.from_json(to_json(r)) == r).
+                "buckets": {str(i): self.buckets[i]
+                            for i in sorted(self.buckets)}}
+
+    def merge_summary(self, summary: dict[str, Any]) -> None:
+        """Fold another histogram's summary in (exact for the moments).
+
+        Tolerates summaries without ``buckets`` (older snapshots):
+        count/sum/min/max stay exact, quantile estimates then cover only
+        the bucketed part.
+        """
+        if summary.get("count", 0) <= 0:
+            return
+        with self._lock:
+            self.count += summary["count"]
+            self.total += summary["sum"]
+            self.min = min(self.min, summary["min"])
+            self.max = max(self.max, summary["max"])
+            for key, n in (summary.get("buckets") or {}).items():
+                index = int(key)
+                self.buckets[index] = self.buckets.get(index, 0) + int(n)
 
 
 class MetricsRegistry:
@@ -152,14 +255,7 @@ class MetricsRegistry:
         for name, value in snapshot.get("gauges", {}).items():
             self.gauge(name).set(value)
         for name, summary in snapshot.get("histograms", {}).items():
-            h = self.histogram(name)
-            if summary.get("count", 0) <= 0:
-                continue
-            with self._lock:
-                h.count += summary["count"]
-                h.total += summary["sum"]
-                h.min = min(h.min, summary["min"])
-                h.max = max(h.max, summary["max"])
+            self.histogram(name).merge_summary(summary)
 
     def reset(self) -> None:
         with self._lock:

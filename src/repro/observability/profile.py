@@ -26,7 +26,7 @@ import pstats
 from contextlib import contextmanager
 from typing import Any, Iterator, TextIO
 
-from repro.observability.spans import Span, trace
+from repro.observability.spans import Span, active_span, trace
 
 __all__ = ["profiled", "stats_summary"]
 
@@ -65,7 +65,12 @@ def profiled(name: str, *, top: int = 12, sort: str = "cumulative",
         finally:
             profiler.disable()
     summary = stats_summary(profiler, top=top, sort=sort)
-    if isinstance(span, Span):
-        span.attrs["profile"] = summary.splitlines()
+    target = span if isinstance(span, Span) else active_span()
+    if target is not None:
+        # Normally the profiled block's own span; when tracing was
+        # toggled on mid-run (span is the null singleton) fall back to
+        # whichever span is open so the profile still lands in the
+        # RunReport instead of vanishing.
+        target.attrs["profile"] = summary.splitlines()
     if stream is not None:
         stream.write(summary + "\n")

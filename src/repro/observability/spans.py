@@ -29,11 +29,13 @@ from __future__ import annotations
 import threading
 import time
 import tracemalloc
+from collections.abc import Iterable
 from typing import Any
 
 from repro.observability import state
 
-__all__ = ["Span", "trace", "active_span", "finished_spans", "clear_spans"]
+__all__ = ["Span", "trace", "active_span", "finished_spans", "clear_spans",
+           "graft_spans"]
 
 
 class Span:
@@ -103,6 +105,21 @@ class Span:
             out["children"] = [c.to_dict() for c in self.children]
         return out
 
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Span":
+        """Rebuild a finished span (recursively) from its :meth:`to_dict` form.
+
+        Used to re-materialize worker-side span subtrees shipped home in
+        process-executor snapshots, so they can be grafted back into the
+        parent's span tree.
+        """
+        span = cls(str(data.get("name", "?")), dict(data.get("attrs") or {}))
+        span.wall_s = data.get("wall_s")
+        span.peak_mb = data.get("peak_mb")
+        span.children = [cls.from_dict(child)
+                         for child in data.get("children", ())]
+        return span
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         wall = f"{self.wall_s:.4f}s" if self.wall_s is not None else "running"
         return f"Span({self.name!r}, {wall}, children={len(self.children)})"
@@ -167,3 +184,22 @@ def clear_spans() -> None:
     with _ROOTS_LOCK:
         _ROOTS.clear()
     _STACKS.stack.clear()
+
+
+def graft_spans(subtrees: Iterable[dict[str, Any]]) -> None:
+    """Reattach serialized span subtrees from a worker snapshot.
+
+    Grafted as children of the innermost span open on this thread (the
+    span that dispatched the fan-out), so worker-side spans appear in
+    the report exactly where an in-process backend would have nested
+    them.  With no active span they become roots.
+    """
+    spans = [Span.from_dict(subtree) for subtree in subtrees]
+    if not spans:
+        return
+    parent = active_span()
+    if parent is not None:
+        parent.children.extend(spans)
+    else:
+        with _ROOTS_LOCK:
+            _ROOTS.extend(spans)

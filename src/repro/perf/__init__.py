@@ -1,0 +1,36 @@
+"""``repro.perf`` — the perf ledger: registered benchmarks, an
+append-only results log, and a noise-aware regression gate.
+
+The paper's entire argument is a performance argument (§V–VI: wall time
+and peak memory across collection sizes), so the repo needs a durable
+way to notice when a change makes those numbers worse.  This package
+closes the loop the observability layer opened:
+
+* :mod:`~repro.perf.registry` — named, registered benchmarks with
+  per-benchmark regression tolerances;
+* :mod:`~repro.perf.workloads` — the built-in workloads (``table1`` &
+  friends) exercising the instrumented fan-out / vectorized / store
+  paths;
+* :mod:`~repro.perf.runner` — warmup + best-of-k execution under full
+  observability, producing one :class:`~repro.perf.ledger.LedgerEntry`;
+* :mod:`~repro.perf.ledger` — the schema-versioned JSONL ledger
+  (``benchmarks/results/ledger.jsonl``);
+* :mod:`~repro.perf.compare` — median + MAD regression detection
+  between two ledgers (the ``bfhrf bench compare`` CI gate).
+
+Everything is driven from the CLI: ``bfhrf bench run|list|compare``.
+"""
+
+from __future__ import annotations
+
+from repro.perf.compare import CompareReport, compare_ledgers
+from repro.perf.ledger import LedgerEntry, append_entry, git_sha, read_ledger
+from repro.perf.registry import Benchmark, benchmark_names, get_benchmark, \
+    register_benchmark
+from repro.perf.runner import run_benchmark
+
+__all__ = [
+    "Benchmark", "register_benchmark", "get_benchmark", "benchmark_names",
+    "LedgerEntry", "append_entry", "read_ledger", "git_sha",
+    "run_benchmark", "CompareReport", "compare_ledgers",
+]

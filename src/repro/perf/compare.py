@@ -1,0 +1,200 @@
+"""Noise-aware regression detection between two perf ledgers.
+
+``bfhrf bench compare BASELINE CANDIDATE`` answers one question per
+benchmark metric: *is the candidate slower than the baseline's history
+can explain?*  Benchmarks are noisy — CI machines doubly so — so a
+fixed percentage alone either cries wolf (tight tolerance, noisy
+metric) or sleeps through real regressions (loose tolerance, stable
+metric).  The gate therefore takes the larger of two thresholds:
+
+* the benchmark's relative ``tolerance`` (default 25%) applied to the
+  baseline **median**, and
+* ``3 × 1.4826 × MAD`` of the baseline history — three robust standard
+  deviations, with the MAD→σ consistency factor for normal noise —
+  which widens automatically when past entries scatter.
+
+A metric regresses when the candidate exceeds the baseline median by
+more than that threshold *and* by more than a small absolute floor
+(sub-millisecond jitter on a fast benchmark is not evidence).  Lower is
+better for every compared metric (seconds, RSS, histogram time totals).
+
+Baseline history is every entry for the benchmark in the baseline
+ledger; the candidate value is its **latest** entry — exactly how CI
+uses it (nightly ledger artifact vs this run's fresh entry).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from statistics import median
+from typing import Any
+
+from repro.perf.ledger import LedgerEntry, read_ledger
+from repro.util.errors import PerfError
+
+__all__ = ["MetricComparison", "CompareReport", "compare_entries",
+           "compare_ledgers"]
+
+#: MAD → standard-deviation consistency factor for normal noise.
+_MAD_SIGMA = 1.4826
+
+#: Absolute floors below which a delta is never a regression.
+_FLOOR_SECONDS = 0.005
+_FLOOR_MB = 8.0
+
+
+def _abs_floor(metric: str) -> float:
+    return _FLOOR_MB if metric.endswith("_mb") else _FLOOR_SECONDS
+
+
+@dataclass
+class MetricComparison:
+    """One metric of one benchmark, judged."""
+
+    benchmark: str
+    metric: str
+    baseline_median: float
+    baseline_mad: float
+    candidate: float
+    threshold: float
+    regressed: bool
+
+    @property
+    def delta(self) -> float:
+        return self.candidate - self.baseline_median
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline_median == 0:
+            return float("inf") if self.candidate > 0 else 1.0
+        return self.candidate / self.baseline_median
+
+
+@dataclass
+class CompareReport:
+    """All judged metrics; ``ok`` is the gate's verdict."""
+
+    comparisons: list[MetricComparison] = field(default_factory=list)
+    missing_baselines: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return [c for c in self.comparisons if c.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "missing_baselines": self.missing_baselines,
+            "comparisons": [
+                {
+                    "benchmark": c.benchmark,
+                    "metric": c.metric,
+                    "baseline_median": c.baseline_median,
+                    "baseline_mad": c.baseline_mad,
+                    "candidate": c.candidate,
+                    "threshold": c.threshold,
+                    "delta": c.delta,
+                    "ratio": c.ratio,
+                    "regressed": c.regressed,
+                }
+                for c in self.comparisons
+            ],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    def render(self) -> str:
+        """Human table: one row per metric, regressions flagged."""
+        if not self.comparisons and not self.missing_baselines:
+            return "bench compare: nothing to compare"
+        header = (f"{'benchmark':<18} {'metric':<36} {'baseline':>12} "
+                  f"{'candidate':>12} {'ratio':>7}  verdict")
+        lines = [header, "-" * len(header)]
+        for c in self.comparisons:
+            verdict = "REGRESSED" if c.regressed else "ok"
+            ratio = "inf" if c.ratio == float("inf") else f"{c.ratio:.2f}x"
+            lines.append(
+                f"{c.benchmark:<18} {c.metric:<36} {c.baseline_median:>12.6g} "
+                f"{c.candidate:>12.6g} {ratio:>7}  {verdict}")
+        for name in self.missing_baselines:
+            lines.append(f"{name:<18} (no baseline history; candidate "
+                         f"recorded, not judged)")
+        if self.regressions:
+            worst = max(self.regressions, key=lambda c: c.ratio)
+            lines.append("")
+            lines.append(
+                f"{len(self.regressions)} regression(s); worst: "
+                f"{worst.benchmark}/{worst.metric} at {worst.ratio:.2f}x "
+                f"baseline")
+        else:
+            lines.append("")
+            lines.append("no regressions")
+        return "\n".join(lines)
+
+
+def _mad(values: list[float], center: float) -> float:
+    return median([abs(v - center) for v in values]) if values else 0.0
+
+
+def compare_entries(baseline: list[LedgerEntry], candidate: LedgerEntry, *,
+                    tolerance: float | None = None) -> list[MetricComparison]:
+    """Judge one candidate entry against its baseline history."""
+    if not baseline:
+        return []
+    tol = tolerance if tolerance is not None else candidate.tolerance
+    flat_baseline = [entry.compare_metrics() for entry in baseline]
+    out: list[MetricComparison] = []
+    for metric, value in sorted(candidate.compare_metrics().items()):
+        history = [flat[metric] for flat in flat_baseline if metric in flat]
+        if not history:
+            continue
+        center = median(history)
+        mad = _mad(history, center)
+        threshold = max(tol * abs(center), 3.0 * _MAD_SIGMA * mad)
+        delta = value - center
+        regressed = delta > threshold and delta > _abs_floor(metric)
+        out.append(MetricComparison(
+            benchmark=candidate.benchmark, metric=metric,
+            baseline_median=center, baseline_mad=mad, candidate=value,
+            threshold=threshold, regressed=regressed))
+    return out
+
+
+def compare_ledgers(baseline_path: str | os.PathLike,
+                    candidate_path: str | os.PathLike, *,
+                    tolerance: float | None = None) -> CompareReport:
+    """Compare two ledger files (the CLI / CI entry point).
+
+    Every benchmark present in the candidate ledger is judged by its
+    latest entry; its history is all baseline entries of the same name.
+    Candidate benchmarks with no baseline history are listed but never
+    fail the gate (first run of a new benchmark).
+    """
+    baseline_entries = read_ledger(baseline_path)
+    candidate_entries = read_ledger(candidate_path)
+    if not candidate_entries:
+        raise PerfError(f"candidate ledger {candidate_path} is empty")
+
+    by_name: dict[str, list[LedgerEntry]] = {}
+    for entry in baseline_entries:
+        by_name.setdefault(entry.benchmark, []).append(entry)
+    latest: dict[str, LedgerEntry] = {}
+    for entry in candidate_entries:
+        latest[entry.benchmark] = entry  # append order: last one wins
+
+    report = CompareReport()
+    for name in sorted(latest):
+        history = by_name.get(name, [])
+        if not history:
+            report.missing_baselines.append(name)
+            continue
+        report.comparisons.extend(
+            compare_entries(history, latest[name], tolerance=tolerance))
+    return report

@@ -1,0 +1,180 @@
+"""The perf ledger — append-only JSONL of benchmark results.
+
+One line per ``bfhrf bench run``: a schema-versioned
+:class:`LedgerEntry` carrying the timing (warmup + best-of-k), the full
+:class:`~repro.observability.export.RunReport` metrics snapshot (the
+instrumented histograms the regression gate watches), the peak RSS, the
+host environment, and the git commit it measured.  Append-only because
+the *history* is the point: :mod:`repro.perf.compare` estimates noise
+from the spread of past entries (median + MAD), which a
+latest-value-only file cannot support.
+
+Default location: ``benchmarks/results/ledger.jsonl``.
+
+Compatibility: readers accept any entry whose ``schema_version`` is at
+most :data:`SCHEMA_VERSION` (fields only accrete within a major
+version); newer entries raise
+:class:`~repro.util.errors.PerfError` rather than being silently
+misread.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.observability.export import host_env
+from repro.util.errors import PerfError
+
+__all__ = ["SCHEMA_VERSION", "DEFAULT_LEDGER", "LedgerEntry",
+           "append_entry", "read_ledger", "git_sha"]
+
+SCHEMA_VERSION = 1
+
+#: Repo-relative default ledger path (CI uploads this file as an artifact).
+DEFAULT_LEDGER = Path("benchmarks") / "results" / "ledger.jsonl"
+
+
+def git_sha(cwd: str | os.PathLike | None = None) -> str | None:
+    """The current commit's SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=10, check=False)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@dataclass
+class LedgerEntry:
+    """One benchmark run, as one ledger line.
+
+    ``seconds`` is the best of ``repeat`` timed repetitions (after
+    ``warmup`` discarded ones); ``all_seconds`` keeps every repetition
+    so later tooling can re-estimate noise.  ``metrics`` is the merged
+    observability snapshot of the *timed* repetitions only.
+    """
+
+    benchmark: str
+    seconds: float
+    all_seconds: list[float] = field(default_factory=list)
+    repeat: int = 1
+    warmup: int = 0
+    scale: float = 1.0
+    peak_rss_mb: float = 0.0
+    tolerance: float = 0.25
+    created_unix: float = field(default_factory=time.time)
+    git_sha: str | None = None
+    env: dict[str, Any] = field(default_factory=host_env)
+    metrics: dict[str, Any] = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "seconds": self.seconds,
+            "all_seconds": self.all_seconds,
+            "repeat": self.repeat,
+            "warmup": self.warmup,
+            "scale": self.scale,
+            "peak_rss_mb": self.peak_rss_mb,
+            "tolerance": self.tolerance,
+            "created_unix": self.created_unix,
+            "git_sha": self.git_sha,
+            "env": self.env,
+            "metrics": self.metrics,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LedgerEntry":
+        version = data.get("schema_version")
+        if not isinstance(version, int) or version < 1:
+            raise PerfError(f"ledger entry has no valid schema_version: "
+                            f"{version!r}")
+        if version > SCHEMA_VERSION:
+            raise PerfError(
+                f"ledger entry has schema_version {version}, newer than "
+                f"this reader ({SCHEMA_VERSION}); update the tooling")
+        try:
+            benchmark = data["benchmark"]
+            seconds = float(data["seconds"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise PerfError(f"malformed ledger entry: {exc}") from exc
+        return cls(
+            benchmark=benchmark,
+            seconds=seconds,
+            all_seconds=[float(v) for v in data.get("all_seconds", [])],
+            repeat=int(data.get("repeat", 1)),
+            warmup=int(data.get("warmup", 0)),
+            scale=float(data.get("scale", 1.0)),
+            peak_rss_mb=float(data.get("peak_rss_mb", 0.0)),
+            tolerance=float(data.get("tolerance", 0.25)),
+            created_unix=float(data.get("created_unix", 0.0)),
+            git_sha=data.get("git_sha"),
+            env=data.get("env", {}),
+            metrics=data.get("metrics", {}),
+            extra=data.get("extra", {}),
+        )
+
+    # -- the flat metric view the regression gate compares --------------------
+
+    def compare_metrics(self) -> dict[str, float]:
+        """Flatten this entry into named scalar metrics.
+
+        ``seconds`` and ``peak_rss_mb`` always; every ``*_seconds``
+        histogram contributes its total (the subsystem's aggregate time
+        across the timed repetitions).
+        """
+        out = {"seconds": self.seconds, "peak_rss_mb": self.peak_rss_mb}
+        for name, summary in self.metrics.get("histograms", {}).items():
+            if name.endswith("_seconds") and isinstance(summary, dict):
+                total = summary.get("sum")
+                if isinstance(total, (int, float)):
+                    out[f"hist:{name}:total"] = float(total)
+        return out
+
+
+def append_entry(path: str | os.PathLike, entry: LedgerEntry) -> Path:
+    """Append one entry to the ledger (creating parents as needed)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry.to_dict(), sort_keys=False))
+        fh.write("\n")
+    return target
+
+
+def read_ledger(path: str | os.PathLike) -> list[LedgerEntry]:
+    """All entries of a ledger file, in append order.
+
+    Blank lines are skipped; malformed JSON or incompatible entries
+    raise :class:`~repro.util.errors.PerfError` with the line number.
+    """
+    target = Path(path)
+    if not target.exists():
+        raise PerfError(f"ledger not found: {target}")
+    entries: list[LedgerEntry] = []
+    with open(target, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise PerfError(
+                    f"{target}:{lineno}: not valid JSON ({exc})") from exc
+            try:
+                entries.append(LedgerEntry.from_dict(data))
+            except PerfError as exc:
+                raise PerfError(f"{target}:{lineno}: {exc}") from exc
+    return entries

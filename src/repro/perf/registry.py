@@ -1,0 +1,124 @@
+"""Benchmark registry — names the perf ledger and CLI agree on.
+
+A benchmark is a plain callable taking one ``scale`` float (1.0 = the
+reference size; CI smoke runs pass less) and returning a JSON-safe dict
+of workload facts (tree counts, result checksums) stamped into the
+ledger entry's ``extra``.  Registration gives it a stable name, a
+one-line description, a per-benchmark regression ``tolerance``, and a
+``smoke`` flag marking it cheap enough for the per-PR CI gate.
+
+Built-in workloads register themselves when :mod:`repro.perf.workloads`
+imports; the paper-scale suites in ``benchmarks/`` add theirs on top via
+:func:`register_benchmark` so ``bfhrf bench run`` can drive any of them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.util.errors import PerfError
+
+__all__ = ["Benchmark", "register_benchmark", "get_benchmark",
+           "benchmark_names", "iter_benchmarks"]
+
+#: Default relative regression tolerance (the CI gate's 25%).
+DEFAULT_TOLERANCE = 0.25
+
+BenchFn = Callable[[float], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered benchmark.
+
+    Attributes
+    ----------
+    name:
+        Registry key; also the ``benchmark`` field of ledger entries.
+    fn:
+        ``fn(scale) -> extra`` — runs the workload once and returns
+        JSON-safe facts about it.
+    description:
+        One line for ``bfhrf bench list``.
+    tolerance:
+        Relative regression tolerance for :mod:`repro.perf.compare`
+        (0.25 = fail on >25% slowdowns beyond noise).
+    smoke:
+        True when the benchmark is cheap enough for the per-PR CI gate;
+        nightly runs take everything.
+    """
+
+    name: str
+    fn: BenchFn = field(repr=False)
+    description: str = ""
+    tolerance: float = DEFAULT_TOLERANCE
+    smoke: bool = False
+
+
+_REGISTRY: dict[str, Benchmark] = {}
+
+
+def register_benchmark(name: str, fn: BenchFn, *, description: str = "",
+                       tolerance: float = DEFAULT_TOLERANCE,
+                       smoke: bool = False) -> Benchmark:
+    """Register (or re-register) a benchmark under ``name``.
+
+    Re-registration replaces the previous entry — the benchmarks/
+    suites re-import freely under pytest.
+    """
+    if not name or any(c.isspace() for c in name):
+        raise PerfError(f"benchmark name must be non-empty and contain no "
+                        f"whitespace, got {name!r}")
+    if tolerance <= 0:
+        raise PerfError(f"tolerance must be positive, got {tolerance}")
+    bench = Benchmark(name=name, fn=fn, description=description,
+                      tolerance=tolerance, smoke=smoke)
+    _REGISTRY[name] = bench
+    return bench
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """Look up a registered benchmark (loading the built-ins first)."""
+    _ensure_builtin()
+    bench = _REGISTRY.get(name)
+    if bench is None:
+        raise PerfError(f"unknown benchmark {name!r}; registered: "
+                        f"{benchmark_names()}")
+    return bench
+
+
+def benchmark_names(*, smoke_only: bool = False) -> list[str]:
+    """Sorted names of all registered benchmarks."""
+    _ensure_builtin()
+    return sorted(name for name, b in _REGISTRY.items()
+                  if b.smoke or not smoke_only)
+
+
+def iter_benchmarks() -> list[Benchmark]:
+    """All registered benchmarks, sorted by name."""
+    _ensure_builtin()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def _ensure_builtin() -> None:
+    # Import-for-effect: the built-in workloads self-register.  Deferred
+    # so registry import stays dependency-free.
+    from repro.perf import workloads  # noqa: F401
+
+    # Extra suites (comma-separated module names) register the same way;
+    # the nightly CI job uses REPRO_BENCH_SUITES=common with benchmarks/
+    # on PYTHONPATH to pull in the paper:* single-point benchmarks.
+    import importlib
+    import os
+
+    for mod in filter(None, (m.strip() for m in
+                             os.environ.get("REPRO_BENCH_SUITES", "")
+                             .split(","))):
+        try:
+            importlib.import_module(mod)
+        except ImportError as exc:
+            raise PerfError(
+                f"REPRO_BENCH_SUITES module {mod!r} failed to import: {exc}"
+            ) from exc

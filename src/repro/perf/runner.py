@@ -1,0 +1,91 @@
+"""Benchmark execution: warmup, best-of-k, full observability.
+
+One :func:`run_benchmark` call produces one
+:class:`~repro.perf.ledger.LedgerEntry`:
+
+1. enable observability (metrics + spans — the histograms *are* the
+   product);
+2. run ``warmup`` untimed repetitions, then drop everything they
+   recorded so JIT-ish effects (allocator warmup, dataset memoization,
+   import costs) don't pollute the measured snapshot;
+3. run ``repeat`` timed repetitions under a peak-RSS probe, keeping the
+   best wall time (the paper's protocol: minimum over repetitions
+   estimates the noise floor) and every individual time for the ledger;
+4. collect the merged metrics snapshot and stamp the entry with the
+   host env and git SHA.
+
+The runner saves and restores the global observability state, so
+driving it from an already-observing CLI run (``--trace bench run``)
+neither loses the caller's spans nor double-counts the benchmark's.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import observability as obs
+from repro.observability import state as _obs_state
+from repro.perf.ledger import LedgerEntry, git_sha
+from repro.perf.registry import get_benchmark
+from repro.util.errors import PerfError
+from repro.util.memory import MemoryProbe
+
+__all__ = ["run_benchmark"]
+
+
+def run_benchmark(name: str, *, repeat: int = 3, warmup: int = 1,
+                  scale: float = 1.0) -> LedgerEntry:
+    """Run registered benchmark ``name`` and return its ledger entry."""
+    if repeat < 1:
+        raise PerfError(f"repeat must be >= 1, got {repeat}")
+    if warmup < 0:
+        raise PerfError(f"warmup must be >= 0, got {warmup}")
+    if scale <= 0:
+        raise PerfError(f"scale must be positive, got {scale}")
+    bench = get_benchmark(name)
+
+    was_enabled = _obs_state.enabled()
+    was_memory = _obs_state.memory_enabled()
+    caller_report = obs.RunReport.collect(f"pre-bench {name}") \
+        if was_enabled else None
+    obs.reset()
+    obs.enable(memory=was_memory)
+    extra: dict = {}
+    times: list[float] = []
+    try:
+        for _ in range(warmup):
+            bench.fn(scale)
+        # Warmup work recorded like any other; measurement starts clean.
+        obs.reset()
+        probe = MemoryProbe(mode="rss")
+        with probe.measure() as sample:
+            for _ in range(repeat):
+                t0 = time.perf_counter()
+                extra = bench.fn(scale)
+                times.append(time.perf_counter() - t0)
+        metrics = obs.metrics_snapshot()
+    finally:
+        obs.reset()
+        if was_enabled:
+            # Restore the caller's collector contents (spans re-rooted,
+            # metrics re-merged) so an observing CLI run keeps its data.
+            obs.graft_spans(caller_report.spans)
+            obs.merge_metrics(caller_report.metrics)
+        else:
+            obs.disable()
+
+    if not isinstance(extra, dict):
+        extra = {"result": extra}
+    return LedgerEntry(
+        benchmark=bench.name,
+        seconds=min(times),
+        all_seconds=times,
+        repeat=repeat,
+        warmup=warmup,
+        scale=scale,
+        peak_rss_mb=sample.peak_mb,
+        tolerance=bench.tolerance,
+        git_sha=git_sha(),
+        metrics=metrics,
+        extra=extra,
+    )

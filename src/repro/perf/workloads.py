@@ -1,0 +1,139 @@
+"""Built-in perf workloads, self-registered on import.
+
+Each workload is sized so ``scale=1.0`` finishes in seconds (a smoke
+approximation of the paper's Table-I complexity sweep, not the full
+14k-tree Avian run — the ``benchmarks/`` suites own paper scale) while
+still driving every instrumented subsystem: the executor fan-out
+(``parallel.fanout_seconds``), the vectorized probes
+(``vectorized.probe_seconds``), and the store shard machinery
+(``store.shard_build_seconds`` / ``store.query_seconds``), so a ledger
+entry's metrics snapshot carries the histograms the regression gate
+watches.
+
+Workloads must be deterministic in everything but wall time: fixed
+seeds, result checksums in ``extra`` so a compare can also notice a
+*correctness* drift between ledger entries.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.perf.registry import register_benchmark
+
+__all__ = ["scaled_count"]
+
+_SEED = 20260808
+
+
+def scaled_count(base: int, scale: float, *, floor: int = 4) -> int:
+    """Scale a workload size, never below ``floor`` (keeps fan-outs real)."""
+    return max(floor, int(round(base * scale)))
+
+
+def _collection(n_taxa: int, r: int):
+    from repro.simulation.datasets import variable_taxa
+
+    return variable_taxa(n_taxa, r=r, seed=_SEED).trees
+
+
+def _checksum(values) -> float:
+    return round(float(sum(values)), 6)
+
+
+def _run_table1(scale: float) -> dict[str, Any]:
+    """The flagship smoke workload: fan-out + vectorized + store in one run.
+
+    Mirrors Table 1's shape (tree-vs-hash average RF over a simulated
+    collection) at smoke size, then the same collection through the
+    vectorized backend and a sharded store build + warm query — every
+    subsystem the PR gate wants histograms from.
+    """
+    from repro.core.bfhrf import bfhrf_average_rf
+    from repro.core.vectorized import vectorized_average_rf
+    from repro.store.store import build_store
+
+    trees = _collection(scaled_count(24, scale, floor=8),
+                        scaled_count(48, scale, floor=8))
+    values = bfhrf_average_rf(trees, trees, n_workers=2)
+    vec_values = vectorized_average_rf(trees, trees, n_workers=2,
+                                       executor="thread")
+    with tempfile.TemporaryDirectory(prefix="bfhrf-bench-") as tmp:
+        store = build_store(Path(tmp) / "store", trees, n_workers=2,
+                            n_shards=4)
+        store_values = store.average_rf(trees[: max(4, len(trees) // 4)])
+    return {
+        "trees": len(trees),
+        "taxa": len(trees[0].taxon_namespace),
+        "avg_rf_checksum": _checksum(values),
+        "vectorized_checksum": _checksum(vec_values),
+        "store_checksum": _checksum(store_values),
+    }
+
+
+def _run_vectorized_probe(scale: float) -> dict[str, Any]:
+    """Batched-probe throughput of the NumPy backend alone."""
+    from repro.core.vectorized import VectorizedBFH
+
+    trees = _collection(scaled_count(32, scale, floor=8),
+                        scaled_count(64, scale, floor=8))
+    vbfh = VectorizedBFH.from_trees(trees)
+    values = vbfh.average_rf_batch(trees)
+    return {
+        "trees": len(trees),
+        "unique_splits": len(vbfh),
+        "checksum": _checksum(values.tolist()),
+    }
+
+
+def _run_store_warm(scale: float) -> dict[str, Any]:
+    """Store lifecycle: build, incremental add, compact, warm query."""
+    from repro.store.store import build_store
+
+    trees = _collection(scaled_count(16, scale, floor=8),
+                        scaled_count(48, scale, floor=12))
+    split = max(4, (len(trees) * 3) // 4)
+    with tempfile.TemporaryDirectory(prefix="bfhrf-bench-") as tmp:
+        store = build_store(Path(tmp) / "store", trees[:split], n_shards=4)
+        store.add_trees(trees[split:])
+        store.compact()
+        values = store.average_rf(trees[: max(4, len(trees) // 4)])
+        unique = len(store)
+    return {
+        "trees": len(trees),
+        "unique_splits": unique,
+        "checksum": _checksum(values),
+    }
+
+
+def _run_mapreduce(scale: float) -> dict[str, Any]:
+    """The MapReduce engine's three stages over an RF-style job."""
+    from repro.core.mrsrf import mrsrf_matrix
+
+    trees = _collection(scaled_count(16, scale, floor=8),
+                        scaled_count(24, scale, floor=8))
+    matrix, _stats = mrsrf_matrix(trees, n_workers=2)
+    return {
+        "trees": len(trees),
+        "checksum": _checksum(float(v) for row in matrix for v in row),
+    }
+
+
+register_benchmark(
+    "table1", _run_table1,
+    description="fan-out + vectorized + sharded store, Table-1 shape at "
+                "smoke size",
+    smoke=True)
+register_benchmark(
+    "vectorized_probe", _run_vectorized_probe,
+    description="NumPy batched-probe throughput (searchsorted + reduceat)",
+    smoke=True)
+register_benchmark(
+    "store_warm", _run_store_warm,
+    description="store build / add / compact / warm query lifecycle",
+    smoke=True)
+register_benchmark(
+    "mapreduce", _run_mapreduce,
+    description="MapReduce RF matrix (map/shuffle/reduce stage timings)")

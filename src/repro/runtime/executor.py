@@ -48,6 +48,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import pickle
 import time
 from collections.abc import Callable, Iterable
 from typing import Any
@@ -155,23 +156,35 @@ def _spawn_worker_init(payload: Any, observing: bool) -> None:
 # ---------------------------------------------------------------------------
 
 def worker_task_snapshot(task_t0: float) -> dict[str, Any] | None:
-    """Finish one worker task: record its latency, drain local metrics.
+    """Finish one worker task: record its latency, drain metrics *and spans*.
 
     Used by the process backends' task wrapper (and by the deprecated
     ``fork_map`` task contract).  ``None`` stands for "nothing recorded"
-    so the disabled path ships no extra bytes.
+    so the disabled path ships no extra bytes.  Any spans the task
+    finished in this worker ride home serialized under the snapshot's
+    ``"spans"`` key; :func:`merge_worker_snapshots` grafts them back
+    under the dispatching span, so worker-side tracing survives the
+    process boundary on ``fork`` and ``spawn`` alike.
     """
     if not _obs_enabled():
         return None
     _histogram("parallel.task_seconds").observe(time.perf_counter() - task_t0)
     _metric("parallel.tasks").inc()
-    return _obs.snapshot_and_reset()
+    snapshot = _obs.snapshot_and_reset()
+    finished = _obs.finished_spans()
+    if finished:
+        snapshot["spans"] = [span.to_dict() for span in finished]
+        _obs.clear_spans()
+    return snapshot
 
 
 def merge_worker_snapshots(snapshots: Iterable[dict[str, Any] | None]) -> None:
     """Parent-side reduction of per-task worker snapshots."""
     for snapshot in snapshots:
         if snapshot:
+            worker_spans = snapshot.pop("spans", None)
+            if worker_spans:
+                _obs.graft_spans(worker_spans)
             _obs.merge_metrics(snapshot)
 
 
@@ -180,6 +193,30 @@ def record_fanout(workers: int, chunk_size: int) -> None:
     if _obs_enabled():
         _gauge("parallel.workers").set(workers)
         _gauge("parallel.chunk_size").set(chunk_size)
+
+
+def _record_fanout_seconds(t0: float) -> None:
+    """Whole fan-out latency (dispatch to last result merged)."""
+    if _obs_enabled():
+        _histogram("parallel.fanout_seconds").observe(time.perf_counter() - t0)
+
+
+def _record_payload_bytes(shared: Any) -> None:
+    """Pickled size of the shared payload a process fan-out ships.
+
+    The actual bytes ``spawn`` sends to every worker, and what ``spawn``
+    *would* ship for a ``fork`` run (fork inherits copy-on-write) — the
+    quantity behind the ROADMAP's shared-memory/zero-copy line of work.
+    Only measured while observing; unpicklable fork payloads are skipped
+    rather than failed (fork never needed pickling).
+    """
+    if not _obs_enabled():
+        return
+    try:
+        size = len(pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL))
+    except Exception:
+        return
+    _histogram("parallel.payload_bytes").observe(float(size))
 
 
 def _finish_task_inline(task_t0: float) -> None:
@@ -257,12 +294,14 @@ class SerialExecutor(Executor):
             return []
         size = chunk_size or n_items
         record_fanout(1, size)
+        t0 = time.perf_counter()
         previous = _set_payload(shared)
         try:
             return [_invoke_inline(task, bounds)
                     for bounds in chunk_indices(n_items, size)]
         finally:
             _set_payload(previous)
+            _record_fanout_seconds(t0)
 
 
 class ThreadExecutor(Executor):
@@ -276,6 +315,7 @@ class ThreadExecutor(Executor):
             return []
         workers, size = self._plan(n_items, n_workers, chunk_size)
         record_fanout(workers, size)
+        t0 = time.perf_counter()
         previous = _set_payload(shared)
         try:
             if workers <= 1:
@@ -288,6 +328,7 @@ class ThreadExecutor(Executor):
                                      chunk_indices(n_items, size)))
         finally:
             _set_payload(previous)
+            _record_fanout_seconds(t0)
 
 
 class _ProcessExecutor(Executor):
@@ -302,10 +343,13 @@ class _ProcessExecutor(Executor):
             return []
         workers, size = self._plan(n_items, n_workers, chunk_size)
         record_fanout(workers, size)
+        _record_payload_bytes(shared)
+        t0 = time.perf_counter()
         items = [(task, bounds) for bounds in chunk_indices(n_items, size)]
         with self._pool(workers, shared) as pool:
             results = pool.map(_invoke_child, items)
         merge_worker_snapshots(snap for _value, snap in results)
+        _record_fanout_seconds(t0)
         return [value for value, _snap in results]
 
 

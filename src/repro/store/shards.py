@@ -18,11 +18,15 @@ ranges.
 
 from __future__ import annotations
 
+import time
 from bisect import bisect_right
 from collections.abc import Sequence
 
 from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
 from repro.hashing.bfh import BipartitionFrequencyHash
+from repro.observability.metrics import histogram as _histogram
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
 from repro.runtime.executor import Executor, get_executor, get_payload, \
     resolve_workers
 from repro.trees.tree import Tree
@@ -95,10 +99,25 @@ def _count_slice(trees: Sequence[Tree], lo: int, hi: int, *,
 
 
 def _count_range(bounds: tuple[int, int]):
-    """Worker task wrapper around :func:`_count_slice` (shared payload in)."""
+    """Worker task wrapper around :func:`_count_slice` (shared payload in).
+
+    When observability is on each range records its own span and a
+    ``store.shard_build_seconds`` sample; under the process executors
+    these ride home in the worker snapshot and are grafted back under
+    the dispatching span.
+    """
     trees, include_trivial, weighted = get_payload()
-    return _count_slice(trees, bounds[0], bounds[1],
-                        include_trivial=include_trivial, weighted=weighted)
+    if not _obs_enabled():
+        return _count_slice(trees, bounds[0], bounds[1],
+                            include_trivial=include_trivial, weighted=weighted)
+    with trace("store.count", lo=bounds[0], hi=bounds[1]):
+        t0 = time.perf_counter()
+        result = _count_slice(trees, bounds[0], bounds[1],
+                              include_trivial=include_trivial,
+                              weighted=weighted)
+        _histogram("store.shard_build_seconds").observe(
+            time.perf_counter() - t0)
+    return result
 
 
 def parallel_build_tables(trees: Sequence[Tree], *, include_trivial: bool,

@@ -32,6 +32,7 @@ from __future__ import annotations
 import json
 import math
 import os
+import time
 from bisect import bisect_left, insort
 from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
@@ -39,7 +40,8 @@ from pathlib import Path
 from repro.core.bfhrf import bfhrf_average_rf
 from repro.hashing.bfh import BipartitionFrequencyHash
 from repro.hashing.weighted import WeightedBipartitionHash
-from repro.observability.metrics import counter as _metric
+from repro.observability.metrics import counter as _metric, gauge as _gauge, \
+    histogram as _histogram
 from repro.observability.spans import trace
 from repro.observability.state import enabled as _obs_enabled
 from repro.store.format import (
@@ -177,7 +179,15 @@ class BFHStore:
                      journal_records=store.journal_records)
         return store
 
+    def _record_journal_tail(self) -> None:
+        """Gauge the journal overlay's lag behind the compacted shards."""
+        if _obs_enabled():
+            _gauge("store.journal_tail_records").set(self.journal_records)
+            _gauge("store.journal_tail_bytes").set(
+                max(0, self._journal_good_offset - JOURNAL_HEADER_SIZE))
+
     def _load_shard(self, path: Path, fingerprint: bytes) -> None:
+        t0 = time.perf_counter()
         data: SnapshotData = read_snapshot(path)
         if data.fingerprint != fingerprint:
             raise StoreCorruptError(
@@ -194,8 +204,12 @@ class BFHStore:
         if self.weighted:
             for mask, lengths in (data.weights or {}).items():
                 self._weights[mask] = list(lengths)
+        if _obs_enabled():
+            _histogram("store.shard_load_seconds").observe(
+                time.perf_counter() - t0)
 
     def _replay_journal(self, path: Path, fingerprint: bytes) -> None:
+        t0 = time.perf_counter()
         if not path.exists():
             raise StoreCorruptError(f"journal {path} is missing")
         journal_fp = check_journal_header(path.read_bytes(), path)
@@ -231,6 +245,10 @@ class BFHStore:
                         f"journal {path}: replay failed ({exc}) — "
                         "frequencies would be silently wrong") from exc
         self.journal_records = len(records)
+        if _obs_enabled():
+            _histogram("store.journal_replay_seconds").observe(
+                time.perf_counter() - t0)
+        self._record_journal_tail()
 
     @property
     def _journal_file(self) -> Path:
@@ -377,6 +395,7 @@ class BFHStore:
         if _obs_enabled():
             _metric("store.journal_records").inc(len(blobs))
             _metric("store.trees_added").inc(len(trees))
+        self._record_journal_tail()
         return len(trees)
 
     def remove_trees(self, trees: Iterable[Tree]) -> int:
@@ -430,6 +449,7 @@ class BFHStore:
         if _obs_enabled():
             _metric("store.journal_records").inc(len(blobs))
             _metric("store.trees_removed").inc(len(trees))
+        self._record_journal_tail()
         return len(trees)
 
     # -- queries -------------------------------------------------------------
@@ -467,8 +487,13 @@ class BFHStore:
         a fresh build of the current reference set.
         """
         with trace("store.query", q=len(query), r=self.n_trees):
-            return bfhrf_average_rf(query, bfh=self.bfh(),
-                                    n_workers=n_workers, executor=executor)
+            t0 = time.perf_counter()
+            values = bfhrf_average_rf(query, bfh=self.bfh(),
+                                      n_workers=n_workers, executor=executor)
+            if _obs_enabled():
+                _histogram("store.query_seconds").observe(
+                    time.perf_counter() - t0)
+            return values
 
     def __len__(self) -> int:
         return len(self._counts)
@@ -505,11 +530,15 @@ class BFHStore:
                     if self.weighted:
                         weights = {mask: self._weights.get(mask, [])
                                    for mask in part}
+                    t0 = time.perf_counter()
                     entries = write_snapshot(
                         self.path / name, part, n_taxa=n_taxa,
                         fingerprint=fingerprint,
                         include_trivial=self.include_trivial,
                         weights=weights)
+                    if _obs_enabled():
+                        _histogram("store.shard_write_seconds").observe(
+                            time.perf_counter() - t0)
                     shard_span.set(entries=entries)
                 shard_entries.append({"file": name, "entries": entries})
                 if _obs_enabled():
@@ -535,6 +564,7 @@ class BFHStore:
             span.set(unique=len(self._counts), trees=self.n_trees)
         if _obs_enabled():
             _metric("store.compactions").inc()
+        self._record_journal_tail()
         for name in old_files:
             try:
                 (self.path / name).unlink()

@@ -71,6 +71,27 @@ class TestRunReport:
         for key in ("platform", "python", "hostname", "cpu_count", "pid"):
             assert key in env
 
+    def test_collect_attaches_peak_rss(self, observed):
+        report = _sample_report()
+        assert report.memory["rss_peak_mb"] > 0
+        assert "rss_peak" in report.render()
+
+    def test_json_round_trip_equality_with_histograms(self, observed):
+        for value in (0.001, 0.25, 0.25, 3.75, 120.0):
+            obs.histogram("store.query_seconds").observe(value)
+        report = _sample_report()
+        clone = RunReport.from_json(report.to_json())
+        assert clone == report  # dataclass equality, every field
+        summary = clone.metrics["histograms"]["store.query_seconds"]
+        assert summary["count"] == 5
+        assert summary["buckets"] and all(
+            isinstance(k, str) for k in summary["buckets"])
+
+    def test_render_shows_histogram_percentiles(self, observed):
+        obs.histogram("parallel.task_seconds").observe(0.5)
+        text = RunReport.collect("bfhrf test").render()
+        assert "p50=" in text and "p99=" in text
+
 
 class TestJsonl:
     def test_lines_are_json_with_paths(self, observed, tmp_path):
@@ -82,6 +103,23 @@ class TestJsonl:
         path = tmp_path / "run.jsonl"
         assert write_jsonl(path, report) == len(lines)
         assert len(path.read_text().splitlines()) == len(lines)
+
+    def test_non_ascii_taxon_names_survive_jsonl(self, observed, tmp_path):
+        with trace("bfh.build", taxon="Å𝛼-Ωß"):
+            with trace("parse", file="trees_日本語.nwk"):
+                pass
+        report = RunReport.collect("bfhrf avg-rf")
+        lines = [json.loads(line) for line in iter_jsonl(report)]
+        spans = [l for l in lines if l["type"] == "span"]
+        assert spans[0]["attrs"]["taxon"] == "Å𝛼-Ωß"
+        assert spans[1]["attrs"]["file"] == "trees_日本語.nwk"
+        path = tmp_path / "run.jsonl"
+        write_jsonl(path, report)
+        reread = [json.loads(line)
+                  for line in path.read_text(encoding="utf-8").splitlines()]
+        assert reread == lines
+        clone = RunReport.from_json(report.to_json())
+        assert clone == report
 
 
 class TestRenderSpanTree:

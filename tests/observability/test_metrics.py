@@ -38,7 +38,27 @@ class TestRegistry:
         for v in (1.0, 3.0, 2.0):
             h.observe(v)
         s = reg.snapshot()["histograms"]["lat"]
-        assert s == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert s["count"] == 3
+        assert s["sum"] == 6.0
+        assert s["min"] == 1.0 and s["max"] == 3.0
+        assert s["mean"] == 2.0
+        assert sum(s["buckets"].values()) == 3
+        assert all(isinstance(k, str) for k in s["buckets"])
+
+    def test_histogram_quantiles_bounded_by_range(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.008, 0.5, 1.0):
+            h.observe(v)
+        s = h.summary()
+        assert s["min"] <= s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+    def test_histogram_single_value_quantiles_exact(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        h.observe(0.25)
+        s = h.summary()
+        assert s["p50"] == s["p95"] == s["p99"] == 0.25
 
     def test_empty_histogram_summary_is_zeroed(self):
         reg = MetricsRegistry()
@@ -72,6 +92,16 @@ class TestMerge:
         assert s["count"] == 3
         assert s["min"] == 1.0 and s["max"] == 5.0
         assert s["sum"] == 9.0
+        assert sum(s["buckets"].values()) == 3
+
+    def test_bucketless_legacy_summary_merges_moments(self):
+        a = MetricsRegistry()
+        a.histogram("lat").observe(1.0)
+        a.merge({"histograms": {"lat": {"count": 2, "sum": 8.0,
+                                        "min": 3.0, "max": 5.0}}})
+        s = a.snapshot()["histograms"]["lat"]
+        assert s["count"] == 3 and s["sum"] == 9.0
+        assert s["min"] == 1.0 and s["max"] == 5.0
 
     def test_empty_histogram_does_not_poison_min_max(self):
         a, b = MetricsRegistry(), MetricsRegistry()
@@ -79,7 +109,8 @@ class TestMerge:
         b.histogram("lat")  # created but never observed
         a.merge(b.snapshot())
         s = a.snapshot()["histograms"]["lat"]
-        assert s == {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0, "mean": 2.0}
+        assert s["count"] == 1 and s["sum"] == 2.0
+        assert s["min"] == 2.0 and s["max"] == 2.0 and s["mean"] == 2.0
 
     def test_merge_round_trips_through_snapshot(self):
         a = MetricsRegistry()

@@ -1,0 +1,101 @@
+"""The ``bfhrf bench`` subcommand end to end (and ``--cprofile``)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.perf.ledger import LedgerEntry, append_entry, read_ledger
+
+
+class TestBenchRun:
+    def test_run_appends_schema_valid_entry(self, tmp_path, capsys):
+        ledger = tmp_path / "ledger.jsonl"
+        rc = main(["bench", "run", "table1", "--repeat", "2", "--warmup", "0",
+                   "--scale", "0.25", "--ledger", str(ledger)])
+        assert rc == 0
+        (entry,) = read_ledger(ledger)
+        assert entry.benchmark == "table1"
+        assert entry.repeat == 2
+        hists = entry.metrics["histograms"]
+        for name in ("parallel.fanout_seconds", "vectorized.probe_seconds",
+                     "store.shard_build_seconds"):
+            assert name in hists
+
+    def test_run_without_names_errors(self, tmp_path, capsys):
+        assert main(["bench", "run", "--ledger",
+                     str(tmp_path / "l.jsonl")]) == 2
+        assert "NAMEs or --smoke" in capsys.readouterr().err
+
+    def test_unknown_benchmark_is_repro_error(self, tmp_path, capsys):
+        rc = main(["bench", "run", "nope", "--ledger",
+                   str(tmp_path / "l.jsonl")])
+        assert rc == 2
+        assert "unknown benchmark" in capsys.readouterr().err
+
+
+class TestBenchList:
+    def test_lists_builtins_with_tiers(self, capsys):
+        assert main(["bench", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "[smoke]" in out and "tol=25%" in out
+
+
+class TestBenchCompare:
+    @pytest.fixture()
+    def ledgers(self, tmp_path):
+        base = tmp_path / "base.jsonl"
+        cand = tmp_path / "cand.jsonl"
+        for seconds in (1.00, 1.01, 0.99, 1.02):
+            append_entry(base, LedgerEntry(benchmark="synthetic",
+                                           seconds=seconds))
+        return base, cand
+
+    def test_perturbed_candidate_fails_naming_metric(self, ledgers, capsys):
+        base, cand = ledgers
+        append_entry(cand, LedgerEntry(benchmark="synthetic", seconds=1.30))
+        rc = main(["bench", "compare", str(base), str(cand)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "REGRESSED" in out
+        assert "synthetic/seconds" in out
+
+    def test_clean_candidate_passes(self, ledgers, capsys):
+        base, cand = ledgers
+        append_entry(cand, LedgerEntry(benchmark="synthetic", seconds=1.01))
+        assert main(["bench", "compare", str(base), str(cand)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_json_flag(self, ledgers, capsys):
+        base, cand = ledgers
+        append_entry(cand, LedgerEntry(benchmark="synthetic", seconds=1.30))
+        rc = main(["bench", "compare", str(base), str(cand), "--json"])
+        doc = json.loads(capsys.readouterr().out)
+        assert rc == 1 and doc["ok"] is False
+
+    def test_tolerance_override(self, ledgers, capsys):
+        base, cand = ledgers
+        append_entry(cand, LedgerEntry(benchmark="synthetic", seconds=1.30))
+        assert main(["bench", "compare", str(base), str(cand),
+                     "--tolerance", "0.5"]) == 0
+
+
+class TestCProfileFlag:
+    def test_cprofile_lands_in_run_report(self, tmp_path, capsys):
+        trees = tmp_path / "trees.nwk"
+        trees.write_text("((A,B),(C,D));\n((A,C),(B,D));\n")
+        out = tmp_path / "report.json"
+        rc = main(["--cprofile", "--metrics-out", str(out), "avg-rf",
+                   str(trees)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        root = doc["spans"][0]
+        assert root["name"] == "cli.avg-rf"
+        profile = root["attrs"]["profile"]
+        assert any("cumulative" in line for line in profile)
+
+    def test_cprofile_alone_prints_to_stderr(self, tmp_path, capsys):
+        trees = tmp_path / "trees.nwk"
+        trees.write_text("((A,B),(C,D));\n((A,C),(B,D));\n")
+        assert main(["--cprofile", "avg-rf", str(trees)]) == 0
+        assert "cumulative" in capsys.readouterr().err

@@ -1,0 +1,116 @@
+"""The regression gate: median + MAD thresholds, rendering, exit paths."""
+
+import json
+
+import pytest
+
+from repro.perf.compare import compare_entries, compare_ledgers
+from repro.perf.ledger import LedgerEntry, append_entry
+from repro.util.errors import PerfError
+
+
+def _entry(seconds, *, benchmark="synthetic", rss=100.0, tolerance=0.25,
+           metrics=None):
+    return LedgerEntry(benchmark=benchmark, seconds=seconds,
+                       peak_rss_mb=rss, tolerance=tolerance,
+                       metrics=metrics or {})
+
+
+def _ledgers(tmp_path, baseline_entries, candidate_entries):
+    base = tmp_path / "base.jsonl"
+    cand = tmp_path / "cand.jsonl"
+    for entry in baseline_entries:
+        append_entry(base, entry)
+    for entry in candidate_entries:
+        append_entry(cand, entry)
+    return base, cand
+
+
+BASELINE = [1.00, 1.01, 0.99, 1.02]
+
+
+class TestCompareEntries:
+    def test_thirty_percent_slowdown_regresses(self):
+        baseline = [_entry(s) for s in BASELINE]
+        results = compare_entries(baseline, _entry(1.30))
+        regressed = [c for c in results if c.regressed]
+        assert [c.metric for c in regressed] == ["seconds"]
+
+    def test_within_tolerance_passes(self):
+        baseline = [_entry(s) for s in BASELINE]
+        results = compare_entries(baseline, _entry(1.10))
+        assert not any(c.regressed for c in results)
+
+    def test_improvement_never_regresses(self):
+        baseline = [_entry(s) for s in BASELINE]
+        results = compare_entries(baseline, _entry(0.5))
+        assert not any(c.regressed for c in results)
+
+    def test_noisy_baseline_widens_threshold(self):
+        # Scatter so wild that MAD dominates: ±50% swings in history mean
+        # a 30% "slowdown" is indistinguishable from noise.
+        baseline = [_entry(s) for s in (0.5, 1.5, 0.6, 1.4, 1.0)]
+        results = compare_entries(baseline, _entry(1.30))
+        assert not any(c.regressed for c in results)
+
+    def test_tolerance_override(self):
+        baseline = [_entry(s) for s in BASELINE]
+        results = compare_entries(baseline, _entry(1.10), tolerance=0.05)
+        assert any(c.regressed and c.metric == "seconds" for c in results)
+
+    def test_tiny_absolute_deltas_ignored(self):
+        # 2ms vs 1ms is 2x, but under the absolute floor — jitter, not
+        # evidence.
+        baseline = [_entry(s) for s in (0.001, 0.001, 0.001)]
+        results = compare_entries(baseline, _entry(0.002))
+        assert not any(c.regressed for c in results)
+
+    def test_histogram_totals_compared(self):
+        hist = {"histograms": {"store.query_seconds": {"sum": 1.0}}}
+        slow = {"histograms": {"store.query_seconds": {"sum": 2.0}}}
+        baseline = [_entry(1.0, metrics=hist) for _ in range(3)]
+        results = compare_entries(baseline, _entry(1.0, metrics=slow))
+        regressed = {c.metric for c in results if c.regressed}
+        assert regressed == {"hist:store.query_seconds:total"}
+
+    def test_empty_baseline_returns_nothing(self):
+        assert compare_entries([], _entry(1.0)) == []
+
+
+class TestCompareLedgers:
+    def test_regression_report_names_metric(self, tmp_path):
+        base, cand = _ledgers(tmp_path, [_entry(s) for s in BASELINE],
+                              [_entry(1.30)])
+        report = compare_ledgers(base, cand)
+        assert not report.ok
+        assert report.regressions[0].metric == "seconds"
+        text = report.render()
+        assert "REGRESSED" in text and "synthetic/seconds" in text
+
+    def test_latest_candidate_entry_wins(self, tmp_path):
+        base, cand = _ledgers(tmp_path, [_entry(s) for s in BASELINE],
+                              [_entry(9.0), _entry(1.0)])
+        assert compare_ledgers(base, cand).ok
+
+    def test_missing_baseline_listed_not_failed(self, tmp_path):
+        base, cand = _ledgers(tmp_path, [_entry(1.0)],
+                              [_entry(1.0), _entry(1.0, benchmark="brand_new")])
+        report = compare_ledgers(base, cand)
+        assert report.ok
+        assert report.missing_baselines == ["brand_new"]
+        assert "brand_new" in report.render()
+
+    def test_json_output_machine_readable(self, tmp_path):
+        base, cand = _ledgers(tmp_path, [_entry(s) for s in BASELINE],
+                              [_entry(1.30)])
+        doc = json.loads(compare_ledgers(base, cand).to_json())
+        assert doc["ok"] is False
+        bad = [c for c in doc["comparisons"] if c["regressed"]]
+        assert bad[0]["metric"] == "seconds"
+        assert bad[0]["ratio"] == pytest.approx(1.30 / 1.005, rel=1e-6)
+
+    def test_empty_candidate_raises(self, tmp_path):
+        base, cand = _ledgers(tmp_path, [_entry(1.0)], [])
+        cand.write_text("")
+        with pytest.raises(PerfError, match="empty"):
+            compare_ledgers(base, cand)

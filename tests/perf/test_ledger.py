@@ -1,0 +1,112 @@
+"""Ledger round-trips, schema gating, and the flat compare-metric view."""
+
+import json
+
+import pytest
+
+from repro.perf.ledger import (
+    SCHEMA_VERSION,
+    LedgerEntry,
+    append_entry,
+    git_sha,
+    read_ledger,
+)
+from repro.util.errors import PerfError
+
+
+def _entry(**overrides) -> LedgerEntry:
+    defaults = dict(
+        benchmark="table1", seconds=0.125, all_seconds=[0.125, 0.25],
+        repeat=2, warmup=1, scale=0.5, peak_rss_mb=12.5, tolerance=0.25,
+        created_unix=1754600000.0, git_sha="abc123",
+        metrics={"counters": {"parallel.tasks": 4},
+                 "histograms": {"store.query_seconds": {
+                     "count": 2, "sum": 0.5, "min": 0.125, "max": 0.375,
+                     "mean": 0.25, "p50": 0.25, "p95": 0.37, "p99": 0.37,
+                     "buckets": {"33": 2}}}},
+        extra={"trees": 24})
+    defaults.update(overrides)
+    return LedgerEntry(**defaults)
+
+
+class TestLedgerEntry:
+    def test_dict_round_trip_equality(self):
+        entry = _entry()
+        assert LedgerEntry.from_dict(entry.to_dict()) == entry
+
+    def test_json_line_round_trip(self):
+        entry = _entry()
+        line = json.dumps(entry.to_dict())
+        assert LedgerEntry.from_dict(json.loads(line)) == entry
+
+    def test_schema_version_stamped(self):
+        assert _entry().to_dict()["schema_version"] == SCHEMA_VERSION
+
+    def test_newer_schema_rejected(self):
+        data = _entry().to_dict()
+        data["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(PerfError, match="newer"):
+            LedgerEntry.from_dict(data)
+
+    def test_missing_schema_rejected(self):
+        data = _entry().to_dict()
+        del data["schema_version"]
+        with pytest.raises(PerfError, match="schema_version"):
+            LedgerEntry.from_dict(data)
+
+    def test_compare_metrics_flattens_time_histograms(self):
+        flat = _entry().compare_metrics()
+        assert flat["seconds"] == 0.125
+        assert flat["peak_rss_mb"] == 12.5
+        assert flat["hist:store.query_seconds:total"] == 0.5
+        # Non-time histograms (payload bytes etc.) stay out of the gate.
+        entry = _entry()
+        entry.metrics["histograms"]["parallel.payload_bytes"] = {"sum": 9e9}
+        assert "hist:parallel.payload_bytes:total" not in entry.compare_metrics()
+
+
+class TestLedgerFile:
+    def test_append_and_read_preserve_order(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        first = _entry(seconds=0.1)
+        second = _entry(seconds=0.2, benchmark="store_warm")
+        append_entry(path, first)
+        append_entry(path, second)
+        entries = read_ledger(path)
+        assert entries == [first, second]
+
+    def test_append_creates_parents(self, tmp_path):
+        path = tmp_path / "nested" / "deeper" / "ledger.jsonl"
+        append_entry(path, _entry())
+        assert len(read_ledger(path)) == 1
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_entry(path, _entry())
+        with open(path, "a") as fh:
+            fh.write("\n\n")
+        append_entry(path, _entry())
+        assert len(read_ledger(path)) == 2
+
+    def test_corrupt_line_names_line_number(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        append_entry(path, _entry())
+        with open(path, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(PerfError, match=":2"):
+            read_ledger(path)
+
+    def test_missing_ledger_raises(self, tmp_path):
+        with pytest.raises(PerfError, match="not found"):
+            read_ledger(tmp_path / "absent.jsonl")
+
+
+class TestGitSha:
+    def test_inside_repo_returns_hex(self):
+        sha = git_sha()
+        if sha is not None:  # repo checkouts only
+            assert len(sha) == 40
+            int(sha, 16)
+
+    def test_outside_repo_returns_none(self, tmp_path):
+        assert git_sha(cwd=tmp_path) is None

@@ -1,0 +1,132 @@
+"""Registry lookups and the bench runner's ledger entries."""
+
+import pytest
+
+from repro import observability as obs
+from repro.perf.registry import (
+    Benchmark,
+    benchmark_names,
+    get_benchmark,
+    register_benchmark,
+)
+from repro.perf.runner import run_benchmark
+from repro.util.errors import PerfError
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = benchmark_names()
+        for expected in ("table1", "vectorized_probe", "store_warm",
+                         "mapreduce"):
+            assert expected in names
+
+    def test_smoke_subset(self):
+        smoke = benchmark_names(smoke_only=True)
+        assert "table1" in smoke
+        assert "mapreduce" not in smoke
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(PerfError, match="unknown benchmark"):
+            get_benchmark("definitely_not_registered")
+
+    def test_register_and_replace(self):
+        try:
+            first = register_benchmark("tmp_test_bench", lambda s: {},
+                                       description="v1")
+            assert isinstance(first, Benchmark)
+            second = register_benchmark("tmp_test_bench", lambda s: {},
+                                        description="v2")
+            assert get_benchmark("tmp_test_bench").description == "v2"
+            assert second.tolerance == 0.25
+        finally:
+            from repro.perf import registry
+            registry._REGISTRY.pop("tmp_test_bench", None)
+
+    def test_bad_registrations_rejected(self):
+        with pytest.raises(PerfError):
+            register_benchmark("has space", lambda s: {})
+        with pytest.raises(PerfError):
+            register_benchmark("neg_tol", lambda s: {}, tolerance=-1.0)
+
+
+class TestRunner:
+    @pytest.fixture()
+    def counting_bench(self):
+        calls = []
+
+        def fn(scale):
+            calls.append(scale)
+            obs.histogram("fake.work_seconds").observe(0.5)
+            return {"calls_so_far": len(calls)}
+
+        register_benchmark("tmp_counting", fn, description="test only")
+        try:
+            yield calls
+        finally:
+            from repro.perf import registry
+            registry._REGISTRY.pop("tmp_counting", None)
+
+    def test_warmup_plus_repeat_calls(self, counting_bench):
+        entry = run_benchmark("tmp_counting", repeat=3, warmup=2, scale=0.5)
+        assert len(counting_bench) == 5
+        assert counting_bench == [0.5] * 5
+        assert entry.repeat == 3 and entry.warmup == 2
+        assert len(entry.all_seconds) == 3
+        assert entry.seconds == min(entry.all_seconds)
+
+    def test_warmup_metrics_discarded(self, counting_bench):
+        entry = run_benchmark("tmp_counting", repeat=2, warmup=3)
+        # Only the timed repetitions appear in the snapshot.
+        assert entry.metrics["histograms"]["fake.work_seconds"]["count"] == 2
+
+    def test_entry_is_schema_valid(self, counting_bench):
+        from repro.perf.ledger import LedgerEntry
+
+        entry = run_benchmark("tmp_counting", repeat=1, warmup=0)
+        assert LedgerEntry.from_dict(entry.to_dict()) == entry
+        assert entry.env["python"]
+        assert entry.extra == {"calls_so_far": 1}
+
+    def test_observability_state_restored(self, counting_bench):
+        assert not obs.enabled()
+        run_benchmark("tmp_counting", repeat=1, warmup=0)
+        assert not obs.enabled()
+        snapshot = obs.metrics_snapshot()
+        assert not any(snapshot.get(kind) for kind in
+                       ("counters", "gauges", "histograms"))
+
+    def test_caller_observability_survives(self, counting_bench):
+        obs.reset()
+        obs.enable()
+        try:
+            obs.counter("caller.work").inc(7)
+            with obs.trace("caller.root"):
+                pass
+            run_benchmark("tmp_counting", repeat=1, warmup=0)
+            assert obs.enabled()
+            snapshot = obs.metrics_snapshot()
+            assert snapshot["counters"]["caller.work"] == 7
+            assert [s.name for s in obs.finished_spans()] == ["caller.root"]
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_invalid_parameters(self, counting_bench):
+        with pytest.raises(PerfError):
+            run_benchmark("tmp_counting", repeat=0)
+        with pytest.raises(PerfError):
+            run_benchmark("tmp_counting", warmup=-1)
+        with pytest.raises(PerfError):
+            run_benchmark("tmp_counting", scale=0.0)
+
+
+class TestBuiltinWorkload:
+    def test_table1_produces_required_histograms(self):
+        entry = run_benchmark("table1", repeat=1, warmup=0, scale=0.25)
+        hists = entry.metrics["histograms"]
+        for name in ("parallel.fanout_seconds", "vectorized.probe_seconds",
+                     "store.shard_build_seconds", "store.query_seconds",
+                     "store.shard_write_seconds"):
+            assert name in hists, f"missing {name}"
+        assert entry.extra["trees"] >= 8
+        assert entry.peak_rss_mb >= 0.0

@@ -104,3 +104,82 @@ class TestMergedWorkerMetrics:
         finally:
             obs.disable()
             obs.reset()
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_fanout_latency_and_payload_recorded(self, backend, trees):
+        _skip_unless_available(backend)
+        obs.reset()
+        obs.enable()
+        try:
+            bfhrf_average_rf(trees, trees, n_workers=2, executor=backend)
+            snapshot = metrics_snapshot()
+            fanout = snapshot["histograms"]["parallel.fanout_seconds"]
+            assert fanout["count"] >= 1
+            assert fanout["max"] >= 0.0
+            if backend in ("fork", "spawn"):
+                payload = snapshot["histograms"]["parallel.payload_bytes"]
+                assert payload["count"] >= 1
+                assert payload["min"] > 0
+        finally:
+            obs.disable()
+            obs.reset()
+
+
+def _collect_span_names(spans):
+    names = []
+    for span in spans:
+        names.append(span.name)
+        names.extend(_collect_span_names(span.children))
+    return names
+
+
+class TestWorkerSpanParity:
+    """Worker-side spans must survive every backend, including spawn.
+
+    ``_count_range`` opens a ``store.count`` span inside the worker; the
+    process executors ship finished span subtrees home in the worker
+    snapshot and graft them under the dispatching span, so the report
+    shows the same tree shape regardless of backend.
+    """
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_worker_spans_present(self, backend, trees):
+        _skip_unless_available(backend)
+        obs.reset()
+        obs.enable()
+        try:
+            with obs.trace("parity.dispatch"):
+                parallel_build_tables(trees, include_trivial=False,
+                                      weighted=False, n_workers=2,
+                                      executor=backend)
+            roots = obs.finished_spans()
+            # Thread-pool workers have their own (empty) span stacks, so
+            # their spans surface as extra roots; every other backend
+            # nests them under the dispatching span.
+            assert "parity.dispatch" in [r.name for r in roots]
+            names = _collect_span_names(roots)
+            assert "store.count" in names
+        finally:
+            obs.disable()
+            obs.reset()
+
+    @pytest.mark.parametrize("backend", ["serial", "fork", "spawn"])
+    def test_grafted_spans_nest_under_dispatching_span(self, backend, trees):
+        _skip_unless_available(backend)
+        obs.reset()
+        obs.enable()
+        try:
+            with obs.trace("parity.dispatch"):
+                parallel_build_tables(trees, include_trivial=False,
+                                      weighted=False, n_workers=2,
+                                      executor=backend)
+            (root,) = obs.finished_spans()
+            counts = [c for c in root.children if c.name == "store.count"]
+            # One span per chunk: serial runs a single chunk inline, the
+            # process backends split across two workers and graft home.
+            assert len(counts) >= (1 if backend == "serial" else 2)
+            for span in counts:
+                assert span.wall_s is not None and span.wall_s >= 0.0
+        finally:
+            obs.disable()
+            obs.reset()

@@ -1,0 +1,56 @@
+"""Property test: histogram merge across fork workers is *exact*.
+
+The worker-snapshot protocol promises that fanning observations out
+over processes and merging the snapshots is indistinguishable — for
+count, sum, min, and max — from observing everything in one process.
+Values are dyadic rationals (k / 2^m) so float addition is associative
+for them at these magnitudes and the comparison can demand equality,
+not tolerance.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import observability as obs
+from repro.observability.metrics import histogram, metrics_snapshot
+from repro.runtime import BACKENDS
+from repro.runtime.executor import get_executor, get_payload
+
+pytestmark = pytest.mark.skipif(not BACKENDS["fork"].available(),
+                                reason="fork unavailable here")
+
+_METRIC = "prop.fork_merge_seconds"
+
+dyadic = st.builds(lambda k, m: k / (2 ** m),
+                   st.integers(min_value=-(2 ** 20), max_value=2 ** 20),
+                   st.integers(min_value=0, max_value=10))
+
+
+def _observe_range(bounds):
+    values = get_payload()
+    h = histogram(_METRIC)
+    for value in values[bounds[0]:bounds[1]]:
+        h.observe(value)
+    return bounds[1] - bounds[0]
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.lists(dyadic, min_size=2, max_size=16))
+def test_fork_merge_matches_serial_moments(values):
+    obs.reset()
+    obs.enable()
+    try:
+        counts = get_executor("fork").submit_ranges(
+            _observe_range, len(values), values, n_workers=2, chunk_size=1)
+        assert sum(counts) == len(values)
+        merged = metrics_snapshot()["histograms"][_METRIC]
+    finally:
+        obs.disable()
+        obs.reset()
+
+    assert merged["count"] == len(values)
+    assert merged["sum"] == sum(values)
+    assert merged["min"] == min(values)
+    assert merged["max"] == max(values)
+    # Bucket counts fold exactly too: every observation lands somewhere.
+    assert sum(merged["buckets"].values()) == len(values)
