@@ -3,7 +3,7 @@ the abstract promises.
 
 Subcommands::
 
-    bfhrf avg-rf     QUERY.nwk|.nex [-r REFERENCE.nwk|.nex] [--method bfhrf|ds|dsmp|hashrf|vectorized|mrsrf]
+    bfhrf avg-rf     QUERY.nwk|.nex [-r REFERENCE.nwk|.nex] [--method bfhrf|ds|dsmp|hashrf|vectorized|mrsrf|shm]
                      [--workers N] [--normalized] [--include-trivial]
                      [--min-split-size K [--max-split-size K]]
     bfhrf matrix     TREES.nwk [--method hashrf|naive|day] [-o OUT.csv]
@@ -26,7 +26,7 @@ Subcommands::
                      compact DIR [--shards N] | info DIR
     bfhrf selfcheck  [--seed S] [--rounds K] [--profile quick|deep]
                      [--artifacts DIR]
-                     [--inject-fault bfh-count|weighted-total|store-count]
+                     [--inject-fault bfh-count|weighted-total|store-count|shm-count]
                      [--replay ARTIFACT_DIR]
     bfhrf bench      run NAME [NAME...] | --smoke [--repeat K] [--warmup K]
                          [--scale F] [--ledger PATH.jsonl] |
@@ -71,7 +71,8 @@ from collections.abc import Sequence
 from repro import observability as obs
 from repro.core.api import as_trees, average_rf, best_query_tree, consensus, distance_matrix
 from repro.core.variants import size_filter_transform
-from repro.runtime import BACKENDS, method_names, set_default_executor
+from repro.runtime import BACKENDS, default_method_name, method_names, \
+    set_default_executor
 from repro.newick.io import read_newick_file, write_newick_file
 from repro.newick.writer import write_newick
 from repro.observability.export import Reporter, RunReport, render_span_tree
@@ -135,7 +136,10 @@ def build_parser() -> argparse.ArgumentParser:
     avg = add_parser("avg-rf", help="average RF of query trees vs a reference collection")
     avg.add_argument("query", help="Newick file of query trees Q")
     avg.add_argument("-r", "--reference", help="Newick file of reference trees R (default: Q is R)")
-    avg.add_argument("--method", default="bfhrf", choices=list(method_names()))
+    avg.add_argument("--method", default=None, choices=list(method_names()),
+                     help="average-RF method (default: the registry's "
+                          "promoted fast path — currently "
+                          f"{default_method_name()})")
     avg.add_argument("--workers", type=int, default=1,
                      help="workers for the parallel methods (serial methods ignore it)")
     avg.add_argument("--normalized", action="store_true", help="scale into [0,1] by 2(n-3)")
@@ -256,7 +260,8 @@ def build_parser() -> argparse.ArgumentParser:
     check.add_argument("--artifacts", default="selfcheck-artifacts", metavar="DIR",
                        help="directory for minimized reproducers on failure")
     check.add_argument("--inject-fault", default=None, metavar="KIND",
-                       choices=["bfh-count", "weighted-total", "store-count"],
+                       choices=["bfh-count", "weighted-total", "store-count",
+                                "shm-count"],
                        help="deliberately corrupt one implementation "
                             "(proves the harness detects divergence)")
     check.add_argument("--replay", default=None, metavar="ARTIFACT_DIR",

@@ -20,7 +20,8 @@ from repro.core.rf import max_rf, robinson_foulds
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
 from repro.newick.io import read_newick_file, trees_from_string
 from repro.observability.spans import trace
-from repro.runtime.registry import get_method, method_names, methods_docstring
+from repro.runtime.registry import default_method_name, get_method, \
+    method_names, methods_docstring
 from repro.trees.taxon import TaxonNamespace
 from repro.trees.tree import Tree
 from repro.util.errors import CollectionError
@@ -84,7 +85,7 @@ def as_trees(source: TreesLike, namespace: TaxonNamespace | None = None) -> list
 
 
 def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
-               method: str = "bfhrf", n_workers: int = 1,
+               method: str | None = None, n_workers: int = 1,
                include_trivial: bool = False,
                transform: MaskTransform | None = None,
                normalized: bool = False,
@@ -99,7 +100,10 @@ def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
         parsed into one shared namespace automatically.
     method:
         One of the registered methods (see
-        :func:`repro.runtime.methods`):
+        :func:`repro.runtime.methods`).  ``None`` resolves through
+        :func:`repro.runtime.default_method_name` to the registry's
+        promoted fast path — all fast paths are bitwise-identical to
+        ``bfhrf``, so the default only ever changes speed, not values:
 
 <<METHOD_LIST>>
     n_workers:
@@ -124,7 +128,7 @@ def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
     >>> average_rf("((A,B),(C,D));\\n((A,C),(B,D));")
     [1.0, 1.0]
     """
-    spec = get_method(method)
+    spec = get_method(default_method_name() if method is None else method)
     spec.ensure_supported(disparate=reference is not None,
                           transform=transform is not None)
     query_trees = as_trees(query)
@@ -217,7 +221,7 @@ def distance_matrix(trees: TreesLike, *, method: str = "hashrf",
 
 
 def best_query_tree(query: TreesLike, reference: TreesLike | None = None, *,
-                    method: str = "bfhrf", n_workers: int = 1,
+                    method: str | None = None, n_workers: int = 1,
                     include_trivial: bool = False,
                     transform: MaskTransform | None = None) -> tuple[int, Tree, float]:
     """The query tree minimizing average RF to the reference collection.

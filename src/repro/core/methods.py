@@ -74,10 +74,20 @@ def _run_mrsrf(query, reference, *, n_workers, include_trivial, transform,
                             executor=executor)
 
 
+def _run_shm(query, reference, *, n_workers, include_trivial, transform,
+             executor):
+    from repro.core.shmrf import shm_average_rf
+
+    return shm_average_rf(query, reference, n_workers=n_workers,
+                          include_trivial=include_trivial,
+                          transform=transform, executor=executor)
+
+
 register_method(
     "bfhrf", _run_bfhrf,
     summary="The paper's Algorithm 2: one streaming hash build, then "
-            "tree-vs-hash comparisons (default; parallel).",
+            "tree-vs-hash comparisons (parallel; the reference "
+            "implementation every fast path must match bit for bit).",
     memory_class="hash")
 
 register_method(
@@ -115,3 +125,12 @@ register_method(
     supports_disparate=False,
     supports_transform=False,
     memory_class="matrix")
+
+register_method(
+    "shm", _run_shm,
+    summary="BFHRF over zero-copy shared memory: workers attach the "
+            "sorted split arrays by descriptor and probe them with the "
+            "vectorized kernel.",
+    memory_class="hash",
+    shared_memory=True,
+    fast_path=True)

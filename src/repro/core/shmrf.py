@@ -1,0 +1,137 @@
+"""Shared-memory BFHRF — zero-copy parallel tree-vs-hash comparisons.
+
+The executor ablation (PR 4) showed why "embarrassingly parallel" (§IX)
+did not translate into speedups here: every fork/spawn fan-out re-shipped
+the pickled frequency hash (and the query trees) to each worker.  This
+module is the fix the ROADMAP names — the hash lives once, in a
+:class:`~repro.runtime.shm.SharedBFH` segment laid out as the vectorized
+backend's sorted arrays, and workers attach it read-only via a
+descriptor that pickles to ~200 bytes.
+
+Per-backend payload strategy (the part that actually moves the needle):
+
+* ``fork`` — fresh pool per fan-out; the payload (including the
+  in-memory query list) crosses by copy-on-write inheritance, so workers
+  pay neither pickling nor parsing.  The ``SharedBFH`` arrays are in the
+  segment either way, shared by all children.
+* ``spawn`` — a cached pool (``reuse="shm"``) amortizes interpreter
+  start-up across fan-outs; the query collection crosses as a
+  :class:`~repro.runtime.shm.SharedTreeCollection` descriptor and each
+  worker parses only the slices it scores, caching its attach.
+* ``serial``/``thread`` — no process boundary; the probe kernels are
+  NumPy calls that release the GIL, identical to
+  :func:`~repro.core.vectorized.vectorized_average_rf`.
+
+Every path scores with the same :class:`VectorizedBFH` probe kernel over
+the same sorted arrays, so results are bitwise-identical to the dict
+backend by construction (the parity oracles enforce it anyway).
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+
+from repro.core.bfhrf import build_bfh
+from repro.core.vectorized import VectorizedBFH
+from repro.hashing.bfh import MaskTransform
+from repro.observability.metrics import histogram as _histogram
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
+from repro.runtime.executor import Executor, get_executor, get_payload, \
+    resolve_workers
+from repro.runtime.shm import SharedBFH, SharedTreeCollection
+from repro.trees.tree import Tree
+
+__all__ = ["shm_average_rf"]
+
+
+def _shm_query_range(bounds: tuple[int, int]) -> list[float]:
+    """Fan-out task: batched probes for one query slice over shared arrays.
+
+    The payload carries descriptors, not data: ``collection`` slices lazily
+    (parent-side it is a plain list view; worker-side it parses only this
+    range) and ``shared.vectorized()`` adopts the segment arrays without
+    copying.  The transform rides separately — segments store only arrays.
+    """
+    collection, shared, transform = get_payload()
+    vbfh = shared.vectorized(transform=transform)
+    trees = collection.slice(bounds[0], bounds[1])
+    if not _obs_enabled():
+        return vbfh.average_rf_batch(trees).tolist()
+    t0 = time.perf_counter()
+    values = vbfh.average_rf_batch(trees).tolist()
+    _histogram("vectorized.chunk_seconds").observe(time.perf_counter() - t0)
+    return values
+
+
+def shm_average_rf(query: Sequence[Tree] | Iterable[Tree],
+                   reference: Sequence[Tree] | Iterable[Tree] | None = None, *,
+                   n_workers: int = 1,
+                   include_trivial: bool = False,
+                   transform: MaskTransform | None = None,
+                   chunk_size: int | None = None,
+                   shared: SharedBFH | None = None,
+                   executor: str | Executor | None = None) -> list[float]:
+    """Average RF via shared-memory sorted arrays — the default fast path.
+
+    Semantics match :func:`repro.core.bfhrf.bfhrf_average_rf` exactly
+    (same empty-reference error, same values bit for bit); only the
+    worker payload differs.  With ``n_workers <= 1`` this is the
+    vectorized backend with no segments at all.
+
+    Parameters
+    ----------
+    shared:
+        A prebuilt :class:`SharedBFH`; skips the reference pass and the
+        segment build (the benchmark's warm path).  The caller keeps
+        ownership — this function never unlinks a borrowed segment.
+
+    Examples
+    --------
+    >>> from repro.newick import trees_from_string
+    >>> trees = trees_from_string("((A,B),(C,D));\\n((A,C),(B,D));")
+    >>> shm_average_rf(trees)
+    [1.0, 1.0]
+    """
+    query = list(query) if not isinstance(query, Sequence) else query
+    if shared is None:
+        if reference is None:
+            reference = query
+        reference = list(reference) if not isinstance(reference, Sequence) \
+            else reference
+        bfh = build_bfh(reference, include_trivial=include_trivial,
+                        transform=transform)
+        n_taxa = max(1, len(reference[0].taxon_namespace))
+    else:
+        bfh = None
+    if not query:
+        return []
+
+    workers = resolve_workers(n_workers) if n_workers > 1 else 1
+    if workers <= 1 or len(query) < 2:
+        vbfh = shared.vectorized(transform=transform) if shared is not None \
+            else VectorizedBFH.from_bfh(bfh, n_taxa)
+        with trace("shmrf.query", q=len(query), r=vbfh.n_trees, workers=1):
+            return vbfh.average_rf_batch(query).tolist()
+
+    runner = get_executor(executor)
+    owned = shared is None
+    if owned:
+        shared = SharedBFH.from_bfh(bfh, n_taxa)
+    # Branch lengths never enter an RF score; dropping them keeps the
+    # query segment small and its worker-side parse cheap.
+    collection = SharedTreeCollection(query, include_lengths=False)
+    try:
+        payload = (collection, shared, transform)
+        reuse = "shm" if runner.name == "spawn" else None
+        with trace("shmrf.query", q=len(query), r=shared.n_trees,
+                   workers=workers, backend=runner.name):
+            blocks = runner.submit_ranges(
+                _shm_query_range, len(query), payload,
+                n_workers=workers, chunk_size=chunk_size, reuse=reuse)
+        return [v for block in blocks for v in block]
+    finally:
+        collection.release()
+        if owned:
+            shared.release()

@@ -116,6 +116,41 @@ class VectorizedBFH:
                    include_trivial=bfh.include_trivial, transform=bfh.transform)
 
     @classmethod
+    def from_sorted_arrays(cls, keys: np.ndarray, freqs: np.ndarray,
+                           n_trees: int, total: int, *,
+                           include_trivial: bool = False,
+                           transform: MaskTransform | None = None
+                           ) -> "VectorizedBFH":
+        """Wrap arrays *already sorted* in this class's void-byte order.
+
+        The zero-copy path for :class:`repro.runtime.shm.SharedBFH`:
+        ``__init__`` re-sorts (and therefore copies) its inputs, which
+        would defeat a shared-memory segment — every worker would
+        privately duplicate the table.  Here the arrays are adopted
+        as-is (read-only views included), so the caller must guarantee
+        the rows are sorted exactly as :meth:`from_bfh` would sort them;
+        ``SharedBFH.from_bfh`` builds *through* ``from_bfh``, making
+        that guarantee structural.
+        """
+        if keys.ndim != 2 or keys.shape[0] != freqs.shape[0]:
+            raise ValueError("keys must be (U, n_words) aligned with freqs")
+        if keys.dtype != np.uint64 or freqs.dtype != np.int64 \
+                or not keys.flags.c_contiguous or not freqs.flags.c_contiguous:
+            raise ValueError("from_sorted_arrays requires contiguous "
+                             "uint64 keys and int64 freqs")
+        self = object.__new__(cls)
+        self.keys = keys
+        self.freqs = freqs
+        self.n_trees = n_trees
+        self.total = total
+        self.n_words = keys.shape[1]
+        self.include_trivial = include_trivial
+        self.transform = transform
+        self._void_keys = keys.view(
+            np.dtype((np.void, keys.dtype.itemsize * self.n_words))).ravel()
+        return self
+
+    @classmethod
     def from_trees(cls, trees: Iterable[Tree], *, include_trivial: bool = False,
                    transform: MaskTransform | None = None) -> "VectorizedBFH":
         trees = list(trees)

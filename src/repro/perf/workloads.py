@@ -108,6 +108,73 @@ def _run_store_warm(scale: float) -> dict[str, Any]:
     }
 
 
+def _run_shm_scaling(scale: float) -> dict[str, Any]:
+    """Serial vs parallel zero-copy query throughput at a fixed r.
+
+    One shared segment is built once per run; each mode then answers the
+    same tree-vs-hash queries: serial (in-process vectorized probes),
+    fork×4 and spawn×4 (workers attach the segment by descriptor).  The
+    ``extra`` dict carries per-mode seconds plus the derived speedups the
+    issue's acceptance gate reads — and ``cpus`` so a 1-core container's
+    honest ~1x fork "speedup" is legible as a hardware bound rather than
+    a payload-copy regression.  All three modes must agree bit for bit
+    with the dict-hash reference values (``parity`` is asserted, not just
+    reported).
+    """
+    import os
+    import time
+
+    from repro.core.bfhrf import bfhrf_average_rf, build_bfh
+    from repro.core.shmrf import shm_average_rf
+    from repro.runtime import BACKENDS, SharedBFH
+    from repro.runtime.executor import shutdown_pools
+
+    trees = _collection(scaled_count(40, scale, floor=12),
+                        scaled_count(900, scale, floor=48))
+    n_taxa = len(trees[0].taxon_namespace)
+    queries = trees[: scaled_count(64, scale, floor=12)]
+    want = bfhrf_average_rf(queries, trees, n_workers=1)
+
+    bfh = build_bfh(trees)
+    seconds: dict[str, float] = {}
+    with SharedBFH.from_bfh(bfh, n_taxa) as shared:
+        def run(mode: str, **kwargs) -> None:
+            if kwargs:
+                # Steady state: pay pool/interpreter spin-up (spawn's cached
+                # pool, fork's first COW snapshot) outside the timed region.
+                shm_average_rf(queries[:4], shared=shared, **kwargs)
+            t0 = time.perf_counter()
+            got = shm_average_rf(queries, shared=shared, **kwargs)
+            seconds[mode] = time.perf_counter() - t0
+            if got != want:
+                raise AssertionError(f"shm {mode} drifted from dict bfhrf")
+
+        run("serial")
+        for backend in ("fork", "spawn"):
+            if BACKENDS[backend].available():
+                run(backend, n_workers=4, executor=backend)
+        shutdown_pools()
+
+    extra: dict[str, Any] = {
+        "trees": len(trees),
+        "taxa": n_taxa,
+        "queries": len(queries),
+        "unique_splits": len(bfh.counts),
+        "cpus": os.cpu_count(),
+        "checksum": _checksum(want),
+        "parity": True,
+    }
+    for mode, spent in seconds.items():
+        extra[f"{mode}_seconds"] = round(spent, 6)
+    if "fork" in seconds:
+        extra["fork_speedup_x"] = round(seconds["serial"] / seconds["fork"], 3)
+    if "spawn" in seconds:
+        extra["spawn_speedup_x"] = round(seconds["serial"] / seconds["spawn"], 3)
+    if "fork" in seconds and "spawn" in seconds:
+        extra["spawn_vs_fork_x"] = round(seconds["spawn"] / seconds["fork"], 3)
+    return extra
+
+
 def _run_mapreduce(scale: float) -> dict[str, Any]:
     """The MapReduce engine's three stages over an RF-style job."""
     from repro.core.mrsrf import mrsrf_matrix
@@ -133,6 +200,11 @@ register_benchmark(
 register_benchmark(
     "store_warm", _run_store_warm,
     description="store build / add / compact / warm query lifecycle",
+    smoke=True)
+register_benchmark(
+    "shm_scaling", _run_shm_scaling,
+    description="zero-copy shared-segment query scaling: serial vs fork/"
+                "spawn workers attached to one segment",
     smoke=True)
 register_benchmark(
     "mapreduce", _run_mapreduce,

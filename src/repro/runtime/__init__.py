@@ -5,8 +5,9 @@ the parallel hash build, DSMP, the MapReduce engine, store shard counts —
 runs through one :class:`~repro.runtime.executor.Executor` interface with
 four backends (``serial``, ``thread``, ``fork``, ``spawn``), and every
 average-RF method is described by one
-:class:`~repro.runtime.registry.MethodSpec` entry.  See
-``docs/runtime.md`` for the full tour.
+:class:`~repro.runtime.registry.MethodSpec` entry.  Process backends
+ship large payloads as zero-copy shared-memory descriptors through
+:mod:`repro.runtime.shm`.  See ``docs/runtime.md`` for the full tour.
 """
 
 from repro.runtime.executor import (
@@ -24,9 +25,11 @@ from repro.runtime.executor import (
     get_payload,
     resolve_workers,
     set_default_executor,
+    shutdown_pools,
 )
 from repro.runtime.registry import (
     MethodSpec,
+    default_method_name,
     get_method,
     method_names,
     methods,
@@ -34,12 +37,23 @@ from repro.runtime.registry import (
     methods_markdown_table,
     register_method,
 )
+from repro.runtime.shm import (
+    SharedBFH,
+    SharedBFHDescriptor,
+    SharedTreeCollection,
+    SharedTreeCollectionDescriptor,
+    leaked_segments,
+    owned_leaked_segments,
+)
 
 __all__ = [
     "Executor", "SerialExecutor", "ThreadExecutor", "ForkExecutor",
     "SpawnExecutor", "BACKENDS", "EXECUTOR_ENV", "available_backends",
     "default_executor_name", "get_executor", "set_default_executor",
-    "get_payload", "resolve_workers", "fork_available",
+    "get_payload", "resolve_workers", "fork_available", "shutdown_pools",
     "MethodSpec", "register_method", "get_method", "method_names",
-    "methods", "methods_markdown_table", "methods_docstring",
+    "methods", "default_method_name", "methods_markdown_table",
+    "methods_docstring",
+    "SharedBFH", "SharedBFHDescriptor", "SharedTreeCollection",
+    "SharedTreeCollectionDescriptor", "leaked_segments", "owned_leaked_segments",
 ]

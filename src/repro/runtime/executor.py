@@ -27,7 +27,15 @@ module owns that skeleton once, behind a four-backend interface:
 
 Tasks are module-level callables receiving one ``(start, stop)`` index
 range and reading the shared payload via :func:`get_payload`; they
-return a plain value.  Worker-side metric capture is the executor's job,
+return a plain value.
+
+Payloads containing :mod:`repro.runtime.shm` objects cross the process
+boundary as tiny *segment descriptors* (their ``__reduce__``), never as
+pickled data — workers attach the shared-memory segment read-only.  A
+fan-out may also name a ``reuse=`` pool: the pool is cached across
+fan-outs (killing spawn's per-call interpreter start) and the payload
+rides inside each task item instead of pool creation, so descriptors
+are mandatory there.  Worker-side metric capture is the executor's job,
 not the task's: process backends snapshot each task's worker-local
 registry and merge it in the parent, in-process backends record straight
 into the live registry.
@@ -46,6 +54,7 @@ Requesting an unavailable backend raises
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import os
 import pickle
@@ -67,7 +76,7 @@ __all__ = [
     "set_default_executor", "default_executor_name", "resolve_workers",
     "fork_available", "get_payload", "fork_payload_pool",
     "worker_task_snapshot", "merge_worker_snapshots", "record_fanout",
-    "EXECUTOR_ENV",
+    "shutdown_pools", "EXECUTOR_ENV",
 ]
 
 #: Environment variable consulted when no executor is passed explicitly.
@@ -201,22 +210,70 @@ def _record_fanout_seconds(t0: float) -> None:
         _histogram("parallel.fanout_seconds").observe(time.perf_counter() - t0)
 
 
-def _record_payload_bytes(shared: Any) -> None:
-    """Pickled size of the shared payload a process fan-out ships.
+#: Ceiling for the pickle *probe* (not for actual payload transport):
+#: sizing the payload must never cost more than shipping it, so the
+#: probe aborts past this and records the cap as a known floor.
+PAYLOAD_PROBE_CAP = 1 << 20
 
-    The actual bytes ``spawn`` sends to every worker, and what ``spawn``
-    *would* ship for a ``fork`` run (fork inherits copy-on-write) — the
-    quantity behind the ROADMAP's shared-memory/zero-copy line of work.
-    Only measured while observing; unpicklable fork payloads are skipped
-    rather than failed (fork never needed pickling).
+
+class _ProbeCapReached(Exception):
+    pass
+
+
+class _CountingSink:
+    """A write-only pickle target that counts bytes and aborts at a cap."""
+
+    __slots__ = ("size", "cap")
+
+    def __init__(self, cap: int):
+        self.size = 0
+        self.cap = cap
+
+    def write(self, data) -> None:
+        self.size += len(data)
+        if self.size > self.cap:
+            raise _ProbeCapReached
+
+
+def _capped_pickle_size(shared: Any, cap: int = PAYLOAD_PROBE_CAP) -> float | None:
+    """Pickled size of ``shared``, never serializing more than ``cap`` bytes."""
+    sink = _CountingSink(cap)
+    try:
+        pickle.dump(shared, sink, protocol=pickle.HIGHEST_PROTOCOL)
+    except _ProbeCapReached:
+        return float(cap)
+    except Exception:
+        # Unpicklable fork payloads are skipped, not failed — fork never
+        # needed pickling in the first place.
+        return None
+    return float(sink.size)
+
+
+def _record_payload_bytes(shared: Any) -> None:
+    """Size of the shared payload a process fan-out makes visible to workers.
+
+    Segment-backed payloads (anything exposing ``segment_nbytes()`` —
+    :class:`repro.runtime.shm.SharedBFH` / ``SharedTreeCollection``)
+    record their shared-memory footprint directly and are **never**
+    pickled here: probing by serialization would double dispatch cost
+    for exactly the payloads the shm path exists to stop shipping (and
+    would force lazy segments to materialize early).  Everything else
+    falls back to a pickle probe capped at :data:`PAYLOAD_PROBE_CAP`
+    bytes, recording the cap as a floor when it trips.
     """
     if not _obs_enabled():
         return
-    try:
-        size = len(pickle.dumps(shared, protocol=pickle.HIGHEST_PROTOCOL))
-    except Exception:
-        return
-    _histogram("parallel.payload_bytes").observe(float(size))
+    parts = shared if isinstance(shared, tuple) else (shared,)
+    probes = [getattr(part, "segment_nbytes", None) for part in parts]
+    if any(callable(probe) for probe in probes):
+        size = float(sum(probe() for probe in probes if callable(probe)))
+        _gauge("parallel.shm_payload_bytes").set(size)
+    else:
+        measured = _capped_pickle_size(shared)
+        if measured is None:
+            return
+        size = measured
+    _histogram("parallel.payload_bytes").observe(size)
 
 
 def _finish_task_inline(task_t0: float) -> None:
@@ -247,6 +304,63 @@ def _invoke_child(item: tuple[RangeTask, tuple[int, int]]):
     return value, worker_task_snapshot(t0)
 
 
+def _sync_worker_observability(observing: bool) -> None:
+    """Align a reused worker's recording flag with the dispatching parent.
+
+    A cached pool outlives individual fan-outs, so the observability
+    state its workers inherited (fork) or started with (spawn) can go
+    stale between calls; each task carries the parent's current flag.
+    """
+    if observing and not _obs_enabled():
+        from repro.observability.state import enable
+
+        enable()
+    elif not observing and _obs_enabled():
+        from repro.observability.state import disable
+
+        disable()
+        _obs.reset()
+
+
+def _invoke_reused_child(item: tuple[RangeTask, Any, tuple[int, int], bool]):
+    """Task wrapper for *reused* pools: the payload rides in the item.
+
+    A reused pool cannot rely on fork inheritance (the snapshot is from
+    pool creation, not this fan-out) or a spawn initializer (initargs
+    run once per worker lifetime) — so each task installs its own
+    payload.  The payload is expected to be descriptor-cheap to pickle
+    (shared-memory backed); callers opting into ``reuse`` own that.
+    """
+    task, shared, bounds, observing = item
+    _sync_worker_observability(observing)
+    _set_payload(shared)
+    t0 = time.perf_counter()
+    value = task(bounds)
+    return value, worker_task_snapshot(t0)
+
+
+# Cached pools for reuse= fan-outs, keyed (backend, workers, reuse tag).
+_POOL_CACHE: dict[tuple[str, int, str], Any] = {}
+
+
+def shutdown_pools() -> None:
+    """Terminate every cached ``reuse=`` pool (idempotent; atexit-hooked).
+
+    Worker processes are daemonic — they die with the parent anyway —
+    but an explicit shutdown releases their payload attachments (and
+    any shared-memory mappings) deterministically, which the leak tests
+    rely on.
+    """
+    pools = list(_POOL_CACHE.values())
+    _POOL_CACHE.clear()
+    for pool in pools:
+        pool.terminate()
+        pool.join()
+
+
+atexit.register(shutdown_pools)
+
+
 # ---------------------------------------------------------------------------
 # Backends.
 # ---------------------------------------------------------------------------
@@ -268,7 +382,16 @@ class Executor:
 
     def submit_ranges(self, task: RangeTask, n_items: int, shared: Any, *,
                       n_workers: int | None = 1,
-                      chunk_size: int | None = None) -> list[Any]:
+                      chunk_size: int | None = None,
+                      reuse: str | None = None) -> list[Any]:
+        """Run ``task`` over chunked ranges; results come back in range order.
+
+        ``reuse`` names a cached worker pool to dispatch through instead
+        of building (and tearing down) a pool per fan-out.  Reused pools
+        receive the payload *per task item*, so it must pickle cheaply —
+        shared-memory descriptors, not whole data structures.  In-process
+        backends ignore the flag (there is nothing to reuse).
+        """
         raise NotImplementedError
 
     def _plan(self, n_items: int, n_workers: int | None,
@@ -289,7 +412,7 @@ class SerialExecutor(Executor):
     name = "serial"
 
     def submit_ranges(self, task, n_items, shared, *, n_workers=1,
-                      chunk_size=None):
+                      chunk_size=None, reuse=None):
         if n_items <= 0:
             return []
         size = chunk_size or n_items
@@ -310,7 +433,7 @@ class ThreadExecutor(Executor):
     name = "thread"
 
     def submit_ranges(self, task, n_items, shared, *, n_workers=1,
-                      chunk_size=None):
+                      chunk_size=None, reuse=None):
         if n_items <= 0:
             return []
         workers, size = self._plan(n_items, n_workers, chunk_size)
@@ -337,17 +460,36 @@ class _ProcessExecutor(Executor):
     def _pool(self, workers: int, shared: Any):
         raise NotImplementedError
 
+    def _bare_pool(self, workers: int):
+        """A payload-free pool for the ``reuse`` cache."""
+        raise NotImplementedError
+
+    def _cached_pool(self, workers: int, reuse: str):
+        key = (self.name, workers, reuse)
+        pool = _POOL_CACHE.get(key)
+        if pool is None:
+            pool = self._bare_pool(workers)
+            _POOL_CACHE[key] = pool
+        return pool
+
     def submit_ranges(self, task, n_items, shared, *, n_workers=1,
-                      chunk_size=None):
+                      chunk_size=None, reuse=None):
         if n_items <= 0:
             return []
         workers, size = self._plan(n_items, n_workers, chunk_size)
         record_fanout(workers, size)
         _record_payload_bytes(shared)
         t0 = time.perf_counter()
-        items = [(task, bounds) for bounds in chunk_indices(n_items, size)]
-        with self._pool(workers, shared) as pool:
-            results = pool.map(_invoke_child, items)
+        if reuse is None:
+            items = [(task, bounds) for bounds in chunk_indices(n_items, size)]
+            with self._pool(workers, shared) as pool:
+                results = pool.map(_invoke_child, items)
+        else:
+            observing = _obs_enabled()
+            items = [(task, shared, bounds, observing)
+                     for bounds in chunk_indices(n_items, size)]
+            results = self._cached_pool(workers, reuse).map(
+                _invoke_reused_child, items)
         merge_worker_snapshots(snap for _value, snap in results)
         _record_fanout_seconds(t0)
         return [value for value, _snap in results]
@@ -364,6 +506,10 @@ class ForkExecutor(_ProcessExecutor):
     def _pool(self, workers: int, shared: Any):
         return fork_payload_pool(workers, shared)
 
+    def _bare_pool(self, workers: int):
+        ctx = mp.get_context("fork")
+        return ctx.Pool(processes=workers, initializer=_obs.worker_init)
+
 
 class SpawnExecutor(_ProcessExecutor):
     """``spawn`` pool: payload pickled once per worker at pool start."""
@@ -374,6 +520,11 @@ class SpawnExecutor(_ProcessExecutor):
         ctx = mp.get_context("spawn")
         return ctx.Pool(processes=workers, initializer=_spawn_worker_init,
                         initargs=(shared, _obs_enabled()))
+
+    def _bare_pool(self, workers: int):
+        # Fresh interpreters start with a clean observability state and
+        # no payload; _invoke_reused_child installs both per task.
+        return mp.get_context("spawn").Pool(processes=workers)
 
 
 BACKENDS: dict[str, Executor] = {

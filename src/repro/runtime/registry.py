@@ -30,7 +30,7 @@ from repro.util.errors import CollectionError
 
 __all__ = [
     "MethodSpec", "register_method", "get_method", "method_names", "methods",
-    "methods_markdown_table", "methods_docstring",
+    "default_method_name", "methods_markdown_table", "methods_docstring",
 ]
 
 #: Human-readable glosses for the ``memory_class`` flag values.
@@ -62,6 +62,15 @@ class MethodSpec:
     memory_class:
         ``"hash"`` (O(n·r) split hash), ``"matrix"`` (pairwise matrix),
         or ``"stream"`` (O(n) working set per tree).
+    shared_memory:
+        Process workers attach a zero-copy shared-memory segment instead
+        of receiving a pickled payload (:mod:`repro.runtime.shm`).
+    fast_path:
+        Candidate for the *default* method: when ``average_rf`` is called
+        without ``method=``, the most recently registered fast-path spec
+        wins (see :func:`default_method_name`).  Flagging a method here
+        promises bitwise-identical results to ``bfhrf`` — the parity
+        oracles hold every fast path to that.
     """
 
     name: str
@@ -71,6 +80,8 @@ class MethodSpec:
     supports_transform: bool = True
     supports_workers: bool = True
     memory_class: str = "hash"
+    shared_memory: bool = False
+    fast_path: bool = False
 
     def __post_init__(self) -> None:
         if self.memory_class not in _MEMORY_CLASSES:
@@ -112,7 +123,9 @@ def register_method(name: str, runner: Callable[..., list[float]], *,
                     summary: str, supports_disparate: bool = True,
                     supports_transform: bool = True,
                     supports_workers: bool = True,
-                    memory_class: str = "hash") -> MethodSpec:
+                    memory_class: str = "hash",
+                    shared_memory: bool = False,
+                    fast_path: bool = False) -> MethodSpec:
     """Register an average-RF method; returns its :class:`MethodSpec`.
 
     Re-registering a name replaces the previous entry (last wins), which
@@ -122,7 +135,9 @@ def register_method(name: str, runner: Callable[..., list[float]], *,
                       supports_disparate=supports_disparate,
                       supports_transform=supports_transform,
                       supports_workers=supports_workers,
-                      memory_class=memory_class)
+                      memory_class=memory_class,
+                      shared_memory=shared_memory,
+                      fast_path=fast_path)
     _REGISTRY[name] = spec
     return spec
 
@@ -157,27 +172,50 @@ def methods() -> tuple[MethodSpec, ...]:
     return tuple(_REGISTRY.values())
 
 
+def default_method_name() -> str:
+    """The method ``average_rf`` uses when none is requested.
+
+    The most recently registered spec with ``fast_path=True`` wins —
+    registration order *is* the promotion mechanism, so an extension
+    registering a faster bitwise-identical method takes over the default
+    without any call-site edits.  With no fast path registered the
+    reference implementation ``bfhrf`` is the default.
+    """
+    _ensure_builtins()
+    chosen = "bfhrf"
+    for spec in _REGISTRY.values():
+        if spec.fast_path:
+            chosen = spec.name
+    return chosen
+
+
 def _flag(value: bool) -> str:
     return "yes" if value else "no"
 
 
 def methods_markdown_table() -> str:
     """The method capability table for ``docs/api.md``, as Markdown."""
+    default = default_method_name()
     lines = [
-        "| Method | Disparate reference | Transforms | Workers | Memory | Summary |",
-        "|---|---|---|---|---|---|",
+        "| Method | Disparate reference | Transforms | Workers | Zero-copy "
+        "| Memory | Summary |",
+        "|---|---|---|---|---|---|---|",
     ]
     for spec in methods():
+        name = f"`{spec.name}` (default)" if spec.name == default \
+            else f"`{spec.name}`"
         lines.append(
-            f"| `{spec.name}` | {_flag(spec.supports_disparate)} "
+            f"| {name} | {_flag(spec.supports_disparate)} "
             f"| {_flag(spec.supports_transform)} "
             f"| {_flag(spec.supports_workers)} "
+            f"| {_flag(spec.shared_memory)} "
             f"| {spec.memory_class} | {spec.summary} |")
     return "\n".join(lines)
 
 
 def methods_docstring(indent: str = "    ") -> str:
     """The per-method block spliced into ``average_rf``'s docstring."""
+    default = default_method_name()
     lines: list[str] = []
     for spec in methods():
         caveats = []
@@ -188,6 +226,7 @@ def methods_docstring(indent: str = "    ") -> str:
         if not spec.supports_workers:
             caveats.append("serial")
         suffix = f" ({'; '.join(caveats)})" if caveats else ""
-        lines.append(f"{indent}``{spec.name}``")
+        marker = " — the default" if spec.name == default else ""
+        lines.append(f"{indent}``{spec.name}``{marker}")
         lines.append(f"{indent}    {spec.summary}{suffix}")
     return "\n".join(lines)

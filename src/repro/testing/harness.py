@@ -37,6 +37,7 @@ from repro.testing.oracles import (
     check_differential_rf,
     check_differential_weighted,
     check_self_rf_zero,
+    check_shm_roundtrip,
     check_store_roundtrip,
     check_symmetry,
     check_triangle,
@@ -62,6 +63,7 @@ __all__ = ["CASE_CHECKS", "FAULT_KINDS", "inject_fault", "RoundResult",
 CASE_CHECKS: dict[str, Callable[[TreeCase], list[Failure]]] = {
     "differential-rf": check_differential_rf,
     "backend-parity": check_backend_parity,
+    "shm-roundtrip": check_shm_roundtrip,
     "differential-weighted": check_differential_weighted,
     "self-rf-zero": check_self_rf_zero,
     "symmetry": check_symmetry,
@@ -126,7 +128,30 @@ def _inject_store_count() -> Callable[[], None]:
     return lambda: setattr(BFHStore, "_apply_add", original)
 
 
-FAULT_KINDS = ("bfh-count", "weighted-total", "store-count")
+def _inject_shm_count() -> Callable[[], None]:
+    """Corrupt the shared layout: bump one frequency after the copy-in.
+
+    The dict hash stays honest, so only the shared-memory surfaces — the
+    ``shm-roundtrip`` oracle, the shm rows of ``backend-parity``, the
+    differential's registered ``shm`` method — can notice the drift.
+    """
+    from repro.runtime.shm import SharedBFH
+
+    original = SharedBFH.from_bfh.__func__
+
+    def corrupted(cls, bfh, n_taxa):
+        shared = original(cls, bfh, n_taxa)
+        if len(shared):
+            shared.freqs.flags.writeable = True
+            shared.freqs[0] += 1  # one count drifts; the dict hash does not
+            shared.freqs.flags.writeable = False
+        return shared
+
+    SharedBFH.from_bfh = classmethod(corrupted)
+    return lambda: setattr(SharedBFH, "from_bfh", classmethod(original))
+
+
+FAULT_KINDS = ("bfh-count", "weighted-total", "store-count", "shm-count")
 
 
 @contextlib.contextmanager
@@ -141,6 +166,8 @@ def inject_fault(kind: str | None) -> Iterator[None]:
         restore = _inject_weighted_total()
     elif kind == "store-count":
         restore = _inject_store_count()
+    elif kind == "shm-count":
+        restore = _inject_shm_count()
     else:
         raise ValueError(f"unknown fault kind {kind!r}; choose from {FAULT_KINDS}")
     try:

@@ -27,12 +27,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.bipartitions.extract import bipartition_masks, bipartitions_with_lengths
-from repro.core.bfhrf import bfhrf_average_rf
+from repro.core.bfhrf import bfhrf_average_rf, build_bfh
 from repro.core.day import day_rf
 from repro.core.parallel import dsmp_average_rf
 from repro.core.rf import max_rf, rf_from_mask_sets
+from repro.core.shmrf import shm_average_rf
 from repro.hashing.weighted import WeightedBipartitionHash
 from repro.runtime import fork_available, get_method, methods
+from repro.runtime.shm import SharedBFH
 from repro.store import BFHStore, build_store
 from repro.store.shards import parallel_build_tables
 from repro.testing.generators import TreeCase, caterpillar_tree, max_rf_caterpillar_orders
@@ -50,6 +52,7 @@ __all__ = [
     "check_differential_rf",
     "check_differential_weighted",
     "check_backend_parity",
+    "check_shm_roundtrip",
     "check_self_rf_zero",
     "check_symmetry",
     "check_triangle",
@@ -203,13 +206,14 @@ def check_differential_rf(case: TreeCase) -> list[Failure]:
 def check_backend_parity(case: TreeCase) -> list[Failure]:
     """Executor backends must be invisible in the numbers.
 
-    Runs the BFHRF comparison fan-out, the DSMP pipeline, and the
-    store-shard count on every locally available backend with two
-    workers and demands results bitwise-identical to the serial path —
-    the executor abstraction's core contract.  The ``spawn`` backend
-    costs a fresh-interpreter pool per fan-out, so it runs on a
-    deterministic slice of cases and only for the BFHRF path; the cases
-    it runs on derive from ``case.seed``, so the shrinker can replay the
+    Runs the BFHRF comparison fan-out, the shared-memory fan-out (dict
+    vs shared array layouts), the DSMP pipeline, and the store-shard
+    count on every locally available backend with two workers and
+    demands results bitwise-identical to the serial path — the executor
+    abstraction's core contract.  The ``spawn`` backend costs a
+    fresh-interpreter pool per fan-out, so it runs on a deterministic
+    slice of cases and only for the BFHRF and shm paths; the cases it
+    runs on derive from ``case.seed``, so the shrinker can replay the
     check.
     """
     failures: list[Failure] = []
@@ -241,8 +245,15 @@ def check_backend_parity(case: TreeCase) -> list[Failure]:
                                  include_trivial=case.include_trivial,
                                  executor=backend),
                 want_rf)
+        # The shared-array layout must agree with the dict layout on the
+        # same backend — the zero-copy path's exactness contract.
+        compare("shm", backend,
+                shm_average_rf(case.query, case.reference, n_workers=2,
+                               include_trivial=case.include_trivial,
+                               executor=backend),
+                want_rf)
         if backend == "spawn":
-            continue  # bound the per-round cost to one spawn pool
+            continue  # bound the per-round cost to the two spawn pools
         compare("dsmp", backend,
                 dsmp_average_rf(case.query, case.reference, n_workers=2,
                                 include_trivial=case.include_trivial,
@@ -256,6 +267,62 @@ def check_backend_parity(case: TreeCase) -> list[Failure]:
             failures.append(Failure(
                 "backend-parity", "shard-build count tables diverge",
                 implementation=backend))
+    return failures
+
+
+def check_shm_roundtrip(case: TreeCase) -> list[Failure]:
+    """``SharedBFH`` must round-trip the dict BFH exactly.
+
+    Lays the case's reference hash out in shared memory and demands
+    (a) identical key/count tables back out (``to_bfh``), (b) identical
+    probe answers for every stored mask plus a guaranteed-absent mask,
+    and (c) identical average-RF values through the zero-copy serial
+    path.  Splitless references (star trees) exercise the empty-segment
+    probe guard.  Runs in-process — no workers — so a violation is the
+    layout's fault, never an executor's.
+    """
+    failures: list[Failure] = []
+    bfh = build_bfh(case.reference, include_trivial=case.include_trivial)
+    n_taxa = max(1, len(case.reference[0].taxon_namespace))
+    with SharedBFH.from_bfh(bfh, n_taxa) as shared:
+        round_tripped = shared.to_bfh()
+        if round_tripped.counts != bfh.counts:
+            drift = set(round_tripped.counts) ^ set(bfh.counts) or {
+                m for m in bfh.counts
+                if bfh.counts[m] != round_tripped.counts[m]}
+            failures.append(Failure(
+                "shm-roundtrip",
+                f"key/count tables drift on {len(drift)} split(s)",
+                implementation="shm"))
+        if (round_tripped.n_trees, round_tripped.total) != (bfh.n_trees,
+                                                            bfh.total):
+            failures.append(Failure(
+                "shm-roundtrip",
+                f"totals drift: shm ({round_tripped.n_trees}, "
+                f"{round_tripped.total}) vs dict ({bfh.n_trees}, {bfh.total})",
+                implementation="shm"))
+        for mask, count in bfh.counts.items():
+            if shared.frequency(mask) != count:
+                failures.append(Failure(
+                    "shm-roundtrip",
+                    f"probe for {mask:#x} says {shared.frequency(mask)}, "
+                    f"dict says {count}", implementation="shm"))
+                break
+        # Mask 0 is guaranteed absent (every stored split sets >= 1 bit)
+        # and survives word packing at the 64/128-bit boundary knob.
+        if shared.frequency(0) != 0:
+            failures.append(Failure(
+                "shm-roundtrip", "absent mask probes nonzero",
+                implementation="shm"))
+        got = shm_average_rf(case.query, shared=shared,
+                             include_trivial=case.include_trivial)
+    want = bfhrf_average_rf(case.query, case.reference,
+                            include_trivial=case.include_trivial)
+    for i, (g, w) in enumerate(zip(got, want)):
+        if g != w:
+            failures.append(Failure(
+                "shm-roundtrip", f"avgRF {g!r} vs dict {w!r}",
+                implementation="shm", index=i))
     return failures
 
 

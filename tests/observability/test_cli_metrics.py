@@ -36,7 +36,9 @@ class TestMetricsOut:
         doc = json.loads(out.read_text())
         report = RunReport.from_dict(doc)
 
-        for name in ("parse", "bfh.build", "bfhrf.query"):
+        # The default method is the registry's promoted fast path (shm),
+        # whose query span is shmrf.query.
+        for name in ("parse", "bfh.build", "shmrf.query"):
             spans = report.find_spans(name)
             assert spans, f"span {name!r} missing from report"
             for span in spans:
@@ -45,8 +47,12 @@ class TestMetricsOut:
 
         assert report.counter("newick.trees_parsed") == 3
         assert report.counter("bfh.bipartitions_hashed") == 3
-        assert report.counter("bfh.hash_hits") + \
-            report.counter("bfh.hash_misses") == 3
+        # The shm fast path probes through the vectorized kernel, so the
+        # query-side evidence is the batched-probe histograms rather than
+        # the dict hash's hit/miss counters.
+        probes = report.metrics["histograms"]["vectorized.probe_keys"]
+        assert probes["count"] >= 1
+        assert probes["sum"] >= 3  # every query tree's splits probed
         # stdout (the results) is untouched by observability
         assert len(capsys.readouterr().out.strip().splitlines()) == 3
 
@@ -95,13 +101,13 @@ class TestTraceFlag:
     def test_trace_prints_span_tree(self, quartet_file, capsys):
         assert main(["--trace", "avg-rf", quartet_file]) == 0
         err = capsys.readouterr().err
-        for name in ("cli.avg-rf", "parse", "bfh.build", "bfhrf.query"):
+        for name in ("cli.avg-rf", "parse", "bfh.build", "shmrf.query"):
             assert name in err
 
     def test_trace_survives_quiet(self, quartet_file, capsys):
         assert main(["--trace", "--quiet", "avg-rf", quartet_file]) == 0
         err = capsys.readouterr().err
-        assert "bfhrf.query" in err
+        assert "shmrf.query" in err
         assert "wall time" not in err
 
 

@@ -1,6 +1,10 @@
 """Backend-parity matrix: every executor must produce bitwise-identical
-results for the core parallel paths (bfhrf, dsmp, store shard build),
-and the merged worker metrics must account for every task.
+results for the core parallel paths (bfhrf, shm, dsmp, store shard
+build), and the merged worker metrics must account for every task.
+
+The matrix covers layouts as well as backends: dict (bfhrf), vectorized
+(in-process arrays), and shared (zero-copy segments) must agree with the
+serial dict path exactly on every executor.
 
 This is the test-suite twin of the ``backend-parity`` selfcheck oracle.
 """
@@ -10,6 +14,8 @@ import pytest
 from repro import observability as obs
 from repro.core.bfhrf import bfhrf_average_rf, build_bfh
 from repro.core.parallel import dsmp_average_rf
+from repro.core.shmrf import shm_average_rf
+from repro.core.vectorized import vectorized_average_rf
 from repro.observability.metrics import metrics_snapshot
 from repro.runtime import BACKENDS, set_default_executor
 from repro.store.shards import parallel_build_tables
@@ -56,6 +62,50 @@ class TestBfhrfParity:
         assert parallel.counts == serial.counts
         assert parallel.n_trees == serial.n_trees
         assert parallel.total == serial.total
+
+
+class TestShmParity:
+    """The zero-copy shared layout vs the serial dict path, per backend."""
+
+    @pytest.fixture(scope="class")
+    def serial_values(self, trees):
+        return bfhrf_average_rf(trees, trees, n_workers=1)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_bitwise_identical(self, backend, trees, serial_values):
+        _skip_unless_available(backend)
+        values = shm_average_rf(trees, trees, n_workers=2, executor=backend)
+        assert values == serial_values
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_vectorized_layout_agrees(self, backend, trees, serial_values):
+        _skip_unless_available(backend)
+        values = vectorized_average_rf(trees, trees, n_workers=2,
+                                       executor=backend)
+        assert values == serial_values
+
+    def test_serial_worker_count_uses_no_segments(self, trees, serial_values):
+        assert shm_average_rf(trees, trees, n_workers=1) == serial_values
+
+    @pytest.mark.parametrize("backend", ["fork", "spawn"])
+    def test_merged_worker_metrics(self, backend, trees):
+        _skip_unless_available(backend)
+        obs.reset()
+        obs.enable()
+        try:
+            shm_average_rf(trees, trees, n_workers=2, executor=backend)
+            snapshot = metrics_snapshot()
+            tasks = snapshot["counters"]["parallel.tasks"]
+            assert tasks >= 2
+            assert snapshot["histograms"]["parallel.task_seconds"]["count"] \
+                == tasks
+            # The payload probe must record the segment size, not a pickle.
+            assert snapshot["gauges"]["parallel.shm_payload_bytes"] > 0
+            assert snapshot["gauges"]["shm.segment_bytes"] > 0
+            assert snapshot["counters"]["shm.segments_created"] >= 1
+        finally:
+            obs.disable()
+            obs.reset()
 
 
 class TestDsmpParity:

@@ -164,3 +164,98 @@ class TestResolution:
     def test_available_backends_always_has_portable_ones(self):
         names = available_backends()
         assert {"serial", "thread", "spawn"} <= set(names)
+
+
+class _StreamingPart:
+    """Each part pickles as a fixed-size blob; module-level so pickle can
+    reference the class by import path."""
+
+    nbytes = 0
+    served = 0
+
+    def __getstate__(self):
+        _StreamingPart.served += 1
+        return b"\0" * _StreamingPart.nbytes
+
+
+class _SegmentBacked:
+    """Payload stand-in that reports a segment and refuses to pickle."""
+
+    def __init__(self, nbytes):
+        self._nbytes = nbytes
+
+    def segment_nbytes(self):
+        return self._nbytes
+
+    def __reduce__(self):
+        raise AssertionError("segment-backed payload must never be pickled "
+                             "by the probe")
+
+
+class TestPayloadProbe:
+    """Satellite regression: the payload gauge must not pickle the world."""
+
+    def _probe(self, shared):
+        from repro.runtime.executor import _record_payload_bytes
+
+        obs.reset()
+        obs.enable()
+        try:
+            _record_payload_bytes(shared)
+            return metrics_snapshot()
+        finally:
+            obs.disable()
+            obs.reset()
+
+    def test_segment_backed_payload_is_never_pickled(self, monkeypatch):
+        from repro.runtime import executor as ex
+
+        def boom(shared, cap=0):
+            raise AssertionError("pickle probe ran on the shm path")
+
+        monkeypatch.setattr(ex, "_capped_pickle_size", boom)
+        snapshot = self._probe((_SegmentBacked(4096), "chaff", None))
+        assert snapshot["gauges"]["parallel.shm_payload_bytes"] == 4096.0
+        assert snapshot["histograms"]["parallel.payload_bytes"]["max"] == 4096.0
+
+    def test_multiple_segments_sum(self):
+        snapshot = self._probe((_SegmentBacked(100), _SegmentBacked(28)))
+        assert snapshot["gauges"]["parallel.shm_payload_bytes"] == 128.0
+
+    def test_plain_payload_records_pickled_size(self):
+        snapshot = self._probe(list(range(50)))
+        size = snapshot["histograms"]["parallel.payload_bytes"]["max"]
+        assert 0 < size < 1024
+        assert "parallel.shm_payload_bytes" not in snapshot["gauges"]
+
+    def test_oversized_payload_records_cap_as_floor(self):
+        from repro.runtime.executor import PAYLOAD_PROBE_CAP
+
+        huge = b"x" * (PAYLOAD_PROBE_CAP * 4)
+        snapshot = self._probe(huge)
+        assert snapshot["histograms"]["parallel.payload_bytes"]["max"] \
+            == float(PAYLOAD_PROBE_CAP)
+
+    def test_probe_cap_bounds_serialized_bytes(self):
+        from repro.runtime.executor import PAYLOAD_PROBE_CAP, _capped_pickle_size
+
+        _StreamingPart.nbytes = PAYLOAD_PROBE_CAP // 2
+        _StreamingPart.served = 0
+        payload = tuple(_StreamingPart() for _ in range(100))
+        assert _capped_pickle_size(payload) == float(PAYLOAD_PROBE_CAP)
+        # The probe stopped within a few parts of the cap instead of
+        # serializing all 100 halves (~50 MB).
+        assert _StreamingPart.served <= 4
+
+    def test_unpicklable_payload_is_skipped(self):
+        snapshot = self._probe(lambda: None)
+        assert "parallel.payload_bytes" not in snapshot["histograms"]
+
+    def test_disabled_observability_short_circuits(self, monkeypatch):
+        from repro.runtime import executor as ex
+
+        def boom(shared, cap=0):
+            raise AssertionError("probe ran while observability was off")
+
+        monkeypatch.setattr(ex, "_capped_pickle_size", boom)
+        ex._record_payload_bytes(list(range(10)))  # must be a no-op

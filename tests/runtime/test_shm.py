@@ -1,0 +1,297 @@
+"""Lifecycle, leak, and crash tests for the shared-memory payload layer.
+
+The contract under test: segments are invisible to correctness (bitwise
+parity is covered in ``test_backend_parity``) and invisible to the
+filesystem once their owner releases them — after a clean run, after a
+mid-probe exception, after a SIGKILLed fork worker, and after a spawn
+worker that never attaches.  ``/dev/shm`` leak checking itself is
+enforced suite-wide by an autouse fixture in ``tests/conftest.py``;
+the tests here additionally assert emptiness at the interesting
+intermediate points.
+"""
+
+import os
+import pickle
+import signal
+
+import multiprocessing as mp
+
+import numpy as np
+import pytest
+
+from repro.bipartitions.extract import bipartition_masks
+from repro.core.bfhrf import build_bfh
+from repro.core.vectorized import VectorizedBFH
+from repro.runtime.shm import (
+    SEGMENT_PREFIX,
+    SharedBFH,
+    SharedBFHDescriptor,
+    SharedTreeCollection,
+    leaked_segments,
+    owned_leaked_segments,
+)
+from repro.runtime.executor import shutdown_pools
+from tests.conftest import make_collection
+
+
+@pytest.fixture
+def trees():
+    return make_collection(n_taxa=12, n_trees=8, seed=404)
+
+
+@pytest.fixture
+def shared(trees):
+    bfh = build_bfh(trees)
+    with SharedBFH.from_bfh(bfh, 12) as sb:
+        yield sb, bfh
+
+
+class TestSharedBFHLayout:
+    def test_round_trips_dict_hash(self, shared):
+        sb, bfh = shared
+        back = sb.to_bfh()
+        assert back.counts == bfh.counts
+        assert back.n_trees == bfh.n_trees
+        assert back.total == bfh.total
+        assert back.include_trivial == bfh.include_trivial
+
+    def test_matches_vectorized_layout_exactly(self, shared, trees):
+        sb, bfh = shared
+        vbfh = VectorizedBFH.from_bfh(bfh, 12)
+        assert np.array_equal(sb.keys, vbfh.keys)
+        assert np.array_equal(sb.freqs, vbfh.freqs)
+
+    def test_probe_answers_match_dict(self, shared):
+        sb, bfh = shared
+        for mask, count in bfh.counts.items():
+            assert sb.frequency(mask) == count
+        assert sb.frequency(0) == 0  # no stored split is empty
+
+    def test_vectorized_view_is_zero_copy(self, shared):
+        sb, _bfh = shared
+        vbfh = sb.vectorized()
+        assert vbfh.keys.base is not None  # a view, not a sorted copy
+        assert np.shares_memory(vbfh.keys, sb.keys)
+        assert np.shares_memory(vbfh.freqs, sb.freqs)
+
+    def test_from_trees(self, trees):
+        bfh = build_bfh(trees)
+        with SharedBFH.from_trees(trees) as sb:
+            assert sb.to_bfh().counts == bfh.counts
+
+    def test_splitless_reference(self):
+        from repro.newick import trees_from_string
+
+        stars = trees_from_string("(A,B,C,D);\n(A,B,C,D);")
+        with SharedBFH.from_trees(stars) as sb:
+            assert len(sb) == 0
+            assert sb.frequency(0b0011) == 0
+        assert owned_leaked_segments() == []
+
+
+class TestLifecycle:
+    def test_context_manager_unlinks_on_success(self, trees):
+        bfh = build_bfh(trees)
+        with SharedBFH.from_bfh(bfh, 12) as sb:
+            name = sb.name
+            assert name in leaked_segments()
+        assert name not in leaked_segments()
+
+    def test_context_manager_unlinks_on_exception(self, trees):
+        bfh = build_bfh(trees)
+        with pytest.raises(RuntimeError, match="mid-probe"):
+            with SharedBFH.from_bfh(bfh, 12) as sb:
+                name = sb.name
+                sb.frequency(next(iter(bfh.counts)))
+                raise RuntimeError("mid-probe failure")
+        assert name not in leaked_segments()
+
+    def test_release_is_idempotent(self, trees):
+        sb = SharedBFH.from_bfh(build_bfh(trees), 12)
+        sb.release()
+        sb.release()
+        sb.close()
+        sb.unlink()
+        assert owned_leaked_segments() == []
+
+    def test_attacher_close_does_not_unlink(self, shared):
+        sb, bfh = shared
+        attached = SharedBFH.attach(sb.descriptor())
+        assert np.array_equal(attached.keys, sb.keys)
+        attached.release()  # non-owner: close only
+        assert sb.name in leaked_segments()
+        assert sb.frequency(next(iter(bfh.counts))) > 0
+
+    def test_attached_arrays_are_read_only(self, shared):
+        sb, _bfh = shared
+        attached = SharedBFH.attach(sb.descriptor())
+        try:
+            assert not attached.keys.flags.writeable
+            assert not attached.freqs.flags.writeable
+            with pytest.raises(ValueError):
+                attached.freqs[0] = 99
+        finally:
+            attached.release()
+
+    def test_pickles_as_small_descriptor(self, shared):
+        sb, _bfh = shared
+        blob = pickle.dumps(sb)
+        assert len(blob) < 1024  # descriptor, not the table
+        clone = pickle.loads(blob)
+        try:
+            assert np.array_equal(clone.keys, sb.keys)
+            assert np.array_equal(clone.freqs, sb.freqs)
+        finally:
+            # The attach cache owns in-worker clones; here we are our own
+            # "worker", so evict explicitly.
+            from repro.runtime.shm import _ATTACH_CACHE
+
+            _ATTACH_CACHE.pop(sb.name, None)
+            clone.close()
+
+    def test_descriptor_fields(self, shared):
+        sb, bfh = shared
+        d = sb.descriptor()
+        assert isinstance(d, SharedBFHDescriptor)
+        assert d.name.startswith(SEGMENT_PREFIX)
+        assert d.n_keys == len(bfh.counts)
+        assert d.n_trees == bfh.n_trees
+        assert d.total == bfh.total
+
+
+# -- crash-shaped lifecycles --------------------------------------------------
+# Helpers must be module-level so spawn children can import them.
+
+def _attach_and_sigkill(descriptor):
+    SharedBFH.attach(descriptor)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _attach_and_exit(descriptor, out):
+    attached = SharedBFH.attach(descriptor)
+    out.put(int(attached.freqs.sum()))
+    attached.close()
+
+
+def _never_attaches(_descriptor):
+    raise RuntimeError("worker died before attaching")
+
+
+class TestWorkerDeath:
+    def test_sigkilled_fork_attacher_does_not_reap_segment(self, shared):
+        sb, bfh = shared
+        ctx = mp.get_context("fork")
+        proc = ctx.Process(target=_attach_and_sigkill, args=(sb.descriptor(),))
+        proc.start()
+        proc.join(timeout=30)
+        assert proc.exitcode == -signal.SIGKILL
+        # The parent's segment must have survived the worker's death …
+        assert sb.name in leaked_segments()
+        assert sb.frequency(next(iter(bfh.counts))) > 0
+
+    def test_spawn_attacher_exit_does_not_reap_segment(self, shared):
+        sb, bfh = shared
+        ctx = mp.get_context("spawn")
+        out = ctx.Queue()
+        proc = ctx.Process(target=_attach_and_exit, args=(sb.descriptor(), out))
+        proc.start()
+        total = out.get(timeout=60)
+        proc.join(timeout=60)
+        # A clean spawn exit runs the child's resource tracker; without
+        # the attach-side unregister it would unlink the parent's name.
+        assert total == int(sb.freqs.sum())
+        assert sb.name in leaked_segments()
+        assert sb.frequency(next(iter(bfh.counts))) > 0
+
+    def test_spawn_worker_that_never_attaches(self, shared):
+        sb, _bfh = shared
+        ctx = mp.get_context("spawn")
+        proc = ctx.Process(target=_never_attaches, args=(sb.descriptor(),))
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode != 0
+        assert sb.name in leaked_segments()  # still owned by the parent
+
+
+class TestSharedTreeCollection:
+    def test_lazy_until_pickled(self, trees):
+        col = SharedTreeCollection(trees)
+        assert col.segment_nbytes() == 0
+        assert owned_leaked_segments() == []  # nothing materialized
+        assert col.slice(1, 3) == trees[1:3]  # parent slices in memory
+        col.release()  # release of a never-materialized collection is a no-op
+
+    def test_worker_side_masks_are_bitwise_identical(self, trees):
+        col = SharedTreeCollection(trees, include_lengths=False)
+        descriptor = col._materialize()
+        attached = SharedTreeCollection.attach(descriptor)
+        try:
+            parsed = attached.slice(0, len(trees))
+            assert [bipartition_masks(t) for t in parsed] \
+                == [bipartition_masks(t) for t in trees]
+        finally:
+            attached.close()
+            col.release()
+        assert owned_leaked_segments() == []
+
+    def test_weighted_lengths_round_trip_exactly(self, trees):
+        from repro.bipartitions.extract import bipartitions_with_lengths
+
+        col = SharedTreeCollection(trees, include_lengths=True)
+        attached = SharedTreeCollection.attach(col._materialize())
+        try:
+            parsed = attached.trees
+            assert [bipartitions_with_lengths(t) for t in parsed] \
+                == [bipartitions_with_lengths(t) for t in trees]
+        finally:
+            attached.close()
+            col.release()
+
+    def test_hostile_labels_survive(self):
+        from repro.newick import trees_from_string
+
+        text = "(('sp one','sp_two'),('it''s',d_4));\n(('sp one','it''s'),('sp_two',d_4));"
+        trees = trees_from_string(text)
+        col = SharedTreeCollection(trees, include_lengths=False)
+        attached = SharedTreeCollection.attach(col._materialize())
+        try:
+            parsed = attached.trees
+            assert [bipartition_masks(t) for t in parsed] \
+                == [bipartition_masks(t) for t in trees]
+        finally:
+            attached.close()
+            col.release()
+
+    def test_mixed_namespaces_rejected(self, trees):
+        other = make_collection(n_taxa=12, n_trees=1, seed=405)
+        with pytest.raises(ValueError, match="shared TaxonNamespace"):
+            SharedTreeCollection(trees + other)
+
+    def test_pickle_ships_descriptor_not_trees(self, trees):
+        col = SharedTreeCollection(trees, include_lengths=False)
+        try:
+            blob = pickle.dumps(col)
+            assert len(blob) < 1024
+            assert col.segment_nbytes() > 0  # pickling materialized it
+        finally:
+            from repro.runtime.shm import _ATTACH_CACHE
+
+            _ATTACH_CACHE.pop(col.name, None)
+            col.release()
+
+
+class TestPoolReuse:
+    def test_cached_pool_sees_fresh_payload_per_fanout(self, trees):
+        """Regression: a reused pool must not serve a stale payload."""
+        from repro.core.shmrf import shm_average_rf
+        from repro.core.bfhrf import bfhrf_average_rf
+
+        other = make_collection(n_taxa=12, n_trees=6, seed=77)
+        first = shm_average_rf(trees, trees, n_workers=2, executor="spawn")
+        second = shm_average_rf(other, other, n_workers=2, executor="spawn")
+        assert first == bfhrf_average_rf(trees, trees)
+        assert second == bfhrf_average_rf(other, other)
+
+    def test_shutdown_pools_idempotent(self):
+        shutdown_pools()
+        shutdown_pools()
