@@ -24,6 +24,11 @@ Subcommands::
                      add DIR TREES.nwk | remove DIR TREES.nwk |
                      query DIR QUERY.nwk [--workers N] |
                      compact DIR [--shards N] | info DIR
+    bfhrf serve      start STORE_DIR [--socket PATH] [--workers N]
+                         [--batch-window S] [--tail-interval S]
+                         [--max-frame BYTES] |
+                     query SOCKET QUERY.nwk [--timeout S] [--retries N] |
+                     stats SOCKET | stop SOCKET
     bfhrf selfcheck  [--seed S] [--rounds K] [--profile quick|deep]
                      [--artifacts DIR]
                      [--inject-fault bfh-count|weighted-total|store-count|shm-count]
@@ -247,6 +252,54 @@ def build_parser() -> argparse.ArgumentParser:
                     help="rebalance into this many shards (default: keep)")
 
     add_store_parser("info", help="print store status as JSON")
+
+    serve = add_parser(
+        "serve", help="warm-store query daemon over a unix socket "
+                      "(see docs/serve.md)")
+    serve_sub = serve.add_subparsers(dest="serve_verb", required=True)
+
+    vs = serve_sub.add_parser("start", parents=[global_flags],
+                              help="run the daemon (blocks until "
+                                   "SIGTERM/SIGINT or a stop request)")
+    vs.add_argument("store_dir", metavar="STORE_DIR",
+                    help="store directory (contains manifest.json)")
+    vs.add_argument("--socket", default=None, metavar="PATH",
+                    help="unix socket path (default: STORE_DIR/serve.sock)")
+    vs.add_argument("--workers", type=int, default=1,
+                    help="probe workers per batch (>1 uses the shm fast "
+                         "path through the runtime executor)")
+    vs.add_argument("--batch-window", type=float, default=0.0, metavar="S",
+                    help="extra seconds to let concurrent queries coalesce "
+                         "into one probe (default 0: batch whatever is "
+                         "already queued)")
+    vs.add_argument("--batch-max-trees", type=int, default=4096,
+                    help="stop coalescing a batch past this many trees")
+    vs.add_argument("--tail-interval", type=float, default=0.5, metavar="S",
+                    help="journal poll period for external store add/compact")
+    vs.add_argument("--max-frame", type=int, default=None, metavar="BYTES",
+                    help="per-request frame size cap (default 8 MiB)")
+
+    vq = serve_sub.add_parser("query", parents=[global_flags],
+                              help="average RF of query trees via a running "
+                                   "daemon")
+    vq.add_argument("socket", metavar="SOCKET", help="daemon socket path")
+    vq.add_argument("query", help="Newick/NEXUS file of query trees")
+    vq.add_argument("--timeout", type=float, default=30.0,
+                    help="per-request socket timeout in seconds")
+    vq.add_argument("--retries", type=int, default=0,
+                    help="connect retries with exponential backoff "
+                         "(for racing a daemon that is still starting)")
+
+    for verb, help_text in [("stats", "print the daemon's metrics/store "
+                                      "snapshot as JSON"),
+                            ("stop", "ask the daemon to drain and exit")]:
+        vp = serve_sub.add_parser(verb, parents=[global_flags],
+                                  help=help_text)
+        vp.add_argument("socket", metavar="SOCKET", help="daemon socket path")
+        vp.add_argument("--timeout", type=float, default=30.0,
+                        help="per-request socket timeout in seconds")
+        vp.add_argument("--retries", type=int, default=0,
+                        help="connect retries with exponential backoff")
 
     check = add_parser(
         "selfcheck",
@@ -544,6 +597,53 @@ def _cmd_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.serve import ServeClient, ServeConfig, ServeDaemon
+    from repro.serve.protocol import DEFAULT_MAX_FRAME_BYTES
+
+    verb = args.serve_verb
+    if verb == "start":
+        socket_path = args.socket or os.path.join(args.store_dir,
+                                                  "serve.sock")
+        config = ServeConfig(
+            socket_path=socket_path,
+            workers=args.workers,
+            executor=args.executor,
+            batch_window_s=args.batch_window,
+            batch_max_trees=args.batch_max_trees,
+            tail_interval_s=args.tail_interval,
+            max_frame_bytes=args.max_frame or DEFAULT_MAX_FRAME_BYTES,
+        )
+        daemon = ServeDaemon(args.store_dir, config)
+        _info(f"serving store {args.store_dir} on {socket_path} "
+              f"(workers={args.workers}); SIGTERM/SIGINT or "
+              f"`bfhrf serve stop {socket_path}` drains and exits")
+        daemon.run()
+        _info("daemon drained and exited cleanly")
+        return 0
+
+    client = ServeClient.connect(args.socket, timeout=args.timeout,
+                                 retries=args.retries)
+    with client:
+        if verb == "query":
+            from repro.newick import open_tree_file
+
+            with open_tree_file(args.query, "r") as fh:
+                text = fh.read()
+            values = client.query(text)
+            for i, value in enumerate(values):
+                print(f"{i}\t{value:.6f}")
+        elif verb == "stats":
+            print(json.dumps(client.stats(), indent=2, sort_keys=True))
+        else:  # stop
+            client.shutdown()
+            _info(f"asked the daemon on {args.socket} to drain and exit")
+    return 0
+
+
 def _cmd_selfcheck(args: argparse.Namespace) -> int:
     from repro.testing import SelfCheck, replay_artifact
 
@@ -618,6 +718,7 @@ _COMMANDS = {
     "topologies": _cmd_topologies,
     "dist": _cmd_dist,
     "store": _cmd_store,
+    "serve": _cmd_serve,
     "selfcheck": _cmd_selfcheck,
     "bench": _cmd_bench,
 }

@@ -34,6 +34,22 @@ name                              kind        meaning
 ``store.query_seconds``           histogram   store.average_rf latencies
 ``store.journal_tail_records``    gauge       journal records pending since compaction
 ``store.journal_tail_bytes``      gauge       journal bytes pending since compaction
+``store.journal_tailed_records``  counter     records applied by ``tail_journal`` (long-running readers)
+``store.journal_lag_bytes``       gauge       on-disk journal bytes not yet applied by a tailing reader
+``serve.connections``             counter     client connections accepted by the daemon
+``serve.requests``                counter     frames dispatched (any op)
+``serve.request_errors``          counter     requests answered with a typed error
+``serve.request_seconds``         histogram   decode -> dispatch -> reply latency per request
+``serve.queue_wait_seconds``      histogram   time a query sat queued before its batch started
+``serve.batches``                 counter     vectorized probes executed by the batcher
+``serve.batch_requests``          histogram   queries coalesced into each batch
+``serve.batch_trees``             histogram   trees scored per batch
+``serve.probe_seconds``           histogram   scoring latency per batch (probe only)
+``serve.tail_applied``            counter     tail ticks that applied new journal records
+``serve.tail_errors``             counter     tail ticks that failed (and will retry)
+``serve.reopens``                 counter     full store reopens (generation change / compaction race)
+``serve.shared_rebuilds``         counter     shared-segment probe tables rebuilt after an epoch bump
+``serve.stale_sockets_recovered`` counter     leftover socket files unlinked at startup
 ``mapreduce.map_seconds``         histogram   map+partition phase latency per job
 ``mapreduce.shuffle_seconds``     histogram   group-by-key phase latency per job
 ``mapreduce.reduce_seconds``      histogram   reduce phase latency per job

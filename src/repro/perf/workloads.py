@@ -108,6 +108,50 @@ def _run_store_warm(scale: float) -> dict[str, Any]:
     }
 
 
+def _run_serve_warm(scale: float) -> dict[str, Any]:
+    """Daemon request latency: warm store behind the unix-socket protocol.
+
+    Starts an in-process daemon over a prebuilt store and measures the
+    per-request round trip (parse + enqueue + probe + reply) a client
+    sees, recording p50/p95 — the serving-path numbers the warm-store
+    ablation promised, now with the wire in the loop.
+    """
+    import time
+
+    from repro.newick.writer import write_newick
+    from repro.serve import ServeClient, ServeConfig, serving
+    from repro.store.store import build_store
+
+    trees = _collection(scaled_count(16, scale, floor=8),
+                        scaled_count(64, scale, floor=12))
+    query_text = "\n".join(write_newick(t)
+                           for t in trees[: max(4, len(trees) // 8)])
+    n_requests = scaled_count(40, scale, floor=10)
+    with tempfile.TemporaryDirectory(prefix="bfhrf-bench-") as tmp:
+        store_dir = Path(tmp) / "store"
+        build_store(store_dir, trees, n_shards=2)
+        config = ServeConfig(socket_path=str(Path(tmp) / "serve.sock"),
+                             tail_interval_s=5.0)
+        with serving(store_dir, config):
+            with ServeClient.connect(config.socket_path,
+                                     retries=5) as client:
+                values = client.query(query_text)  # warm the probe table
+                latencies = []
+                for _ in range(n_requests):
+                    t0 = time.perf_counter()
+                    values = client.query(query_text)
+                    latencies.append(time.perf_counter() - t0)
+    latencies.sort()
+    return {
+        "trees": len(trees),
+        "requests": n_requests,
+        "p50_ms": 1e3 * latencies[len(latencies) // 2],
+        "p95_ms": 1e3 * latencies[min(len(latencies) - 1,
+                                      (len(latencies) * 95) // 100)],
+        "checksum": _checksum(values),
+    }
+
+
 def _run_shm_scaling(scale: float) -> dict[str, Any]:
     """Serial vs parallel zero-copy query throughput at a fixed r.
 
@@ -205,6 +249,11 @@ register_benchmark(
     "shm_scaling", _run_shm_scaling,
     description="zero-copy shared-segment query scaling: serial vs fork/"
                 "spawn workers attached to one segment",
+    smoke=True)
+register_benchmark(
+    "serve_warm", _run_serve_warm,
+    description="query-daemon round-trip latency (p50/p95 per request) "
+                "against a warm store over the unix-socket protocol",
     smoke=True)
 register_benchmark(
     "mapreduce", _run_mapreduce,

@@ -58,6 +58,8 @@ import atexit
 import multiprocessing as mp
 import os
 import pickle
+import signal
+import threading
 import time
 from collections.abc import Callable, Iterable
 from typing import Any
@@ -122,6 +124,25 @@ def _set_payload(value: Any) -> Any:
     return previous
 
 
+def _fork_worker_init() -> None:
+    """Fork-pool initializer: shed signal plumbing inherited from the parent.
+
+    A forked child shares the parent's signal *wakeup fd* (asyncio's
+    ``add_signal_handler`` self-pipe).  Pool teardown SIGTERMs workers;
+    left alone, the child's inherited C-level handler would write that
+    signal number into the shared pipe and the parent's event loop
+    would read it as a SIGTERM *to the parent* — the ``bfhrf serve``
+    daemon would gracefully shut itself down after its first fan-out.
+    Detach the fd and restore default dispositions, then drop the
+    inherited observability state as before.
+    """
+    if threading.current_thread() is threading.main_thread():
+        signal.set_wakeup_fd(-1)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_DFL)
+    _obs.worker_init()
+
+
 def fork_payload_pool(n_workers: int, payload: Any):
     """A ``fork`` pool whose workers inherit ``payload`` without pickling.
 
@@ -136,9 +157,11 @@ def fork_payload_pool(n_workers: int, payload: Any):
     ctx = mp.get_context("fork")
     previous = _set_payload(payload)
     try:
-        # Workers drop the observability state they inherited from the
-        # parent, so the snapshots they return carry only their own work.
-        pool = ctx.Pool(processes=n_workers, initializer=_obs.worker_init)
+        # Workers drop the observability state and signal plumbing they
+        # inherited from the parent, so the snapshots they return carry
+        # only their own work (and pool teardown can't ghost-signal the
+        # parent's event loop).
+        pool = ctx.Pool(processes=n_workers, initializer=_fork_worker_init)
     finally:
         _set_payload(previous)
     return pool
@@ -508,7 +531,7 @@ class ForkExecutor(_ProcessExecutor):
 
     def _bare_pool(self, workers: int):
         ctx = mp.get_context("fork")
-        return ctx.Pool(processes=workers, initializer=_obs.worker_init)
+        return ctx.Pool(processes=workers, initializer=_fork_worker_init)
 
 
 class SpawnExecutor(_ProcessExecutor):

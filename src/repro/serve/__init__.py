@@ -1,0 +1,29 @@
+"""The warm-store query service (``bfhrf serve``).
+
+A long-running asyncio daemon (:class:`~repro.serve.daemon.ServeDaemon`)
+opens a :class:`~repro.store.store.BFHStore` once and answers average-RF
+queries over a unix socket, batching concurrent requests into single
+vectorized probes and tailing the store journal so external adds become
+visible without a restart.  :class:`~repro.serve.client.ServeClient` is
+the blocking client the CLI and tests use.  See ``docs/serve.md`` for
+the protocol and operational notes.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.daemon import ServeConfig, ServeDaemon, ServeHandle, serving
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    ERROR_TYPES,
+    PROTOCOL_VERSION,
+    SERVER_NAME,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    ok_reply,
+)
+
+__all__ = [
+    "ServeClient", "ServeConfig", "ServeDaemon", "ServeHandle", "serving",
+    "PROTOCOL_VERSION", "SERVER_NAME", "DEFAULT_MAX_FRAME_BYTES",
+    "ERROR_TYPES", "encode_frame", "decode_frame", "ok_reply", "error_reply",
+]

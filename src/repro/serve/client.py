@@ -1,0 +1,198 @@
+"""A small blocking client for the ``bfhrf serve`` daemon.
+
+This is what ``bfhrf serve query|stats|stop`` runs, and what tests and
+benchmarks drive the daemon with.  One client = one connection; requests
+are strictly request/reply (ids are still checked, so a protocol slip
+fails loudly instead of mis-pairing).
+
+Connect-time **reconnect with exponential backoff** is built in: pass
+``retries`` to survive racing a daemon that is still binding its socket
+(the CI smoke test starts both at once).  Request-time failures raise
+:class:`~repro.util.errors.ServeConnectionError` (socket gone / timeout)
+or :class:`~repro.util.errors.ServeRequestError` (a typed error reply —
+the connection stays usable afterwards).
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import time
+from typing import Any, Sequence
+
+from repro.newick import write_newick
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SERVER_NAME,
+    decode_frame,
+    encode_frame,
+)
+from repro.trees.tree import Tree
+from repro.util.errors import ServeConnectionError, ServeProtocolError, \
+    ServeRequestError
+
+__all__ = ["ServeClient"]
+
+_RECV_CHUNK = 65536
+
+
+class ServeClient:
+    """A connected daemon client; use :meth:`connect` to build one."""
+
+    def __init__(self, sock: socket.socket, *,
+                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES):
+        self._sock: socket.socket | None = sock
+        self._buffer = b""
+        self._next_id = 0
+        self._max_frame_bytes = max_frame_bytes
+        self.hello: dict[str, Any] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def connect(cls, socket_path: str | os.PathLike, *,
+                timeout: float = 30.0,
+                retries: int = 0,
+                backoff_s: float = 0.05,
+                max_backoff_s: float = 1.0,
+                max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+                ) -> "ServeClient":
+        """Dial the daemon, retrying with exponential backoff.
+
+        ``retries`` extra attempts are made after the first failure,
+        sleeping ``backoff_s`` doubled per attempt (capped at
+        ``max_backoff_s``) — enough to win the race against a daemon
+        that is still starting up.
+        """
+        if not hasattr(socket, "AF_UNIX"):
+            raise ServeConnectionError(
+                "unix-domain sockets are unavailable on this platform")
+        path = os.fspath(socket_path)
+        attempt = 0
+        delay = backoff_s
+        while True:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(path)
+                break
+            except OSError as exc:
+                sock.close()
+                if attempt >= retries:
+                    raise ServeConnectionError(
+                        f"cannot connect to {path} after {attempt + 1} "
+                        f"attempt(s): {exc}") from exc
+                attempt += 1
+                time.sleep(delay)
+                delay = min(delay * 2, max_backoff_s)
+        client = cls(sock, max_frame_bytes=max_frame_bytes)
+        try:
+            hello = client._read_frame()
+        except ServeConnectionError:
+            raise
+        if hello.get("type") != "hello" or hello.get("server") != SERVER_NAME:
+            client.close()
+            raise ServeProtocolError(
+                f"{path} did not greet as a {SERVER_NAME} daemon")
+        if hello.get("protocol") != PROTOCOL_VERSION:
+            client.close()
+            raise ServeProtocolError(
+                f"daemon speaks protocol {hello.get('protocol')!r}, this "
+                f"client speaks {PROTOCOL_VERSION}")
+        client.hello = hello
+        return client
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- wire --------------------------------------------------------------
+
+    def _read_frame(self) -> dict[str, Any]:
+        sock = self._sock
+        if sock is None:
+            raise ServeConnectionError("client is closed")
+        while b"\n" not in self._buffer:
+            if len(self._buffer) > self._max_frame_bytes:
+                self.close()
+                raise ServeProtocolError(
+                    f"reply frame exceeds {self._max_frame_bytes} bytes")
+            try:
+                chunk = sock.recv(_RECV_CHUNK)
+            except socket.timeout as exc:
+                self.close()
+                raise ServeConnectionError(
+                    "timed out waiting for a daemon reply") from exc
+            except OSError as exc:
+                self.close()
+                raise ServeConnectionError(
+                    f"connection to daemon lost: {exc}") from exc
+            if not chunk:
+                self.close()
+                raise ServeConnectionError("daemon closed the connection")
+            self._buffer += chunk
+        line, self._buffer = self._buffer.split(b"\n", 1)
+        return decode_frame(line)
+
+    def request(self, op: str, **fields: Any) -> dict[str, Any]:
+        """Send one request, return its successful reply.
+
+        Raises :class:`ServeRequestError` on a typed error reply; the
+        connection remains usable (except after ``oversized-frame``,
+        where the daemon hangs up by design).
+        """
+        sock = self._sock
+        if sock is None:
+            raise ServeConnectionError("client is closed")
+        self._next_id += 1
+        rid = self._next_id
+        try:
+            sock.sendall(encode_frame({"id": rid, "op": op, **fields}))
+        except OSError as exc:
+            self.close()
+            raise ServeConnectionError(
+                f"cannot send to daemon: {exc}") from exc
+        reply = self._read_frame()
+        # A null reply id means the daemon could not parse the frame far
+        # enough to echo ours (bad JSON, oversized) — still our error.
+        if not reply.get("ok") and reply.get("id") in (rid, None):
+            error = reply.get("error") or {}
+            raise ServeRequestError(str(error.get("type", "internal")),
+                                    str(error.get("message", "unknown")))
+        if reply.get("id") != rid:
+            self.close()
+            raise ServeProtocolError(
+                f"reply id {reply.get('id')!r} does not match request {rid}")
+        return reply
+
+    # -- operations ---------------------------------------------------------
+
+    def query(self, trees_text: str) -> list[float]:
+        """Average RF of each tree in ``trees_text`` (Newick/NEXUS)."""
+        return [float(v) for v in self.request("query",
+                                               trees=trees_text)["values"]]
+
+    def query_trees(self, trees: Sequence[Tree]) -> list[float]:
+        """Like :meth:`query`, serializing parsed trees for the wire."""
+        return self.query("\n".join(write_newick(tree) for tree in trees))
+
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def stats(self) -> dict[str, Any]:
+        """The daemon's introspection snapshot (metrics + store info)."""
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and stop."""
+        self.request("shutdown")

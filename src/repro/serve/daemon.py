@@ -1,0 +1,651 @@
+"""The warm-store query daemon behind ``bfhrf serve start``.
+
+One :class:`ServeDaemon` opens a :class:`~repro.store.store.BFHStore`
+once and answers average-RF queries over a unix-domain socket for as
+long as it runs — queries pay only parse + probe, never open/replay.
+
+Three cooperating tasks on one event loop:
+
+* **connection handlers** (one per client) speak the NDJSON protocol of
+  :mod:`repro.serve.protocol`: hello on connect, then request/reply.
+  Query requests are parsed off-loop and enqueued as pending batches.
+* the **batcher** drains the queue and coalesces every pending query —
+  across clients — into *one* vectorized probe
+  (:meth:`~repro.core.vectorized.VectorizedBFH.average_rf_batch`, or the
+  registered ``shm`` fast path through the runtime executor registry
+  when ``workers > 1``), then splits the result vector back per request.
+  Concurrent load therefore amortizes the probe exactly like the
+  paper's batch formulation.
+* the **tailer** polls the store directory: journal records appended by
+  another process (``bfhrf store add``) are applied in place via
+  :meth:`~repro.store.store.BFHStore.tail_journal`; a manifest
+  generation bump (an external ``store compact``) triggers a full
+  reopen.  Either way the probe-table cache is invalidated by bumping
+  an *epoch* counter, so the next batch probes the new state.
+
+Shutdown (SIGTERM/SIGINT, a ``shutdown`` request, or
+:meth:`ServeDaemon.request_shutdown`) is drain-then-close: stop
+accepting, answer every already-queued query, flush replies, close
+connections, release shared-memory segments, unlink the socket.
+
+A stale socket file left by a SIGKILLed predecessor is detected by a
+probe connect on startup — connection refused means nobody owns it and
+the path is reclaimed; an answering daemon makes startup fail loudly.
+
+Metrics are recorded unconditionally into a private
+:class:`~repro.observability.metrics.MetricsRegistry` (served by the
+``stats`` request) and mirrored into the process-global observability
+registry when tracing is enabled, so ``--trace``/``--metrics-out`` see
+``serve.*`` spans and metrics with zero overhead otherwise.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+import signal
+import socket
+import stat
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+from repro.core.shmrf import shm_average_rf
+from repro.core.vectorized import VectorizedBFH
+from repro.newick import read_nexus_trees, trees_from_string
+from repro.observability.metrics import MetricsRegistry, counter as _g_counter, \
+    gauge as _g_gauge, histogram as _g_histogram
+from repro.observability.spans import trace
+from repro.observability.state import enabled as _obs_enabled
+from repro.runtime.shm import SharedBFH
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SERVER_NAME,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    ok_reply,
+)
+from repro.store.format import words_for_taxa
+from repro.store.store import BFHStore
+from repro.trees.tree import Tree
+from repro.util.errors import ReproError, ServeError, ServeProtocolError, \
+    StoreError
+
+__all__ = ["ServeConfig", "ServeDaemon", "ServeHandle", "serving"]
+
+
+@dataclass
+class ServeConfig:
+    """Tunables for one daemon instance."""
+
+    socket_path: str
+    workers: int = 1                 # >1 fans probes out via the executor
+    executor: str | None = None      # runtime backend name (None = auto)
+    batch_max_trees: int = 4096      # stop coalescing past this many trees
+    batch_window_s: float = 0.0      # extra wait to let a batch accumulate
+    tail_interval_s: float = 0.5     # journal poll period
+    drain_timeout_s: float = 10.0    # max wait for queued queries on stop
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+    socket_mode: int = 0o600         # owner-only by default (ops: loosen
+                                     # deliberately, the socket is the ACL)
+
+
+@dataclass
+class _Pending:
+    """One parsed query request waiting for the batcher."""
+
+    trees: list[Tree]
+    n_taxa: int                      # namespace size the trees parsed under
+    future: asyncio.Future
+    enqueued_at: float = 0.0
+
+
+class ServeHandle:
+    """A daemon running on a background thread (tests, benchmarks)."""
+
+    def __init__(self, daemon: "ServeDaemon", thread: threading.Thread,
+                 failures: list[BaseException]):
+        self._daemon = daemon
+        self._thread = thread
+        self._failures = failures
+
+    @property
+    def daemon(self) -> "ServeDaemon":
+        return self._daemon
+
+    def stop(self, timeout: float = 15.0) -> None:
+        """Request a graceful drain-then-close and wait for it."""
+        self._daemon.request_shutdown()
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ServeError("daemon thread did not exit within "
+                             f"{timeout}s of a shutdown request")
+        if self._failures:
+            exc = self._failures[0]
+            if isinstance(exc, ReproError):
+                raise exc
+            raise ServeError(f"daemon failed: {exc!r}") from exc
+
+
+class ServeDaemon:
+    """Serve average-RF queries from one warm :class:`BFHStore`."""
+
+    def __init__(self, store_dir: str | os.PathLike, config: ServeConfig):
+        self.store_dir = Path(store_dir)
+        self.config = config
+        self._metrics = MetricsRegistry()
+        self._store: BFHStore | None = None
+        self._store_lock = threading.Lock()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closing: asyncio.Event | None = None
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._draining = False
+        self._in_flight = False
+        self._active_requests = 0
+        self._started_at = 0.0
+        self._epoch = 0
+        self._tables: dict[int, VectorizedBFH] = {}
+        self._tables_epoch = 0
+        self._shared: SharedBFH | None = None
+        self._shared_words = 0
+
+    # -- metrics: always into the private registry, mirrored when the
+    # -- observability layer is enabled ------------------------------------
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        self._metrics.counter(name).inc(n)
+        if _obs_enabled():
+            _g_counter(name).inc(n)
+
+    def _observe(self, name: str, value: float) -> None:
+        self._metrics.histogram(name).observe(value)
+        if _obs_enabled():
+            _g_histogram(name).observe(value)
+
+    def _set_gauge(self, name: str, value: float) -> None:
+        self._metrics.gauge(name).set(value)
+        if _obs_enabled():
+            _g_gauge(name).set(value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def run(self) -> None:
+        """Blocking entry point (the CLI): serve until SIGTERM/SIGINT."""
+        asyncio.run(self.serve())
+
+    def run_in_thread(self, *, ready_timeout: float = 15.0) -> ServeHandle:
+        """Start the daemon on a daemon thread; returns once it accepts."""
+        ready = threading.Event()
+        failures: list[BaseException] = []
+
+        def _runner() -> None:
+            try:
+                asyncio.run(self.serve(on_ready=ready.set))
+            except BaseException as exc:  # surfaced through the handle
+                failures.append(exc)
+            finally:
+                ready.set()
+
+        thread = threading.Thread(target=_runner, name="bfhrf-serve",
+                                  daemon=True)
+        thread.start()
+        if not ready.wait(ready_timeout):
+            self.request_shutdown()
+            thread.join(1.0)
+            raise ServeError(f"daemon did not become ready within "
+                             f"{ready_timeout}s")
+        if failures:
+            thread.join(1.0)
+            exc = failures[0]
+            if isinstance(exc, ReproError):
+                raise exc
+            raise ServeError(f"daemon failed to start: {exc!r}") from exc
+        return ServeHandle(self, thread, failures)
+
+    def request_shutdown(self) -> None:
+        """Thread-safe graceful-stop trigger (what SIGTERM calls)."""
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(self._begin_shutdown)
+        except RuntimeError:
+            pass  # loop already closed: nothing to stop
+
+    def _begin_shutdown(self) -> None:
+        self._draining = True
+        if self._closing is not None:
+            self._closing.set()
+
+    async def serve(self, *, on_ready: Callable[[], None] | None = None
+                    ) -> None:
+        """Open the store, bind the socket, and serve until shutdown."""
+        if not hasattr(socket, "AF_UNIX"):
+            raise ServeError(
+                "unix-domain sockets are unavailable on this platform")
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._closing = asyncio.Event()
+        self._queue = asyncio.Queue()
+        self._draining = False
+        self._store = await asyncio.to_thread(BFHStore.open, self.store_dir)
+        socket_path = Path(self.config.socket_path)
+        self._prepare_socket_path(socket_path)
+        server = await asyncio.start_unix_server(
+            self._on_connect, path=str(socket_path),
+            limit=self.config.max_frame_bytes)
+        os.chmod(socket_path, self.config.socket_mode)
+        handled_signals = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._begin_shutdown)
+                handled_signals.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        batcher = loop.create_task(self._batch_loop())
+        tailer = loop.create_task(self._tail_loop())
+        self._started_at = time.monotonic()
+        try:
+            if on_ready is not None:
+                on_ready()
+            await self._closing.wait()
+        finally:
+            # Drain-then-close: no new connections, queued queries finish,
+            # replies flush, then everything is torn down.
+            server.close()
+            await server.wait_closed()
+            deadline = loop.time() + self.config.drain_timeout_s
+            while (not self._queue.empty() or self._in_flight
+                   or self._active_requests) and loop.time() < deadline:
+                await asyncio.sleep(0.01)
+            tailer.cancel()
+            batcher.cancel()
+            await asyncio.gather(tailer, batcher, return_exceptions=True)
+            while not self._queue.empty():  # drain timeout elapsed
+                pending = self._queue.get_nowait()
+                if not pending.future.done():
+                    pending.future.set_exception(ServeError(
+                        "daemon shut down before the query was scored"))
+            for writer in list(self._writers):
+                writer.close()
+            conn_tasks = list(self._conn_tasks)
+            if conn_tasks:
+                await asyncio.wait(conn_tasks, timeout=1.0)
+                for task in conn_tasks:
+                    task.cancel()
+            for sig in handled_signals:
+                with contextlib.suppress(Exception):
+                    loop.remove_signal_handler(sig)
+            self._release_tables()
+            with contextlib.suppress(OSError):
+                socket_path.unlink()
+            self._loop = None
+
+    def _prepare_socket_path(self, path: Path) -> None:
+        """Bind-time recovery: reclaim a dead daemon's socket, refuse a
+        live one's."""
+        try:
+            mode = os.lstat(path).st_mode
+        except FileNotFoundError:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            return
+        if not stat.S_ISSOCK(mode):
+            raise ServeError(
+                f"{path} exists and is not a socket; refusing to replace it")
+        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        probe.settimeout(1.0)
+        try:
+            probe.connect(str(path))
+        except OSError:
+            # Nobody answers: stale file from a crashed/SIGKILLed daemon.
+            path.unlink()
+            self._inc("serve.stale_sockets_recovered")
+        else:
+            raise ServeError(
+                f"another daemon is already serving on {path}")
+        finally:
+            probe.close()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _on_connect(self, reader: asyncio.StreamReader,
+                          writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        self._writers.add(writer)
+        self._inc("serve.connections")
+        try:
+            await self._send(writer, self._hello())
+            while True:
+                try:
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError:
+                    break  # client went away (possibly mid-frame)
+                except asyncio.LimitOverrunError:
+                    # No newline within the frame cap: the stream cannot
+                    # be resynced, so reply typed and hang up.
+                    self._inc("serve.request_errors")
+                    await self._send(writer, error_reply(
+                        None, "oversized-frame",
+                        f"frame exceeds {self.config.max_frame_bytes} "
+                        "bytes; closing connection"))
+                    break
+                self._active_requests += 1
+                try:
+                    reply = await self._process(line)
+                    if reply is not None:
+                        await self._send(writer, reply)
+                finally:
+                    self._active_requests -= 1
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client disconnected mid-response; nothing to tell it
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    obj: dict[str, Any]) -> None:
+        writer.write(encode_frame(obj))
+        await writer.drain()
+
+    def _hello(self) -> dict[str, Any]:
+        with self._store_lock:
+            store = self._store
+            info = {"path": str(store.path), "generation": store.generation,
+                    "trees": store.n_trees, "taxa": len(store.labels)}
+        return {"type": "hello", "server": SERVER_NAME,
+                "protocol": PROTOCOL_VERSION, "pid": os.getpid(),
+                "store": info}
+
+    async def _process(self, line: bytes) -> dict[str, Any] | None:
+        t0 = time.perf_counter()
+        try:
+            msg = decode_frame(line)
+        except ServeProtocolError as exc:
+            self._inc("serve.requests")
+            self._inc("serve.request_errors")
+            return error_reply(None, "bad-request", str(exc))
+        rid = msg.get("id")
+        op = msg.get("op")
+        with trace("serve.request", op=str(op)):
+            reply = await self._dispatch(rid, op, msg)
+        self._inc("serve.requests")
+        if reply is not None and not reply.get("ok", False):
+            self._inc("serve.request_errors")
+        self._observe("serve.request_seconds", time.perf_counter() - t0)
+        return reply
+
+    async def _dispatch(self, rid: Any, op: Any,
+                        msg: dict[str, Any]) -> dict[str, Any]:
+        if not isinstance(op, str):
+            return error_reply(rid, "bad-request",
+                               "request needs an 'op' string")
+        if op == "ping":
+            return ok_reply(rid, pong=True)
+        if op == "stats":
+            payload = await asyncio.to_thread(self._stats_payload)
+            return ok_reply(rid, stats=payload)
+        if self._draining:
+            return error_reply(rid, "shutting-down",
+                               "daemon is draining; reconnect later")
+        if op == "query":
+            return await self._handle_query(rid, msg)
+        if op == "shutdown":
+            # Reply first (the handler send is counted as active, so the
+            # drain below waits for it), then begin the drain.
+            self._loop.call_soon(self._begin_shutdown)
+            return ok_reply(rid, stopping=True)
+        return error_reply(rid, "unknown-op", f"unknown op {op!r}")
+
+    # -- query path --------------------------------------------------------
+
+    def _parse(self, text: str) -> tuple[list[Tree], int]:
+        """Parse query text in the store's namespace (bit-aligned masks)."""
+        with self._store_lock:
+            ns = self._store.namespace()
+        if text.lstrip().upper().startswith("#NEXUS"):
+            trees = read_nexus_trees(text, ns)
+        else:
+            trees = trees_from_string(text, ns)
+        return trees, max(1, len(ns))
+
+    async def _handle_query(self, rid: Any,
+                            msg: dict[str, Any]) -> dict[str, Any]:
+        text = msg.get("trees")
+        if not isinstance(text, str):
+            return error_reply(rid, "bad-request",
+                               "'trees' must be a string of Newick/NEXUS "
+                               "text")
+        try:
+            trees, n_taxa = await asyncio.to_thread(self._parse, text)
+        except ReproError as exc:
+            return error_reply(rid, "parse-error", str(exc))
+        with self._store_lock:
+            reference_trees = self._store.n_trees
+            generation = self._store.generation
+        if not trees:
+            return ok_reply(rid, values=[], trees=0,
+                            reference_trees=reference_trees,
+                            generation=generation, epoch=self._epoch)
+        pending = _Pending(trees=trees, n_taxa=n_taxa,
+                           future=self._loop.create_future(),
+                           enqueued_at=time.monotonic())
+        await self._queue.put(pending)
+        try:
+            values = await pending.future
+        except ReproError as exc:
+            return error_reply(rid, "store-error", str(exc))
+        except Exception as exc:  # never leak a traceback over the wire
+            return error_reply(rid, "internal",
+                               f"{type(exc).__name__}: {exc}")
+        with self._store_lock:
+            reference_trees = self._store.n_trees
+            generation = self._store.generation
+        return ok_reply(rid, values=values, trees=len(trees),
+                        reference_trees=reference_trees,
+                        generation=generation, epoch=self._epoch)
+
+    async def _batch_loop(self) -> None:
+        """Coalesce concurrently-pending queries into single probes."""
+        cfg = self.config
+        while True:
+            pending = [await self._queue.get()]
+            if cfg.batch_window_s > 0:
+                await asyncio.sleep(cfg.batch_window_s)
+            n_trees = len(pending[0].trees)
+            while n_trees < cfg.batch_max_trees and not self._queue.empty():
+                extra = self._queue.get_nowait()
+                pending.append(extra)
+                n_trees += len(extra.trees)
+            self._in_flight = True
+            try:
+                now = time.monotonic()
+                for item in pending:
+                    self._observe("serve.queue_wait_seconds",
+                                  now - item.enqueued_at)
+                self._observe("serve.batch_requests", len(pending))
+                self._observe("serve.batch_trees", n_trees)
+                t0 = time.perf_counter()
+                try:
+                    per_request = await asyncio.to_thread(
+                        self._score, pending)
+                except Exception as exc:
+                    for item in pending:
+                        if not item.future.done():
+                            item.future.set_exception(exc)
+                else:
+                    self._observe("serve.probe_seconds",
+                                  time.perf_counter() - t0)
+                    for item, values in zip(pending, per_request):
+                        if not item.future.done():
+                            item.future.set_result(values)
+                self._inc("serve.batches")
+            finally:
+                self._in_flight = False
+
+    def _score(self, pending: list[_Pending]) -> list[list[float]]:
+        """One probe for the whole batch; runs on a worker thread."""
+        trees = [tree for item in pending for tree in item.trees]
+        n_taxa = max(item.n_taxa for item in pending)
+        cfg = self.config
+        with trace("serve.batch", requests=len(pending), trees=len(trees)):
+            shared = self._shared_table(n_taxa) if cfg.workers > 1 else None
+            if shared is not None:
+                values = shm_average_rf(trees, shared=shared,
+                                        n_workers=cfg.workers,
+                                        executor=cfg.executor)
+            else:
+                values = self._table(n_taxa).average_rf_batch(trees).tolist()
+        out: list[list[float]] = []
+        offset = 0
+        for item in pending:
+            out.append([float(v)
+                        for v in values[offset:offset + len(item.trees)]])
+            offset += len(item.trees)
+        return out
+
+    # -- probe-table cache (epoch-invalidated) ------------------------------
+
+    def _sync_epoch(self) -> None:
+        """Drop tables built against a pre-tail/pre-reopen store state.
+
+        Only the batcher's scoring thread calls this (scores run one at
+        a time), so releasing the previous shared segment here cannot
+        yank it from under an active probe.
+        """
+        if self._tables_epoch != self._epoch:
+            self._tables.clear()
+            if self._shared is not None:
+                self._shared.release()
+                self._shared = None
+                self._shared_words = 0
+            self._tables_epoch = self._epoch
+
+    def _table(self, n_taxa: int) -> VectorizedBFH:
+        self._sync_epoch()
+        with self._store_lock:
+            store_taxa = len(self._store.labels)
+            n_eff = max(n_taxa, store_taxa, 1)
+            n_words = words_for_taxa(n_eff)
+            table = self._tables.get(n_words)
+            if table is None:
+                bfh = self._store.bfh()
+            else:
+                return table
+        # A query namespace wider than the store's (new taxa in query
+        # trees) widens the packed keys: _masks_to_words truncates masks
+        # past the table width, so the width must cover the widest
+        # namespace in the batch for exactness.
+        table = VectorizedBFH.from_bfh(bfh, n_eff)
+        self._tables[n_words] = table
+        return table
+
+    def _shared_table(self, n_taxa: int) -> SharedBFH | None:
+        self._sync_epoch()
+        with self._store_lock:
+            store_taxa = len(self._store.labels)
+            n_eff = max(n_taxa, store_taxa, 1)
+            n_words = words_for_taxa(n_eff)
+            if self._shared is not None and self._shared_words >= n_words:
+                return self._shared
+            bfh = self._store.bfh()
+        if self._shared is not None:
+            self._shared.release()
+            self._shared = None
+            self._shared_words = 0
+        self._shared = SharedBFH.from_bfh(bfh, n_eff)
+        self._shared_words = n_words
+        self._inc("serve.shared_rebuilds")
+        return self._shared
+
+    def _release_tables(self) -> None:
+        self._tables.clear()
+        if self._shared is not None:
+            self._shared.release()
+            self._shared = None
+            self._shared_words = 0
+
+    # -- journal tailing ----------------------------------------------------
+
+    async def _tail_loop(self) -> None:
+        """Make external ``store add`` / ``compact`` visible live."""
+        while True:
+            with contextlib.suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(self._closing.wait(),
+                                       timeout=self.config.tail_interval_s)
+                return  # shutting down
+            try:
+                changed = await asyncio.to_thread(self._refresh_store)
+            except Exception:
+                # Transient (mid-compact window, torn manifest read):
+                # keep serving the last consistent view, try again.
+                self._inc("serve.tail_errors")
+                continue
+            if changed:
+                self._epoch += 1
+
+    def _refresh_store(self) -> bool:
+        """Tail the journal — or reopen after an external compaction."""
+        with self._store_lock:
+            store = self._store
+            disk_generation = BFHStore.read_generation(self.store_dir)
+            if disk_generation != store.generation:
+                self._store = BFHStore.open(self.store_dir)
+                self._inc("serve.reopens")
+                self._set_gauge("store.journal_lag_bytes",
+                                self._store.journal_lag_bytes())
+                return True
+            try:
+                applied = store.tail_journal()
+            except StoreError:
+                # The journal vanished between the generation probe and
+                # the read: a compaction raced us.  Reopen.
+                self._store = BFHStore.open(self.store_dir)
+                self._inc("serve.reopens")
+                return True
+            self._set_gauge("store.journal_lag_bytes",
+                            store.journal_lag_bytes())
+            if applied:
+                self._inc("serve.tail_applied", applied)
+                return True
+            return False
+
+    # -- introspection -------------------------------------------------------
+
+    def _stats_payload(self) -> dict[str, Any]:
+        with self._store_lock:
+            info = self._store.info()
+        return {
+            "server": SERVER_NAME,
+            "protocol": PROTOCOL_VERSION,
+            "pid": os.getpid(),
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "epoch": self._epoch,
+            "draining": self._draining,
+            "workers": self.config.workers,
+            "metrics": self._metrics.snapshot(),
+            "store": info,
+        }
+
+
+@contextlib.contextmanager
+def serving(store_dir: str | os.PathLike,
+            config: ServeConfig) -> Iterator[ServeDaemon]:
+    """Context manager: daemon on a background thread, stopped on exit."""
+    daemon = ServeDaemon(store_dir, config)
+    handle = daemon.run_in_thread()
+    try:
+        yield daemon
+    finally:
+        handle.stop()

@@ -1,0 +1,107 @@
+"""The ``bfhrf serve`` wire protocol: newline-delimited JSON frames.
+
+One frame = one JSON object on one line, UTF-8, terminated by ``\\n``.
+The transport is a unix-domain stream socket; framing by newline keeps
+the protocol inspectable with ``socat`` and keeps both ends allocation-
+light (no length prefixes to resync after).
+
+On connect the daemon speaks first with a **hello** frame::
+
+    {"type": "hello", "server": "bfhrf-serve", "protocol": 1,
+     "pid": 4242, "store": {"path": ..., "generation": 3,
+                            "trees": 900, "taxa": 16}}
+
+A client that sees an unexpected ``protocol`` must disconnect — the
+version is bumped on any incompatible change.
+
+Every subsequent frame from the client is a **request** carrying a
+caller-chosen ``id`` (echoed verbatim in the reply, so one connection
+can be shared) and an ``op``::
+
+    {"id": 1, "op": "query", "trees": "<newick or NEXUS text>"}
+    {"id": 2, "op": "stats"}
+    {"id": 3, "op": "ping"}
+    {"id": 4, "op": "shutdown"}
+
+Replies either succeed::
+
+    {"id": 1, "ok": true, "values": [0.5, ...], "trees": 2,
+     "reference_trees": 900, "generation": 3, "epoch": 0}
+
+or fail with a **typed error** (never a raw traceback)::
+
+    {"id": 1, "ok": false,
+     "error": {"type": "parse-error", "message": "..."}}
+
+Error types (:data:`ERROR_TYPES`):
+
+==================  =====================================================
+``bad-request``     frame is not a JSON object / required field missing
+``unknown-op``      ``op`` is not one of the documented operations
+``parse-error``     the query text failed Newick/NEXUS parsing
+``oversized-frame`` the frame exceeded the daemon's byte limit; the
+                    connection is closed (there is no way to resync)
+``store-error``     the store could not answer (e.g. empty reference)
+``shutting-down``   daemon is draining; reconnect against a new one
+``internal``        unexpected daemon-side failure (bug — report it)
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.util.errors import ServeProtocolError
+
+__all__ = [
+    "PROTOCOL_VERSION", "SERVER_NAME", "DEFAULT_MAX_FRAME_BYTES",
+    "ERROR_TYPES", "encode_frame", "decode_frame",
+    "ok_reply", "error_reply",
+]
+
+PROTOCOL_VERSION = 1
+SERVER_NAME = "bfhrf-serve"
+
+# Generous for query batches (a 10k-tree Newick batch is ~1 MiB) while
+# still bounding what a misbehaving client can make the daemon buffer.
+DEFAULT_MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+ERROR_TYPES = (
+    "bad-request",
+    "unknown-op",
+    "parse-error",
+    "oversized-frame",
+    "store-error",
+    "shutting-down",
+    "internal",
+)
+
+
+def encode_frame(obj: dict[str, Any]) -> bytes:
+    """One JSON object → one newline-terminated wire frame."""
+    return json.dumps(obj, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8") + b"\n"
+
+
+def decode_frame(line: bytes) -> dict[str, Any]:
+    """Inverse of :func:`encode_frame`; raises on non-object frames."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeProtocolError(f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise ServeProtocolError(
+            f"frame must be a JSON object, got {type(obj).__name__}")
+    return obj
+
+
+def ok_reply(request_id: Any, **fields: Any) -> dict[str, Any]:
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_reply(request_id: Any, error_type: str,
+                message: str) -> dict[str, Any]:
+    assert error_type in ERROR_TYPES, error_type
+    return {"id": request_id, "ok": False,
+            "error": {"type": error_type, "message": message}}

@@ -286,7 +286,8 @@ def decode_labels_payload(payload: bytes) -> list[str]:
     return text.split("\x00") if text else []
 
 
-def read_journal(path: str | Path) -> tuple[list[JournalRecord], int, bool]:
+def read_journal(path: str | Path, *, start: int = JOURNAL_HEADER_SIZE
+                 ) -> tuple[list[JournalRecord], int, bool]:
     """Read every complete record; returns ``(records, good_offset, torn)``.
 
     ``good_offset`` is the byte offset just past the last complete record
@@ -296,11 +297,24 @@ def read_journal(path: str | Path) -> tuple[list[JournalRecord], int, bool]:
     A *complete* record that fails its CRC raises
     :class:`~repro.util.errors.StoreCorruptError` — that is damage, not
     a torn write, and silently dropping it would corrupt frequencies.
+
+    ``start`` lets a tailing reader resume from a previously-consumed
+    good offset instead of the header; it must sit on a record boundary
+    the caller learned from an earlier read.  A ``start`` past EOF means
+    the file shrank underneath us (journals are append-only within a
+    generation) and raises :class:`StoreCorruptError`.
     """
     blob = Path(path).read_bytes()
     check_journal_header(blob, path)
+    if start < JOURNAL_HEADER_SIZE:
+        raise StoreCorruptError(
+            f"journal {path}: start offset {start} is inside the header")
+    if start > len(blob):
+        raise StoreCorruptError(
+            f"journal {path} shrank below offset {start} "
+            f"({len(blob)} bytes on disk) — append-only contract broken")
     records: list[JournalRecord] = []
-    offset = JOURNAL_HEADER_SIZE
+    offset = start
     while offset < len(blob):
         if offset + _RECORD_HEADER.size > len(blob):
             return records, offset, True

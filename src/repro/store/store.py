@@ -208,6 +208,32 @@ class BFHStore:
             _histogram("store.shard_load_seconds").observe(
                 time.perf_counter() - t0)
 
+    def _apply_record(self, record, path: Path) -> None:
+        """Apply one decoded journal record to the in-memory tables."""
+        if record.op == OP_EXTEND_NS:
+            self._labels.extend(decode_labels_payload(record.payload))
+            return
+        masks, lengths, n_taxa = decode_tree_payload(
+            record.payload, weighted=self.weighted)
+        if n_taxa > len(self._labels):
+            raise StoreCorruptError(
+                f"journal {path}: record packed for {n_taxa} taxa but "
+                f"only {len(self._labels)} labels are known")
+        limit = 1 << n_taxa if n_taxa else 1
+        if any(mask >= limit for mask in masks):
+            raise StoreCorruptError(
+                f"journal {path}: record mask exceeds its {n_taxa}-taxon "
+                "namespace")
+        if record.op == OP_ADD:
+            self._apply_add(masks, lengths)
+        else:
+            try:
+                self._apply_remove(masks, lengths)
+            except StoreError as exc:
+                raise StoreCorruptError(
+                    f"journal {path}: replay failed ({exc}) — "
+                    "frequencies would be silently wrong") from exc
+
     def _replay_journal(self, path: Path, fingerprint: bytes) -> None:
         t0 = time.perf_counter()
         if not path.exists():
@@ -221,34 +247,72 @@ class BFHStore:
         self._journal_good_offset = good_offset
         self.recovered = torn
         for record in records:
-            if record.op == OP_EXTEND_NS:
-                self._labels.extend(decode_labels_payload(record.payload))
-                continue
-            masks, lengths, n_taxa = decode_tree_payload(
-                record.payload, weighted=self.weighted)
-            if n_taxa > len(self._labels):
-                raise StoreCorruptError(
-                    f"journal {path}: record packed for {n_taxa} taxa but "
-                    f"only {len(self._labels)} labels are known")
-            limit = 1 << n_taxa if n_taxa else 1
-            if any(mask >= limit for mask in masks):
-                raise StoreCorruptError(
-                    f"journal {path}: record mask exceeds its {n_taxa}-taxon "
-                    "namespace")
-            if record.op == OP_ADD:
-                self._apply_add(masks, lengths)
-            else:
-                try:
-                    self._apply_remove(masks, lengths)
-                except StoreError as exc:
-                    raise StoreCorruptError(
-                        f"journal {path}: replay failed ({exc}) — "
-                        "frequencies would be silently wrong") from exc
+            self._apply_record(record, path)
         self.journal_records = len(records)
         if _obs_enabled():
             _histogram("store.journal_replay_seconds").observe(
                 time.perf_counter() - t0)
         self._record_journal_tail()
+
+    # -- tailing (long-running readers, e.g. ``bfhrf serve``) ---------------
+
+    @classmethod
+    def read_generation(cls, path: str | os.PathLike) -> int:
+        """The generation committed in the on-disk manifest, without opening.
+
+        A long-running reader polls this: a generation bump means another
+        process compacted (the reader's journal file is gone) and the
+        store must be reopened rather than tailed.
+        """
+        manifest_path = Path(path) / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise StoreError(f"{path} is not a BFH store (no {MANIFEST_NAME})")
+        try:
+            manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+            return int(manifest["generation"])
+        except (ValueError, OSError, KeyError, TypeError) as exc:
+            raise StoreCorruptError(
+                f"cannot read generation from {manifest_path}: {exc!r}"
+                ) from exc
+
+    def journal_lag_bytes(self) -> int:
+        """Bytes appended to the on-disk journal beyond our applied view.
+
+        Zero for the writing process itself; positive for a reader whose
+        last :meth:`tail_journal` predates another process's appends.
+        """
+        try:
+            size = self._journal_file.stat().st_size
+        except OSError:
+            return 0
+        return max(0, size - self._journal_good_offset)
+
+    def tail_journal(self) -> int:
+        """Apply records another process appended since our last view.
+
+        Returns how many records were applied.  A torn tail (a writer
+        caught mid-append) is left alone — the complete prefix is applied
+        and the remainder will be picked up by a later tail once the
+        writer finishes.  Raises :class:`StoreError` if the journal file
+        is gone (the store was compacted externally: reopen it) and
+        :class:`StoreCorruptError` on real damage.
+        """
+        path = self._journal_file
+        try:
+            records, good_offset, torn = read_journal(
+                path, start=self._journal_good_offset)
+        except FileNotFoundError:
+            raise StoreError(
+                f"journal {path} is gone — the store was compacted by "
+                "another process; reopen it") from None
+        for record in records:
+            self._apply_record(record, path)
+        self._journal_good_offset = good_offset
+        self.journal_records += len(records)
+        if records and _obs_enabled():
+            _metric("store.journal_tailed_records").inc(len(records))
+        self._record_journal_tail()
+        return len(records)
 
     @property
     def _journal_file(self) -> Path:
@@ -649,6 +713,16 @@ class BFHStore:
             "snapshot_trees": self.snapshot_trees,
             "journal_records": self.journal_records,
             "journal_bytes": journal_bytes,
+            # The same numbers the store.journal_tail_* gauges report:
+            # how far the journal overlay extends past the compacted
+            # shards, and how far the on-disk journal extends past *this
+            # process's* applied view (nonzero only for a tailing reader
+            # such as a running `bfhrf serve` daemon).
+            "journal_tail_records": self.journal_records,
+            "journal_tail_bytes": max(
+                0, self._journal_good_offset - JOURNAL_HEADER_SIZE),
+            "journal_lag_bytes": max(
+                0, journal_bytes - self._journal_good_offset),
             "recovered": self.recovered,
         }
 

@@ -37,6 +37,7 @@ from repro.testing.oracles import (
     check_differential_rf,
     check_differential_weighted,
     check_self_rf_zero,
+    check_serve_parity,
     check_shm_roundtrip,
     check_store_roundtrip,
     check_symmetry,
@@ -76,6 +77,7 @@ CASE_CHECKS: dict[str, Callable[[TreeCase], list[Failure]]] = {
     "newick-roundtrip": prop_newick_roundtrip,
     "nexus-roundtrip": prop_nexus_roundtrip,
     "store-roundtrip": check_store_roundtrip,
+    "serve-parity": check_serve_parity,
 }
 
 

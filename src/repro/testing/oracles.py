@@ -52,6 +52,7 @@ __all__ = [
     "check_differential_rf",
     "check_differential_weighted",
     "check_backend_parity",
+    "check_serve_parity",
     "check_shm_roundtrip",
     "check_self_rf_zero",
     "check_symmetry",
@@ -515,6 +516,75 @@ def check_store_roundtrip(case: TreeCase) -> list[Failure]:
             return failures
         reopened = BFHStore.open(path)
         compare(reopened, current, "reopen")
+    return failures
+
+
+def check_serve_parity(case: TreeCase) -> list[Failure]:
+    """The query daemon vs direct ``api.average_rf`` over the same store.
+
+    Builds a store from ``case.reference``, starts an in-process
+    :class:`~repro.serve.daemon.ServeDaemon` on a temp socket, queries
+    it through the wire client, and demands the replies be
+    *bitwise-identical* to :func:`repro.core.api.average_rf` over the
+    same trees — the whole parse → protocol → batch → probe pipeline
+    must not perturb a single bit.  Then one reference tree is added by
+    a *second* store handle (an external writer) and the daemon must
+    tail it into view without restarting, again bit-for-bit.
+    """
+    import time as _time
+
+    from repro.core.api import average_rf
+    from repro.newick.writer import write_newick
+    from repro.serve import ServeClient, ServeConfig, serving
+
+    failures: list[Failure] = []
+    query_text = "\n".join(write_newick(t) for t in case.query)
+    with tempfile.TemporaryDirectory(prefix="serve-oracle-") as td:
+        store_dir = Path(td) / "store"
+        build_store(store_dir, case.reference,
+                    include_trivial=case.include_trivial,
+                    weighted=case.weighted)
+        socket_path = Path(td) / "serve.sock"
+        config = ServeConfig(socket_path=str(socket_path),
+                             tail_interval_s=0.02)
+        with serving(store_dir, config):
+            with ServeClient.connect(socket_path, retries=5) as client:
+                got = client.query(query_text)
+                want = average_rf(case.query, case.reference,
+                                  include_trivial=case.include_trivial)
+                for i, (g, w) in enumerate(zip(got, want)):
+                    if g != w:
+                        failures.append(Failure(
+                            "serve-parity",
+                            f"daemon says {g!r}, api.average_rf says {w!r}",
+                            implementation="warm", index=i))
+                if failures:
+                    return failures
+                # External add -> journal tail must surface it live.
+                # Convergence is judged on the *values*: a reply's
+                # reference_trees can run ahead of its values when the
+                # tail lands between the probe and the metadata read.
+                writer = BFHStore.open(store_dir)
+                extra = case.reference[:1]
+                writer.add_trees(extra)
+                reference = list(case.reference) + extra
+                want = average_rf(case.query, reference,
+                                  include_trivial=case.include_trivial)
+                deadline = _time.monotonic() + 10.0
+                while _time.monotonic() < deadline:
+                    reply = client.request("query", trees=query_text)
+                    got = [float(v) for v in reply["values"]]
+                    if (got == want
+                            and reply["reference_trees"] == len(reference)):
+                        break
+                    _time.sleep(0.02)
+                else:
+                    failures.append(Failure(
+                        "serve-parity",
+                        "daemon never converged on the externally added "
+                        f"tree (last values {got!r}, wanted {want!r}, "
+                        f"{reply['reference_trees']} reference trees)",
+                        implementation="tail"))
     return failures
 
 

@@ -20,6 +20,10 @@ __all__ = [
     "StoreCorruptError",
     "ExecutorError",
     "PerfError",
+    "ServeError",
+    "ServeConnectionError",
+    "ServeProtocolError",
+    "ServeRequestError",
 ]
 
 
@@ -134,3 +138,42 @@ class PerfError(ReproError):
     schema version this code cannot read, or a ``bench compare`` against
     a baseline that holds no entries for the candidate's benchmarks.
     """
+
+
+class ServeError(ReproError):
+    """A ``bfhrf serve`` daemon or client operation failed.
+
+    Examples: starting a daemon on a socket another daemon already owns,
+    or a platform without unix-domain sockets.
+    """
+
+
+class ServeConnectionError(ServeError):
+    """The client could not reach (or lost) the daemon socket.
+
+    Raised after connect retries are exhausted, on a request timeout,
+    and when the daemon closes the connection mid-reply.
+    """
+
+
+class ServeProtocolError(ServeError):
+    """The peer spoke something other than the expected protocol.
+
+    Examples: a hello with an unsupported protocol version, a reply that
+    is not valid JSON, or a reply whose id does not match the request.
+    """
+
+
+class ServeRequestError(ServeError):
+    """The daemon answered a request with a typed error reply.
+
+    Attributes
+    ----------
+    type:
+        The machine-readable error type from the reply (one of
+        :data:`repro.serve.protocol.ERROR_TYPES`, e.g. ``"parse-error"``).
+    """
+
+    def __init__(self, error_type: str, message: str):
+        self.type = error_type
+        super().__init__(f"[{error_type}] {message}")

@@ -259,3 +259,42 @@ class TestPayloadProbe:
 
         monkeypatch.setattr(ex, "_capped_pickle_size", boom)
         ex._record_payload_bytes(list(range(10)))  # must be a no-op
+
+
+def _noop_range(bounds):
+    return bounds
+
+
+@pytest.mark.skipif(not fork_available(), reason="fork unavailable")
+class TestForkSignalHygiene:
+    def test_pool_teardown_does_not_ghost_signal_the_parent(self):
+        """A fork fan-out from a process with an asyncio-style signal
+        wakeup fd must not echo the workers' teardown SIGTERM back into
+        the parent's pipe.
+
+        Forked children share the parent's wakeup fd; pool teardown
+        SIGTERMs them, and without the fork initializer detaching the
+        fd, the children's inherited C handler writes into the shared
+        pipe — the parent's event loop then reads a SIGTERM that was
+        never sent to it (the `bfhrf serve` daemon shut itself down
+        after its first --workers>1 batch this way).
+        """
+        import signal
+        import socket as socketlib
+
+        read_side, write_side = socketlib.socketpair()
+        read_side.setblocking(False)
+        write_side.setblocking(False)
+        previous_fd = signal.set_wakeup_fd(write_side.fileno())
+        previous_term = signal.signal(signal.SIGTERM, lambda *a: None)
+        try:
+            BACKENDS["fork"].submit_ranges(_noop_range, 8, None, n_workers=2)
+            # Pool teardown has SIGTERMed the workers by now; the
+            # parent's pipe must still be empty.
+            with pytest.raises(BlockingIOError):
+                read_side.recv(64)
+        finally:
+            signal.set_wakeup_fd(previous_fd)
+            signal.signal(signal.SIGTERM, previous_term)
+            read_side.close()
+            write_side.close()

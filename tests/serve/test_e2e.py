@@ -1,0 +1,300 @@
+"""End-to-end daemon tests over a real unix socket.
+
+Every query answer is held to the store contract: bitwise-identical to
+the direct in-process ``bfhrf_average_rf`` computation — through
+batching, journal tailing, the shm worker path, and shutdown drains.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.bfhrf import bfhrf_average_rf
+from repro.newick import trees_from_string, write_newick
+from repro.serve import ServeClient, ServeConfig, serving
+from repro.store import BFHStore, build_store
+
+from tests.conftest import make_collection
+
+pytest.importorskip("numpy")
+
+
+@pytest.fixture
+def collection():
+    return make_collection(12, 24, seed=20260809)
+
+
+@pytest.fixture
+def store_dir(tmp_path, collection):
+    path = tmp_path / "store"
+    build_store(path, collection, n_shards=2)
+    return path
+
+
+def _config(tmp_path, **overrides) -> ServeConfig:
+    defaults = dict(socket_path=str(tmp_path / "serve.sock"),
+                    tail_interval_s=0.05)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def _text(trees) -> str:
+    return "\n".join(write_newick(t) for t in trees)
+
+
+class TestSingleQuery:
+    def test_parity_with_direct_api(self, tmp_path, store_dir, collection):
+        want = bfhrf_average_rf(collection, collection)
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                got = client.query(_text(collection))
+        assert got == want  # bitwise, not approx
+
+    def test_query_trees_helper_and_reply_metadata(self, tmp_path, store_dir,
+                                                   collection):
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                assert client.ping()
+                got = client.query_trees(collection[:3])
+                reply = client.request("query", trees=_text(collection[:3]))
+        assert got == bfhrf_average_rf(collection[:3], collection)
+        assert reply["trees"] == 3
+        assert reply["reference_trees"] == len(collection)
+        assert reply["generation"] >= 1
+
+    def test_empty_query_text(self, tmp_path, store_dir):
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                assert client.query("") == []
+
+    def test_nexus_query(self, tmp_path, store_dir, collection):
+        nexus = ("#NEXUS\nBEGIN TREES;\n"
+                 + "".join(f"TREE t{i} = {write_newick(t)}\n"
+                           for i, t in enumerate(collection[:2]))
+                 + "END;\n")
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                got = client.query(nexus)
+        assert got == bfhrf_average_rf(collection[:2], collection)
+
+    def test_stats_introspection(self, tmp_path, store_dir, collection):
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                client.query(_text(collection[:2]))
+                stats = client.stats()
+        assert stats["server"] == "bfhrf-serve"
+        assert stats["draining"] is False
+        assert stats["store"]["trees"] == len(collection)
+        metrics = stats["metrics"]
+        assert metrics["counters"]["serve.batches"] >= 1
+        assert metrics["histograms"]["serve.probe_seconds"]["count"] >= 1
+        assert metrics["histograms"]["serve.queue_wait_seconds"]["count"] >= 1
+
+
+class TestConcurrentBatching:
+    N_CLIENTS = 6
+
+    def test_interleaved_clients_batch_and_stay_bitwise_exact(
+            self, tmp_path, store_dir, collection):
+        """N clients fire at once; the window coalesces them into shared
+        probes and every client still gets the exact per-tree answers."""
+        config = _config(tmp_path, batch_window_s=0.05)
+        slices = [collection[i::self.N_CLIENTS]
+                  for i in range(self.N_CLIENTS)]
+        want = [bfhrf_average_rf(s, collection) for s in slices]
+        results: list[list[float] | None] = [None] * self.N_CLIENTS
+        errors: list[BaseException] = []
+        barrier = threading.Barrier(self.N_CLIENTS)
+
+        with serving(store_dir, config) as daemon:
+            def _one(i: int) -> None:
+                try:
+                    with ServeClient.connect(daemon.config.socket_path,
+                                             retries=3) as client:
+                        barrier.wait(timeout=10)
+                        results[i] = client.query(_text(slices[i]))
+                except BaseException as exc:
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=_one, args=(i,))
+                       for i in range(self.N_CLIENTS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                stats = client.stats()
+
+        assert not errors
+        assert results == want
+        batches = stats["metrics"]["histograms"]["serve.batch_requests"]
+        assert batches["max"] >= 2, "no batch ever coalesced >1 request"
+        assert stats["metrics"]["counters"]["serve.batches"] < self.N_CLIENTS
+
+    def test_shared_connection_sequential_requests(self, tmp_path, store_dir,
+                                                   collection):
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                for tree in collection[:5]:
+                    got = client.query(write_newick(tree))
+                    assert got == bfhrf_average_rf([tree], collection)
+
+
+class TestWorkerPath:
+    def test_shm_fanout_matches_serial_daemon(self, tmp_path, store_dir,
+                                              collection):
+        want = bfhrf_average_rf(collection, collection)
+        with serving(store_dir, _config(
+                tmp_path, workers=2, executor="thread")) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                got = client.query(_text(collection))
+                stats = client.stats()
+        assert got == want
+        assert stats["metrics"]["counters"]["serve.shared_rebuilds"] >= 1
+
+
+class TestJournalTailing:
+    def _wait_for_values(self, client, text, want, deadline_s=10.0):
+        """Poll until the daemon's answers converge on ``want``.
+
+        The reply's ``reference_trees`` can run ahead of its values (a
+        tail landing between the probe and the metadata read), so the
+        values themselves are the convergence signal.
+        """
+        deadline = time.monotonic() + deadline_s
+        while time.monotonic() < deadline:
+            reply = client.request("query", trees=text)
+            if reply["values"] == want:
+                return reply
+            time.sleep(0.02)
+        raise AssertionError(
+            f"daemon answers never converged on the tailed store "
+            f"(last: {reply['values']} with "
+            f"{reply['reference_trees']} reference trees)")
+
+    def test_external_add_visible_without_restart(self, tmp_path, store_dir,
+                                                  collection):
+        extra = make_collection(12, 3, seed=20260810)
+        probe = _text(collection[:4])
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                before = client.query(probe)
+
+                # Another process appends to the journal.
+                external = BFHStore.open(store_dir)
+                extra = trees_from_string(_text(extra),
+                                          external.namespace())
+                external.add_trees(extra)
+
+                want = bfhrf_average_rf(collection[:4], collection + extra)
+                assert want != before  # the add must change the answers
+                reply = self._wait_for_values(client, probe, want)
+
+        assert reply["reference_trees"] == len(collection) + len(extra)
+        assert reply["epoch"] >= 1
+
+    def test_external_remove_visible_without_restart(self, tmp_path,
+                                                     store_dir, collection):
+        probe = _text(collection[:4])
+        want = bfhrf_average_rf(collection[:4], collection[:-2])
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                external = BFHStore.open(store_dir)
+                external.remove_trees(collection[-2:])
+                reply = self._wait_for_values(client, probe, want)
+        assert reply["reference_trees"] == len(collection) - 2
+
+
+class TestGracefulShutdown:
+    def test_shutdown_mid_stream_answers_pending_queries(
+            self, tmp_path, store_dir, collection):
+        """Queries queued behind a batch window are answered (not dropped)
+        even when shutdown lands while they wait."""
+        config = _config(tmp_path, batch_window_s=0.2)
+        want = bfhrf_average_rf(collection[:4], collection)
+        results: list[list[float]] = []
+        errors: list[BaseException] = []
+
+        daemon_ctx = serving(store_dir, config)
+        daemon = daemon_ctx.__enter__()
+        try:
+            def _query() -> None:
+                try:
+                    with ServeClient.connect(daemon.config.socket_path,
+                                             retries=3) as client:
+                        results.append(client.query(_text(collection[:4])))
+                except BaseException as exc:
+                    errors.append(exc)
+
+            thread = threading.Thread(target=_query)
+            thread.start()
+            time.sleep(0.05)  # query is in flight, sitting in the window
+            daemon.request_shutdown()
+            thread.join(timeout=30)
+        finally:
+            daemon_ctx.__exit__(None, None, None)
+
+        assert not errors
+        assert results == [want]
+
+    def test_socket_unlinked_after_stop(self, tmp_path, store_dir):
+        config = _config(tmp_path)
+        with serving(store_dir, config):
+            pass
+        import os
+        assert not os.path.exists(config.socket_path)
+
+    def test_draining_daemon_refuses_new_queries(self, tmp_path, store_dir,
+                                                 collection):
+        from repro.util.errors import ServeRequestError
+
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                client.request("shutdown")
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    try:
+                        client.query(_text(collection[:1]))
+                    except ServeRequestError as exc:
+                        assert exc.type == "shutting-down"
+                        break
+                    except Exception:
+                        break  # connection already torn down: also fine
+                    time.sleep(0.01)
+
+
+class TestReconnectBackoff:
+    def test_client_wins_race_against_late_daemon(self, tmp_path, store_dir,
+                                                  collection):
+        """connect(retries=...) keeps dialing while the daemon is still
+        starting — the CI smoke test launches both simultaneously."""
+        config = _config(tmp_path)
+        want = bfhrf_average_rf(collection[:2], collection)
+        got: list[list[float]] = []
+        errors: list[BaseException] = []
+
+        def _connect_early() -> None:
+            try:
+                with ServeClient.connect(config.socket_path, retries=40,
+                                         backoff_s=0.02,
+                                         max_backoff_s=0.1) as client:
+                    got.append(client.query(_text(collection[:2])))
+            except BaseException as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=_connect_early)
+        thread.start()
+        time.sleep(0.15)  # let the client burn a few refused attempts
+        with serving(store_dir, config):
+            thread.join(timeout=30)
+        assert not errors
+        assert got == [want]
+
+    def test_no_retries_fails_fast(self, tmp_path):
+        from repro.util.errors import ServeConnectionError
+
+        with pytest.raises(ServeConnectionError, match="cannot connect"):
+            ServeClient.connect(tmp_path / "nobody-home.sock")

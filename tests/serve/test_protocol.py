@@ -1,0 +1,109 @@
+"""The NDJSON wire layer: framing, reply shapes, hello validation."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.serve.protocol import (
+    ERROR_TYPES,
+    PROTOCOL_VERSION,
+    SERVER_NAME,
+    decode_frame,
+    encode_frame,
+    error_reply,
+    ok_reply,
+)
+from repro.serve import ServeClient
+from repro.util.errors import ServeProtocolError
+
+
+class TestFraming:
+    def test_round_trip(self):
+        obj = {"id": 7, "op": "query", "trees": "((A,B),C);"}
+        assert decode_frame(encode_frame(obj).rstrip(b"\n")) == obj
+
+    def test_encode_is_one_line(self):
+        frame = encode_frame({"id": 1, "note": "no\nnewlines leak"})
+        assert frame.endswith(b"\n")
+        assert frame.count(b"\n") == 1
+
+    def test_encode_survives_unicode_labels(self):
+        obj = {"trees": "((Homo_sapiens,Gorille_de_l’Est),X);"}
+        assert decode_frame(encode_frame(obj)[:-1]) == obj
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ServeProtocolError, match="not valid JSON"):
+            decode_frame(b"((A,B),C);")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ServeProtocolError, match="must be a JSON object"):
+            decode_frame(b"[1,2,3]")
+
+    def test_decode_rejects_bad_utf8(self):
+        with pytest.raises(ServeProtocolError, match="not valid JSON"):
+            decode_frame(b'{"op": "\xff\xfe"}')
+
+
+class TestReplyShapes:
+    def test_ok_reply_echoes_id(self):
+        reply = ok_reply(42, values=[1.0])
+        assert reply == {"id": 42, "ok": True, "values": [1.0]}
+
+    def test_error_reply_is_typed(self):
+        reply = error_reply(9, "parse-error", "bad newick")
+        assert reply["ok"] is False
+        assert reply["error"] == {"type": "parse-error",
+                                  "message": "bad newick"}
+
+    def test_every_documented_error_type_encodes(self):
+        for error_type in ERROR_TYPES:
+            assert decode_frame(
+                encode_frame(error_reply(None, error_type, "x"))[:-1]
+            )["error"]["type"] == error_type
+
+    def test_undocumented_error_type_is_a_bug(self):
+        with pytest.raises(AssertionError):
+            error_reply(1, "made-up-type", "nope")
+
+
+def _fake_daemon(tmp_path, hello_frame: bytes):
+    """A one-connection impostor serving a canned hello."""
+    path = tmp_path / "fake.sock"
+    server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    server.bind(str(path))
+    server.listen(1)
+
+    def _serve():
+        conn, _ = server.accept()
+        conn.sendall(hello_frame)
+        conn.recv(1)  # hold the connection open until the client reacts
+        conn.close()
+
+    thread = threading.Thread(target=_serve, daemon=True)
+    thread.start()
+    return path, server
+
+
+class TestHelloValidation:
+    def test_client_rejects_wrong_server(self, tmp_path):
+        path, server = _fake_daemon(tmp_path, encode_frame(
+            {"type": "hello", "server": "not-bfhrf",
+             "protocol": PROTOCOL_VERSION}))
+        try:
+            with pytest.raises(ServeProtocolError, match="did not greet"):
+                ServeClient.connect(path, timeout=5.0)
+        finally:
+            server.close()
+
+    def test_client_rejects_future_protocol(self, tmp_path):
+        path, server = _fake_daemon(tmp_path, encode_frame(
+            {"type": "hello", "server": SERVER_NAME,
+             "protocol": PROTOCOL_VERSION + 1}))
+        try:
+            with pytest.raises(ServeProtocolError, match="protocol"):
+                ServeClient.connect(path, timeout=5.0)
+        finally:
+            server.close()

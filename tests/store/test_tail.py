@@ -1,0 +1,172 @@
+"""Journal tailing: the long-running-reader path under ``bfhrf serve``.
+
+One process holds a store open while another appends to (or compacts
+away) its journal; ``tail_journal`` must converge the reader to the
+writer's state without a reopen — bitwise, torn tails included.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bfhrf import bfhrf_average_rf
+from repro.newick import trees_from_string
+from repro.store import BFHStore, build_store
+from repro.store.format import JOURNAL_HEADER_SIZE, read_journal
+from repro.util.errors import StoreCorruptError, StoreError
+
+NWK = ("((A,B),(C,D),E);\n((A,C),(B,D),E);\n"
+       "((A,E),(B,C),D);\n((A,B),(C,E),D);\n((B,D),(C,E),A);")
+
+
+@pytest.fixture
+def trees():
+    return trees_from_string(NWK)
+
+
+@pytest.fixture
+def two_handles(tmp_path, trees):
+    """(reader, writer): two opens of one store, like daemon + CLI."""
+    build_store(tmp_path / "s", trees[:3])
+    reader = BFHStore.open(tmp_path / "s")
+    writer = BFHStore.open(tmp_path / "s")
+    return reader, writer
+
+
+def assert_converged(reader, reference, query):
+    assert reader.average_rf(query) == bfhrf_average_rf(query, reference)
+    assert reader.n_trees == len(reference)
+
+
+class TestTailJournal:
+    def test_external_add_applies_in_place(self, two_handles, trees):
+        reader, writer = two_handles
+        writer.add_trees(trees[3:])
+        assert reader.n_trees == 3          # not yet visible
+        assert reader.tail_journal() == len(trees) - 3
+        assert_converged(reader, trees, trees)
+
+    def test_external_remove_applies_in_place(self, two_handles, trees):
+        reader, writer = two_handles
+        writer.remove_trees(trees[:1])
+        assert reader.tail_journal() == 1
+        assert_converged(reader, trees[1:3], trees)
+
+    def test_tail_is_idempotent_when_nothing_changed(self, two_handles):
+        reader, _ = two_handles
+        assert reader.tail_journal() == 0
+        assert reader.tail_journal() == 0
+
+    def test_repeated_tails_track_a_chatty_writer(self, two_handles, trees):
+        reader, writer = two_handles
+        for tree in trees[3:]:
+            writer.add_trees([tree])
+            assert reader.tail_journal() == 1
+        assert_converged(reader, trees, trees)
+
+    def test_namespace_extension_tails_through(self, two_handles, trees):
+        reader, writer = two_handles
+        wider = trees_from_string("((A,F),(B,C),(D,E));",
+                                  writer.namespace())
+        writer.add_trees(wider)
+        # Two records: the namespace extension, then the add itself.
+        assert reader.tail_journal() == 2
+        assert "F" in reader.labels
+        reference = trees[:3] + wider
+        query = trees_from_string(NWK, reader.namespace())
+        assert_converged(reader, reference, query)
+
+    def test_tail_after_external_compaction_demands_reopen(self, two_handles,
+                                                           trees):
+        reader, writer = two_handles
+        writer.add_trees(trees[3:])
+        writer.compact()
+        with pytest.raises(StoreError, match="compacted by another process"):
+            reader.tail_journal()
+        reopened = BFHStore.open(reader.path)
+        assert_converged(reopened, trees, trees)
+
+
+class TestTornTail:
+    def test_partial_record_is_left_for_later(self, two_handles, trees):
+        reader, writer = two_handles
+        writer.add_trees(trees[3:4])
+        journal = reader._journal_file
+        blob = journal.read_bytes()
+        # A writer caught mid-append: everything but the last byte.
+        journal.write_bytes(blob[:-1])
+        assert reader.tail_journal() == 0       # torn tail, not corruption
+        journal.write_bytes(blob)               # the writer finishes
+        assert reader.tail_journal() == 1
+        assert_converged(reader, trees[:4], trees)
+
+    def test_lag_gauge_tracks_unapplied_bytes(self, two_handles, trees):
+        reader, writer = two_handles
+        assert reader.journal_lag_bytes() == 0
+        writer.add_trees(trees[3:])
+        assert reader.journal_lag_bytes() > 0
+        reader.tail_journal()
+        assert reader.journal_lag_bytes() == 0
+
+    def test_lag_is_zero_when_journal_is_gone(self, two_handles, trees):
+        reader, writer = two_handles
+        writer.add_trees(trees[3:])
+        writer.compact()
+        assert reader.journal_lag_bytes() == 0
+
+
+class TestReadGeneration:
+    def test_matches_open_handle(self, two_handles):
+        reader, _ = two_handles
+        assert BFHStore.read_generation(reader.path) == reader.generation
+
+    def test_bumps_on_compaction(self, two_handles, trees):
+        reader, writer = two_handles
+        before = BFHStore.read_generation(reader.path)
+        writer.add_trees(trees[3:])
+        writer.compact()
+        assert BFHStore.read_generation(reader.path) > before
+
+    def test_missing_store(self, tmp_path):
+        with pytest.raises(StoreError, match="not a BFH store"):
+            BFHStore.read_generation(tmp_path / "nope")
+
+    def test_garbage_manifest(self, two_handles):
+        reader, _ = two_handles
+        (reader.path / "manifest.json").write_text("not json at all")
+        with pytest.raises(StoreCorruptError, match="cannot read generation"):
+            BFHStore.read_generation(reader.path)
+
+
+class TestReadJournalOffsets:
+    def test_start_inside_header_is_refused(self, two_handles):
+        reader, _ = two_handles
+        with pytest.raises(StoreCorruptError, match="inside the header"):
+            read_journal(reader._journal_file, start=JOURNAL_HEADER_SIZE - 1)
+
+    def test_start_past_end_means_truncation(self, two_handles, trees):
+        reader, writer = two_handles
+        writer.add_trees(trees[3:])
+        size = reader._journal_file.stat().st_size
+        with pytest.raises(StoreCorruptError, match="append-only contract"):
+            read_journal(reader._journal_file, start=size + 1)
+
+    def test_start_at_exact_end_reads_nothing(self, two_handles):
+        reader, _ = two_handles
+        size = reader._journal_file.stat().st_size
+        records, good_offset, torn = read_journal(reader._journal_file,
+                                                  start=size)
+        assert (records, good_offset, torn) == ([], size, False)
+
+
+class TestInfoSurfacesTailState:
+    def test_tail_fields_in_info(self, two_handles, trees):
+        reader, writer = two_handles
+        writer.add_trees(trees[3:])
+        info = reader.info()
+        assert info["journal_lag_bytes"] > 0
+        reader.tail_journal()
+        info = reader.info()
+        assert info["journal_lag_bytes"] == 0
+        assert info["journal_tail_records"] == len(trees) - 3
+        assert info["journal_tail_bytes"] > 0

@@ -1,0 +1,105 @@
+"""The ``bfhrf serve`` verb family: daemon in a thread, verbs in-process.
+
+Mirrors the CI smoke test but assertable: start, query (output identical
+to ``store query``), stats, stop — plus the argv error paths.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.serve import ServeConfig, ServeDaemon
+
+NWK = ("((A,B),(C,D),E);\n((A,C),(B,D),E);\n"
+       "((A,E),(B,C),D);\n((A,B),(C,E),D);\n")
+
+
+@pytest.fixture
+def trees_file(tmp_path):
+    path = tmp_path / "trees.nwk"
+    path.write_text(NWK)
+    return str(path)
+
+
+@pytest.fixture
+def store_dir(tmp_path, trees_file):
+    path = tmp_path / "store"
+    assert main(["store", "build", str(path), "-r", trees_file,
+                 "--shards", "2", "--quiet"]) == 0
+    return str(path)
+
+
+@pytest.fixture
+def daemon(tmp_path, store_dir):
+    config = ServeConfig(socket_path=str(tmp_path / "serve.sock"),
+                         tail_interval_s=0.05)
+    daemon = ServeDaemon(store_dir, config)
+    handle = daemon.run_in_thread()
+    try:
+        yield daemon
+    finally:
+        try:
+            handle.stop()
+        except Exception:
+            pass  # a stop-verb test already shut it down
+
+
+class TestServeVerbs:
+    def test_query_output_identical_to_store_query(self, daemon, store_dir,
+                                                   trees_file, capsys):
+        assert main(["serve", "query", daemon.config.socket_path,
+                     trees_file, "--quiet"]) == 0
+        via_daemon = capsys.readouterr().out
+        assert main(["store", "query", store_dir, trees_file,
+                     "--quiet"]) == 0
+        via_store = capsys.readouterr().out
+        assert via_daemon == via_store
+        assert len(via_daemon.strip().splitlines()) == 4
+
+    def test_stats_prints_json(self, daemon, capsys):
+        assert main(["serve", "stats", daemon.config.socket_path,
+                     "--quiet"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["server"] == "bfhrf-serve"
+        assert "metrics" in stats and "store" in stats
+
+    def test_stop_drains_the_daemon(self, daemon, capsys):
+        handle_thread = [t for t in threading.enumerate()
+                         if t.name == "bfhrf-serve"]
+        assert handle_thread, "daemon thread not running"
+        assert main(["serve", "stop", daemon.config.socket_path,
+                     "--quiet"]) == 0
+        handle_thread[0].join(timeout=15)
+        assert not handle_thread[0].is_alive()
+
+    def test_start_blocks_then_stop_unblocks(self, tmp_path, store_dir,
+                                             capsys):
+        socket_path = str(tmp_path / "cli-start.sock")
+        rc: list[int] = []
+
+        def _start() -> None:
+            rc.append(main(["serve", "start", store_dir,
+                            "--socket", socket_path,
+                            "--tail-interval", "0.05", "--quiet"]))
+
+        thread = threading.Thread(target=_start, daemon=True)
+        thread.start()
+        assert main(["serve", "stop", socket_path, "--retries", "20",
+                     "--quiet"]) == 0
+        thread.join(timeout=15)
+        assert rc == [0]
+
+    def test_query_against_dead_socket_fails_cleanly(self, tmp_path,
+                                                     trees_file, capsys):
+        assert main(["serve", "query", str(tmp_path / "dead.sock"),
+                     trees_file, "--quiet"]) == 2
+        assert "cannot connect" in capsys.readouterr().err
+
+    def test_start_on_missing_store_fails_cleanly(self, tmp_path, capsys):
+        assert main(["serve", "start", str(tmp_path / "no-store"),
+                     "--quiet"]) == 2
+        assert "not a BFH store" in capsys.readouterr().err
