@@ -28,8 +28,49 @@ __all__ = [
     "project_mask",
     "complement",
     "mask_to_string",
+    "words_for_taxa",
+    "pack_key",
+    "unpack_key",
     "Bipartition",
 ]
+
+WORD_BITS = 64
+
+
+def words_for_taxa(n_taxa: int) -> int:
+    """Key width in 64-bit words for an ``n_taxa`` namespace (min 1).
+
+    The single definition every layer shares: the store's on-disk keys,
+    the vectorized backend's ``(U, n_words)`` arrays, and the
+    shared-memory segments all size their keys through this function, so
+    the width flips at exactly the same taxon counts (64 → 65,
+    128 → 129) everywhere.
+
+    >>> [words_for_taxa(n) for n in (1, 64, 65, 128, 129)]
+    [1, 1, 2, 2, 3]
+    """
+    return max(1, (n_taxa + WORD_BITS - 1) // WORD_BITS)
+
+
+def pack_key(mask: int, n_words: int) -> bytes:
+    """Pack a bipartition mask into ``n_words`` little-endian 64-bit words.
+
+    This is the canonical byte form of a stored key — snapshots, journal
+    records, and the packing regression tests all pin this exact layout.
+
+    >>> pack_key(0x0102, 1).hex()
+    '0201000000000000'
+    """
+    return mask.to_bytes(n_words * 8, "little")
+
+
+def unpack_key(data: bytes) -> int:
+    """Inverse of :func:`pack_key`.
+
+    >>> unpack_key(pack_key(1 << 100, 2)) == 1 << 100
+    True
+    """
+    return int.from_bytes(data, "little")
 
 
 def normalize_mask(mask: int, leaf_mask: int) -> int:

@@ -20,10 +20,12 @@ Subcommands::
     bfhrf supertree  SRC1.nwk SRC2.nwk [...] [--ascii]
     bfhrf topologies TREES.nwk [--credible F]
     bfhrf dist       PAIR.nwk [--metric rf|matching|triplet|quartet|branch-score]
-    bfhrf store      build DIR -r REF.nwk [--shards N] [--workers N] |
+    bfhrf store      build DIR -r REF.nwk [--shards N] [--workers N]
+                         [--snapshot-format CODEC] |
                      add DIR TREES.nwk | remove DIR TREES.nwk |
                      query DIR QUERY.nwk [--workers N] |
-                     compact DIR [--shards N] | info DIR
+                     compact DIR [--shards N] |
+                     migrate DIR [--codec CODEC] [--shards N] | info DIR
     bfhrf serve      start STORE_DIR [--socket PATH] [--workers N]
                          [--batch-window S] [--tail-interval S]
                          [--max-frame BYTES] |
@@ -235,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="count pendant splits too")
     sb.add_argument("--weighted", action="store_true",
                     help="also persist per-split branch-length multisets")
+    sb.add_argument("--snapshot-format", default=None, metavar="CODEC",
+                    help="snapshot write format: a table codec name "
+                         "(raw-u64, succinct-v1) or 'v1' for the legacy "
+                         "layout (default: the registry's promoted codec)")
 
     sa = add_store_parser("add", help="absorb reference trees into the journal")
     sa.add_argument("trees", help="Newick/NEXUS file of trees to add")
@@ -249,6 +255,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     sc = add_store_parser("compact", help="fold the journal into fresh shard snapshots")
     sc.add_argument("--shards", type=int, default=None,
+                    help="rebalance into this many shards (default: keep)")
+
+    sm = add_store_parser(
+        "migrate", help="rewrite every shard in a new snapshot format "
+                        "(atomic; v1 stores stay readable until then)")
+    sm.add_argument("--codec", default=None, metavar="CODEC",
+                    help="target table codec (default: the registry's "
+                         "promoted write format, succinct-v1)")
+    sm.add_argument("--shards", type=int, default=None,
                     help="rebalance into this many shards (default: keep)")
 
     add_store_parser("info", help="print store status as JSON")
@@ -565,10 +580,12 @@ def _cmd_store(args: argparse.Namespace) -> int:
         store = build_store(args.store_dir, reference,
                             n_workers=args.workers, n_shards=args.shards,
                             include_trivial=args.include_trivial,
-                            weighted=args.weighted)
+                            weighted=args.weighted,
+                            codec=args.snapshot_format)
         _info(f"built store {args.store_dir}: {store.n_trees} trees, "
               f"{len(store)} unique bipartitions, "
-              f"{len(store.info()['shards'])} shard(s)")
+              f"{len(store.info()['shards'])} shard(s), "
+              f"{store.snapshot_codec} snapshots")
         return 0
 
     store = BFHStore.open(args.store_dir)
@@ -592,6 +609,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
         store.compact(n_shards=args.shards)
         _info(f"compacted to generation {store.generation}: "
               f"{len(store.info()['shards'])} shard(s), journal emptied")
+    elif verb == "migrate":
+        summary = store.migrate(codec=args.codec, n_shards=args.shards)
+        before = summary["snapshot_bytes_before"]
+        after = summary["snapshot_bytes_after"]
+        ratio = f" ({before / after:.2f}x)" if after else ""
+        _info(f"migrated {args.store_dir} from {summary['from_codec']} to "
+              f"{summary['to_codec']}: snapshots {before} -> {after} "
+              f"bytes{ratio}")
     else:  # info
         print(json.dumps(store.info(), indent=2))
     return 0

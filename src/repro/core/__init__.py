@@ -21,6 +21,13 @@ from repro.core.sequential import (
     reference_mask_sets,
     sequential_average_rf,
 )
+from repro.core.table import (
+    BipartitionTable,
+    codec_names,
+    default_codec_name,
+    get_codec,
+    register_codec,
+)
 from repro.core.variants import (
     ValuedRF,
     average_valued_rf,
@@ -68,4 +75,9 @@ __all__ = [
     "consensus",
     "as_trees",
     "AVERAGE_RF_METHODS",
+    "BipartitionTable",
+    "register_codec",
+    "get_codec",
+    "codec_names",
+    "default_codec_name",
 ]

@@ -28,6 +28,7 @@ from collections.abc import Iterable, Sequence
 import numpy as np
 
 from repro.bipartitions.extract import bipartition_masks
+from repro.core.table import BipartitionTable, masks_to_words
 from repro.hashing.bfh import BipartitionFrequencyHash, MaskTransform
 from repro.observability.metrics import histogram as _histogram
 from repro.observability.state import enabled as _obs_enabled
@@ -37,22 +38,9 @@ from repro.util.errors import CollectionError
 
 __all__ = ["VectorizedBFH", "vectorized_average_rf"]
 
-_WORD_BITS = 64
-_WORD_MASK = (1 << _WORD_BITS) - 1
-
-
-def _masks_to_words(masks: Sequence[int], n_words: int) -> np.ndarray:
-    """Pack arbitrary-precision masks into an (m, n_words) uint64 array.
-
-    Word 0 is the *most significant* so lexicographic order of rows
-    equals numeric order of masks.
-    """
-    out = np.empty((len(masks), n_words), dtype=np.uint64)
-    for row, mask in enumerate(masks):
-        for col in range(n_words):
-            shift = _WORD_BITS * (n_words - 1 - col)
-            out[row, col] = (mask >> shift) & _WORD_MASK
-    return out
+# The word-packing kernel is canonical in repro.core.table (shared with
+# the shm layer and the codecs); the old private name stays importable.
+_masks_to_words = masks_to_words
 
 
 class VectorizedBFH:
@@ -108,12 +96,31 @@ class VectorizedBFH:
         """Convert a dict-backed hash (sorting its keys once)."""
         if bfh.n_trees == 0:
             raise CollectionError("empty hash")
-        n_words = max(1, (n_taxa + _WORD_BITS - 1) // _WORD_BITS)
-        masks = sorted(bfh.counts)
-        keys = _masks_to_words(masks, n_words)
-        freqs = np.array([bfh.counts[m] for m in masks], dtype=np.int64)
-        return cls(keys, freqs, bfh.n_trees, bfh.total,
-                   include_trivial=bfh.include_trivial, transform=bfh.transform)
+        return cls.from_table(BipartitionTable.from_bfh(bfh, n_taxa),
+                              transform=bfh.transform)
+
+    @classmethod
+    def from_table(cls, table: BipartitionTable, *,
+                   transform: MaskTransform | None = None) -> "VectorizedBFH":
+        """Probe a :class:`~repro.core.table.BipartitionTable` zero-copy.
+
+        Table rows are already in this class's probe (void-byte) order,
+        so the arrays are adopted as-is — the table is the one canonical
+        array form every layer shares.
+        """
+        return cls.from_sorted_arrays(
+            table.keys, table.counts, table.n_trees, table.total,
+            include_trivial=table.include_trivial, transform=transform)
+
+    def table(self, n_taxa: int) -> BipartitionTable:
+        """This probe's arrays as a :class:`BipartitionTable` (zero-copy).
+
+        ``n_taxa`` must match the width the keys were packed under — the
+        probe itself only remembers ``n_words``.
+        """
+        return BipartitionTable(self.keys, self.freqs, n_taxa=n_taxa,
+                                n_trees=self.n_trees, total=self.total,
+                                include_trivial=self.include_trivial)
 
     @classmethod
     def from_sorted_arrays(cls, keys: np.ndarray, freqs: np.ndarray,

@@ -219,6 +219,60 @@ def _run_shm_scaling(scale: float) -> dict[str, Any]:
     return extra
 
 
+def _run_store_format(scale: float) -> dict[str, Any]:
+    """raw-u64 vs succinct-v1 snapshots at the same r: bytes, cold-open
+    seconds, and warm-query parity.
+
+    Builds the same collection into two stores that differ only in the
+    snapshot codec, then measures what the codec trades: on-disk
+    snapshot bytes (``ratio_x`` is the compression win the ISSUE's ≥3x
+    acceptance bar reads), cold ``BFHStore.open`` time (succinct decode
+    is more CPU per byte), and warm-query answers, which are *asserted*
+    bitwise-identical to each other and to a fresh dict-BFH build —
+    compression must never move a bit.
+
+    The taxon floor is 130: three 64-bit key words, the regime the
+    succinct codec targets (the ROADMAP's n=144 memory wall), kept even
+    at the CI gate's --scale 0.5.
+    """
+    import time
+
+    from repro.core.bfhrf import bfhrf_average_rf
+    from repro.store.store import BFHStore, build_store
+
+    trees = _collection(scaled_count(144, scale, floor=130),
+                        scaled_count(300, scale, floor=60))
+    queries = trees[: max(8, len(trees) // 8)]
+    want = bfhrf_average_rf(queries, trees, n_workers=1)
+
+    extra: dict[str, Any] = {
+        "trees": len(trees),
+        "taxa": len(trees[0].taxon_namespace),
+        "checksum": _checksum(want),
+        "parity": True,
+    }
+    bytes_by_codec: dict[str, int] = {}
+    with tempfile.TemporaryDirectory(prefix="bfhrf-bench-") as tmp:
+        for codec in ("raw-u64", "succinct-v1"):
+            store_dir = Path(tmp) / codec
+            store = build_store(store_dir, trees, n_shards=3, codec=codec)
+            extra["unique_splits"] = len(store)
+            bytes_by_codec[codec] = store._snapshot_bytes()
+            t0 = time.perf_counter()
+            reopened = BFHStore.open(store_dir)
+            cold_open = time.perf_counter() - t0
+            got = reopened.average_rf(queries)
+            if got != want:
+                raise AssertionError(
+                    f"{codec} store drifted from the fresh dict-BFH build")
+            key = codec.replace("-", "_")
+            extra[f"{key}_bytes"] = bytes_by_codec[codec]
+            extra[f"{key}_cold_open_seconds"] = round(cold_open, 6)
+    extra["ratio_x"] = round(
+        bytes_by_codec["raw-u64"] / bytes_by_codec["succinct-v1"], 3)
+    return extra
+
+
 def _run_mapreduce(scale: float) -> dict[str, Any]:
     """The MapReduce engine's three stages over an RF-style job."""
     from repro.core.mrsrf import mrsrf_matrix
@@ -254,6 +308,11 @@ register_benchmark(
     "serve_warm", _run_serve_warm,
     description="query-daemon round-trip latency (p50/p95 per request) "
                 "against a warm store over the unix-socket protocol",
+    smoke=True)
+register_benchmark(
+    "store_format", _run_store_format,
+    description="raw-u64 vs succinct-v1 snapshots at the same r: on-disk "
+                "bytes, cold-open seconds, warm-query parity",
     smoke=True)
 register_benchmark(
     "mapreduce", _run_mapreduce,

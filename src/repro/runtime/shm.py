@@ -81,8 +81,6 @@ SEGMENT_PREFIX = "bfhrf-"
 
 _SHM_DIR = "/dev/shm"
 
-_WORD_BITS = 64
-
 
 def _new_segment_name() -> str:
     return SEGMENT_PREFIX + secrets.token_hex(6)
@@ -236,22 +234,30 @@ class SharedBFH:
     def from_bfh(cls, bfh: "BipartitionFrequencyHash",
                  n_taxa: int) -> "SharedBFH":
         """Lay a dict-backed hash out in shared memory (the owner side)."""
-        # The vectorized backend defines the sort order the probes rely
-        # on; building through it guarantees the segment's order is the
+        # The canonical table defines the sort order the probes rely on;
+        # building through it guarantees the segment's order is the
         # probe's order.  Lazy import: core imports runtime, never the
         # reverse at module scope.
-        from repro.core.vectorized import VectorizedBFH
+        from repro.core.table import BipartitionTable
 
-        vbfh = VectorizedBFH.from_bfh(bfh, n_taxa)
-        n_keys, n_words = vbfh.keys.shape
+        return cls.from_table(BipartitionTable.from_bfh(bfh, n_taxa))
+
+    @classmethod
+    def from_table(cls, table: "BipartitionTable") -> "SharedBFH":
+        """Copy a canonical table into a fresh segment (the owner side).
+
+        Table rows are already in the probe order the segment's readers
+        assume, so this is one memcpy per array — no re-sort.
+        """
+        n_keys, n_words = table.keys.shape
         shm = _create_segment(n_keys * n_words * 8 + n_keys * 8)
         descriptor = SharedBFHDescriptor(
             name=shm.name, n_keys=n_keys, n_words=n_words,
-            n_trees=bfh.n_trees, total=bfh.total,
-            include_trivial=bfh.include_trivial)
+            n_trees=table.n_trees, total=table.total,
+            include_trivial=table.include_trivial)
         shared = cls(shm, descriptor, owner=True)
-        shared.keys[:] = vbfh.keys
-        shared.freqs[:] = vbfh.freqs
+        shared.keys[:] = table.keys
+        shared.freqs[:] = table.counts
         shared.keys.flags.writeable = False
         shared.freqs.flags.writeable = False
         return shared
@@ -323,22 +329,26 @@ class SharedBFH:
             self.keys, self.freqs, self.n_trees, self.total,
             include_trivial=self.include_trivial, transform=transform)
 
+    def table(self, n_taxa: int) -> "BipartitionTable":
+        """The segment as a :class:`~repro.core.table.BipartitionTable`
+        (zero-copy views; ``n_taxa`` must match the packed key width)."""
+        from repro.core.table import BipartitionTable
+
+        return BipartitionTable(self.keys, self.freqs, n_taxa=n_taxa,
+                                n_trees=self.n_trees, total=self.total,
+                                include_trivial=self.include_trivial)
+
     def masks(self) -> list[int]:
         """The stored bipartition masks as Python ints, in segment order."""
-        n_words = self._descriptor.n_words
-        out = []
-        for row in self.keys:
-            mask = 0
-            for col in range(n_words):
-                mask = (mask << _WORD_BITS) | int(row[col])
-            out.append(mask)
-        return out
+        from repro.core.table import words_to_masks
+
+        return words_to_masks(self.keys)
 
     def frequency(self, mask: int) -> int:
         """Reference-tree count for one mask (0 when absent) — probe path."""
-        from repro.core.vectorized import _masks_to_words
+        from repro.core.table import masks_to_words
 
-        words = _masks_to_words([mask], self._descriptor.n_words)
+        words = masks_to_words([mask], self._descriptor.n_words)
         return int(self.vectorized()._lookup(words)[0])
 
     def to_bfh(self) -> "BipartitionFrequencyHash":

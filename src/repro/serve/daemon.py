@@ -539,15 +539,14 @@ class ServeDaemon:
             n_eff = max(n_taxa, store_taxa, 1)
             n_words = words_for_taxa(n_eff)
             table = self._tables.get(n_words)
-            if table is None:
-                bfh = self._store.bfh()
-            else:
+            if table is not None:
                 return table
-        # A query namespace wider than the store's (new taxa in query
-        # trees) widens the packed keys: _masks_to_words truncates masks
-        # past the table width, so the width must cover the widest
-        # namespace in the batch for exactness.
-        table = VectorizedBFH.from_bfh(bfh, n_eff)
+            # A query namespace wider than the store's (new taxa in
+            # query trees) widens the packed keys: the word packing
+            # truncates masks past the table width, so the width must
+            # cover the widest namespace in the batch for exactness.
+            core = self._store.table(n_eff)
+        table = core.vectorized()
         self._tables[n_words] = table
         return table
 
@@ -559,12 +558,12 @@ class ServeDaemon:
             n_words = words_for_taxa(n_eff)
             if self._shared is not None and self._shared_words >= n_words:
                 return self._shared
-            bfh = self._store.bfh()
+            core = self._store.table(n_eff)
         if self._shared is not None:
             self._shared.release()
             self._shared = None
             self._shared_words = 0
-        self._shared = SharedBFH.from_bfh(bfh, n_eff)
+        self._shared = SharedBFH.from_table(core)
         self._shared_words = n_words
         self._inc("serve.shared_rebuilds")
         return self._shared

@@ -4,8 +4,9 @@ The answer to "my reference collection changes a little every day":
 build the BFH once, persist it, and absorb add/remove deltas through an
 append-only journal instead of re-counting every tree.  Queries through
 the store are bitwise-identical to a fresh build over the current
-reference set.  See ``docs/store.md`` for the on-disk format and the
-crash-safety contract.
+reference set.  See ``docs/store.md`` for the on-disk format (v1 and
+the codec-tagged v2), the crash-safety contract, and the migration
+guide.
 """
 
 from repro.store.format import (
@@ -14,6 +15,7 @@ from repro.store.format import (
     pack_key,
     read_journal,
     read_snapshot,
+    snapshot_sections,
     unpack_key,
     words_for_taxa,
     write_snapshot,
@@ -21,6 +23,7 @@ from repro.store.format import (
 from repro.store.shards import (
     parallel_build_tables,
     partition_counts,
+    partition_table,
     shard_boundaries,
     shard_of,
 )
@@ -35,10 +38,12 @@ __all__ = [
     "unpack_key",
     "words_for_taxa",
     "read_snapshot",
+    "snapshot_sections",
     "write_snapshot",
     "read_journal",
     "shard_boundaries",
     "shard_of",
     "partition_counts",
+    "partition_table",
     "parallel_build_tables",
 ]

@@ -22,6 +22,24 @@ Keys are packed at 64-bit *word* granularity, not byte granularity, so
 the width changes exactly at the taxon counts the generators stress
 (64 → 65, 128 → 129) and a reader can mmap/iterate fixed-size rows.
 
+**Snapshot v2** shares the v1 header (version = 2) but replaces the
+fixed key/count layout with a codec-tagged table blob::
+
+    header  (as above, version = 2)
+    codec       u16  table codec tag (see repro.core.table registry)
+    reserved    u16  zero
+    keys_len    u64  byte length of the keys section
+    counts_len  u64  byte length of the counts section
+    weights_len u64  byte length of the weights section
+    keys / counts / weights sections, codec-encoded
+    crc     u32  CRC-32 of everything above
+
+The explicit section lengths let ``snapshot_sections`` report a shard's
+layout from the header alone — no table decode — and each shard decodes
+independently (lazily) through :func:`repro.core.table.codec_by_tag`.
+Readers reject unknown versions and unknown codec tags loudly; v1
+snapshots stay readable forever.
+
 **Journal** — an append-only sequence of self-describing records after
 an 8-byte magic + fingerprint header.  Each record::
 
@@ -46,14 +64,22 @@ import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
+# The mask↔bytes packing helpers are canonical in bipartitions.encoding
+# (one definition shared by snapshots, journal records, and the in-memory
+# word arrays); they are re-exported here because the store's public API
+# has always offered them.
+from repro.bipartitions.encoding import pack_key, unpack_key, words_for_taxa
+from repro.core.table import (BipartitionTable, TableSections, codec_by_tag,
+                              default_codec_name, get_codec)
 from repro.util.errors import StoreCorruptError
 
 __all__ = [
-    "SNAPSHOT_MAGIC", "JOURNAL_MAGIC", "SNAPSHOT_VERSION", "JOURNAL_VERSION",
+    "SNAPSHOT_MAGIC", "JOURNAL_MAGIC", "SNAPSHOT_VERSION",
+    "SNAPSHOT_VERSION_V2", "JOURNAL_VERSION",
     "OP_ADD", "OP_REMOVE", "OP_EXTEND_NS",
     "FLAG_INCLUDE_TRIVIAL", "FLAG_WEIGHTED",
     "words_for_taxa", "pack_key", "unpack_key", "namespace_fingerprint",
-    "SnapshotData", "write_snapshot", "read_snapshot",
+    "SnapshotData", "write_snapshot", "read_snapshot", "snapshot_sections",
     "JournalRecord", "journal_header", "check_journal_header",
     "encode_record", "decode_tree_payload", "encode_tree_payload",
     "encode_labels_payload", "decode_labels_payload", "read_journal",
@@ -63,6 +89,7 @@ __all__ = [
 SNAPSHOT_MAGIC = b"BFHSNAP\x01"
 JOURNAL_MAGIC = b"BFHJRNL\x01"
 SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION_V2 = 2
 JOURNAL_VERSION = 1
 
 FLAG_INCLUDE_TRIVIAL = 1
@@ -73,24 +100,11 @@ OP_REMOVE = 2
 OP_EXTEND_NS = 3
 
 _SNAP_HEADER = struct.Struct("<8sHHIIQ16s")
+_V2_EXT = struct.Struct("<HHQQQ")  # codec tag, reserved, 3 section lengths
 _RECORD_HEADER = struct.Struct("<BI")
 _CRC = struct.Struct("<I")
 
 JOURNAL_HEADER_SIZE = 8 + 2 + 16  # magic + version + fingerprint
-
-
-def words_for_taxa(n_taxa: int) -> int:
-    """Key width in 64-bit words for an ``n_taxa`` namespace (min 1)."""
-    return max(1, (n_taxa + 63) // 64)
-
-
-def pack_key(mask: int, n_words: int) -> bytes:
-    """Pack a bipartition mask into ``n_words`` little-endian 64-bit words."""
-    return mask.to_bytes(n_words * 8, "little")
-
-
-def unpack_key(data: bytes) -> int:
-    return int.from_bytes(data, "little")
 
 
 def namespace_fingerprint(labels: list[str]) -> bytes:
@@ -120,14 +134,30 @@ class SnapshotData:
     fingerprint: bytes
     include_trivial: bool
     weighted: bool
+    version: int = SNAPSHOT_VERSION
+    codec: str = "raw-u64"
+    keys_bytes: int = 0
+    counts_bytes: int = 0
+    weights_bytes: int = 0
 
 
-def write_snapshot(path: str | Path, counts: dict[int, int], *, n_taxa: int,
-                   fingerprint: bytes, include_trivial: bool = False,
-                   weights: dict[int, list[float]] | None = None) -> int:
-    """Write one shard snapshot; returns the number of entries written."""
-    flags = (FLAG_INCLUDE_TRIVIAL if include_trivial else 0) | \
-            (FLAG_WEIGHTED if weights is not None else 0)
+def _snapshot_flags(include_trivial: bool, weighted: bool) -> int:
+    return (FLAG_INCLUDE_TRIVIAL if include_trivial else 0) | \
+           (FLAG_WEIGHTED if weighted else 0)
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_bytes(blob)
+    tmp.replace(path)
+
+
+def _write_snapshot_v1(path: Path, counts: dict[int, int], *, n_taxa: int,
+                       fingerprint: bytes, include_trivial: bool,
+                       weights: dict[int, list[float]] | None) -> int:
+    """The legacy fixed-width layout — kept so compat fixtures (and stores
+    that choose to stay v1) can still be *written*, not just read."""
+    flags = _snapshot_flags(include_trivial, weights is not None)
     n_words = words_for_taxa(n_taxa)
     keys = sorted(counts)
     parts = [_SNAP_HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION, flags,
@@ -143,36 +173,48 @@ def write_snapshot(path: str | Path, counts: dict[int, int], *, n_taxa: int,
                     f"{counts[key]}")
             parts.append(struct.pack(f"<{len(entry)}d", *entry))
     body = b"".join(parts)
-    blob = body + _CRC.pack(zlib.crc32(body))
-    path = Path(path)
-    tmp = path.with_suffix(path.suffix + ".tmp")
-    tmp.write_bytes(blob)
-    tmp.replace(path)
+    _atomic_write(path, body + _CRC.pack(zlib.crc32(body)))
     return len(keys)
 
 
-def read_snapshot(path: str | Path) -> SnapshotData:
-    """Decode one shard snapshot, verifying magic, version, and CRC."""
-    blob = Path(path).read_bytes()
-    if len(blob) < _SNAP_HEADER.size + _CRC.size:
-        raise StoreCorruptError(f"snapshot {path} is truncated "
-                                f"({len(blob)} bytes)")
-    body, (crc,) = blob[:-_CRC.size], _CRC.unpack(blob[-_CRC.size:])
-    if zlib.crc32(body) != crc:
-        raise StoreCorruptError(f"snapshot {path} failed its CRC check")
-    magic, version, flags, n_taxa, n_words, entries, fingerprint = \
-        _SNAP_HEADER.unpack_from(body)
-    if magic != SNAPSHOT_MAGIC:
-        raise StoreCorruptError(f"{path} is not a BFH snapshot "
-                                f"(magic {magic!r})")
-    if version != SNAPSHOT_VERSION:
-        raise StoreCorruptError(f"snapshot {path} has unsupported version "
-                                f"{version}")
-    if n_words != words_for_taxa(n_taxa):
-        raise StoreCorruptError(
-            f"snapshot {path}: key width {n_words} words does not match "
-            f"{n_taxa} taxa")
-    weighted = bool(flags & FLAG_WEIGHTED)
+def write_snapshot(path: str | Path, counts: dict[int, int], *, n_taxa: int,
+                   fingerprint: bytes, include_trivial: bool = False,
+                   weights: dict[int, list[float]] | None = None,
+                   codec: str | None = None) -> int:
+    """Write one shard snapshot; returns the number of entries written.
+
+    ``codec`` selects the table codec for a v2 snapshot (default: the
+    registry's promoted write codec); the special name ``"v1"`` writes
+    the legacy v1 layout instead.
+    """
+    path = Path(path)
+    if codec is None:
+        codec = default_codec_name()
+    if codec == "v1":
+        return _write_snapshot_v1(path, counts, n_taxa=n_taxa,
+                                  fingerprint=fingerprint,
+                                  include_trivial=include_trivial,
+                                  weights=weights)
+    spec = get_codec(codec)
+    table = BipartitionTable.from_counts(
+        counts, n_taxa=n_taxa, n_trees=0, include_trivial=include_trivial,
+        weights=weights)
+    sections = spec.encode(table)
+    header = _SNAP_HEADER.pack(SNAPSHOT_MAGIC, SNAPSHOT_VERSION_V2,
+                               _snapshot_flags(include_trivial,
+                                               weights is not None),
+                               n_taxa, words_for_taxa(n_taxa), len(counts),
+                               fingerprint)
+    ext = _V2_EXT.pack(spec.tag, 0, len(sections.keys), len(sections.counts),
+                       len(sections.weights))
+    body = header + ext + sections.keys + sections.counts + sections.weights
+    _atomic_write(path, body + _CRC.pack(zlib.crc32(body)))
+    return len(counts)
+
+
+def _read_v1_body(body: bytes, path, *, n_taxa: int, n_words: int,
+                  entries: int, weighted: bool
+                  ) -> tuple[dict[int, int], dict[int, list[float]] | None]:
     offset = _SNAP_HEADER.size
     key_bytes = n_words * 8
     need = offset + entries * (key_bytes + 8)
@@ -202,10 +244,132 @@ def read_snapshot(path: str | Path) -> SnapshotData:
     if offset != len(body):
         raise StoreCorruptError(f"snapshot {path} has {len(body) - offset} "
                                 "trailing bytes")
-    return SnapshotData(counts=counts, weights=weights, n_taxa=n_taxa,
-                        fingerprint=fingerprint,
-                        include_trivial=bool(flags & FLAG_INCLUDE_TRIVIAL),
-                        weighted=weighted)
+    return counts, weights
+
+
+def read_snapshot(path: str | Path) -> SnapshotData:
+    """Decode one shard snapshot (v1 or v2), verifying magic, version,
+    codec tag, and CRC."""
+    blob = Path(path).read_bytes()
+    if len(blob) < _SNAP_HEADER.size + _CRC.size:
+        raise StoreCorruptError(f"snapshot {path} is truncated "
+                                f"({len(blob)} bytes)")
+    body, (crc,) = blob[:-_CRC.size], _CRC.unpack(blob[-_CRC.size:])
+    if zlib.crc32(body) != crc:
+        raise StoreCorruptError(f"snapshot {path} failed its CRC check")
+    magic, version, flags, n_taxa, n_words, entries, fingerprint = \
+        _SNAP_HEADER.unpack_from(body)
+    if magic != SNAPSHOT_MAGIC:
+        raise StoreCorruptError(f"{path} is not a BFH snapshot "
+                                f"(magic {magic!r})")
+    if version not in (SNAPSHOT_VERSION, SNAPSHOT_VERSION_V2):
+        raise StoreCorruptError(f"snapshot {path} has unsupported version "
+                                f"{version}")
+    if n_words != words_for_taxa(n_taxa):
+        raise StoreCorruptError(
+            f"snapshot {path}: key width {n_words} words does not match "
+            f"{n_taxa} taxa")
+    weighted = bool(flags & FLAG_WEIGHTED)
+    include_trivial = bool(flags & FLAG_INCLUDE_TRIVIAL)
+    if version == SNAPSHOT_VERSION:
+        counts, weights = _read_v1_body(body, path, n_taxa=n_taxa,
+                                        n_words=n_words, entries=entries,
+                                        weighted=weighted)
+        return SnapshotData(
+            counts=counts, weights=weights, n_taxa=n_taxa,
+            fingerprint=fingerprint, include_trivial=include_trivial,
+            weighted=weighted, version=version, codec="raw-u64",
+            keys_bytes=entries * n_words * 8, counts_bytes=entries * 8,
+            weights_bytes=len(body) - _SNAP_HEADER.size
+            - entries * (n_words * 8 + 8))
+    offset = _SNAP_HEADER.size
+    if len(body) < offset + _V2_EXT.size:
+        raise StoreCorruptError(f"snapshot {path} is shorter than its "
+                                "v2 section header")
+    tag, _reserved, keys_len, counts_len, weights_len = \
+        _V2_EXT.unpack_from(body, offset)
+    offset += _V2_EXT.size
+    if len(body) - offset != keys_len + counts_len + weights_len:
+        raise StoreCorruptError(
+            f"snapshot {path}: section lengths do not match the body "
+            f"({len(body) - offset} bytes for "
+            f"{keys_len}+{counts_len}+{weights_len})")
+    spec = codec_by_tag(tag)
+    sections = TableSections(
+        keys=body[offset:offset + keys_len],
+        counts=body[offset + keys_len:offset + keys_len + counts_len],
+        weights=body[offset + keys_len + counts_len:])
+    try:
+        table = spec.decode(sections, n_taxa=n_taxa, entries=entries,
+                            weighted=weighted,
+                            include_trivial=include_trivial)
+    except StoreCorruptError as exc:
+        raise StoreCorruptError(f"snapshot {path}: {exc}") from exc
+    if len(table) != entries:
+        raise StoreCorruptError(
+            f"snapshot {path}: codec decoded {len(table)} entries, header "
+            f"declares {entries}")
+    return SnapshotData(
+        counts=table.to_counts(), weights=table.weights, n_taxa=n_taxa,
+        fingerprint=fingerprint, include_trivial=include_trivial,
+        weighted=weighted, version=version, codec=spec.name,
+        keys_bytes=keys_len, counts_bytes=counts_len,
+        weights_bytes=weights_len)
+
+
+def snapshot_sections(path: str | Path) -> dict:
+    """Report a snapshot's layout from its header alone (no table decode).
+
+    This is the lazy inspection path ``store info`` uses for per-shard
+    byte accounting: for v2 the section lengths are explicit in the
+    header; for v1 they follow from the fixed-width layout.
+    """
+    path = Path(path)
+    file_bytes = path.stat().st_size
+    with open(path, "rb") as fh:
+        head = fh.read(_SNAP_HEADER.size + _V2_EXT.size)
+    if len(head) < _SNAP_HEADER.size:
+        raise StoreCorruptError(f"snapshot {path} is truncated "
+                                f"({file_bytes} bytes)")
+    magic, version, flags, n_taxa, n_words, entries, _fingerprint = \
+        _SNAP_HEADER.unpack_from(head)
+    if magic != SNAPSHOT_MAGIC:
+        raise StoreCorruptError(f"{path} is not a BFH snapshot "
+                                f"(magic {magic!r})")
+    info = {
+        "file": path.name,
+        "version": version,
+        "entries": entries,
+        "n_taxa": n_taxa,
+        "n_words": n_words,
+        "weighted": bool(flags & FLAG_WEIGHTED),
+        "include_trivial": bool(flags & FLAG_INCLUDE_TRIVIAL),
+        "file_bytes": file_bytes,
+    }
+    if version == SNAPSHOT_VERSION:
+        keys_len = entries * n_words * 8
+        counts_len = entries * 8
+        weights_len = file_bytes - _SNAP_HEADER.size - _CRC.size \
+            - keys_len - counts_len
+        if weights_len < 0:
+            raise StoreCorruptError(f"snapshot {path} is shorter than its "
+                                    f"declared {entries} entries")
+        # "v1" (the legacy framing), not "raw-u64": the bytes match the
+        # raw-u64 sections, but nothing v2 wrote this file.
+        info.update(codec="v1", keys_bytes=keys_len,
+                    counts_bytes=counts_len, weights_bytes=weights_len)
+    elif version == SNAPSHOT_VERSION_V2:
+        if len(head) < _SNAP_HEADER.size + _V2_EXT.size:
+            raise StoreCorruptError(f"snapshot {path} is shorter than its "
+                                    "v2 section header")
+        tag, _reserved, keys_len, counts_len, weights_len = \
+            _V2_EXT.unpack_from(head, _SNAP_HEADER.size)
+        info.update(codec=codec_by_tag(tag).name, keys_bytes=keys_len,
+                    counts_bytes=counts_len, weights_bytes=weights_len)
+    else:
+        raise StoreCorruptError(f"snapshot {path} has unsupported version "
+                                f"{version}")
+    return info
 
 
 # ---------------------------------------------------------------------------

@@ -33,7 +33,7 @@ from repro.runtime.shm import SharedTreeCollection
 from repro.trees.tree import Tree
 
 __all__ = ["shard_boundaries", "shard_of", "partition_counts",
-           "parallel_build_tables"]
+           "partition_table", "parallel_build_tables"]
 
 
 def shard_boundaries(sorted_keys: Sequence[int], n_shards: int) -> list[int]:
@@ -68,6 +68,31 @@ def partition_counts(counts: dict[int, int],
         return shards
     for key, freq in counts.items():
         shards[shard_of(key, boundaries)][key] = freq
+    return shards
+
+
+def partition_table(table, boundaries: Sequence[int]) -> list:
+    """Split a canonical :class:`~repro.core.table.BipartitionTable` into
+    per-shard tables by key range.
+
+    The shard tables keep the parent's metadata (``n_taxa``/``n_trees``/
+    flags) but count only their own key range — concatenating their
+    count dicts reproduces the parent exactly, which is what the codec
+    round-trip tests assert shard-by-shard.
+    """
+    from repro.core.table import BipartitionTable
+
+    parts = partition_counts(table.to_counts(), boundaries)
+    shards = []
+    for part in parts:
+        weights = None
+        if table.weights is not None:
+            weights = {mask: list(table.weights.get(mask, []))
+                       for mask in part}
+        shards.append(BipartitionTable.from_counts(
+            part, n_taxa=table.n_taxa, n_trees=table.n_trees,
+            total=sum(part.values()), include_trivial=table.include_trivial,
+            weights=weights))
     return shards
 
 

@@ -38,6 +38,7 @@ from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
 from repro.core.bfhrf import bfhrf_average_rf
+from repro.core.table import BipartitionTable, default_codec_name, get_codec
 from repro.hashing.bfh import BipartitionFrequencyHash
 from repro.hashing.weighted import WeightedBipartitionHash
 from repro.observability.metrics import counter as _metric, gauge as _gauge, \
@@ -60,6 +61,7 @@ from repro.store.format import (
     namespace_fingerprint,
     read_journal,
     read_snapshot,
+    snapshot_sections,
     write_snapshot,
 )
 from repro.store.shards import parallel_build_tables, partition_counts, \
@@ -109,6 +111,13 @@ class BFHStore:
         self._journal_good_offset = JOURNAL_HEADER_SIZE
         self._shards: list[dict] = []  # manifest shard entries
         self._boundaries: list[int] = []
+        # The codec the *next* compaction writes snapshots with.  New
+        # stores get the registry's promoted default; open() re-detects
+        # it from the shard files themselves (snapshots are
+        # self-describing), so a legacy v1 store keeps writing v1 until
+        # an explicit migrate() — compaction never silently changes a
+        # store's on-disk format.
+        self.snapshot_codec: str = default_codec_name()
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -200,6 +209,9 @@ class BFHStore:
         if overlap:
             raise StoreCorruptError(
                 f"shard {path} overlaps a sibling shard's key range")
+        # Snapshots are self-describing: keep writing whatever format the
+        # store is already in (v1 stays v1 until an explicit migrate()).
+        self.snapshot_codec = "v1" if data.version == 1 else data.codec
         self._counts.update(data.counts)
         if self.weighted:
             for mask, lengths in (data.weights or {}).items():
@@ -524,6 +536,31 @@ class BFHStore:
             dict(self._counts), self.n_trees, total=self.total,
             include_trivial=self.include_trivial)
 
+    def table(self, n_taxa: int | None = None) -> BipartitionTable:
+        """Materialize the current state as the canonical sorted-array
+        table (shards ⊕ journal overlay).
+
+        ``n_taxa`` widens the packed keys past the store's namespace
+        (the serve daemon does this when a query namespace is larger);
+        it must be ≥ the store's taxon count.  The result feeds
+        :meth:`~repro.core.table.BipartitionTable.vectorized` and
+        :meth:`repro.runtime.shm.SharedBFH.from_table` without another
+        sort.
+        """
+        n_store = len(self._labels)
+        n_eff = max(n_store, 1) if n_taxa is None else n_taxa
+        if n_eff < n_store:
+            raise StoreError(
+                f"cannot pack {n_store}-taxon keys into {n_eff} taxa")
+        weights = None
+        if self.weighted:
+            weights = {mask: list(lengths)
+                       for mask, lengths in self._weights.items()}
+        return BipartitionTable.from_counts(
+            self._counts, n_taxa=n_eff, n_trees=self.n_trees,
+            total=self.total, include_trivial=self.include_trivial,
+            weights=weights)
+
     def weighted_hash(self) -> WeightedBipartitionHash:
         """Materialize the weighted (branch-score) view.
 
@@ -599,7 +636,7 @@ class BFHStore:
                         self.path / name, part, n_taxa=n_taxa,
                         fingerprint=fingerprint,
                         include_trivial=self.include_trivial,
-                        weights=weights)
+                        weights=weights, codec=self.snapshot_codec)
                     if _obs_enabled():
                         _histogram("store.shard_write_seconds").observe(
                             time.perf_counter() - t0)
@@ -634,6 +671,41 @@ class BFHStore:
                 (self.path / name).unlink()
             except OSError:
                 pass  # unreferenced leftovers; harmless
+
+    def _snapshot_bytes(self) -> int:
+        total = 0
+        for entry in self._shards:
+            try:
+                total += (self.path / entry["file"]).stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def migrate(self, codec: str | None = None, *,
+                n_shards: int | None = None) -> dict:
+        """Rewrite every shard in ``codec`` (default: the registry's
+        promoted write format) via the atomic compact path.
+
+        This is an ordinary compaction with the write codec switched
+        first, so it inherits compact's crash contract: the manifest
+        replace is the single commit point, and a crash at any byte
+        leaves either the old generation (old format, journal intact) or
+        the new one — never a half-migrated store.  Returns a summary
+        with the before/after snapshot byte totals.
+        """
+        codec = default_codec_name() if codec is None else codec
+        if codec != "v1":
+            get_codec(codec)  # validate the name before touching disk
+        previous = self.snapshot_codec
+        bytes_before = self._snapshot_bytes()
+        self.snapshot_codec = codec
+        self.compact(n_shards=n_shards)
+        return {
+            "from_codec": previous,
+            "to_codec": codec,
+            "snapshot_bytes_before": bytes_before,
+            "snapshot_bytes_after": self._snapshot_bytes(),
+        }
 
     def _fsync_dir(self) -> None:
         """Make file creations/renames in the store directory durable."""
@@ -700,6 +772,29 @@ class BFHStore:
         journal = self._journal_file
         if journal.exists():
             journal_bytes = journal.stat().st_size
+        shards = []
+        snapshot_bytes = 0
+        for entry in self._shards:
+            shard = dict(entry)
+            path = self.path / entry["file"]
+            if path.exists():
+                # Header-only inspection: format version and per-section
+                # byte accounting without decoding the table.
+                sections = snapshot_sections(path)
+                shard.update(
+                    version=sections["version"], codec=sections["codec"],
+                    file_bytes=sections["file_bytes"],
+                    keys_bytes=sections["keys_bytes"],
+                    counts_bytes=sections["counts_bytes"],
+                    weights_bytes=sections["weights_bytes"])
+                snapshot_bytes += sections["file_bytes"]
+            shards.append(shard)
+        # What the current state would occupy under each codec — the
+        # compression win is visible *before* a migrate.
+        current = self.table()
+        projected = {spec.name: spec.estimated_bytes(current)
+                     for spec in (get_codec("raw-u64"),
+                                  get_codec("succinct-v1"))}
         return {
             "path": str(self.path),
             "generation": self.generation,
@@ -709,7 +804,10 @@ class BFHStore:
             "taxa": len(self._labels),
             "include_trivial": self.include_trivial,
             "weighted": self.weighted,
-            "shards": [dict(entry) for entry in self._shards],
+            "snapshot_codec": self.snapshot_codec,
+            "snapshot_bytes": snapshot_bytes,
+            "projected_bytes": projected,
+            "shards": shards,
             "snapshot_trees": self.snapshot_trees,
             "journal_records": self.journal_records,
             "journal_bytes": journal_bytes,
@@ -736,13 +834,17 @@ def build_store(path: str | os.PathLike, reference: Sequence[Tree], *,
                 n_workers: int = 1, n_shards: int = 1,
                 include_trivial: bool = False,
                 weighted: bool = False,
-                executor: str | None = None) -> BFHStore:
+                executor: str | None = None,
+                codec: str | None = None) -> BFHStore:
     """Bulk-build a store from a reference collection (``store build``).
 
     The count fans out over the runtime executor at the tree level; the
     partial tables reduce through the associative BFH merge; the result
     is compacted straight into ``n_shards`` key-range snapshots (the
-    journal starts empty).
+    journal starts empty).  ``codec`` overrides the snapshot write
+    format (``"v1"`` builds a legacy-format store, e.g. for the CI
+    format-compat fixture); the default is the registry's promoted
+    codec.
     """
     reference = list(reference)
     namespaces = {id(t.taxon_namespace) for t in reference}
@@ -757,6 +859,10 @@ def build_store(path: str | os.PathLike, reference: Sequence[Tree], *,
             n_workers=n_workers, executor=executor)
         store = BFHStore.create(path, include_trivial=include_trivial,
                                 weighted=weighted)
+        if codec is not None:
+            if codec != "v1":
+                get_codec(codec)  # validate the name before building
+            store.snapshot_codec = codec
         if reference:
             store._labels = reference[0].taxon_namespace.labels
         store._counts = counts

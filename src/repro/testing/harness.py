@@ -34,6 +34,7 @@ from repro.testing.oracles import (
     Failure,
     check_backend_parity,
     check_caterpillar_max_rf,
+    check_codec_roundtrip,
     check_differential_rf,
     check_differential_weighted,
     check_self_rf_zero,
@@ -77,6 +78,7 @@ CASE_CHECKS: dict[str, Callable[[TreeCase], list[Failure]]] = {
     "newick-roundtrip": prop_newick_roundtrip,
     "nexus-roundtrip": prop_nexus_roundtrip,
     "store-roundtrip": check_store_roundtrip,
+    "codec-roundtrip": check_codec_roundtrip,
     "serve-parity": check_serve_parity,
 }
 

@@ -32,6 +32,7 @@ from repro.core.day import day_rf
 from repro.core.parallel import dsmp_average_rf
 from repro.core.rf import max_rf, rf_from_mask_sets
 from repro.core.shmrf import shm_average_rf
+from repro.core.table import BipartitionTable, codecs
 from repro.hashing.weighted import WeightedBipartitionHash
 from repro.runtime import fork_available, get_method, methods
 from repro.runtime.shm import SharedBFH
@@ -60,6 +61,7 @@ __all__ = [
     "check_weighted_linearity",
     "check_caterpillar_max_rf",
     "check_store_roundtrip",
+    "check_codec_roundtrip",
 ]
 
 _REL_TOL = 1e-9
@@ -516,6 +518,69 @@ def check_store_roundtrip(case: TreeCase) -> list[Failure]:
             return failures
         reopened = BFHStore.open(path)
         compare(reopened, current, "reopen")
+    return failures
+
+
+def check_codec_roundtrip(case: TreeCase) -> list[Failure]:
+    """Every registered table codec must be exact, and a format migration
+    must not move a single bit of any answer.
+
+    Two layers: (a) the case's reference table encodes and decodes
+    through each codec in the registry back to identical contents —
+    keys, counts, and (for weighted cases) branch-length multisets;
+    (b) a store built in the legacy v1 snapshot format answers queries
+    bitwise-identically before ``migrate()``, after it, and after a
+    reopen of the migrated store.  A codec added to the registry later
+    joins (a) automatically, the same way new RF methods join the
+    differential.
+    """
+    failures: list[Failure] = []
+    counts, weights, n_trees, total = parallel_build_tables(
+        list(case.reference), include_trivial=case.include_trivial,
+        weighted=case.weighted, n_workers=1)
+    # Width comes from the namespace, not case.n_taxa: masks are
+    # namespace-relative, and partial-coverage trees set bits above the
+    # covered-taxa count.
+    table = BipartitionTable.from_counts(
+        counts, n_taxa=len(case.namespace), n_trees=n_trees, total=total,
+        include_trivial=case.include_trivial,
+        weights=weights if case.weighted else None)
+    for spec in codecs():
+        if table.weighted and not spec.supports_weighted:
+            continue
+        try:
+            sections = spec.encode(table)
+            decoded = spec.decode(sections, n_taxa=table.n_taxa,
+                                  entries=len(table), weighted=table.weighted,
+                                  include_trivial=table.include_trivial,
+                                  n_trees=table.n_trees, total=table.total)
+        except Exception as exc:  # noqa: BLE001 - any crash is a failure
+            failures.append(Failure(
+                "codec-roundtrip", f"round trip raised {exc!r}",
+                implementation=spec.name))
+            continue
+        if not decoded.same_contents(table):
+            failures.append(Failure(
+                "codec-roundtrip",
+                "decoded table differs from the encoded one",
+                implementation=spec.name))
+    if failures:
+        return failures
+    with tempfile.TemporaryDirectory(prefix="codec-oracle-") as td:
+        path = Path(td) / "store"
+        store = build_store(path, list(case.reference), n_shards=2,
+                            include_trivial=case.include_trivial,
+                            weighted=case.weighted, codec="v1")
+        before = store.average_rf(case.query)
+        store.migrate()
+        after = store.average_rf(case.query)
+        reopened = BFHStore.open(path).average_rf(case.query)
+        for i, (b, a, r) in enumerate(zip(before, after, reopened)):
+            if b != a or b != r:
+                failures.append(Failure(
+                    "codec-roundtrip",
+                    f"v1 store says {b!r}, migrated says {a!r}, "
+                    f"reopened says {r!r}", index=i))
     return failures
 
 
