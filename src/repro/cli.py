@@ -269,7 +269,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_store_parser("info", help="print store status as JSON")
 
     serve = add_parser(
-        "serve", help="warm-store query daemon over a unix socket "
+        "serve", help="warm-store query daemon over unix/tcp endpoints "
                       "(see docs/serve.md)")
     serve_sub = serve.add_subparsers(dest="serve_verb", required=True)
 
@@ -278,8 +278,17 @@ def build_parser() -> argparse.ArgumentParser:
                                    "SIGTERM/SIGINT or a stop request)")
     vs.add_argument("store_dir", metavar="STORE_DIR",
                     help="store directory (contains manifest.json)")
+    vs.add_argument("--addr", action="append", default=None, metavar="URL",
+                    help="listener endpoint (unix:///path/sock or "
+                         "tcp://host:port); repeat for multiple listeners "
+                         "(default: unix://STORE_DIR/serve.sock)")
     vs.add_argument("--socket", default=None, metavar="PATH",
-                    help="unix socket path (default: STORE_DIR/serve.sock)")
+                    help="deprecated alias for --addr unix://PATH")
+    vs.add_argument("--procs", type=int, default=1, metavar="N",
+                    help="daemon worker processes sharing the listeners "
+                         "(TCP via SO_REUSEPORT, unix via an inherited "
+                         "socket); crashed workers are respawned "
+                         "(default 1: no supervisor)")
     vs.add_argument("--workers", type=int, default=1,
                     help="probe workers per batch (>1 uses the shm fast "
                          "path through the runtime executor)")
@@ -293,12 +302,28 @@ def build_parser() -> argparse.ArgumentParser:
                     help="journal poll period for external store add/compact")
     vs.add_argument("--max-frame", type=int, default=None, metavar="BYTES",
                     help="per-request frame size cap (default 8 MiB)")
+    vs.add_argument("--max-inflight", type=int, default=64, metavar="N",
+                    help="pipelined requests per connection before the "
+                         "daemon sheds with a typed 'overloaded' error")
+    vs.add_argument("--queue-max-requests", type=int, default=1024,
+                    metavar="N",
+                    help="bounded global query queue; a full queue sheds "
+                         "instead of buffering")
+    vs.add_argument("--queue-max-trees", type=int, default=None, metavar="N",
+                    help="backpressure cap on queued trees "
+                         "(default: --batch-max-trees)")
 
     vq = serve_sub.add_parser("query", parents=[global_flags],
                               help="average RF of query trees via a running "
                                    "daemon")
-    vq.add_argument("socket", metavar="SOCKET", help="daemon socket path")
+    vq.add_argument("addr", metavar="ADDR", nargs="?", default=None,
+                    help="daemon endpoint (unix:///path, tcp://host:port, "
+                         "or a bare socket path)")
     vq.add_argument("query", help="Newick/NEXUS file of query trees")
+    vq.add_argument("--addr", dest="addr_opt", default=None, metavar="URL",
+                    help="daemon endpoint (alternative to the positional)")
+    vq.add_argument("--socket", default=None, metavar="PATH",
+                    help="deprecated alias for --addr unix://PATH")
     vq.add_argument("--timeout", type=float, default=30.0,
                     help="per-request socket timeout in seconds")
     vq.add_argument("--retries", type=int, default=0,
@@ -310,7 +335,15 @@ def build_parser() -> argparse.ArgumentParser:
                             ("stop", "ask the daemon to drain and exit")]:
         vp = serve_sub.add_parser(verb, parents=[global_flags],
                                   help=help_text)
-        vp.add_argument("socket", metavar="SOCKET", help="daemon socket path")
+        vp.add_argument("addr", metavar="ADDR", nargs="?", default=None,
+                        help="daemon endpoint (unix:///path, "
+                             "tcp://host:port, or a bare socket path)")
+        vp.add_argument("--addr", dest="addr_opt", default=None,
+                        metavar="URL",
+                        help="daemon endpoint (alternative to the "
+                             "positional)")
+        vp.add_argument("--socket", default=None, metavar="PATH",
+                        help="deprecated alias for --addr unix://PATH")
         vp.add_argument("--timeout", type=float, default=30.0,
                         help="per-request socket timeout in seconds")
         vp.add_argument("--retries", type=int, default=0,
@@ -625,32 +658,66 @@ def _cmd_store(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json
     import os
+    import warnings
 
-    from repro.serve import ServeClient, ServeConfig, ServeDaemon
+    from repro.serve import Endpoint, ServeClient, ServeConfig, ServeDaemon
     from repro.serve.protocol import DEFAULT_MAX_FRAME_BYTES
+    from repro.util.errors import ServeError
+
+    def _deprecated_socket() -> None:
+        warnings.warn("--socket is deprecated; use --addr unix://PATH",
+                      DeprecationWarning, stacklevel=3)
 
     verb = args.serve_verb
     if verb == "start":
-        socket_path = args.socket or os.path.join(args.store_dir,
-                                                  "serve.sock")
+        endpoints = [Endpoint.parse(addr) for addr in (args.addr or [])]
+        if args.socket is not None:
+            _deprecated_socket()
+            endpoints.append(Endpoint.unix(args.socket))
+        if not endpoints:
+            endpoints = [Endpoint.unix(os.path.join(args.store_dir,
+                                                    "serve.sock"))]
         config = ServeConfig(
-            socket_path=socket_path,
+            endpoints=endpoints,
             workers=args.workers,
             executor=args.executor,
             batch_window_s=args.batch_window,
             batch_max_trees=args.batch_max_trees,
             tail_interval_s=args.tail_interval,
             max_frame_bytes=args.max_frame or DEFAULT_MAX_FRAME_BYTES,
+            max_inflight=args.max_inflight,
+            queue_max_requests=args.queue_max_requests,
+            queue_max_trees=args.queue_max_trees,
         )
-        daemon = ServeDaemon(args.store_dir, config)
-        _info(f"serving store {args.store_dir} on {socket_path} "
-              f"(workers={args.workers}); SIGTERM/SIGINT or "
-              f"`bfhrf serve stop {socket_path}` drains and exits")
-        daemon.run()
+        listeners = ", ".join(str(ep) for ep in config.endpoints)
+        stop_addr = str(config.endpoints[0])
+        if args.procs > 1:
+            from repro.serve import ServeSupervisor
+
+            supervisor = ServeSupervisor(args.store_dir, config,
+                                         n_procs=args.procs, log=_info)
+            _info(f"serving store {args.store_dir} on {listeners} with "
+                  f"{args.procs} worker process(es) "
+                  f"(workers={args.workers}/proc); SIGTERM/SIGINT or "
+                  f"`bfhrf serve stop {stop_addr}` drains and exits")
+            supervisor.run()
+        else:
+            daemon = ServeDaemon(args.store_dir, config)
+            _info(f"serving store {args.store_dir} on {listeners} "
+                  f"(workers={args.workers}); SIGTERM/SIGINT or "
+                  f"`bfhrf serve stop {stop_addr}` drains and exits")
+            daemon.run()
         _info("daemon drained and exited cleanly")
         return 0
 
-    client = ServeClient.connect(args.socket, timeout=args.timeout,
+    addr = args.addr if args.addr is not None else args.addr_opt
+    if addr is None and args.socket is not None:
+        _deprecated_socket()
+        addr = args.socket
+    if addr is None:
+        raise ServeError(f"serve {verb} needs a daemon address: positional "
+                         "ADDR, --addr URL, or the deprecated --socket PATH")
+    client = ServeClient.connect(addr, timeout=args.timeout,
                                  retries=args.retries)
     with client:
         if verb == "query":
@@ -665,7 +732,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print(json.dumps(client.stats(), indent=2, sort_keys=True))
         else:  # stop
             client.shutdown()
-            _info(f"asked the daemon on {args.socket} to drain and exit")
+            _info(f"asked the daemon on {client.endpoint} to drain and exit")
     return 0
 
 

@@ -84,12 +84,29 @@ def as_trees(source: TreesLike, namespace: TaxonNamespace | None = None) -> list
     raise TypeError(f"cannot interpret {type(source).__name__} as a tree collection")
 
 
+def _remote_average_rf(query_trees: list[Tree],
+                       endpoint) -> list[float]:
+    """Dispatch a query to a running serve daemon (the ``endpoint=`` arm).
+
+    The daemon answers from its own warm store with the same vectorized
+    probe local compute uses, so replies are bitwise-identical to
+    ``average_rf(query, <store trees>)`` — the serve-parity selfcheck
+    oracle and the serve test wall hold that bar.
+    """
+    from repro.serve.client import ServeClient
+
+    with trace("api.average_rf.remote", trees=len(query_trees)):
+        with ServeClient.connect(endpoint) as client:
+            return client.query_trees(query_trees)
+
+
 def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
                method: str | None = None, n_workers: int = 1,
                include_trivial: bool = False,
                transform: MaskTransform | None = None,
                normalized: bool = False,
-               executor: str | None = None) -> list[float]:
+               executor: str | None = None,
+               endpoint=None) -> list[float]:
     """Average RF of each query tree against a reference collection.
 
     Parameters
@@ -114,6 +131,16 @@ def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
         Parallel backend name (``serial``/``thread``/``fork``/``spawn``);
         ``None`` follows the runtime default chain (CLI ``--executor``,
         ``REPRO_EXECUTOR``, auto-detection) — see ``docs/runtime.md``.
+    endpoint:
+        Address of a running ``bfhrf serve`` daemon (an
+        :class:`~repro.serve.endpoint.Endpoint`, ``unix:///path`` /
+        ``tcp://host:port`` URL, or bare socket path).  The query is
+        answered by the daemon's warm store — bitwise-identical to
+        computing locally against the stored trees — instead of by
+        local compute; the daemon's store is the reference, so
+        ``reference``, ``method``, ``transform``, and
+        ``include_trivial`` cannot be combined with it
+        (``normalized`` still applies, locally).
 
     Raises
     ------
@@ -121,13 +148,37 @@ def average_rf(query: TreesLike, reference: TreesLike | None = None, *,
         Unknown method name.
     CollectionError
         The method does not support the requested argument combination
-        (e.g. a disparate reference or a transform with ``hashrf``).
+        (e.g. a disparate reference or a transform with ``hashrf``), or
+        ``endpoint`` was combined with arguments the daemon's own store
+        and configuration decide.
 
     Examples
     --------
     >>> average_rf("((A,B),(C,D));\\n((A,C),(B,D));")
     [1.0, 1.0]
     """
+    if endpoint is not None:
+        # The daemon's store/config own these decisions; accepting the
+        # arguments and ignoring them would silently change results.
+        for name, value in [("reference", reference), ("method", method),
+                            ("transform", transform)]:
+            if value is not None:
+                raise CollectionError(
+                    f"endpoint= queries answer from the daemon's store; "
+                    f"{name}= cannot be combined with it")
+        if include_trivial:
+            raise CollectionError(
+                "endpoint= queries answer from the daemon's store; "
+                "include_trivial= cannot be combined with it")
+        query_trees = as_trees(query)
+        values = _remote_average_rf(query_trees, endpoint)
+        if normalized:
+            normed = []
+            for tree, value in zip(query_trees, values):
+                denominator = max_rf(tree.leaf_mask().bit_count())
+                normed.append(value / denominator if denominator else value)
+            values = normed
+        return values
     spec = get_method(default_method_name() if method is None else method)
     spec.ensure_supported(disparate=reference is not None,
                           transform=transform is not None)

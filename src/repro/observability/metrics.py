@@ -37,8 +37,15 @@ name                              kind        meaning
 ``store.journal_tailed_records``  counter     records applied by ``tail_journal`` (long-running readers)
 ``store.journal_lag_bytes``       gauge       on-disk journal bytes not yet applied by a tailing reader
 ``serve.connections``             counter     client connections accepted by the daemon
+``serve.connections.unix``        counter     connections accepted on unix listeners
+``serve.connections.tcp``         counter     connections accepted on TCP listeners
 ``serve.requests``                counter     frames dispatched (any op)
 ``serve.request_errors``          counter     requests answered with a typed error
+``serve.admission_rejected``      counter     requests shed with ``overloaded`` (any gate)
+``serve.admission_rejected.inflight``        counter  sheds by the per-connection in-flight cap
+``serve.admission_rejected.queue_requests``  counter  sheds by the bounded global request queue
+``serve.admission_rejected.queue_trees``     counter  sheds by queued-trees backpressure
+``serve.queued_trees``            gauge       query trees currently waiting for a batch
 ``serve.request_seconds``         histogram   decode -> dispatch -> reply latency per request
 ``serve.queue_wait_seconds``      histogram   time a query sat queued before its batch started
 ``serve.batches``                 counter     vectorized probes executed by the batcher

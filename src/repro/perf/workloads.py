@@ -152,6 +152,89 @@ def _run_serve_warm(scale: float) -> dict[str, Any]:
     }
 
 
+def _run_serve_overload(scale: float) -> dict[str, Any]:
+    """Daemon latency under deliberate overload: 2x admission capacity.
+
+    A tiny-capacity daemon (bounded request queue, short batch window) is
+    hammered by twice as many client threads as the queue admits.
+    Admission control must shed the excess with typed ``overloaded``
+    errors — never a hang — so the extras record both sides of that
+    contract: p50/p95 latency of the *accepted* requests (shedding is
+    what keeps them fast) and the shed-request count (nonzero proves the
+    gate actually engaged at this load).
+    """
+    import threading
+    import time
+
+    from repro.newick.writer import write_newick
+    from repro.serve import ServeClient, ServeConfig, serving
+    from repro.store.store import build_store
+    from repro.util.errors import ServeRequestError
+
+    trees = _collection(scaled_count(12, scale, floor=8),
+                        scaled_count(48, scale, floor=12))
+    query_text = "\n".join(write_newick(t) for t in trees[:4])
+    capacity = 3                       # queue_max_requests: what admission
+    n_clients = capacity * 2           # admits; drive it at 2x that
+    per_client = scaled_count(12, scale, floor=6)
+    latencies: list[float] = []
+    outcome = {"accepted": 0, "shed": 0}
+    lock = threading.Lock()
+
+    with tempfile.TemporaryDirectory(prefix="bfhrf-bench-") as tmp:
+        store_dir = Path(tmp) / "store"
+        build_store(store_dir, trees, n_shards=2)
+        config = ServeConfig(socket_path=str(Path(tmp) / "serve.sock"),
+                             tail_interval_s=5.0, batch_window_s=0.02,
+                             queue_max_requests=capacity)
+
+        def hammer() -> None:
+            with ServeClient.connect(config.socket_path,
+                                     retries=5) as client:
+                for _ in range(per_client):
+                    t0 = time.perf_counter()
+                    try:
+                        client.query(query_text)
+                    except ServeRequestError as exc:
+                        if exc.type != "overloaded":
+                            raise
+                        with lock:
+                            outcome["shed"] += 1
+                        time.sleep(0.005)  # token backoff, keep the load on
+                        continue
+                    with lock:
+                        outcome["accepted"] += 1
+                        latencies.append(time.perf_counter() - t0)
+
+        with serving(store_dir, config):
+            threads = [threading.Thread(target=hammer)
+                       for _ in range(n_clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            with ServeClient.connect(config.socket_path,
+                                     retries=5) as client:
+                values = client.query(query_text)
+                counters = client.stats()["metrics"]["counters"]
+    latencies.sort()
+    return {
+        "trees": len(trees),
+        "clients": n_clients,
+        "capacity": capacity,
+        "requests": n_clients * per_client,
+        "accepted": outcome["accepted"],
+        "shed": outcome["shed"],
+        "admission_rejected": int(
+            counters.get("serve.admission_rejected", 0)),
+        "p50_ms": 1e3 * latencies[len(latencies) // 2] if latencies else 0.0,
+        "p95_ms": 1e3 * latencies[min(len(latencies) - 1,
+                                      (len(latencies) * 95) // 100)]
+        if latencies else 0.0,
+        "checksum": _checksum(values),
+    }
+
+
 def _run_shm_scaling(scale: float) -> dict[str, Any]:
     """Serial vs parallel zero-copy query throughput at a fixed r.
 
@@ -308,6 +391,11 @@ register_benchmark(
     "serve_warm", _run_serve_warm,
     description="query-daemon round-trip latency (p50/p95 per request) "
                 "against a warm store over the unix-socket protocol",
+    smoke=True)
+register_benchmark(
+    "serve_overload", _run_serve_overload,
+    description="admission-control shedding at 2x capacity: accepted-"
+                "request p50/p95 latency plus typed overloaded shed count",
     smoke=True)
 register_benchmark(
     "store_format", _run_store_format,

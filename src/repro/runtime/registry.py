@@ -210,6 +210,13 @@ def methods_markdown_table() -> str:
             f"| {_flag(spec.supports_workers)} "
             f"| {_flag(spec.shared_memory)} "
             f"| {spec.memory_class} | {spec.summary} |")
+    lines.append("")
+    lines.append(
+        "Every method runs locally; `average_rf(..., endpoint=...)` "
+        "instead dispatches the query to a running `bfhrf serve` daemon "
+        "(`unix://`/`tcp://` address), whose warm store answers with the "
+        "same vectorized probe — bitwise-identical to local compute "
+        "against the stored trees.")
     return "\n".join(lines)
 
 

@@ -2,15 +2,22 @@
 
 A long-running asyncio daemon (:class:`~repro.serve.daemon.ServeDaemon`)
 opens a :class:`~repro.store.store.BFHStore` once and answers average-RF
-queries over a unix socket, batching concurrent requests into single
-vectorized probes and tailing the store journal so external adds become
-visible without a restart.  :class:`~repro.serve.client.ServeClient` is
-the blocking client the CLI and tests use.  See ``docs/serve.md`` for
-the protocol and operational notes.
+queries over any mix of unix-socket and TCP listeners (addressed by
+:class:`~repro.serve.endpoint.Endpoint` URLs like ``unix:///path`` and
+``tcp://host:port``), batching concurrent requests into single
+vectorized probes, shedding overload with typed errors, and tailing the
+store journal so external adds become visible without a restart.
+:class:`~repro.serve.supervisor.ServeSupervisor` forks N daemon workers
+sharing the same endpoints (``SO_REUSEPORT`` for TCP, an inherited
+listening socket for unix) and respawns crashed ones.
+:class:`~repro.serve.client.ServeClient` is the blocking client the CLI
+and tests use.  See ``docs/serve.md`` for the protocol and operational
+notes.
 """
 
 from repro.serve.client import ServeClient
 from repro.serve.daemon import ServeConfig, ServeDaemon, ServeHandle, serving
+from repro.serve.endpoint import Endpoint
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     ERROR_TYPES,
@@ -21,9 +28,11 @@ from repro.serve.protocol import (
     error_reply,
     ok_reply,
 )
+from repro.serve.supervisor import ServeSupervisor
 
 __all__ = [
-    "ServeClient", "ServeConfig", "ServeDaemon", "ServeHandle", "serving",
+    "Endpoint", "ServeClient", "ServeConfig", "ServeDaemon", "ServeHandle",
+    "ServeSupervisor", "serving",
     "PROTOCOL_VERSION", "SERVER_NAME", "DEFAULT_MAX_FRAME_BYTES",
     "ERROR_TYPES", "encode_frame", "decode_frame", "ok_reply", "error_reply",
 ]

@@ -5,9 +5,18 @@ benchmarks drive the daemon with.  One client = one connection; requests
 are strictly request/reply (ids are still checked, so a protocol slip
 fails loudly instead of mis-pairing).
 
+:meth:`ServeClient.connect` dials any daemon address a
+:class:`~repro.serve.endpoint.Endpoint` can parse — ``unix:///path``,
+``tcp://host:port``, or a bare socket path for back-compat.
+
 Connect-time **reconnect with exponential backoff** is built in: pass
 ``retries`` to survive racing a daemon that is still binding its socket
-(the CI smoke test starts both at once).  Request-time failures raise
+(the CI smoke test starts both at once).  Only the two not-yet-listening
+signatures are retried — ``ConnectionRefusedError`` (socket bound but
+nobody accepting yet, or a TCP port not yet listening) and
+``FileNotFoundError`` (unix socket path not yet created); any other
+``OSError`` (permissions, unreachable host, address family) fails fast,
+since backing off cannot fix it.  Request-time failures raise
 :class:`~repro.util.errors.ServeConnectionError` (socket gone / timeout)
 or :class:`~repro.util.errors.ServeRequestError` (a typed error reply —
 the connection stays usable afterwards).
@@ -21,6 +30,7 @@ import time
 from typing import Any, Sequence
 
 from repro.newick import write_newick
+from repro.serve.endpoint import Endpoint
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -36,6 +46,10 @@ __all__ = ["ServeClient"]
 
 _RECV_CHUNK = 65536
 
+# The only connect failures a backoff can outwait: the daemon exists (or
+# is about to) but is not accepting yet.  Everything else fails fast.
+_RETRYABLE_CONNECT_ERRORS = (ConnectionRefusedError, FileNotFoundError)
+
 
 class ServeClient:
     """A connected daemon client; use :meth:`connect` to build one."""
@@ -47,46 +61,49 @@ class ServeClient:
         self._next_id = 0
         self._max_frame_bytes = max_frame_bytes
         self.hello: dict[str, Any] = {}
+        self.endpoint: Endpoint | None = None  # set by connect()
 
     # -- lifecycle ---------------------------------------------------------
 
     @classmethod
-    def connect(cls, socket_path: str | os.PathLike, *,
+    def connect(cls, endpoint: "Endpoint | str | os.PathLike", *,
                 timeout: float = 30.0,
                 retries: int = 0,
                 backoff_s: float = 0.05,
                 max_backoff_s: float = 1.0,
                 max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
                 ) -> "ServeClient":
-        """Dial the daemon, retrying with exponential backoff.
+        """Dial the daemon at ``endpoint``, retrying with backoff.
 
-        ``retries`` extra attempts are made after the first failure,
-        sleeping ``backoff_s`` doubled per attempt (capped at
-        ``max_backoff_s``) — enough to win the race against a daemon
-        that is still starting up.
+        ``endpoint`` is anything :meth:`Endpoint.parse` accepts — an
+        endpoint URL, a bare unix socket path, or an ``Endpoint``.
+        ``retries`` extra attempts are made after the first
+        daemon-not-up-yet failure (``ConnectionRefusedError`` /
+        ``FileNotFoundError``), sleeping ``backoff_s`` doubled per
+        attempt (capped at ``max_backoff_s``) — enough to win the race
+        against a daemon that is still starting up.  Other ``OSError``
+        kinds are not retried: they never resolve by waiting.
         """
-        if not hasattr(socket, "AF_UNIX"):
-            raise ServeConnectionError(
-                "unix-domain sockets are unavailable on this platform")
-        path = os.fspath(socket_path)
+        ep = Endpoint.parse(endpoint)
         attempt = 0
         delay = backoff_s
         while True:
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(timeout)
             try:
-                sock.connect(path)
+                sock = ep.create_connection(timeout)
                 break
-            except OSError as exc:
-                sock.close()
+            except _RETRYABLE_CONNECT_ERRORS as exc:
                 if attempt >= retries:
                     raise ServeConnectionError(
-                        f"cannot connect to {path} after {attempt + 1} "
+                        f"cannot connect to {ep} after {attempt + 1} "
                         f"attempt(s): {exc}") from exc
                 attempt += 1
                 time.sleep(delay)
                 delay = min(delay * 2, max_backoff_s)
+            except OSError as exc:
+                raise ServeConnectionError(
+                    f"cannot connect to {ep}: {exc}") from exc
         client = cls(sock, max_frame_bytes=max_frame_bytes)
+        client.endpoint = ep
         try:
             hello = client._read_frame()
         except ServeConnectionError:
@@ -94,7 +111,7 @@ class ServeClient:
         if hello.get("type") != "hello" or hello.get("server") != SERVER_NAME:
             client.close()
             raise ServeProtocolError(
-                f"{path} did not greet as a {SERVER_NAME} daemon")
+                f"{ep} did not greet as a {SERVER_NAME} daemon")
         if hello.get("protocol") != PROTOCOL_VERSION:
             client.close()
             raise ServeProtocolError(

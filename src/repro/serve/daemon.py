@@ -1,21 +1,29 @@
 """The warm-store query daemon behind ``bfhrf serve start``.
 
 One :class:`ServeDaemon` opens a :class:`~repro.store.store.BFHStore`
-once and answers average-RF queries over a unix-domain socket for as
-long as it runs — queries pay only parse + probe, never open/replay.
+once and answers average-RF queries over one or more listeners — any
+mix of unix-domain sockets and TCP, each named by a
+:class:`~repro.serve.endpoint.Endpoint` — for as long as it runs;
+queries pay only parse + probe, never open/replay.  Every listener
+speaks the same NDJSON protocol (:mod:`repro.serve.protocol`) and
+serves bitwise-identical replies.
 
-Three cooperating tasks on one event loop:
+Three cooperating task families on one event loop:
 
-* **connection handlers** (one per client) speak the NDJSON protocol of
-  :mod:`repro.serve.protocol`: hello on connect, then request/reply.
-  Query requests are parsed off-loop and enqueued as pending batches.
-* the **batcher** drains the queue and coalesces every pending query —
-  across clients — into *one* vectorized probe
-  (:meth:`~repro.core.vectorized.VectorizedBFH.average_rf_batch`, or the
-  registered ``shm`` fast path through the runtime executor registry
-  when ``workers > 1``), then splits the result vector back per request.
-  Concurrent load therefore amortizes the probe exactly like the
-  paper's batch formulation.
+* **connection handlers** (one per client) speak the NDJSON protocol:
+  hello on connect (carrying the listener's endpoint), then
+  request/reply.  Requests are *pipelined* — each one runs as its own
+  task while the handler keeps reading, up to
+  :attr:`ServeConfig.max_inflight` per connection; past the cap the
+  daemon sheds with a typed ``overloaded`` error instead of buffering.
+  Replies are serialized through a per-connection write lock.
+* the **batcher** drains the bounded query queue and coalesces every
+  pending query — across clients and listeners — into *one* vectorized
+  probe (:meth:`~repro.core.vectorized.VectorizedBFH.average_rf_batch`,
+  or the registered ``shm`` fast path through the runtime executor
+  registry when ``workers > 1``), then splits the result vector back
+  per request.  Concurrent load therefore amortizes the probe exactly
+  like the paper's batch formulation.
 * the **tailer** polls the store directory: journal records appended by
   another process (``bfhrf store add``) are applied in place via
   :meth:`~repro.store.store.BFHStore.tail_journal`; a manifest
@@ -23,14 +31,32 @@ Three cooperating tasks on one event loop:
   reopen.  Either way the probe-table cache is invalidated by bumping
   an *epoch* counter, so the next batch probes the new state.
 
+**Admission control** bounds every buffer a client can fill.  Three
+gates, each shedding with ``overloaded`` (the connection stays open —
+the client backs off and retries) and counted under
+``serve.admission_rejected``:
+
+* per-connection in-flight requests > ``max_inflight``
+  (``…rejected.inflight``);
+* the global queue already holds ``queue_max_requests`` pending
+  queries (``…rejected.queue_requests``);
+* admitting the query would push queued trees past
+  ``queue_max_trees`` — backpressure once more work is queued than one
+  batch can drain (``…rejected.queue_trees``; a single query bigger
+  than the cap is still admitted to an empty queue, else it could
+  never run).
+
 Shutdown (SIGTERM/SIGINT, a ``shutdown`` request, or
 :meth:`ServeDaemon.request_shutdown`) is drain-then-close: stop
 accepting, answer every already-queued query, flush replies, close
-connections, release shared-memory segments, unlink the socket.
+connections, release shared-memory segments, unlink owned sockets.
 
-A stale socket file left by a SIGKILLed predecessor is detected by a
-probe connect on startup — connection refused means nobody owns it and
-the path is reclaimed; an answering daemon makes startup fail loudly.
+A stale unix socket file left by a SIGKILLed predecessor is detected by
+a probe connect on startup — connection refused means nobody owns it
+and the path is reclaimed; an answering daemon makes startup fail
+loudly.  Sockets pre-bound by a :class:`~repro.serve.supervisor.\
+ServeSupervisor` are inherited as-is and never unlinked here — their
+lifecycle belongs to the supervisor.
 
 Metrics are recorded unconditionally into a private
 :class:`~repro.observability.metrics.MetricsRegistry` (served by the
@@ -43,6 +69,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import functools
 import os
 import signal
 import socket
@@ -51,7 +78,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable, Iterator
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.shmrf import shm_average_rf
 from repro.core.vectorized import VectorizedBFH
@@ -61,6 +88,7 @@ from repro.observability.metrics import MetricsRegistry, counter as _g_counter, 
 from repro.observability.spans import trace
 from repro.observability.state import enabled as _obs_enabled
 from repro.runtime.shm import SharedBFH
+from repro.serve.endpoint import Endpoint
 from repro.serve.protocol import (
     DEFAULT_MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
@@ -76,14 +104,49 @@ from repro.trees.tree import Tree
 from repro.util.errors import ReproError, ServeError, ServeProtocolError, \
     StoreError
 
-__all__ = ["ServeConfig", "ServeDaemon", "ServeHandle", "serving"]
+__all__ = ["ServeConfig", "ServeDaemon", "ServeHandle", "serving",
+           "prepare_socket_path"]
+
+
+def prepare_socket_path(path: Path) -> bool:
+    """Bind-time recovery: reclaim a dead daemon's socket, refuse a live
+    one's.  Returns whether a stale socket file was reclaimed."""
+    try:
+        mode = os.lstat(path).st_mode
+    except FileNotFoundError:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        return False
+    if not stat.S_ISSOCK(mode):
+        raise ServeError(
+            f"{path} exists and is not a socket; refusing to replace it")
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(str(path))
+    except OSError:
+        # Nobody answers: stale file from a crashed/SIGKILLed daemon.
+        path.unlink()
+        return True
+    else:
+        raise ServeError(f"another daemon is already serving on {path}")
+    finally:
+        probe.close()
 
 
 @dataclass
 class ServeConfig:
-    """Tunables for one daemon instance."""
+    """Tunables for one daemon instance.
 
-    socket_path: str
+    Addressing: ``endpoints`` takes any mix of endpoint URLs
+    (``unix:///path``, ``tcp://host:port``), bare socket paths, or
+    :class:`~repro.serve.endpoint.Endpoint` instances; ``socket_path``
+    is the legacy spelling of one unix endpoint and is folded into the
+    same list (and backfilled from it, so existing readers keep
+    working).  At least one endpoint is required.
+    """
+
+    socket_path: str | None = None   # legacy unix-path spelling
+    endpoints: Sequence[Endpoint | str | os.PathLike] = ()
     workers: int = 1                 # >1 fans probes out via the executor
     executor: str | None = None      # runtime backend name (None = auto)
     batch_max_trees: int = 4096      # stop coalescing past this many trees
@@ -93,6 +156,41 @@ class ServeConfig:
     max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
     socket_mode: int = 0o600         # owner-only by default (ops: loosen
                                      # deliberately, the socket is the ACL)
+    max_inflight: int = 64           # pipelined requests per connection
+    queue_max_requests: int = 1024   # bounded global query queue
+    queue_max_trees: int | None = None   # None -> batch_max_trees
+    reuse_port: bool = False         # SO_REUSEPORT on TCP binds (multi-proc)
+
+    def __post_init__(self) -> None:
+        parsed: list[Endpoint] = []
+        if self.socket_path is not None:
+            parsed.append(Endpoint.unix(self.socket_path))
+        parsed.extend(Endpoint.parse(ep) for ep in self.endpoints)
+        unique: list[Endpoint] = []
+        for ep in parsed:
+            if ep not in unique:
+                unique.append(ep)
+        if not unique:
+            raise ServeError(
+                "ServeConfig needs at least one endpoint "
+                "(socket_path= or endpoints=)")
+        self.endpoints = tuple(unique)
+        if self.socket_path is None:
+            for ep in unique:
+                if ep.kind == "unix":
+                    self.socket_path = ep.path
+                    break
+        if self.queue_max_trees is None:
+            self.queue_max_trees = max(1, self.batch_max_trees)
+
+
+@dataclass
+class _Listener:
+    """One bound listener; ``endpoint`` is rewritten to the actual bind
+    (resolving a ``tcp://host:0`` ephemeral port)."""
+
+    endpoint: Endpoint
+    prebound: bool = False
 
 
 @dataclass
@@ -135,9 +233,12 @@ class ServeHandle:
 class ServeDaemon:
     """Serve average-RF queries from one warm :class:`BFHStore`."""
 
-    def __init__(self, store_dir: str | os.PathLike, config: ServeConfig):
+    def __init__(self, store_dir: str | os.PathLike, config: ServeConfig,
+                 *, prebound_sockets:
+                 Mapping[Endpoint, socket.socket] | None = None):
         self.store_dir = Path(store_dir)
         self.config = config
+        self._prebound = dict(prebound_sockets or {})
         self._metrics = MetricsRegistry()
         self._store: BFHStore | None = None
         self._store_lock = threading.Lock()
@@ -146,15 +247,23 @@ class ServeDaemon:
         self._queue: asyncio.Queue[_Pending] | None = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._conn_tasks: set[asyncio.Task] = set()
+        self._listeners: list[_Listener] = []
         self._draining = False
         self._in_flight = False
         self._active_requests = 0
+        self._queued_trees = 0
         self._started_at = 0.0
         self._epoch = 0
         self._tables: dict[int, VectorizedBFH] = {}
         self._tables_epoch = 0
         self._shared: SharedBFH | None = None
         self._shared_words = 0
+
+    @property
+    def bound_endpoints(self) -> tuple[Endpoint, ...]:
+        """Actually-bound endpoints, in config order, with ephemeral TCP
+        ports resolved.  Populated by the time ``on_ready`` fires."""
+        return tuple(listener.endpoint for listener in self._listeners)
 
     # -- metrics: always into the private registry, mirrored when the
     # -- observability layer is enabled ------------------------------------
@@ -226,22 +335,61 @@ class ServeDaemon:
 
     async def serve(self, *, on_ready: Callable[[], None] | None = None
                     ) -> None:
-        """Open the store, bind the socket, and serve until shutdown."""
-        if not hasattr(socket, "AF_UNIX"):
-            raise ServeError(
-                "unix-domain sockets are unavailable on this platform")
+        """Open the store, bind every endpoint, and serve until shutdown."""
+        cfg = self.config
         loop = asyncio.get_running_loop()
         self._loop = loop
         self._closing = asyncio.Event()
-        self._queue = asyncio.Queue()
+        self._queue = asyncio.Queue(maxsize=cfg.queue_max_requests)
         self._draining = False
+        self._queued_trees = 0
+        self._listeners = []
         self._store = await asyncio.to_thread(BFHStore.open, self.store_dir)
-        socket_path = Path(self.config.socket_path)
-        self._prepare_socket_path(socket_path)
-        server = await asyncio.start_unix_server(
-            self._on_connect, path=str(socket_path),
-            limit=self.config.max_frame_bytes)
-        os.chmod(socket_path, self.config.socket_mode)
+        servers: list[asyncio.AbstractServer] = []
+        owned_paths: list[Path] = []
+        try:
+            for endpoint in cfg.endpoints:
+                listener = _Listener(endpoint=endpoint)
+                handler = functools.partial(self._on_connect,
+                                            listener=listener)
+                prebound = self._prebound.get(endpoint)
+                if endpoint.kind == "unix":
+                    if not hasattr(socket, "AF_UNIX"):
+                        raise ServeError("unix-domain sockets are "
+                                         "unavailable on this platform")
+                    if prebound is not None:
+                        listener.prebound = True
+                        server = await asyncio.start_unix_server(
+                            handler, sock=prebound,
+                            limit=cfg.max_frame_bytes)
+                    else:
+                        path = Path(endpoint.path)
+                        if prepare_socket_path(path):
+                            self._inc("serve.stale_sockets_recovered")
+                        server = await asyncio.start_unix_server(
+                            handler, path=str(path),
+                            limit=cfg.max_frame_bytes)
+                        os.chmod(path, cfg.socket_mode)
+                        owned_paths.append(path)
+                else:
+                    kwargs: dict[str, Any] = {}
+                    if cfg.reuse_port:
+                        kwargs["reuse_port"] = True
+                    server = await asyncio.start_server(
+                        handler, host=endpoint.host, port=endpoint.port,
+                        limit=cfg.max_frame_bytes, **kwargs)
+                    bound_port = server.sockets[0].getsockname()[1]
+                    listener.endpoint = endpoint.with_port(bound_port)
+                servers.append(server)
+                self._listeners.append(listener)
+        except BaseException:
+            for server in servers:
+                server.close()
+            for path in owned_paths:
+                with contextlib.suppress(OSError):
+                    path.unlink()
+            self._loop = None
+            raise
         handled_signals = []
         for sig in (signal.SIGTERM, signal.SIGINT):
             try:
@@ -259,9 +407,11 @@ class ServeDaemon:
         finally:
             # Drain-then-close: no new connections, queued queries finish,
             # replies flush, then everything is torn down.
-            server.close()
-            await server.wait_closed()
-            deadline = loop.time() + self.config.drain_timeout_s
+            for server in servers:
+                server.close()
+            for server in servers:
+                await server.wait_closed()
+            deadline = loop.time() + cfg.drain_timeout_s
             while (not self._queue.empty() or self._in_flight
                    or self._active_requests) and loop.time() < deadline:
                 await asyncio.sleep(0.01)
@@ -270,6 +420,8 @@ class ServeDaemon:
             await asyncio.gather(tailer, batcher, return_exceptions=True)
             while not self._queue.empty():  # drain timeout elapsed
                 pending = self._queue.get_nowait()
+                self._queued_trees = max(
+                    0, self._queued_trees - len(pending.trees))
                 if not pending.future.done():
                     pending.future.set_exception(ServeError(
                         "daemon shut down before the query was scored"))
@@ -284,47 +436,27 @@ class ServeDaemon:
                 with contextlib.suppress(Exception):
                     loop.remove_signal_handler(sig)
             self._release_tables()
-            with contextlib.suppress(OSError):
-                socket_path.unlink()
+            for path in owned_paths:
+                with contextlib.suppress(OSError):
+                    path.unlink()
             self._loop = None
-
-    def _prepare_socket_path(self, path: Path) -> None:
-        """Bind-time recovery: reclaim a dead daemon's socket, refuse a
-        live one's."""
-        try:
-            mode = os.lstat(path).st_mode
-        except FileNotFoundError:
-            path.parent.mkdir(parents=True, exist_ok=True)
-            return
-        if not stat.S_ISSOCK(mode):
-            raise ServeError(
-                f"{path} exists and is not a socket; refusing to replace it")
-        probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-        probe.settimeout(1.0)
-        try:
-            probe.connect(str(path))
-        except OSError:
-            # Nobody answers: stale file from a crashed/SIGKILLed daemon.
-            path.unlink()
-            self._inc("serve.stale_sockets_recovered")
-        else:
-            raise ServeError(
-                f"another daemon is already serving on {path}")
-        finally:
-            probe.close()
 
     # -- connection handling ----------------------------------------------
 
     async def _on_connect(self, reader: asyncio.StreamReader,
-                          writer: asyncio.StreamWriter) -> None:
+                          writer: asyncio.StreamWriter,
+                          listener: _Listener) -> None:
         task = asyncio.current_task()
         if task is not None:
             self._conn_tasks.add(task)
             task.add_done_callback(self._conn_tasks.discard)
         self._writers.add(writer)
         self._inc("serve.connections")
+        self._inc(f"serve.connections.{listener.endpoint.kind}")
+        write_lock = asyncio.Lock()
+        inflight: set[asyncio.Task] = set()
         try:
-            await self._send(writer, self._hello())
+            await self._send(writer, self._hello(listener))
             while True:
                 try:
                     line = await reader.readuntil(b"\n")
@@ -333,49 +465,89 @@ class ServeDaemon:
                 except asyncio.LimitOverrunError:
                     # No newline within the frame cap: the stream cannot
                     # be resynced, so reply typed and hang up.
+                    self._inc("serve.requests")
                     self._inc("serve.request_errors")
-                    await self._send(writer, error_reply(
-                        None, "oversized-frame",
-                        f"frame exceeds {self.config.max_frame_bytes} "
-                        "bytes; closing connection"))
+                    async with write_lock:
+                        await self._send(writer, error_reply(
+                            None, "oversized-frame",
+                            f"frame exceeds {self.config.max_frame_bytes} "
+                            "bytes; closing connection"))
                     break
-                self._active_requests += 1
                 try:
-                    reply = await self._process(line)
-                    if reply is not None:
+                    msg = decode_frame(line)
+                except ServeProtocolError as exc:
+                    self._inc("serve.requests")
+                    self._inc("serve.request_errors")
+                    async with write_lock:
+                        await self._send(writer,
+                                         error_reply(None, "bad-request",
+                                                     str(exc)))
+                    continue
+                if len(inflight) >= self.config.max_inflight:
+                    # Shed instead of buffering: the client has more
+                    # requests in flight than we are willing to hold.
+                    self._inc("serve.requests")
+                    self._inc("serve.request_errors")
+                    reply = self._admission_reject(
+                        msg.get("id"), "inflight",
+                        f"connection already has {len(inflight)} requests "
+                        f"in flight (cap {self.config.max_inflight}); "
+                        "back off and retry")
+                    async with write_lock:
                         await self._send(writer, reply)
-                finally:
-                    self._active_requests -= 1
+                    continue
+                self._active_requests += 1
+                request = asyncio.ensure_future(
+                    self._serve_request(msg, writer, write_lock))
+                inflight.add(request)
+                request.add_done_callback(inflight.discard)
         except (ConnectionResetError, BrokenPipeError, OSError):
             pass  # client disconnected mid-response; nothing to tell it
         finally:
+            if inflight:
+                await asyncio.gather(*inflight, return_exceptions=True)
             self._writers.discard(writer)
             writer.close()
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
+
+    async def _serve_request(self, msg: dict[str, Any],
+                             writer: asyncio.StreamWriter,
+                             write_lock: asyncio.Lock) -> None:
+        """One pipelined request: dispatch, then reply under the lock."""
+        try:
+            reply = await self._process(msg)
+            if reply is not None:
+                async with write_lock:
+                    await self._send(writer, reply)
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass  # client went away before its reply; drop it
+        finally:
+            self._active_requests -= 1
 
     async def _send(self, writer: asyncio.StreamWriter,
                     obj: dict[str, Any]) -> None:
         writer.write(encode_frame(obj))
         await writer.drain()
 
-    def _hello(self) -> dict[str, Any]:
+    def _hello(self, listener: _Listener) -> dict[str, Any]:
         with self._store_lock:
             store = self._store
             info = {"path": str(store.path), "generation": store.generation,
                     "trees": store.n_trees, "taxa": len(store.labels)}
         return {"type": "hello", "server": SERVER_NAME,
                 "protocol": PROTOCOL_VERSION, "pid": os.getpid(),
+                "listener": listener.endpoint.describe(),
                 "store": info}
 
-    async def _process(self, line: bytes) -> dict[str, Any] | None:
+    def _admission_reject(self, rid: Any, reason: str,
+                          message: str) -> dict[str, Any]:
+        self._inc("serve.admission_rejected")
+        self._inc(f"serve.admission_rejected.{reason}")
+        return error_reply(rid, "overloaded", message)
+
+    async def _process(self, msg: dict[str, Any]) -> dict[str, Any] | None:
         t0 = time.perf_counter()
-        try:
-            msg = decode_frame(line)
-        except ServeProtocolError as exc:
-            self._inc("serve.requests")
-            self._inc("serve.request_errors")
-            return error_reply(None, "bad-request", str(exc))
         rid = msg.get("id")
         op = msg.get("op")
         with trace("serve.request", op=str(op)):
@@ -438,10 +610,28 @@ class ServeDaemon:
             return ok_reply(rid, values=[], trees=0,
                             reference_trees=reference_trees,
                             generation=generation, epoch=self._epoch)
+        cfg = self.config
+        if (self._queued_trees
+                and self._queued_trees + len(trees) > cfg.queue_max_trees):
+            # Backpressure: more trees are already queued than one batch
+            # drains; admitting more only grows latency unboundedly.
+            return self._admission_reject(
+                rid, "queue_trees",
+                f"{self._queued_trees} trees already queued; admitting "
+                f"{len(trees)} more would exceed the {cfg.queue_max_trees}"
+                "-tree backpressure cap — back off and retry")
         pending = _Pending(trees=trees, n_taxa=n_taxa,
                            future=self._loop.create_future(),
                            enqueued_at=time.monotonic())
-        await self._queue.put(pending)
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            return self._admission_reject(
+                rid, "queue_requests",
+                f"query queue is full ({cfg.queue_max_requests} pending "
+                "requests); back off and retry")
+        self._queued_trees += len(trees)
+        self._set_gauge("serve.queued_trees", self._queued_trees)
         try:
             values = await pending.future
         except ReproError as exc:
@@ -468,6 +658,8 @@ class ServeDaemon:
                 extra = self._queue.get_nowait()
                 pending.append(extra)
                 n_trees += len(extra.trees)
+            self._queued_trees = max(0, self._queued_trees - n_trees)
+            self._set_gauge("serve.queued_trees", self._queued_trees)
             self._in_flight = True
             try:
                 now = time.monotonic()
@@ -623,6 +815,7 @@ class ServeDaemon:
     # -- introspection -------------------------------------------------------
 
     def _stats_payload(self) -> dict[str, Any]:
+        cfg = self.config
         with self._store_lock:
             info = self._store.info()
         return {
@@ -632,7 +825,14 @@ class ServeDaemon:
             "uptime_seconds": time.monotonic() - self._started_at,
             "epoch": self._epoch,
             "draining": self._draining,
-            "workers": self.config.workers,
+            "workers": cfg.workers,
+            "listeners": [str(ep) for ep in self.bound_endpoints],
+            "admission": {
+                "max_inflight": cfg.max_inflight,
+                "queue_max_requests": cfg.queue_max_requests,
+                "queue_max_trees": cfg.queue_max_trees,
+                "queued_trees": self._queued_trees,
+            },
             "metrics": self._metrics.snapshot(),
             "store": info,
         }

@@ -1,0 +1,178 @@
+"""First-class daemon addressing: ``unix://`` and ``tcp://`` endpoints.
+
+Before this module, the daemon's address was a raw unix socket path
+threaded through every signature; growing a TCP listener would have
+doubled every one of those parameters.  :class:`Endpoint` is the one
+addressing currency the whole serve stack trades in — the daemon binds
+a list of them, the client dials one, the CLI parses ``--addr``, and
+``str(endpoint)`` round-trips back to the URL form.
+
+Accepted address forms (:meth:`Endpoint.parse`):
+
+``unix:///var/run/rf.sock``
+    Unix-domain stream socket at an absolute path (three slashes: the
+    URL's empty authority, then the path).
+``unix://relative/path.sock``
+    Everything after ``unix://`` is the path, verbatim — relative
+    paths are allowed and stay relative.
+``tcp://127.0.0.1:7654``, ``tcp://[::1]:7654``
+    TCP with a required port; IPv6 hosts use the usual brackets.
+``/any/bare/path`` (no ``://``)
+    Back-compat: a schemeless string or ``os.PathLike`` is a unix
+    socket path, so every pre-endpoint call site keeps working.
+
+Anything else — an unknown scheme, a missing port, an empty path —
+raises a typed :class:`~repro.util.errors.ServeConnectionError` at
+parse time, never a late ``OSError`` deep inside a connect.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import socket
+from dataclasses import dataclass
+from typing import Any
+
+from repro.util.errors import ServeConnectionError
+
+__all__ = ["Endpoint"]
+
+_SCHEME_RE = re.compile(r"^([A-Za-z][A-Za-z0-9+.-]*)://")
+
+
+def _split_host_port(rest: str, url: str) -> tuple[str, int]:
+    """``HOST:PORT`` / ``[V6HOST]:PORT`` → (host, port), loudly typed."""
+    if rest.startswith("["):
+        close = rest.find("]")
+        if close < 0:
+            raise ServeConnectionError(
+                f"{url!r}: unterminated '[' in IPv6 host")
+        host = rest[1:close]
+        tail = rest[close + 1:]
+        if not tail.startswith(":"):
+            raise ServeConnectionError(
+                f"{url!r}: tcp endpoint needs ':PORT' after the host")
+        port_text = tail[1:]
+    else:
+        host, sep, port_text = rest.rpartition(":")
+        if not sep:
+            raise ServeConnectionError(
+                f"{url!r}: tcp endpoint must be HOST:PORT")
+    if not host:
+        raise ServeConnectionError(f"{url!r}: tcp endpoint needs a host")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ServeConnectionError(
+            f"{url!r}: port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise ServeConnectionError(
+            f"{url!r}: port {port} is outside 0-65535")
+    return host, port
+
+
+@dataclass(frozen=True)
+class Endpoint:
+    """One daemon address: a unix socket path or a TCP host:port.
+
+    Build one with :meth:`parse` (URLs, bare paths, or an existing
+    ``Endpoint``, which passes through untouched) or the :meth:`unix` /
+    :meth:`tcp` constructors.  Instances are frozen and hashable, so
+    they work as dict keys for listener bookkeeping.
+    """
+
+    kind: str                     # "unix" | "tcp"
+    path: str = ""                # unix only
+    host: str = ""                # tcp only
+    port: int = 0                 # tcp only
+
+    @classmethod
+    def unix(cls, path: str | os.PathLike) -> "Endpoint":
+        text = os.fspath(path)
+        if not text:
+            raise ServeConnectionError("unix endpoint needs a socket path")
+        return cls(kind="unix", path=text)
+
+    @classmethod
+    def tcp(cls, host: str, port: int) -> "Endpoint":
+        if not host:
+            raise ServeConnectionError("tcp endpoint needs a host")
+        if not 0 <= port <= 65535:
+            raise ServeConnectionError(f"port {port} is outside 0-65535")
+        return cls(kind="tcp", host=host, port=int(port))
+
+    @classmethod
+    def parse(cls, value: "Endpoint | str | os.PathLike") -> "Endpoint":
+        """Coerce any accepted address form into an :class:`Endpoint`."""
+        if isinstance(value, Endpoint):
+            return value
+        if isinstance(value, os.PathLike):
+            return cls.unix(value)
+        if not isinstance(value, str):
+            raise ServeConnectionError(
+                f"cannot interpret {type(value).__name__} as an endpoint "
+                "address")
+        match = _SCHEME_RE.match(value)
+        if match is None:
+            if not value:
+                raise ServeConnectionError("endpoint address is empty")
+            return cls.unix(value)  # bare socket path, the legacy form
+        scheme = match.group(1).lower()
+        rest = value[match.end():]
+        if scheme == "unix":
+            if not rest:
+                raise ServeConnectionError(
+                    f"{value!r}: unix endpoint needs a socket path")
+            return cls.unix(rest)
+        if scheme == "tcp":
+            host, port = _split_host_port(rest, value)
+            return cls.tcp(host, port)
+        raise ServeConnectionError(
+            f"{value!r}: unsupported endpoint scheme {scheme!r} "
+            "(expected unix:// or tcp://)")
+
+    # -- rendering -----------------------------------------------------------
+
+    def __str__(self) -> str:
+        if self.kind == "unix":
+            return f"unix://{self.path}"
+        host = f"[{self.host}]" if ":" in self.host else self.host
+        return f"tcp://{host}:{self.port}"
+
+    def describe(self) -> dict[str, Any]:
+        """The listener metadata block a hello frame carries."""
+        return {"kind": self.kind, "addr": str(self)}
+
+    def with_port(self, port: int) -> "Endpoint":
+        """A copy at the given port (resolving a ``:0`` ephemeral bind)."""
+        return Endpoint(kind=self.kind, path=self.path,
+                        host=self.host, port=port)
+
+    # -- client side ---------------------------------------------------------
+
+    def create_connection(self, timeout: float) -> socket.socket:
+        """Dial this endpoint, returning a connected blocking socket.
+
+        Raises ``OSError`` subclasses exactly as the underlying connect
+        does — the client's backoff loop decides which of those are
+        worth retrying — and :class:`ServeConnectionError` only for a
+        platform that cannot speak the address family at all.
+        """
+        if self.kind == "unix":
+            if not hasattr(socket, "AF_UNIX"):
+                raise ServeConnectionError(
+                    "unix-domain sockets are unavailable on this platform")
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            try:
+                sock.connect(self.path)
+            except BaseException:
+                sock.close()
+                raise
+            return sock
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=timeout)
+        # Request/reply framing: never let Nagle hold a frame back.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock

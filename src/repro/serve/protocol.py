@@ -1,18 +1,27 @@
 """The ``bfhrf serve`` wire protocol: newline-delimited JSON frames.
 
 One frame = one JSON object on one line, UTF-8, terminated by ``\\n``.
-The transport is a unix-domain stream socket; framing by newline keeps
-the protocol inspectable with ``socat`` and keeps both ends allocation-
-light (no length prefixes to resync after).
+The transport is any stream socket the daemon listens on — a
+unix-domain socket, TCP, or both at once (see
+:class:`repro.serve.endpoint.Endpoint`); the protocol is byte-identical
+on every listener.  Framing by newline keeps the protocol inspectable
+with ``socat`` and keeps both ends allocation-light (no length prefixes
+to resync after).
 
 On connect the daemon speaks first with a **hello** frame::
 
     {"type": "hello", "server": "bfhrf-serve", "protocol": 1,
-     "pid": 4242, "store": {"path": ..., "generation": 3,
-                            "trees": 900, "taxa": 16}}
+     "pid": 4242,
+     "listener": {"kind": "unix", "addr": "unix:///path/serve.sock"},
+     "store": {"path": ..., "generation": 3,
+               "trees": 900, "taxa": 16}}
 
-A client that sees an unexpected ``protocol`` must disconnect — the
-version is bumped on any incompatible change.
+``listener`` names the endpoint this connection arrived on (``kind`` is
+``"unix"`` or ``"tcp"``, ``addr`` is the canonical endpoint URL) so a
+client can tell which of a multi-listener daemon's addresses it
+reached.  A client that sees an unexpected ``protocol`` must disconnect
+— the version is bumped on any incompatible change.  (``listener`` was
+additive, so the version stayed 1.)
 
 Every subsequent frame from the client is a **request** carrying a
 caller-chosen ``id`` (echoed verbatim in the reply, so one connection
@@ -42,6 +51,10 @@ Error types (:data:`ERROR_TYPES`):
 ``oversized-frame`` the frame exceeded the daemon's byte limit; the
                     connection is closed (there is no way to resync)
 ``store-error``     the store could not answer (e.g. empty reference)
+``overloaded``      admission control shed the request (per-connection
+                    in-flight cap, bounded request queue, or queued-tree
+                    backpressure); the connection stays open — back off
+                    and retry, or spread load across daemon workers
 ``shutting-down``   daemon is draining; reconnect against a new one
 ``internal``        unexpected daemon-side failure (bug — report it)
 ==================  =====================================================
@@ -73,6 +86,7 @@ ERROR_TYPES = (
     "parse-error",
     "oversized-frame",
     "store-error",
+    "overloaded",
     "shutting-down",
     "internal",
 )

@@ -592,9 +592,13 @@ def check_serve_parity(case: TreeCase) -> list[Failure]:
     it through the wire client, and demands the replies be
     *bitwise-identical* to :func:`repro.core.api.average_rf` over the
     same trees — the whole parse → protocol → batch → probe pipeline
-    must not perturb a single bit.  Then one reference tree is added by
-    a *second* store handle (an external writer) and the daemon must
-    tail it into view without restarting, again bit-for-bit.
+    must not perturb a single bit.  The daemon listens on a unix socket
+    *and* a TCP endpoint at once; both transports are queried and both
+    must match — the NDJSON protocol is transport-agnostic by
+    construction, and this oracle holds it there.  Then one reference
+    tree is added by a *second* store handle (an external writer) and
+    the daemon must tail it into view without restarting, again
+    bit-for-bit.
     """
     import time as _time
 
@@ -611,8 +615,10 @@ def check_serve_parity(case: TreeCase) -> list[Failure]:
                     weighted=case.weighted)
         socket_path = Path(td) / "serve.sock"
         config = ServeConfig(socket_path=str(socket_path),
+                             endpoints=["tcp://127.0.0.1:0"],
                              tail_interval_s=0.02)
-        with serving(store_dir, config):
+        with serving(store_dir, config) as daemon:
+            tcp_endpoint = daemon.bound_endpoints[1]
             with ServeClient.connect(socket_path, retries=5) as client:
                 got = client.query(query_text)
                 want = average_rf(case.query, case.reference,
@@ -623,6 +629,15 @@ def check_serve_parity(case: TreeCase) -> list[Failure]:
                             "serve-parity",
                             f"daemon says {g!r}, api.average_rf says {w!r}",
                             implementation="warm", index=i))
+                with ServeClient.connect(tcp_endpoint,
+                                         retries=5) as tcp_client:
+                    tcp_got = tcp_client.query(query_text)
+                for i, (g, w) in enumerate(zip(tcp_got, want)):
+                    if g != w:
+                        failures.append(Failure(
+                            "serve-parity",
+                            f"TCP listener says {g!r}, api.average_rf "
+                            f"says {w!r}", implementation="tcp", index=i))
                 if failures:
                     return failures
                 # External add -> journal tail must surface it live.

@@ -152,3 +152,53 @@ class TestConsensusAPI:
     def test_empty(self):
         with pytest.raises(CollectionError):
             consensus([])
+
+
+class TestEndpointDispatch:
+    """``average_rf(..., endpoint=...)`` answers via a serve daemon,
+    bitwise-identical to local compute against the stored trees."""
+
+    @pytest.fixture
+    def served(self, tmp_path):
+        numpy = pytest.importorskip("numpy")  # noqa: F841 - serve needs it
+        from repro.serve import ServeConfig, serving
+        from repro.store import build_store
+
+        collection = make_collection(10, 8, seed=20260815)
+        store_path = tmp_path / "store"
+        build_store(store_path, collection, n_shards=1)
+        config = ServeConfig(socket_path=str(tmp_path / "api.sock"),
+                             endpoints=["tcp://127.0.0.1:0"],
+                             tail_interval_s=0.05)
+        with serving(store_path, config) as daemon:
+            yield daemon, collection
+
+    def test_remote_matches_local_bitwise_on_both_listeners(self, served):
+        daemon, collection = served
+        want = average_rf(collection, collection)
+        for endpoint in daemon.bound_endpoints:
+            assert average_rf(collection, endpoint=endpoint) == want
+
+    def test_remote_accepts_url_strings_and_normalized(self, served):
+        daemon, collection = served
+        unix_ep = daemon.bound_endpoints[0]
+        want = average_rf(collection, collection, normalized=True)
+        got = average_rf(collection, endpoint=str(unix_ep), normalized=True)
+        assert got == want
+
+    @pytest.mark.parametrize("kwargs", [
+        {"method": "bfhrf"},
+        {"transform": lambda mask: mask},
+        {"include_trivial": True},
+    ])
+    def test_endpoint_rejects_local_only_arguments(self, served, kwargs):
+        daemon, collection = served
+        with pytest.raises(CollectionError, match="endpoint"):
+            average_rf(collection, endpoint=daemon.bound_endpoints[0],
+                       **kwargs)
+
+    def test_endpoint_rejects_reference(self, served):
+        daemon, collection = served
+        with pytest.raises(CollectionError, match="reference"):
+            average_rf(collection, collection,
+                       endpoint=daemon.bound_endpoints[0])

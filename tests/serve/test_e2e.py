@@ -14,7 +14,7 @@ import pytest
 
 from repro.core.bfhrf import bfhrf_average_rf
 from repro.newick import trees_from_string, write_newick
-from repro.serve import ServeClient, ServeConfig, serving
+from repro.serve import Endpoint, ServeClient, ServeConfig, serving
 from repro.store import BFHStore, build_store
 
 from tests.conftest import make_collection
@@ -266,11 +266,55 @@ class TestGracefulShutdown:
                     time.sleep(0.01)
 
 
+class TestTcpListener:
+    """The tentpole parity bar: unix and TCP listeners on one daemon
+    answer bitwise-identically."""
+
+    def test_tcp_and_unix_serve_bitwise_identical(self, tmp_path, store_dir,
+                                                  collection):
+        config = _config(tmp_path, endpoints=["tcp://127.0.0.1:0"])
+        want = bfhrf_average_rf(collection, collection)
+        with serving(store_dir, config) as daemon:
+            unix_ep, tcp_ep = daemon.bound_endpoints
+            assert tcp_ep.port != 0  # ephemeral bind resolved
+            with ServeClient.connect(unix_ep) as client:
+                via_unix = client.query(_text(collection))
+            with ServeClient.connect(tcp_ep) as client:
+                via_tcp = client.query(_text(collection))
+                stats = client.stats()
+        assert via_unix == want
+        assert via_tcp == want  # bitwise across transports
+        counters = stats["metrics"]["counters"]
+        assert counters["serve.connections.unix"] >= 1
+        assert counters["serve.connections.tcp"] >= 1
+        assert sorted(stats["listeners"]) == sorted(
+            [str(unix_ep), str(tcp_ep)])
+
+    def test_tcp_only_daemon(self, tmp_path, store_dir, collection):
+        config = ServeConfig(endpoints=["tcp://127.0.0.1:0"],
+                             tail_interval_s=0.05)
+        assert config.socket_path is None
+        with serving(store_dir, config) as daemon:
+            (tcp_ep,) = daemon.bound_endpoints
+            with ServeClient.connect(tcp_ep) as client:
+                got = client.query(_text(collection[:2]))
+        assert got == bfhrf_average_rf(collection[:2], collection)
+
+    def test_tcp_url_string_connects(self, tmp_path, store_dir, collection):
+        config = _config(tmp_path, endpoints=["tcp://127.0.0.1:0"])
+        with serving(store_dir, config) as daemon:
+            tcp_ep = daemon.bound_endpoints[1]
+            with ServeClient.connect(str(tcp_ep)) as client:
+                assert client.ping()
+
+
 class TestReconnectBackoff:
     def test_client_wins_race_against_late_daemon(self, tmp_path, store_dir,
                                                   collection):
         """connect(retries=...) keeps dialing while the daemon is still
-        starting — the CI smoke test launches both simultaneously."""
+        starting — the socket path does not even exist yet
+        (``FileNotFoundError``), which must count as retryable just like
+        ``ConnectionRefusedError``."""
         config = _config(tmp_path)
         want = bfhrf_average_rf(collection[:2], collection)
         got: list[list[float]] = []
@@ -287,11 +331,49 @@ class TestReconnectBackoff:
 
         thread = threading.Thread(target=_connect_early)
         thread.start()
-        time.sleep(0.15)  # let the client burn a few refused attempts
+        time.sleep(0.15)  # let the client burn a few not-found attempts
         with serving(store_dir, config):
             thread.join(timeout=30)
         assert not errors
         assert got == [want]
+
+    def test_connection_refused_is_retried(self, tmp_path, store_dir,
+                                           collection, monkeypatch):
+        """A bound-but-not-yet-accepting daemon (ECONNREFUSED) is the
+        other face of the startup race; backoff must cover it too."""
+        real = Endpoint.create_connection
+        calls = {"n": 0}
+
+        def flaky(self, timeout):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise ConnectionRefusedError("simulated not-listening")
+            return real(self, timeout)
+
+        monkeypatch.setattr(Endpoint, "create_connection", flaky)
+        with serving(store_dir, _config(tmp_path)) as daemon:
+            with ServeClient.connect(daemon.config.socket_path, retries=5,
+                                     backoff_s=0.01) as client:
+                got = client.query(_text(collection[:1]))
+        assert calls["n"] == 3  # two refusals retried, third connected
+        assert got == bfhrf_average_rf(collection[:1], collection)
+
+    def test_other_oserrors_fail_fast(self, monkeypatch):
+        """Errors backoff cannot fix (permissions, unreachable hosts)
+        must not burn the retry budget — fail on the first attempt."""
+        from repro.util.errors import ServeConnectionError
+
+        calls = {"n": 0}
+
+        def denied(self, timeout):
+            calls["n"] += 1
+            raise PermissionError(13, "Permission denied")
+
+        monkeypatch.setattr(Endpoint, "create_connection", denied)
+        with pytest.raises(ServeConnectionError, match="cannot connect"):
+            ServeClient.connect("/tmp/forbidden.sock", retries=10,
+                                backoff_s=0.01)
+        assert calls["n"] == 1
 
     def test_no_retries_fails_fast(self, tmp_path):
         from repro.util.errors import ServeConnectionError

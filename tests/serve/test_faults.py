@@ -243,3 +243,83 @@ class TestSocketRecovery:
             daemon.run_in_thread()
         with open(config.socket_path) as handle:  # untouched
             assert "precious" in handle.read()
+
+
+class TestTcpFaults:
+    """Hostile TCP clients: half-open shutdowns, abortive resets, and
+    malformed frames must leave the daemon serving everyone else."""
+
+    def _tcp_config(self, tmp_path) -> ServeConfig:
+        return _config(tmp_path, endpoints=["tcp://127.0.0.1:0"])
+
+    def _tcp_connect(self, endpoint) -> tuple[socket.socket, dict]:
+        sock = socket.create_connection((endpoint.host, endpoint.port),
+                                        timeout=10.0)
+        buffer = b""
+        while b"\n" not in buffer:
+            buffer += sock.recv(65536)
+        hello_line, _ = buffer.split(b"\n", 1)
+        return sock, decode_frame(hello_line)
+
+    def test_half_open_client_mid_frame_does_not_wedge(
+            self, tmp_path, store_dir, collection):
+        """A client that sends half a frame then shuts down its write
+        side (TCP half-open: FIN with the read side still up) must be
+        dropped cleanly, not leave a handler waiting forever."""
+        with serving(store_dir, self._tcp_config(tmp_path)) as daemon:
+            tcp_ep = daemon.bound_endpoints[1]
+            sock, hello = self._tcp_connect(tcp_ep)
+            assert hello["listener"]["kind"] == "tcp"
+            sock.sendall(b'{"id": 1, "op": "query", "trees": "((A,')
+            sock.shutdown(socket.SHUT_WR)  # half-open: we can still read
+            # The daemon sees EOF mid-frame and hangs up its side too.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if sock.recv(65536) == b"":
+                    break
+            else:
+                raise AssertionError("daemon never closed the half-open "
+                                     "connection")
+            sock.close()
+            # Everyone else is still being served, on both listeners.
+            with ServeClient.connect(tcp_ep) as client:
+                assert client.query(_text(collection[:1])) == \
+                    bfhrf_average_rf(collection[:1], collection)
+            with ServeClient.connect(daemon.config.socket_path) as client:
+                assert client.ping()
+
+    def test_abortive_reset_after_request_is_survived(
+            self, tmp_path, store_dir, collection):
+        """A client that fires a query then resets the connection (RST
+        via SO_LINGER 0) mid-reply must not take the daemon down."""
+        import struct
+
+        with serving(store_dir, self._tcp_config(tmp_path)) as daemon:
+            tcp_ep = daemon.bound_endpoints[1]
+            sock, _ = self._tcp_connect(tcp_ep)
+            sock.sendall(encode_frame(
+                {"id": 1, "op": "query", "trees": _text(collection)}))
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+            sock.close()  # RST: the reply write will fail server-side
+            time.sleep(0.1)
+            with ServeClient.connect(tcp_ep) as client:
+                assert client.query(_text(collection[:2])) == \
+                    bfhrf_average_rf(collection[:2], collection)
+
+    def test_malformed_frame_over_tcp_gets_typed_error(
+            self, tmp_path, store_dir):
+        """Error paths are transport-agnostic: bad JSON over TCP gets
+        the same typed reply as over unix, and the connection lives."""
+        with serving(store_dir, self._tcp_config(tmp_path)) as daemon:
+            tcp_ep = daemon.bound_endpoints[1]
+            sock, _ = self._tcp_connect(tcp_ep)
+            try:
+                reply = _raw_request(sock, b"this is not json\n")
+                assert reply["ok"] is False
+                assert reply["error"]["type"] == "bad-request"
+                reply = _raw_request(sock, encode_frame(
+                    {"id": 7, "op": "ping"}))
+                assert reply == {"id": 7, "ok": True, "pong": True}
+            finally:
+                sock.close()

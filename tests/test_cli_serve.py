@@ -83,7 +83,7 @@ class TestServeVerbs:
 
         def _start() -> None:
             rc.append(main(["serve", "start", store_dir,
-                            "--socket", socket_path,
+                            "--addr", f"unix://{socket_path}",
                             "--tail-interval", "0.05", "--quiet"]))
 
         thread = threading.Thread(target=_start, daemon=True)
@@ -103,3 +103,74 @@ class TestServeVerbs:
         assert main(["serve", "start", str(tmp_path / "no-store"),
                      "--quiet"]) == 2
         assert "not a BFH store" in capsys.readouterr().err
+
+
+class TestEndpointAddressing:
+    """The --addr surface: URL forms, TCP listeners, and the deprecated
+    --socket alias mapped through the same Endpoint parser."""
+
+    def test_query_via_addr_flag_matches_positional(self, daemon, trees_file,
+                                                    capsys):
+        assert main(["serve", "query", daemon.config.socket_path,
+                     trees_file, "--quiet"]) == 0
+        positional = capsys.readouterr().out
+        assert main(["serve", "query", "--addr",
+                     f"unix://{daemon.config.socket_path}", trees_file,
+                     "--quiet"]) == 0
+        assert capsys.readouterr().out == positional
+
+    def test_tcp_daemon_query_identical_to_store_query(self, tmp_path,
+                                                       store_dir, trees_file,
+                                                       capsys):
+        from repro.serve import ServeConfig, ServeDaemon
+
+        config = ServeConfig(socket_path=str(tmp_path / "tcp-test.sock"),
+                             endpoints=["tcp://127.0.0.1:0"],
+                             tail_interval_s=0.05)
+        daemon = ServeDaemon(store_dir, config)
+        handle = daemon.run_in_thread()
+        try:
+            tcp_addr = str(daemon.bound_endpoints[1])
+            assert main(["serve", "query", tcp_addr, trees_file,
+                         "--quiet"]) == 0
+            via_tcp = capsys.readouterr().out
+        finally:
+            handle.stop()
+        assert main(["store", "query", store_dir, trees_file,
+                     "--quiet"]) == 0
+        assert via_tcp == capsys.readouterr().out
+
+    def test_socket_flag_is_deprecated_but_works(self, daemon, capsys):
+        with pytest.warns(DeprecationWarning, match="--addr"):
+            assert main(["serve", "stats", "--socket",
+                         daemon.config.socket_path, "--quiet"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["server"] == "bfhrf-serve"
+
+    def test_start_socket_flag_is_deprecated(self, tmp_path, store_dir):
+        import threading
+
+        socket_path = str(tmp_path / "dep-start.sock")
+        rc: list[int] = []
+
+        def _start() -> None:
+            with pytest.warns(DeprecationWarning, match="--addr"):
+                rc.append(main(["serve", "start", store_dir,
+                                "--socket", socket_path,
+                                "--tail-interval", "0.05", "--quiet"]))
+
+        thread = threading.Thread(target=_start, daemon=True)
+        thread.start()
+        assert main(["serve", "stop", socket_path, "--retries", "20",
+                     "--quiet"]) == 0
+        thread.join(timeout=15)
+        assert rc == [0]
+
+    def test_missing_address_fails_cleanly(self, capsys):
+        assert main(["serve", "stats", "--quiet"]) == 2
+        assert "needs a daemon address" in capsys.readouterr().err
+
+    def test_bad_scheme_fails_cleanly(self, trees_file, capsys):
+        assert main(["serve", "query", "http://nope:80", trees_file,
+                     "--quiet"]) == 2
+        assert "unsupported endpoint scheme" in capsys.readouterr().err
